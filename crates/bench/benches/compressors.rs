@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks: compressor throughput on activation-like
+//! data (the codec cost that sets the §5.4 overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebtrain_imgcomp::JpegActConfig;
+use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ReLU-like activation volume: smooth positives with ~50% zeros.
+fn activation_volume(c: usize, hw: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..c * hw * hw)
+        .map(|i| {
+            let y = (i / hw) % hw;
+            let x = i % hw;
+            let v = ((x as f32) * 0.13).sin() + ((y as f32) * 0.07).cos()
+                + rng.gen_range(-0.2..0.2);
+            if v < 0.0 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+fn bench_sz(c: &mut Criterion) {
+    let data = activation_volume(16, 32, 1);
+    let bytes = (data.len() * 4) as u64;
+    let layout = DataLayout::D3(16, 32, 32);
+    let mut group = c.benchmark_group("sz");
+    group.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2f32, 1e-3, 1e-4] {
+        let cfg = SzConfig::with_error_bound(eb);
+        group.bench_with_input(BenchmarkId::new("compress", format!("eb={eb:.0e}")), &cfg, |b, cfg| {
+            b.iter(|| compress(&data, layout, cfg).unwrap())
+        });
+        let buf = compress(&data, layout, &cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("eb={eb:.0e}")),
+            &buf,
+            |b, buf| b.iter(|| decompress(buf).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let data = activation_volume(16, 32, 2);
+    let bytes = (data.len() * 4) as u64;
+    let mut group = c.benchmark_group("lossless");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("compress", |b| {
+        b.iter(|| ebtrain_sz::lossless::compress(&data))
+    });
+    let packed = ebtrain_sz::lossless::compress(&data);
+    group.bench_function("decompress", |b| {
+        b.iter(|| ebtrain_sz::lossless::decompress(&packed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_jpeg_act(c: &mut Criterion) {
+    let data = activation_volume(16, 32, 3);
+    let bytes = (data.len() * 4) as u64;
+    let mut group = c.benchmark_group("jpeg_act");
+    group.throughput(Throughput::Bytes(bytes));
+    let cfg = JpegActConfig::default();
+    group.bench_function("compress", |b| {
+        b.iter(|| ebtrain_imgcomp::compress(&data, 16, 32, 32, &cfg).unwrap())
+    });
+    let buf = ebtrain_imgcomp::compress(&data, 16, 32, 32, &cfg).unwrap();
+    group.bench_function("decompress", |b| {
+        b.iter(|| ebtrain_imgcomp::decompress(&buf).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_zfp_like(c: &mut Criterion) {
+    let data = activation_volume(16, 32, 4);
+    let bytes = (data.len() * 4) as u64;
+    let mut group = c.benchmark_group("zfp_like");
+    group.throughput(Throughput::Bytes(bytes));
+    let cfg = ebtrain_sz::zfp_like::ZfpLikeConfig { bits_per_value: 8 };
+    group.bench_function("compress_8bpv", |b| {
+        b.iter(|| ebtrain_sz::zfp_like::compress(&data, 16 * 32, 32, &cfg).unwrap())
+    });
+    let packed = ebtrain_sz::zfp_like::compress(&data, 16 * 32, 32, &cfg).unwrap();
+    group.bench_function("decompress_8bpv", |b| {
+        b.iter(|| ebtrain_sz::zfp_like::decompress(&packed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sz, bench_lossless, bench_jpeg_act, bench_zfp_like
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **Ablation** — static error bound vs the Eq. 9 adaptive controller.
+//!
+//! A single global bound must be chosen pessimistically (small → poor
+//! ratio) or riskily (large → accuracy loss); the controller picks each
+//! layer's bound from its own statistics and re-tunes as training
+//! evolves.
+
+use ebtrain_bench::table::Table;
+use ebtrain_bench::env_usize;
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::CompressionPlan;
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
+use ebtrain_dnn::store::{ActivationStore, CompressedStore};
+use ebtrain_dnn::train::{evaluate, train_step};
+use ebtrain_dnn::zoo;
+use ebtrain_sz::SzConfig;
+
+fn main() {
+    let iters = env_usize("EBTRAIN_ITERS", 150);
+    let batch = env_usize("EBTRAIN_BATCH", 16);
+    let eval_n = 128usize;
+    println!("ablation_static_eb: tiny-vgg, iters={iters}, batch={batch}");
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 10,
+        image_hw: 32,
+        noise: 0.25,
+        seed: 77,
+    });
+    let (vx, vl) = data.val_batch(0, eval_n);
+    let head = SoftmaxCrossEntropy::new();
+
+    let mut table = Table::new(&["policy", "final_acc", "conv_ratio"]);
+    for eb in [1e-4f32, 1e-3, 1e-2, 5e-2] {
+        eprintln!("[static] eb={eb} ...");
+        let mut net = zoo::tiny_vgg(10, 7);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let mut store = CompressedStore::new(SzConfig::with_error_bound(eb));
+        let plan = CompressionPlan::new();
+        for i in 0..iters {
+            let (x, labels) = data.batch((i * batch) as u64, batch);
+            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
+                .expect("step");
+        }
+        let (_, c) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
+        table.row(vec![
+            format!("static eb={eb:.0e}"),
+            format!("{:.3}", c as f64 / eval_n as f64),
+            format!("{:.1}x", store.metrics().compressible_ratio()),
+        ]);
+    }
+    eprintln!("[adaptive] ...");
+    let net = zoo::tiny_vgg(10, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig::default(),
+        FrameworkConfig {
+            w_interval: 25,
+            ..FrameworkConfig::default()
+        },
+    );
+    for i in 0..iters {
+        let (x, labels) = data.batch((i * batch) as u64, batch);
+        trainer.step(x, &labels).expect("step");
+    }
+    let (_, c) = trainer.evaluate(vx.clone(), &vl).expect("eval");
+    table.row(vec![
+        "adaptive (Eq. 9, paper form)".into(),
+        format!("{:.3}", c as f64 / eval_n as f64),
+        format!("{:.1}x", trainer.store_metrics().compressible_ratio()),
+    ]);
+    eprintln!("[adaptive exact-CLT] ...");
+    let net = zoo::tiny_vgg(10, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig::default(),
+        FrameworkConfig {
+            w_interval: 25,
+            model_form: ebtrain_core::ModelForm::ExactClt,
+            ..FrameworkConfig::default()
+        },
+    );
+    for i in 0..iters {
+        let (x, labels) = data.batch((i * batch) as u64, batch);
+        trainer.step(x, &labels).expect("step");
+    }
+    let (_, c) = trainer.evaluate(vx.clone(), &vl).expect("eval");
+    table.row(vec![
+        "adaptive (exact CLT)".into(),
+        format!("{:.3}", c as f64 / eval_n as f64),
+        format!("{:.1}x", trainer.store_metrics().compressible_ratio()),
+    ]);
+    table.print("Static vs adaptive error bound");
+    println!(
+        "\nExpected: tiny static bounds keep accuracy but waste ratio; \
+         huge static bounds gain ratio but cost accuracy; the adaptive \
+         controller sits on the good corner of that trade-off without \
+         per-model tuning (the paper's 'no heavy fine-tuning' claim)."
+    );
+}

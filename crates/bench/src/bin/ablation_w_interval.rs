@@ -1,0 +1,62 @@
+//! **Ablation** — the collection interval `W` (paper §4.1, default 1000):
+//! smaller W tracks the training state more closely but pays collection
+//! overhead every W iterations; larger W amortizes it (the paper argues
+//! the statistics drift slowly, so large W is safe).
+
+use ebtrain_bench::table::Table;
+use ebtrain_bench::env_usize;
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::optimizer::SgdConfig;
+use ebtrain_dnn::zoo;
+use std::time::Instant;
+
+fn main() {
+    let iters = env_usize("EBTRAIN_ITERS", 120);
+    let batch = env_usize("EBTRAIN_BATCH", 16);
+    let eval_n = 128usize;
+    println!("ablation_w_interval: tiny-vgg, iters={iters}, batch={batch}");
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 10,
+        image_hw: 32,
+        noise: 0.25,
+        seed: 77,
+    });
+    let (vx, vl) = data.val_batch(0, eval_n);
+
+    let mut table = Table::new(&["W", "s/iter", "final_acc", "conv_ratio", "collections"]);
+    for w in [2usize, 8, 25, 100] {
+        eprintln!("[W={w}] ...");
+        let net = zoo::tiny_vgg(10, 7);
+        let mut trainer = AdaptiveTrainer::new(
+            net,
+            SgdConfig::default(),
+            FrameworkConfig {
+                w_interval: w,
+                ..FrameworkConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        for i in 0..iters {
+            let (x, labels) = data.batch((i * batch) as u64, batch);
+            trainer.step(x, &labels).expect("step");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let (_, c) = trainer.evaluate(vx.clone(), &vl).expect("eval");
+        let collections = trainer.history().iter().filter(|r| r.collected).count();
+        table.row(vec![
+            format!("{w}"),
+            format!("{:.3}", wall / iters as f64),
+            format!("{:.3}", c as f64 / eval_n as f64),
+            format!("{:.1}x", trainer.store_metrics().compressible_ratio()),
+            format!("{collections}"),
+        ]);
+    }
+    table.print("Collection-interval (W) ablation");
+    println!(
+        "\nExpected: accuracy and ratio are insensitive to W across two \
+         orders of magnitude (statistics drift slowly — §4.1), while \
+         per-iteration cost falls slightly as W grows; hence the paper's \
+         comfortable W = 1000 default."
+    );
+}

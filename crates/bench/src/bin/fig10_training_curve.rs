@@ -1,0 +1,133 @@
+//! **Figure 10** — baseline vs framework training curves, plus the
+//! compression-ratio-vs-iteration series.
+//!
+//! Two runs from identical initialization and an identical data stream:
+//! the baseline keeps raw activations; the framework compresses every
+//! conv input with the Eq. 9 adaptive bounds. Expect near-overlapping
+//! accuracy curves and a compression ratio that moves as the loss/
+//! momentum statistics evolve (unstable early, stabilizing later —
+//! exactly the behaviour the paper describes for the early phase).
+//!
+//! Substitution note: scaled AlexNet on SynthImageNet (see DESIGN.md §2);
+//! W scaled from 1000 to 25 to match the shorter run.
+
+use ebtrain_bench::table::Table;
+use ebtrain_bench::env_usize;
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::CompressionPlan;
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::optimizer::{LrSchedule, Sgd, SgdConfig};
+use ebtrain_dnn::store::RawStore;
+use ebtrain_dnn::train::{evaluate, train_step};
+use ebtrain_dnn::zoo;
+
+fn main() {
+    let batch = env_usize("EBTRAIN_BATCH", 16);
+    let iters = env_usize("EBTRAIN_ITERS", 240);
+    let eval_every = env_usize("EBTRAIN_EVAL_EVERY", 24);
+    let w = env_usize("EBTRAIN_W", 25);
+    let eval_n = 128usize;
+    println!("fig10_training_curve: tiny-alexnet batch={batch} iters={iters} W={w}");
+
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 10,
+        image_hw: 32,
+        noise: 0.25,
+        seed: 77,
+    });
+    let head = SoftmaxCrossEntropy::new();
+    let sgd = SgdConfig {
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: LrSchedule::Step {
+            every: iters / 2,
+            gamma: 0.1,
+        },
+    };
+    let (vx, vl) = data.val_batch(0, eval_n);
+
+    // Baseline run.
+    eprintln!("[fig10] baseline run ...");
+    let mut base_net = zoo::tiny_alexnet(10, 7);
+    let mut base_opt = Sgd::new(sgd.clone());
+    let mut base_store = RawStore::new();
+    let plan = CompressionPlan::new();
+    let mut base_acc: Vec<f64> = Vec::new();
+    for i in 0..iters {
+        let (x, labels) = data.batch((i * batch) as u64, batch);
+        train_step(
+            &mut base_net, &head, &mut base_opt, &mut base_store, &plan, x, &labels, false,
+        )
+        .expect("baseline step");
+        if (i + 1) % eval_every == 0 {
+            let (_, c) = evaluate(&mut base_net, &head, vx.clone(), &vl).expect("eval");
+            base_acc.push(c as f64 / eval_n as f64);
+        }
+    }
+
+    // Framework run (identical init/data).
+    eprintln!("[fig10] framework run ...");
+    let net = zoo::tiny_alexnet(10, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        sgd,
+        FrameworkConfig {
+            w_interval: w,
+            ..FrameworkConfig::default()
+        },
+    );
+    let mut comp_acc: Vec<f64> = Vec::new();
+    let mut ratio_series: Vec<(usize, f64)> = Vec::new();
+    for i in 0..iters {
+        let (x, labels) = data.batch((i * batch) as u64, batch);
+        let r = trainer.step(x, &labels).expect("framework step");
+        ratio_series.push((i, r.compression_ratio));
+        if (i + 1) % eval_every == 0 {
+            let (_, c) = trainer.evaluate(vx.clone(), &vl).expect("eval");
+            comp_acc.push(c as f64 / eval_n as f64);
+        }
+    }
+
+    let mut table = Table::new(&["iter", "baseline_acc", "framework_acc", "comp_ratio"]);
+    for (p, (b, c)) in base_acc.iter().zip(&comp_acc).enumerate() {
+        let it = (p + 1) * eval_every;
+        // ratio averaged over the window ending at this eval point
+        let lo = it.saturating_sub(eval_every);
+        let window: Vec<f64> = ratio_series[lo..it].iter().map(|&(_, r)| r).collect();
+        let ratio = window.iter().sum::<f64>() / window.len().max(1) as f64;
+        table.row(vec![
+            format!("{it}"),
+            format!("{b:.3}"),
+            format!("{c:.3}"),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    table.print("Fig 10: accuracy curves + compression ratio per iteration window");
+
+    let m = trainer.store_metrics();
+    println!("\noverall conv-activation compression ratio: {:.1}x", m.compressible_ratio());
+    println!("final baseline acc {:.3} vs framework acc {:.3} (delta {:+.3})",
+        base_acc.last().unwrap_or(&0.0),
+        comp_acc.last().unwrap_or(&0.0),
+        comp_acc.last().unwrap_or(&0.0) - base_acc.last().unwrap_or(&0.0));
+    println!("\nPer-layer bounds at the last collection:");
+    let mut plan_table = Table::new(&["layer", "eb", "R", "L_bar", "M_avg", "fallback"]);
+    for e in trainer.plan_entries() {
+        plan_table.row(vec![
+            e.name.clone(),
+            format!("{:.2e}", e.error_bound),
+            format!("{:.2}", e.sparsity_r),
+            format!("{:.2e}", e.l_bar),
+            format!("{:.2e}", e.m_avg),
+            format!("{}", e.fallback),
+        ]);
+    }
+    plan_table.print("Fig 10 aux: adaptive per-layer error bounds");
+    println!(
+        "\nPaper shape to check: the two accuracy curves nearly coincide \
+         while conv activations are stored ~10x smaller; ratio wobbles \
+         early then stabilizes."
+    );
+}

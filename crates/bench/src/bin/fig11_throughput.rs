@@ -1,0 +1,200 @@
+//! **Figure 11** — training throughput (images/s) vs batch size, baseline
+//! vs framework, under a fixed device-memory budget; single device and a
+//! modelled 4-device data-parallel node.
+//!
+//! Method: measure per-iteration peak activation memory and wall-clock at
+//! a sweep of batch sizes for both storage policies; a
+//! [`DeviceSpec`] capacity cuts each
+//! series off at its max feasible batch. The paper's shape: throughput
+//! grows with batch; compression pays a per-iteration overhead but keeps
+//! scaling past the baseline's OOM point, ending at a higher peak.
+
+use ebtrain_bench::table::Table;
+use ebtrain_bench::{env_f64, env_usize, fmt_bytes};
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::CompressionPlan;
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::memsim::{max_batch, DataParallelModel, DeviceSpec, IterationFootprint};
+use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
+use ebtrain_dnn::store::RawStore;
+use ebtrain_dnn::train::train_step;
+use ebtrain_dnn::zoo;
+use std::time::Instant;
+
+/// Measured point: batch, peak activation bytes, images/s.
+struct Point {
+    batch: usize,
+    peak: usize,
+    ips: f64,
+}
+
+fn measure_baseline(data: &SynthImageNet, batch: usize, reps: usize) -> Point {
+    let mut net = zoo::tiny_vgg(10, 7);
+    let head = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(SgdConfig::default());
+    let mut store = RawStore::new();
+    let plan = CompressionPlan::new();
+    // warmup
+    let (x, labels) = data.batch(0, batch);
+    let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false).unwrap();
+    let peak = r.peak_store_bytes;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let (x, labels) = data.batch((i * batch) as u64 + 1000, batch);
+        train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false).unwrap();
+    }
+    let ips = (reps * batch) as f64 / t0.elapsed().as_secs_f64();
+    Point { batch, peak, ips }
+}
+
+fn measure_framework(data: &SynthImageNet, batch: usize, reps: usize, w: usize) -> Point {
+    let net = zoo::tiny_vgg(10, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig::default(),
+        FrameworkConfig {
+            w_interval: w,
+            ..FrameworkConfig::default()
+        },
+    );
+    let (x, labels) = data.batch(0, batch);
+    let r = trainer.step(x, &labels).unwrap();
+    let mut peak = r.peak_store_bytes;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let (x, labels) = data.batch((i * batch) as u64 + 1000, batch);
+        let r = trainer.step(x, &labels).unwrap();
+        peak = peak.max(r.peak_store_bytes);
+    }
+    let ips = (reps * batch) as f64 / t0.elapsed().as_secs_f64();
+    Point { batch, peak, ips }
+}
+
+/// Latency-amortization model of an accelerator: per-iteration fixed cost
+/// (kernel launches, all-reduce latency) amortizes over the batch, so
+/// `ips(b) ∝ b / (b + K)`. `K = 32` is representative of V100-class
+/// training; the paper's Fig 11 growth-with-batch comes from exactly this
+/// effect, which a single CPU core cannot exhibit (its throughput is flat
+/// in batch — see the measured columns).
+fn device_efficiency(batch: usize) -> f64 {
+    batch as f64 / (batch as f64 + 32.0)
+}
+
+fn main() {
+    let budget_mib = env_f64("EBTRAIN_BUDGET_MIB", 12.0);
+    let reps = env_usize("EBTRAIN_REPS", 3);
+    let device = DeviceSpec::with_mib("sim-device", budget_mib as usize);
+    println!(
+        "fig11_throughput: tiny-vgg, device budget {} (reps/batch point: {reps})",
+        fmt_bytes(device.capacity_bytes as u64)
+    );
+
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 10,
+        image_hw: 32,
+        noise: 0.2,
+        seed: 31,
+    });
+
+    let batches = [4usize, 8, 16, 32, 64, 128];
+    let mut base_points: Vec<Point> = Vec::new();
+    let mut comp_points: Vec<Point> = Vec::new();
+    for &b in &batches {
+        eprintln!("[fig11] batch {b} ...");
+        base_points.push(measure_baseline(&data, b, reps));
+        comp_points.push(measure_framework(&data, b, reps, 16));
+    }
+
+    // Per-batch activation bytes are ~linear: fit from the largest point.
+    let weights3 = {
+        let net = zoo::tiny_vgg(10, 7);
+        net.weight_bytes() * 3 // value + grad + momentum
+    };
+    let per_batch = |points: &[Point]| -> f64 {
+        let p = points.last().unwrap();
+        p.peak as f64 / p.batch as f64
+    };
+    let base_pb = per_batch(&base_points);
+    let comp_pb = per_batch(&comp_points);
+    let footprint = |pb: f64| {
+        move |b: usize| IterationFootprint {
+            parameter_bytes: weights3,
+            activation_bytes: (pb * b as f64) as usize,
+            workspace_bytes: 1 << 20,
+        }
+    };
+    let base_max = max_batch(&device, 4096, footprint(base_pb));
+    let comp_max = max_batch(&device, 4096, footprint(comp_pb));
+
+    let model = DataParallelModel::default();
+    let mut table = Table::new(&[
+        "batch",
+        "base_peak",
+        "base_img/s",
+        "base_4dev",
+        "fw_peak",
+        "fw_img/s",
+        "fw_4dev",
+        "fits(base/fw)",
+    ]);
+    for (b, c) in base_points.iter().zip(&comp_points) {
+        let fits_b = footprint(base_pb)(b.batch).fits(&device);
+        let fits_c = footprint(comp_pb)(c.batch).fits(&device);
+        table.row(vec![
+            format!("{}", b.batch),
+            fmt_bytes(b.peak as u64),
+            format!("{:.1}", b.ips),
+            format!("{:.1}", model.throughput(b.ips, 4)),
+            fmt_bytes(c.peak as u64),
+            format!("{:.1}", c.ips),
+            format!("{:.1}", model.throughput(c.ips, 4)),
+            format!("{}/{}", fits_b as u8, fits_c as u8),
+        ]);
+    }
+    table.print("Fig 11: throughput vs batch size (measured), 4-device modelled");
+
+    println!("\nmax feasible batch under {}:", fmt_bytes(device.capacity_bytes as u64));
+    println!("  baseline : {:?}", base_max);
+    println!("  framework: {:?} ({}x larger)", comp_max,
+        match (base_max, comp_max) {
+            (Some(b), Some(c)) => format!("{:.1}", c as f64 / b as f64),
+            _ => "n/a".into(),
+        });
+
+    // Net achievable throughput under the device-efficiency model: each
+    // policy runs at its own max batch; the framework additionally pays
+    // the measured equal-batch codec overhead (CPU-measured here; the
+    // paper's GPU codec pays ~17%, recovered the same way).
+    if let (Some(bm), Some(cm)) = (base_max, comp_max) {
+        let equal_batch_overhead = {
+            let b = base_points.last().unwrap().ips;
+            let c = comp_points.last().unwrap().ips;
+            c / b
+        };
+        let base_net = device_efficiency(bm);
+        let fw_cpu = device_efficiency(cm) * equal_batch_overhead;
+        let fw_gpu = device_efficiency(cm) * (1.0 - 0.17); // paper's codec cost
+        println!("\nachievable throughput (latency-amortization device model, K=32):");
+        println!("  baseline @batch {bm}: {:.2} (normalized)", base_net);
+        println!(
+            "  framework @batch {cm}: {:.2} with CPU-measured codec overhead ({:.0}% of baseline speed at equal batch)",
+            fw_cpu,
+            equal_batch_overhead * 100.0
+        );
+        println!(
+            "  framework @batch {cm}: {:.2} with GPU-class codec (paper's ~17% overhead) => {:.2}x vs baseline",
+            fw_gpu,
+            fw_gpu / base_net
+        );
+    }
+    println!(
+        "\nPaper shape to check: the framework's max batch extends well \
+         beyond the baseline's memory cliff; under a device whose \
+         throughput grows with batch (latency amortization), that extra \
+         batch headroom converts to net speedup once the codec overhead \
+         is GPU-class (paper: up to 1.27x raw improvement). Measured \
+         single-core CPU throughput is flat in batch, so the growth \
+         effect is modelled — see DESIGN.md §2."
+    );
+}

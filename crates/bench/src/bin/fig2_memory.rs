@@ -1,0 +1,79 @@
+//! **Figure 2** — memory consumption of state-of-the-art networks:
+//! weights vs activation data, showing activations dominate.
+//!
+//! Method: one training-mode forward pass per network measures the bytes
+//! every layer parks for backward (the live activation set at the end of
+//! forward, exactly what the baseline holds until backprop). Activation
+//! memory scales linearly with batch, so per-sample measurements are
+//! scaled to the paper's batch 32.
+//!
+//! Default runs AlexNet + ResNet-18 at the measurement batch size 1;
+//! `EBTRAIN_FULL=1` adds VGG-16 and ResNet-50 (slow on one core).
+
+use ebtrain_bench::table::Table;
+use ebtrain_bench::{env_flag, env_usize, fmt_bytes};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::{CompressionPlan, ForwardContext};
+use ebtrain_dnn::store::{ActivationStore, RawStore};
+use ebtrain_dnn::zoo;
+
+fn main() {
+    let report_batch = env_usize("EBTRAIN_BATCH", 32);
+    let nets: Vec<&str> = if env_flag("EBTRAIN_FULL") {
+        zoo::PAPER_NETWORKS.to_vec()
+    } else {
+        vec!["alexnet", "resnet18"]
+    };
+    println!(
+        "fig2_memory: networks={nets:?} report_batch={report_batch} (set EBTRAIN_FULL=1 for all four)"
+    );
+
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 1000,
+        image_hw: 224,
+        noise: 0.1,
+        seed: 42,
+    });
+
+    let mut table = Table::new(&[
+        "network",
+        "weights",
+        "act/sample",
+        &format!("act@batch{report_batch}"),
+        "act/weights",
+    ]);
+    for name in nets {
+        eprintln!("[fig2] forward pass: {name} ...");
+        let mut net = zoo::by_name(name, 1000, 7).expect("zoo");
+        let weights = net.weight_bytes();
+        let (x, _) = data.batch(0, 1);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        {
+            let mut ctx = ForwardContext {
+                store: &mut store,
+                training: true,
+                collect: false,
+                plan: &plan,
+            };
+            net.forward(x, &mut ctx).expect("forward");
+        }
+        let act_per_sample = store.current_bytes();
+        let act_at_batch = act_per_sample as u64 * report_batch as u64;
+        table.row(vec![
+            name.to_string(),
+            fmt_bytes(weights as u64),
+            fmt_bytes(act_per_sample as u64),
+            fmt_bytes(act_at_batch),
+            format!("{:.1}x", act_at_batch as f64 / weights as f64),
+        ]);
+    }
+    table.print(&format!(
+        "Fig 2: weight vs activation memory (batch {report_batch})"
+    ));
+    println!(
+        "\nPaper shape to check: activation memory at training batch sizes \
+         exceeds weight memory by a large factor on every CNN (the gap the \
+         framework attacks)."
+    );
+}

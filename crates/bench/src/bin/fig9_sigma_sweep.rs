@@ -1,0 +1,132 @@
+//! **Figure 9** — effect of injected gradient error on the training
+//! accuracy curve, for σ ∈ {0, 1%, 5%, 500%, 1000%, 2000%} of the mean gradient.
+//!
+//! Method (paper §5.2): pre-train once, snapshot, then branch several
+//! continuations from the *same* snapshot with different noise fractions
+//! injected into every conv weight gradient. The paper's finding, which
+//! picks the framework's 1% default: σ = 0.01·Ḡ is indistinguishable from
+//! baseline, 0.02 is marginal, 0.05 visibly degrades and does not
+//! recover. Our scaled task trains at batch 16, whose *inherent* SGD
+//! gradient noise is far larger than ImageNet-AlexNet's at batch 256 —
+//! so the knee sits at a much larger injected fraction here, and the
+//! sweep extends past 100% of Ḡ to locate it (reported honestly
+//! in EXPERIMENTS.md; the paper's 1% default is comfortably below the
+//! knee on both substrates, which is the design point being tested).
+//!
+//! Substitution note: scaled AlexNet on SynthImageNet instead of AlexNet
+//! on ImageNet (CPU-feasible many-iteration training; see DESIGN.md §2).
+
+use ebtrain_bench::env_usize;
+use ebtrain_bench::noisy::noisy_train_step;
+use ebtrain_bench::snapshot::{restore_params, save_params};
+use ebtrain_bench::table::Table;
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::optimizer::{LrSchedule, Sgd, SgdConfig};
+use ebtrain_dnn::train::evaluate;
+use ebtrain_dnn::zoo;
+
+const FRACTIONS: [f64; 6] = [0.0, 0.01, 0.05, 5.0, 10.0, 20.0];
+
+fn main() {
+    let batch = env_usize("EBTRAIN_BATCH", 16);
+    let pretrain = env_usize("EBTRAIN_PRETRAIN", 250);
+    let iters = env_usize("EBTRAIN_ITERS", 150);
+    let eval_every = env_usize("EBTRAIN_EVAL_EVERY", 15);
+    let eval_n = 256usize;
+    println!(
+        "fig9_sigma_sweep: tiny-alexnet batch={batch} pretrain={pretrain} sweep_iters={iters}"
+    );
+
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 16,
+        image_hw: 32,
+        noise: 0.6,
+        seed: 77,
+    });
+    let head = SoftmaxCrossEntropy::new();
+    let sgd = SgdConfig {
+        lr: 0.01,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        schedule: LrSchedule::Constant,
+    };
+
+    // Pre-train to the late-training regime the paper studies.
+    let mut net = zoo::tiny_alexnet(16, 7);
+    let mut opt = Sgd::new(sgd.clone());
+    for i in 0..pretrain {
+        let (x, labels) = data.batch((i * batch) as u64, batch);
+        noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.0, 0).expect("pretrain");
+    }
+    let snap = save_params(&mut net);
+    let (vx, vl) = data.val_batch(0, eval_n);
+    let (_, c0) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
+    println!(
+        "snapshot at iter {pretrain}: val accuracy {:.3}",
+        c0 as f64 / eval_n as f64
+    );
+
+    // Branch the sweep.
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for &frac in &FRACTIONS {
+        eprintln!("[fig9] branch sigma = {frac} * G ...");
+        let mut net = zoo::tiny_alexnet(16, 7);
+        restore_params(&mut net, &snap);
+        let mut opt = Sgd::new(sgd.clone());
+        let mut curve = Vec::new();
+        for i in 0..iters {
+            let (x, labels) = data.batch(((pretrain + i) * batch) as u64, batch);
+            noisy_train_step(
+                &mut net,
+                &head,
+                &mut opt,
+                x,
+                &labels,
+                frac,
+                (i as u64) * 31 + (frac * 1e4) as u64,
+            )
+            .expect("step");
+            if (i + 1) % eval_every == 0 {
+                let (_, correct) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
+                curve.push(correct as f64 / eval_n as f64);
+            }
+        }
+        series.push(curve);
+    }
+
+    let headers: Vec<String> = std::iter::once("iter".to_string())
+        .chain(FRACTIONS.iter().map(|f| {
+            if *f == 0.0 {
+                "baseline".to_string()
+            } else {
+                format!("sigma={f}G")
+            }
+        }))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    let points = series[0].len();
+    for p in 0..points {
+        let mut row = vec![format!("{}", pretrain + (p + 1) * eval_every)];
+        for s in &series {
+            row.push(format!("{:.3}", s[p]));
+        }
+        table.row(row);
+    }
+    table.print("Fig 9: validation accuracy under injected gradient error");
+
+    // Final = mean of the last three evals (smooths SGD noise).
+    let tail = 3.min(points);
+    print!("\ntail-averaged accuracies:");
+    for (f, s) in FRACTIONS.iter().zip(&series) {
+        let avg = s[points - tail..].iter().sum::<f64>() / tail as f64;
+        print!("  {f}:{avg:.3}");
+    }
+    println!();
+    println!(
+        "Paper shape to check: small sigma (1%) tracks baseline; accuracy \
+         degrades monotonically as sigma grows, with a clear knee — the \
+         basis for the framework's sigma = 0.01*M default."
+    );
+}

@@ -1,0 +1,100 @@
+//! **§2.1 context** — compressor behaviour on *scientific* data, the
+//! "more general and larger scientific context than image processing"
+//! the paper argues error-bounded compression serves and JPEG does not.
+//!
+//! Power-law Fourier fields of varying smoothness (class 0 = roughest,
+//! class 3 = smoothest) through all four compressor families, at a
+//! fixed 0.1%-of-range error target where applicable.
+
+use ebtrain_bench::table::Table;
+use ebtrain_data::fields::{FieldConfig, SyntheticFields};
+use ebtrain_imgcomp::JpegActConfig;
+use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+
+fn main() {
+    let size = 64usize;
+    let gen = SyntheticFields::new(FieldConfig {
+        classes: 4,
+        size,
+        modes: 24,
+        noise: 0.0,
+        seed: 11,
+    });
+    println!("scientific_regime: {size}x{size} power-law fields, 4 smoothness classes");
+
+    let mut table = Table::new(&[
+        "class(slope)",
+        "sz eb=0.1%rng",
+        "sz max_err/rng",
+        "lossless",
+        "jpeg q75",
+        "jpeg max_err/rng",
+        "sz@jpeg_err",
+        "zfp 8bpv",
+    ]);
+    for class in 0..4u64 {
+        let (field, label) = gen.sample(class);
+        let range = {
+            let lo = field.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = field.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            (hi - lo).max(1e-12)
+        };
+        let eb = 1e-3 * range;
+        let cfg = SzConfig::vanilla(eb);
+        let buf = compress(&field, DataLayout::D2(size, size), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        let sz_err = field
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+
+        let ll = ebtrain_sz::lossless::compress(&field);
+
+        let jbuf =
+            ebtrain_imgcomp::compress(&field, 1, size, size, &JpegActConfig::default()).unwrap();
+        let jout = ebtrain_imgcomp::decompress(&jbuf).unwrap();
+        let j_err = field
+            .iter()
+            .zip(&jout)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+
+        // Matched-quality SZ: bound set to JPEG's committed max error.
+        let szj = compress(
+            &field,
+            DataLayout::D2(size, size),
+            &SzConfig::vanilla(j_err.max(1e-9)),
+        )
+        .unwrap();
+
+        let zbuf = ebtrain_sz::zfp_like::compress(
+            &field,
+            size,
+            size,
+            &ebtrain_sz::zfp_like::ZfpLikeConfig { bits_per_value: 8 },
+        )
+        .unwrap();
+
+        let raw = (field.len() * 4) as f64;
+        table.row(vec![
+            format!("{label} ({:.1})", -1.0 - 2.0 * label as f32 / 3.0),
+            format!("{:.1}x", buf.ratio()),
+            format!("{:.4}", sz_err / range),
+            format!("{:.1}x", raw / ll.len() as f64),
+            format!("{:.1}x", raw / jbuf.compressed_byte_len() as f64),
+            format!("{:.4}", j_err / range),
+            format!("{:.1}x", szj.ratio()),
+            format!("{:.1}x", raw / zbuf.len() as f64),
+        ]);
+    }
+    table.print("Scientific-field regime (SZ's home turf)");
+    println!(
+        "\nReading: on smooth scientific fields the error-bounded \
+         compressor reaches ratios far above the activation regime while \
+         honouring its bound exactly (sz max_err/rng <= 0.001 by \
+         construction); jpeg's error still floats; zfp's rate is fixed at \
+         4x regardless of content. This is the 'large-scale HPC scenario' \
+         motivation of §2.1."
+    );
+}

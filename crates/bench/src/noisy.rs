@@ -1,0 +1,79 @@
+//! Training step with modelled gradient noise injected between backward
+//! and the optimizer update (the Fig 9 sweep mechanics).
+
+use ebtrain_core::inject::inject_conv_gradient_noise;
+use ebtrain_dnn::layer::{BackwardContext, CompressionPlan, ForwardContext};
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::network::Network;
+use ebtrain_dnn::optimizer::Sgd;
+use ebtrain_dnn::store::RawStore;
+use ebtrain_dnn::Result;
+use ebtrain_tensor::Tensor;
+
+/// One iteration with `N(0, (fraction·mean|G|)²)` noise added to every
+/// conv weight gradient before the SGD update. `fraction = 0` is the
+/// clean baseline (same code path, so timings stay comparable).
+pub fn noisy_train_step(
+    net: &mut Network,
+    head: &SoftmaxCrossEntropy,
+    opt: &mut Sgd,
+    x: Tensor,
+    labels: &[usize],
+    fraction: f64,
+    noise_seed: u64,
+) -> Result<(f32, usize)> {
+    let mut store = RawStore::new();
+    let plan = CompressionPlan::new();
+    let logits = {
+        let mut fctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        net.forward(x, &mut fctx)?
+    };
+    let (loss, dlogits) = head.loss(&logits, labels)?;
+    let correct = head.correct(&logits, labels);
+    {
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        net.backward(dlogits, &mut bctx)?;
+    }
+    if fraction > 0.0 {
+        inject_conv_gradient_noise(net, fraction, noise_seed);
+    }
+    opt.step(net.params_mut());
+    net.zero_grads();
+    Ok((loss, correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebtrain_data::{SynthConfig, SynthImageNet};
+    use ebtrain_dnn::optimizer::SgdConfig;
+    use ebtrain_dnn::zoo;
+
+    #[test]
+    fn clean_and_noisy_steps_run() {
+        let data = SynthImageNet::new(SynthConfig {
+            classes: 4,
+            image_hw: 32,
+            noise: 0.1,
+            seed: 3,
+        });
+        let mut net = zoo::tiny_vgg(4, 5);
+        let head = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(SgdConfig::default());
+        let (x, labels) = data.batch(0, 8);
+        let (loss0, _) = noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.0, 1).unwrap();
+        let (x, labels) = data.batch(8, 8);
+        let (loss1, _) =
+            noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.05, 2).unwrap();
+        assert!(loss0.is_finite() && loss1.is_finite());
+        assert_eq!(opt.iteration(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Parameter snapshots — the paper's Fig 9 methodology pre-trains once,
+//! snapshots, and branches several noisy continuations from the same
+//! state.
+
+use ebtrain_dnn::network::Network;
+
+/// Captured `(value, momentum)` buffers for every parameter, in visit
+/// order.
+#[derive(Debug, Clone)]
+pub struct ParamSnapshot {
+    params: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+/// Snapshot all parameters of `net`.
+pub fn save_params(net: &mut Network) -> ParamSnapshot {
+    let params = net
+        .params_mut()
+        .into_iter()
+        .map(|p| (p.value.data().to_vec(), p.momentum.data().to_vec()))
+        .collect();
+    ParamSnapshot { params }
+}
+
+/// Restore a snapshot into a structurally identical network (same zoo
+/// constructor and seed). Panics on structural mismatch.
+pub fn restore_params(net: &mut Network, snap: &ParamSnapshot) {
+    let params = net.params_mut();
+    assert_eq!(
+        params.len(),
+        snap.params.len(),
+        "snapshot/network structure mismatch"
+    );
+    for (p, (value, momentum)) in params.into_iter().zip(&snap.params) {
+        assert_eq!(p.value.len(), value.len(), "param size mismatch");
+        p.value.data_mut().copy_from_slice(value);
+        p.momentum.data_mut().copy_from_slice(momentum);
+        p.grad.data_mut().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebtrain_dnn::zoo;
+
+    #[test]
+    fn snapshot_roundtrip_restores_exact_state() {
+        let mut net = zoo::tiny_vgg(4, 9);
+        // perturb momentum so the snapshot is non-trivial
+        for p in net.params_mut() {
+            p.momentum.data_mut().fill(0.25);
+        }
+        let snap = save_params(&mut net);
+        // scramble
+        for p in net.params_mut() {
+            p.value.data_mut().fill(9.0);
+            p.momentum.data_mut().fill(9.0);
+        }
+        restore_params(&mut net, &snap);
+        for p in net.params_mut() {
+            assert!(p.momentum.data().iter().all(|&v| v == 0.25));
+            assert!(p.value.data().iter().all(|&v| v != 9.0));
+            assert!(p.grad.data().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "structure mismatch")]
+    fn restore_rejects_wrong_structure() {
+        let mut a = zoo::tiny_vgg(4, 1);
+        let snap = save_params(&mut a);
+        let mut b = zoo::tiny_resnet(4, 1);
+        restore_params(&mut b, &snap);
+    }
+}

@@ -1,0 +1,257 @@
+//! Distribution tooling for the error-propagation experiments: histograms
+//! (Figs 3/6), moment-based shape checks, and the ±σ coverage test the
+//! paper uses ("the area within ±σ … close to 68.2%", §3.2).
+
+/// A fixed-range histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Samples that fell outside `[lo, hi)`.
+    pub outside: u64,
+}
+
+impl Histogram {
+    /// Histogram of `data` over `[lo, hi)` with `bins` buckets.
+    pub fn build(data: &[f32], lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0 && hi > lo);
+        let mut counts = vec![0u64; bins];
+        let mut outside = 0u64;
+        let scale = bins as f64 / (hi - lo);
+        for &v in data {
+            let v = v as f64;
+            if v < lo || v >= hi {
+                outside += 1;
+                continue;
+            }
+            let b = ((v - lo) * scale) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            outside,
+        }
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin densities normalized to sum 1 (empty histogram → zeros).
+    pub fn normalized(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Bin centres (for printing figure series).
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
+    }
+
+    /// Chi-square statistic against the uniform distribution over the
+    /// histogram range. Small values (≈ bins) indicate uniformity.
+    pub fn chi_square_vs_uniform(&self) -> f64 {
+        let n = self.total() as f64;
+        let k = self.counts.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let expected = n / k;
+        self.counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+}
+
+/// Mean, standard deviation, skewness, excess kurtosis (f64 math).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Standardized third moment.
+    pub skewness: f64,
+    /// Standardized fourth moment minus 3.
+    pub excess_kurtosis: f64,
+}
+
+/// Compute [`Moments`] of `data` (zeros for fewer than 2 samples).
+pub fn moments(data: &[f32]) -> Moments {
+    let n = data.len();
+    if n < 2 {
+        return Moments {
+            mean: 0.0,
+            std: 0.0,
+            skewness: 0.0,
+            excess_kurtosis: 0.0,
+        };
+    }
+    let nf = n as f64;
+    let mean = data.iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let (mut m2, mut m3, mut m4) = (0.0f64, 0.0f64, 0.0f64);
+    for &v in data {
+        let d = v as f64 - mean;
+        let d2 = d * d;
+        m2 += d2;
+        m3 += d2 * d;
+        m4 += d2 * d2;
+    }
+    m2 /= nf;
+    m3 /= nf;
+    m4 /= nf;
+    let std = m2.sqrt();
+    let (skewness, excess_kurtosis) = if std > 0.0 {
+        (m3 / (std * std * std), m4 / (m2 * m2) - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    Moments {
+        mean,
+        std,
+        skewness,
+        excess_kurtosis,
+    }
+}
+
+/// Fraction of samples inside `center ± width`.
+pub fn fraction_within(data: &[f32], center: f64, width: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let inside = data
+        .iter()
+        .filter(|&&v| ((v as f64) - center).abs() <= width)
+        .count();
+    inside as f64 / data.len() as f64
+}
+
+/// Heuristic normality check used by the Fig 6 reproduction: moments close
+/// to Gaussian **and** ±1σ coverage near the Gaussian 68.27%.
+pub fn looks_normal(data: &[f32]) -> bool {
+    let m = moments(data);
+    if m.std == 0.0 {
+        return false;
+    }
+    let within = fraction_within(data, m.mean, m.std);
+    m.skewness.abs() < 0.35 && m.excess_kurtosis.abs() < 0.8 && (within - 0.6827).abs() < 0.05
+}
+
+/// Heuristic uniformity check used by the Fig 3 reproduction: flat
+/// histogram and the platykurtic signature of U(−a, a).
+pub fn looks_uniform(data: &[f32], lo: f64, hi: f64) -> bool {
+    if data.len() < 100 {
+        return false;
+    }
+    let h = Histogram::build(data, lo, hi, 20);
+    if h.outside as f64 > 0.01 * data.len() as f64 {
+        return false;
+    }
+    // Uniform kurtosis is -1.2; chi-square/bin stays small when flat.
+    let m = moments(data);
+    let chi_per_bin = h.chi_square_vs_uniform() / 20.0;
+    (m.excess_kurtosis + 1.2).abs() < 0.3 && chi_per_bin < data.len() as f64 * 0.002 + 5.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_samples(n: usize, mean: f64, std: f64, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + std * z) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn histogram_bins_and_outside() {
+        let data = [0.05f32, 0.15, 0.15, 0.95, -1.0, 2.0];
+        let h = Histogram::build(&data, 0.0, 1.0, 10);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.outside, 2);
+        assert_eq!(h.total(), 4);
+        let norm = h.normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_of_known_distributions() {
+        let uniform: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..200_000).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        };
+        let m = moments(&uniform);
+        assert!(m.mean.abs() < 0.01);
+        assert!((m.std - (1.0 / 3.0f64).sqrt()).abs() < 0.01);
+        assert!((m.excess_kurtosis + 1.2).abs() < 0.05, "{}", m.excess_kurtosis);
+
+        let normal = normal_samples(200_000, 2.0, 0.5, 6);
+        let m = moments(&normal);
+        assert!((m.mean - 2.0).abs() < 0.01);
+        assert!((m.std - 0.5).abs() < 0.01);
+        assert!(m.skewness.abs() < 0.05);
+        assert!(m.excess_kurtosis.abs() < 0.1);
+    }
+
+    #[test]
+    fn fraction_within_sigma_matches_gaussian() {
+        let normal = normal_samples(200_000, 0.0, 1.0, 7);
+        let f = fraction_within(&normal, 0.0, 1.0);
+        assert!((f - 0.6827).abs() < 0.01, "{f}");
+    }
+
+    #[test]
+    fn classifiers_distinguish_shapes() {
+        let normal = normal_samples(100_000, 0.0, 1.0, 8);
+        assert!(looks_normal(&normal));
+        assert!(!looks_uniform(&normal, -4.0, 4.0));
+
+        let uniform: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100_000).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        };
+        assert!(looks_uniform(&uniform, -1.0, 1.0));
+        assert!(!looks_normal(&uniform));
+    }
+
+    #[test]
+    fn chi_square_flags_spikes() {
+        let mut data = vec![0.5f32; 5000];
+        let mut rng = StdRng::seed_from_u64(10);
+        data.extend((0..5000).map(|_| rng.gen_range(0.0f32..1.0)));
+        let h = Histogram::build(&data, 0.0, 1.0, 10);
+        assert!(h.chi_square_vs_uniform() > 1000.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(moments(&[]).std, 0.0);
+        assert_eq!(moments(&[1.0]).std, 0.0);
+        assert_eq!(fraction_within(&[], 0.0, 1.0), 0.0);
+        assert!(!looks_normal(&[3.0; 500]));
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic scientific fields — the "larger scientific context than
+//! image processing" the paper's §2.1 motivates (HPC deep learning over
+//! simulation data, where image-based codecs like JPEG are least
+//! appropriate and SZ-class compressors are at home).
+//!
+//! Fields are superpositions of random Fourier modes with a power-law
+//! spectrum (turbulence-like smoothness), deterministic per
+//! `(seed, index)`. They double as (a) a classification dataset — the
+//! class sets the spectral slope, a physically meaningful label — and
+//! (b) a source of smooth floating-point tensors for compressor
+//! benchmarks in the regime SZ was designed for.
+
+use ebtrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the field generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldConfig {
+    /// Number of classes (each class = one spectral slope).
+    pub classes: usize,
+    /// Square field side.
+    pub size: usize,
+    /// Number of Fourier modes superposed.
+    pub modes: usize,
+    /// Additive measurement noise std.
+    pub noise: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FieldConfig {
+    fn default() -> Self {
+        FieldConfig {
+            classes: 4,
+            size: 64,
+            modes: 24,
+            noise: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+/// Deterministic scientific-field dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticFields {
+    cfg: FieldConfig,
+}
+
+impl SyntheticFields {
+    /// Build the generator.
+    pub fn new(cfg: FieldConfig) -> SyntheticFields {
+        assert!(cfg.classes >= 2);
+        assert!(cfg.size >= 8);
+        assert!(cfg.modes >= 1);
+        SyntheticFields { cfg }
+    }
+
+    /// Spectral slope for a class: shallower slopes → rougher fields.
+    fn slope_for(&self, class: usize) -> f32 {
+        // Slopes from -1.0 (rough) to -3.0 (very smooth) across classes.
+        -1.0 - 2.0 * class as f32 / (self.cfg.classes - 1).max(1) as f32
+    }
+
+    /// Generate field `index`: `(size², row-major samples, class label)`.
+    pub fn sample(&self, index: u64) -> (Vec<f32>, usize) {
+        let class = (index % self.cfg.classes as u64) as usize;
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index),
+        );
+        let n = self.cfg.size;
+        let slope = self.slope_for(class);
+        let mut field = vec![0.0f32; n * n];
+        for _ in 0..self.cfg.modes {
+            // Wavenumber magnitude in [1, n/4], amplitude ~ k^slope.
+            let k = rng.gen_range(1.0f32..(n as f32 / 4.0).max(2.0));
+            let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+            let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+            let amp = k.powf(slope);
+            let (kx, ky) = (
+                k * angle.cos() * std::f32::consts::TAU / n as f32,
+                k * angle.sin() * std::f32::consts::TAU / n as f32,
+            );
+            for y in 0..n {
+                for x in 0..n {
+                    field[y * n + x] += amp * (kx * x as f32 + ky * y as f32 + phase).sin();
+                }
+            }
+        }
+        if self.cfg.noise > 0.0 {
+            for v in &mut field {
+                *v += self.cfg.noise * rng.gen_range(-1.732f32..1.732);
+            }
+        }
+        (field, class)
+    }
+
+    /// A `[n, 1, size, size]` batch (single-channel scalar fields).
+    pub fn batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        let size = self.cfg.size;
+        let mut data = Vec::with_capacity(n * size * size);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let (field, label) = self.sample(start + i);
+            data.extend_from_slice(&field);
+            labels.push(label);
+        }
+        (
+            Tensor::from_vec(&[n, 1, size, size], data).expect("batch shape"),
+            labels,
+        )
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &FieldConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> SyntheticFields {
+        SyntheticFields::new(FieldConfig::default())
+    }
+
+    #[test]
+    fn deterministic_by_index() {
+        let g1 = gen();
+        let g2 = gen();
+        for idx in [0u64, 3, 99] {
+            assert_eq!(g1.sample(idx), g2.sample(idx));
+        }
+        assert_ne!(g1.sample(0).0, g1.sample(4).0); // same class, new modes
+    }
+
+    #[test]
+    fn labels_encode_spectral_slope() {
+        let g = gen();
+        for idx in 0..8u64 {
+            let (_, label) = g.sample(idx);
+            assert_eq!(label, (idx % 4) as usize);
+        }
+        // Smoother classes (steeper slope) have less high-frequency
+        // energy: measure mean |∇| as a roughness proxy.
+        let rough = |f: &[f32], n: usize| -> f64 {
+            let mut acc = 0.0f64;
+            for y in 0..n {
+                for x in 1..n {
+                    acc += (f[y * n + x] - f[y * n + x - 1]).abs() as f64;
+                }
+            }
+            acc
+        };
+        let n = 64;
+        // average roughness over several samples per class
+        let avg_rough = |class: u64| -> f64 {
+            (0..6u64)
+                .map(|k| rough(&g.sample(class + 4 * k).0, n))
+                .sum::<f64>()
+                / 6.0
+        };
+        let r0 = avg_rough(0); // slope -1 (roughest)
+        let r3 = avg_rough(3); // slope -3 (smoothest)
+        assert!(
+            r0 > 1.5 * r3,
+            "class 0 roughness {r0} not well above class 3 {r3}"
+        );
+    }
+
+    #[test]
+    fn batch_shapes_and_finiteness() {
+        let g = gen();
+        let (x, labels) = g.batch(0, 6);
+        assert_eq!(x.shape(), &[6, 1, 64, 64]);
+        assert_eq!(labels, vec![0, 1, 2, 3, 0, 1]);
+        assert!(x.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fields_are_sz_friendly() {
+        // Smooth scientific data is the SZ home regime: expect large
+        // ratios at modest bounds — far beyond the activation regime.
+        use ebtrain_sz::{compress, DataLayout, SzConfig};
+        let g = SyntheticFields::new(FieldConfig {
+            classes: 4,
+            size: 64,
+            modes: 24,
+            noise: 0.0,
+            seed: 9,
+        });
+        let (field, _) = g.sample(3); // class 3 = smoothest
+        let scale = field.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let cfg = SzConfig::vanilla(1e-3 * scale);
+        let buf = compress(&field, DataLayout::D2(64, 64), &cfg).unwrap();
+        assert!(
+            buf.ratio() > 8.0,
+            "smooth field ratio {} unexpectedly low",
+            buf.ratio()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! # ebtrain-data
+//!
+//! **SynthImageNet** — a procedurally generated, class-conditional image
+//! dataset standing in for ImageNet-2012 (which cannot be shipped or
+//! downloaded in this environment; see DESIGN.md §2).
+//!
+//! Each class is defined by a deterministic *prototype*: a handful of
+//! colored Gaussian blobs plus an oriented sinusoidal texture. A sample is
+//! its class prototype with per-sample jitter (blob positions, amplitudes,
+//! texture phase) plus pixel noise. This gives the properties the
+//! training-curve experiments actually need:
+//!
+//! * **learnable** — classes are separable, so accuracy curves rise and
+//!   converge, and a *degraded gradient shows up as degraded accuracy*;
+//! * **non-trivial** — jitter and noise force the network to generalize,
+//!   so curves saturate below 100% and overfitting/underfitting regimes
+//!   exist;
+//! * **deterministic** — sample `i` is a pure function of `(seed, i)`, so
+//!   baseline and compressed runs see identical data streams;
+//! * **activation-realistic** — smooth blobs + texture produce the
+//!   spatially-correlated, post-ReLU-sparse activations whose
+//!   compressibility the paper's ratios depend on.
+
+pub mod fields;
+
+use ebtrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Offset separating validation indices from training indices, so the two
+/// streams never overlap.
+const VAL_INDEX_OFFSET: u64 = 1 << 40;
+
+/// Dataset configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Square image side (channels fixed at 3).
+    pub image_hw: usize,
+    /// Pixel noise standard deviation.
+    pub noise: f32,
+    /// Master seed: determines prototypes and every sample.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            classes: 10,
+            image_hw: 32,
+            noise: 0.15,
+            seed: 1234,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Blob {
+    cx: f32,
+    cy: f32,
+    radius: f32,
+    color: [f32; 3],
+}
+
+#[derive(Debug, Clone)]
+struct ClassPrototype {
+    blobs: Vec<Blob>,
+    tex_freq: f32,
+    tex_angle: f32,
+    tex_amp: [f32; 3],
+}
+
+/// The dataset: cheap to construct, samples generated on demand.
+#[derive(Debug, Clone)]
+pub struct SynthImageNet {
+    cfg: SynthConfig,
+    prototypes: Vec<ClassPrototype>,
+}
+
+impl SynthImageNet {
+    /// Build the dataset (generates class prototypes from the seed).
+    pub fn new(cfg: SynthConfig) -> SynthImageNet {
+        assert!(cfg.classes >= 2, "need at least 2 classes");
+        assert!(cfg.image_hw >= 8, "images must be at least 8x8");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let prototypes = (0..cfg.classes)
+            .map(|_| ClassPrototype {
+                blobs: (0..3)
+                    .map(|_| Blob {
+                        cx: rng.gen_range(0.2..0.8),
+                        cy: rng.gen_range(0.2..0.8),
+                        radius: rng.gen_range(0.08..0.25),
+                        color: [
+                            rng.gen_range(-1.0..1.0),
+                            rng.gen_range(-1.0..1.0),
+                            rng.gen_range(-1.0..1.0),
+                        ],
+                    })
+                    .collect(),
+                tex_freq: rng.gen_range(2.0..8.0),
+                tex_angle: rng.gen_range(0.0..std::f32::consts::PI),
+                tex_amp: [
+                    rng.gen_range(0.05..0.3),
+                    rng.gen_range(0.05..0.3),
+                    rng.gen_range(0.05..0.3),
+                ],
+            })
+            .collect();
+        SynthImageNet { cfg, prototypes }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// Generate training sample `index`: `(CHW pixels, label)`.
+    /// Pure function of `(seed, index)`.
+    pub fn sample(&self, index: u64) -> (Vec<f32>, usize) {
+        let label = (index % self.cfg.classes as u64) as usize;
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(index),
+        );
+        let proto = &self.prototypes[label];
+        let hw = self.cfg.image_hw;
+        let mut img = vec![0.0f32; 3 * hw * hw];
+
+        // Per-sample jitter.
+        let jx: f32 = rng.gen_range(-0.08..0.08);
+        let jy: f32 = rng.gen_range(-0.08..0.08);
+        let amp: f32 = rng.gen_range(0.8..1.2);
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+
+        let (sin_a, cos_a) = proto.tex_angle.sin_cos();
+        for y in 0..hw {
+            for x in 0..hw {
+                let fx = x as f32 / hw as f32;
+                let fy = y as f32 / hw as f32;
+                // Oriented sinusoid texture.
+                let t = (proto.tex_freq * std::f32::consts::TAU * (fx * cos_a + fy * sin_a)
+                    + phase)
+                    .sin();
+                for (ch, img_plane) in img.chunks_mut(hw * hw).enumerate() {
+                    let mut v = proto.tex_amp[ch] * t;
+                    for blob in &proto.blobs {
+                        let dx = fx - (blob.cx + jx);
+                        let dy = fy - (blob.cy + jy);
+                        let d2 = dx * dx + dy * dy;
+                        v += amp * blob.color[ch] * (-d2 / (blob.radius * blob.radius)).exp();
+                    }
+                    img_plane[y * hw + x] = v;
+                }
+            }
+        }
+        // Pixel noise.
+        if self.cfg.noise > 0.0 {
+            for v in &mut img {
+                // Cheap uniform noise matched to the configured std.
+                let u: f32 = rng.gen_range(-1.732..1.732);
+                *v += self.cfg.noise * u;
+            }
+        }
+        (img, label)
+    }
+
+    /// Validation sample `index` (never overlaps the training stream).
+    pub fn val_sample(&self, index: u64) -> (Vec<f32>, usize) {
+        self.sample(index + VAL_INDEX_OFFSET)
+    }
+
+    /// Training batch of `n` samples starting at `start` as an NCHW tensor.
+    pub fn batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        self.batch_impl(start, n, false)
+    }
+
+    /// Validation batch (disjoint from all training batches).
+    pub fn val_batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        self.batch_impl(start, n, true)
+    }
+
+    fn batch_impl(&self, start: u64, n: usize, val: bool) -> (Tensor, Vec<usize>) {
+        let hw = self.cfg.image_hw;
+        let plane = 3 * hw * hw;
+        let mut data = Vec::with_capacity(n * plane);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let (img, label) = if val {
+                self.val_sample(start + i)
+            } else {
+                self.sample(start + i)
+            };
+            data.extend_from_slice(&img);
+            labels.push(label);
+        }
+        (
+            Tensor::from_vec(&[n, 3, hw, hw], data).expect("batch shape"),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthImageNet {
+        SynthImageNet::new(SynthConfig {
+            classes: 4,
+            image_hw: 16,
+            noise: 0.1,
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let d1 = small();
+        let d2 = small();
+        for idx in [0u64, 7, 1000] {
+            let (a, la) = d1.sample(idx);
+            let (b, lb) = d2.sample(idx);
+            assert_eq!(a, b, "sample {idx} differs");
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let d = small();
+        let (a, _) = d.sample(0);
+        let (b, _) = d.sample(4); // same label (4 % 4 == 0), different jitter
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = small();
+        for idx in 0..12u64 {
+            let (_, label) = d.sample(idx);
+            assert_eq!(label, (idx % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn batch_shape_and_labels() {
+        let d = small();
+        let (x, labels) = d.batch(0, 8);
+        assert_eq!(x.shape(), &[8, 3, 16, 16]);
+        assert_eq!(labels.len(), 8);
+        assert!(labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn val_stream_disjoint_from_train() {
+        let d = small();
+        let (train, _) = d.sample(5);
+        let (val, _) = d.val_sample(5);
+        assert_ne!(train, val);
+    }
+
+    #[test]
+    fn pixel_values_bounded() {
+        let d = small();
+        let (x, _) = d.batch(0, 16);
+        for &v in x.data() {
+            assert!(v.is_finite());
+            assert!(v.abs() < 5.0, "pixel {v} out of expected range");
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_prototype() {
+        // A trivial nearest-mean classifier on raw pixels must beat chance
+        // by a wide margin, or no network could learn this task.
+        let d = small();
+        // class means from 8 samples each
+        let hw = 16usize;
+        let plane = 3 * hw * hw;
+        let mut means = vec![vec![0.0f32; plane]; 4];
+        for c in 0..4u64 {
+            for k in 0..8u64 {
+                let (img, label) = d.sample(c + k * 4);
+                assert_eq!(label, c as usize);
+                for (m, v) in means[c as usize].iter_mut().zip(&img) {
+                    *m += v / 8.0;
+                }
+            }
+        }
+        // classify 80 validation samples
+        let mut correct = 0;
+        let total = 80u64;
+        for i in 0..total {
+            let (img, label) = d.val_sample(i);
+            let mut best = (f32::INFINITY, 0usize);
+            for (c, mean) in means.iter().enumerate() {
+                let dist: f32 = mean
+                    .iter()
+                    .zip(&img)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            if best.1 == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.6, "nearest-prototype accuracy {acc} too low");
+    }
+}

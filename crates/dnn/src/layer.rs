@@ -1,0 +1,335 @@
+//! The [`Layer`] trait and the execution contexts threaded through
+//! forward/backward passes.
+
+use crate::store::ActivationStore;
+use crate::Result;
+use ebtrain_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Stable identifier of a layer inside one network (assigned pre-order at
+/// build time, so the compression controller can address layers).
+pub type LayerId = usize;
+
+/// One saved tensor slot of a layer; layers may save several
+/// (slot 0 = input activation by convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub LayerId, pub u8);
+
+/// Hints the activation store uses to pick a representation.
+#[derive(Debug, Clone, Copy)]
+pub struct SaveHint {
+    /// True when the slot is a large float activation the framework may
+    /// compress (conv inputs in paper mode).
+    pub compressible: bool,
+    /// Absolute error bound chosen by the adaptive controller for this
+    /// layer this iteration; `None` falls back to the store default.
+    pub error_bound: Option<f32>,
+}
+
+impl SaveHint {
+    /// Hint for non-compressible bookkeeping slots.
+    pub fn raw() -> SaveHint {
+        SaveHint {
+            compressible: false,
+            error_bound: None,
+        }
+    }
+}
+
+/// A value a layer parks in the store between forward and backward.
+#[derive(Debug, Clone)]
+pub enum Saved {
+    /// Dense float tensor (activation data).
+    F32(Tensor),
+    /// Bit-packed boolean mask (ReLU sign / dropout mask): 1 bit/element.
+    Bits {
+        /// Packed 64-bit words.
+        words: Vec<u64>,
+        /// Number of valid bits.
+        len: usize,
+    },
+    /// Index tensor (max-pool argmax).
+    U32 {
+        /// Flat indices.
+        data: Vec<u32>,
+    },
+}
+
+impl Saved {
+    /// Device-memory footprint in bytes of this representation when raw.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Saved::F32(t) => t.byte_size(),
+            Saved::Bits { words, .. } => words.len() * 8,
+            Saved::U32 { data } => data.len() * 4,
+        }
+    }
+
+    /// Unwrap a float tensor; error otherwise.
+    pub fn into_f32(self) -> Result<Tensor> {
+        match self {
+            Saved::F32(t) => Ok(t),
+            other => Err(crate::DnnError::State(format!(
+                "expected F32 slot, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Pack a `x > 0`-style predicate over a slice into 64-bit words.
+pub fn pack_bits(values: &[f32], pred: impl Fn(f32) -> bool) -> Saved {
+    let mut words = vec![0u64; values.len().div_ceil(64)];
+    for (i, &v) in values.iter().enumerate() {
+        if pred(v) {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    Saved::Bits {
+        words,
+        len: values.len(),
+    }
+}
+
+/// Read bit `i` of a packed mask.
+#[inline]
+pub fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Per-layer error bounds chosen by the adaptive controller (paper §4.3).
+///
+/// An empty plan means "store default for every layer" — which for the
+/// compressed store is its fixed fallback bound, and for the raw store is
+/// irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionPlan {
+    per_layer: HashMap<LayerId, f32>,
+}
+
+impl CompressionPlan {
+    /// Empty plan (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the absolute error bound for one layer.
+    pub fn set(&mut self, layer: LayerId, eb: f32) {
+        self.per_layer.insert(layer, eb);
+    }
+
+    /// Bound for `layer`, if the controller chose one.
+    pub fn get(&self, layer: LayerId) -> Option<f32> {
+        self.per_layer.get(&layer).copied()
+    }
+
+    /// Number of layers with explicit bounds.
+    pub fn len(&self) -> usize {
+        self.per_layer.len()
+    }
+
+    /// True when no explicit bounds are set.
+    pub fn is_empty(&self) -> bool {
+        self.per_layer.is_empty()
+    }
+}
+
+/// Context threaded through the forward pass.
+pub struct ForwardContext<'a> {
+    /// Where layers park activations until backward.
+    pub store: &'a mut dyn ActivationStore,
+    /// Training (save state, apply dropout) vs inference.
+    pub training: bool,
+    /// True on parameter-collection iterations (every `W` iters, §4.1):
+    /// layers refresh their sparsity statistics.
+    pub collect: bool,
+    /// Per-layer error bounds from the adaptive controller.
+    pub plan: &'a CompressionPlan,
+}
+
+/// Context threaded through the backward pass.
+pub struct BackwardContext<'a> {
+    /// Store to load saved activations from.
+    pub store: &'a mut dyn ActivationStore,
+    /// True on parameter-collection iterations: conv layers refresh their
+    /// upstream-loss statistics (`L̄` of Eq. 6).
+    pub collect: bool,
+}
+
+/// A trainable parameter (weight or bias) with its gradient and momentum.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// SGD momentum buffer (`v` in Caffe's update rule). Its mean |·| is
+    /// the `M̄` statistic the controller reads (paper Eq. 8).
+    pub momentum: Tensor,
+    /// Whether weight decay applies (true for weights, false for biases).
+    pub weight_decay: bool,
+}
+
+impl Param {
+    /// Fresh parameter with zeroed grad/momentum.
+    pub fn new(value: Tensor, weight_decay: bool) -> Param {
+        let shape = value.shape().to_vec();
+        Param {
+            value,
+            grad: Tensor::zeros(&shape),
+            momentum: Tensor::zeros(&shape),
+            weight_decay,
+        }
+    }
+
+    /// Mean absolute momentum (the `M̄` of paper Eq. 8).
+    pub fn momentum_abs_mean(&self) -> f64 {
+        ebtrain_tensor::ops::abs_mean(self.momentum.data())
+    }
+}
+
+/// Broad layer classification (drives store policy and reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// 2-D convolution — the layer class the paper compresses.
+    Conv,
+    /// Rectified linear unit.
+    ReLU,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling (incl. global).
+    AvgPool,
+    /// Fully connected.
+    Linear,
+    /// Batch normalization.
+    BatchNorm,
+    /// Local response normalization (AlexNet).
+    Lrn,
+    /// Dropout.
+    Dropout,
+}
+
+/// Statistics a convolutional layer exposes to the adaptive controller
+/// (paper §4.1 "parameter collection").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvLayerStats {
+    /// Non-zero fraction `R` of the input activation (Eq. 7).
+    pub sparsity_r: f64,
+    /// Mean |upstream loss| `L̄` arriving in backward (Eq. 6).
+    pub l_bar: f64,
+    /// RMS of the upstream loss (`√E[L²]`) — drives the exact-CLT form of
+    /// the propagation model (see `ebtrain-core::model`).
+    pub l_rms: f64,
+    /// Elements per sample in the input activation.
+    pub act_elems_per_sample: usize,
+    /// Output spatial positions per sample (`OH·OW`) — the number of
+    /// loss terms each weight-gradient element sums over per sample.
+    pub out_positions_per_sample: usize,
+    /// Batch size observed at the last forward.
+    pub batch_size: usize,
+    /// Last error bound actually used to compress this layer's input.
+    pub last_error_bound: Option<f32>,
+}
+
+/// The polymorphic layer interface.
+///
+/// `forward` consumes its input (mirroring a framework that owns
+/// activations and may immediately compress or free them); `backward`
+/// consumes the output gradient and returns the input gradient.
+pub trait Layer {
+    /// Stable id inside the network.
+    fn id(&self) -> LayerId;
+    /// Human-readable name ("conv1", "fc6", ...).
+    fn name(&self) -> &str;
+    /// Classification.
+    fn kind(&self) -> LayerKind;
+    /// Output shape for a given input shape (build-time inference).
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>>;
+    /// Forward pass.
+    fn forward(&mut self, x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor>;
+    /// Backward pass.
+    fn backward(&mut self, dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor>;
+    /// Mutable access to trainable parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+    /// Shared access to trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+    /// Collected statistics, for conv layers only.
+    fn conv_stats(&self) -> Option<ConvLayerStats> {
+        None
+    }
+
+    /// Non-parameter persistent state (e.g. batch-norm running
+    /// statistics) for checkpoint serialization. Empty by default.
+    fn extra_state(&self) -> Vec<Vec<f64>> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`extra_state`](Layer::extra_state).
+    /// Implementations must accept exactly what they produced.
+    fn set_extra_state(&mut self, _state: &[Vec<f64>]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_bits_roundtrip() {
+        let values = [1.0f32, -1.0, 0.0, 2.0, -3.0, 0.5, 0.0, -0.1, 4.0];
+        let saved = pack_bits(&values, |v| v > 0.0);
+        if let Saved::Bits { words, len } = &saved {
+            assert_eq!(*len, 9);
+            let expect = [true, false, false, true, false, true, false, false, true];
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(get_bit(words, i), *e, "bit {i}");
+            }
+        } else {
+            panic!("wrong variant");
+        }
+        assert_eq!(saved.byte_size(), 8); // one word
+    }
+
+    #[test]
+    fn pack_bits_crosses_word_boundary() {
+        let values: Vec<f32> = (0..130).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        if let Saved::Bits { words, len } = pack_bits(&values, |v| v > 0.0) {
+            assert_eq!(len, 130);
+            assert_eq!(words.len(), 3);
+            for i in 0..130 {
+                assert_eq!(get_bit(&words, i), i % 3 == 0, "bit {i}");
+            }
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn compression_plan_set_get() {
+        let mut plan = CompressionPlan::new();
+        assert!(plan.is_empty());
+        plan.set(3, 1e-3);
+        plan.set(7, 5e-4);
+        assert_eq!(plan.get(3), Some(1e-3));
+        assert_eq!(plan.get(7), Some(5e-4));
+        assert_eq!(plan.get(4), None);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn param_tracks_momentum_mean() {
+        let mut p = Param::new(Tensor::zeros(&[4]), true);
+        assert_eq!(p.momentum_abs_mean(), 0.0);
+        p.momentum = Tensor::from_vec(&[4], vec![1.0, -3.0, 2.0, -2.0]).unwrap();
+        assert!((p.momentum_abs_mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saved_into_f32_type_checks() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(Saved::F32(t).into_f32().is_ok());
+        assert!(Saved::U32 { data: vec![1] }.into_f32().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Inverted dropout with a bit-packed mask.
+
+use crate::layer::{
+    get_bit, BackwardContext, ForwardContext, Layer, LayerId, LayerKind, SaveHint, Saved, SlotId,
+};
+use crate::{DnnError, Result};
+use ebtrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: active units are scaled by `1/(1-p)` at train time so
+/// inference is a pass-through.
+pub struct Dropout {
+    id: LayerId,
+    name: String,
+    p: f32,
+    rng: StdRng,
+}
+
+impl Dropout {
+    /// New dropout layer with drop probability `p` (clamped to `[0, 0.95]`).
+    pub fn new(id: LayerId, name: impl Into<String>, p: f32, seed: u64) -> Dropout {
+        Dropout {
+            id,
+            name: name.into(),
+            p: p.clamp(0.0, 0.95),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn id(&self) -> LayerId {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        Ok(in_shape.to_vec())
+    }
+
+    fn forward(&mut self, mut x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
+        if !ctx.training || self.p == 0.0 {
+            return Ok(x);
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let n = x.len();
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            if self.rng.gen::<f32>() < keep {
+                words[i / 64] |= 1u64 << (i % 64);
+                *v *= scale;
+            } else {
+                *v = 0.0;
+            }
+        }
+        ctx.store.save(
+            SlotId(self.id, 0),
+            Saved::Bits { words, len: n },
+            SaveHint::raw(),
+        );
+        Ok(x)
+    }
+
+    fn backward(&mut self, mut dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor> {
+        if self.p == 0.0 {
+            return Ok(dy);
+        }
+        let Saved::Bits { words, len } = ctx.store.load(SlotId(self.id, 0))? else {
+            return Err(DnnError::State("dropout expected bitmask slot".into()));
+        };
+        if len != dy.len() {
+            return Err(DnnError::State(format!(
+                "{}: mask len {len} != grad len {}",
+                self.name,
+                dy.len()
+            )));
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        for (i, v) in dy.data_mut().iter_mut().enumerate() {
+            *v = if get_bit(&words, i) { *v * scale } else { 0.0 };
+        }
+        Ok(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::CompressionPlan;
+    use crate::store::{ActivationStore, RawStore};
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0, "drop", 0.5, 1);
+        let x = Tensor::full(&[100], 2.0);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: false,
+            collect: false,
+            plan: &plan,
+        };
+        let y = d.forward(x.clone(), &mut ctx).unwrap();
+        assert_eq!(y.data(), x.data());
+        assert_eq!(store.current_bytes(), 0);
+    }
+
+    #[test]
+    fn keeps_expected_fraction_and_scales() {
+        let mut d = Dropout::new(0, "drop", 0.5, 42);
+        let x = Tensor::full(&[10_000], 1.0);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        let y = d.forward(x, &mut ctx).unwrap();
+        let kept = y.data().iter().filter(|&&v| v != 0.0).count();
+        assert!((kept as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        // inverted scaling: kept values are 2.0
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // expectation preserved
+        let mean = y.data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_matches_forward_mask() {
+        let mut d = Dropout::new(0, "drop", 0.3, 7);
+        let x = Tensor::full(&[256], 1.0);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        let y = d.forward(x, &mut ctx).unwrap();
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = d.backward(Tensor::full(&[256], 1.0), &mut bctx).unwrap();
+        // gradient flows exactly where activations flowed
+        for (a, b) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_noop_both_directions() {
+        let mut d = Dropout::new(0, "drop", 0.0, 1);
+        let x = Tensor::full(&[8], 3.0);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        let y = d.forward(x.clone(), &mut ctx).unwrap();
+        assert_eq!(y.data(), x.data());
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = d.backward(Tensor::full(&[8], 1.0), &mut bctx).unwrap();
+        assert_eq!(dx.data(), &[1.0; 8]);
+    }
+}

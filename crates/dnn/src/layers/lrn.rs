@@ -1,0 +1,226 @@
+//! Local response normalization across channels (AlexNet-era).
+
+use crate::layer::{
+    BackwardContext, ForwardContext, Layer, LayerId, LayerKind, SaveHint, Saved, SlotId,
+};
+use crate::{DnnError, Result};
+use ebtrain_tensor::Tensor;
+
+/// Cross-channel LRN: `y_i = x_i / (k + α/n · Σ_j x_j²)^β` with the sum
+/// over a window of `n` adjacent channels centred on `i`.
+pub struct Lrn {
+    id: LayerId,
+    name: String,
+    size: usize,
+    alpha: f64,
+    beta: f64,
+    k: f64,
+}
+
+impl Lrn {
+    /// AlexNet's parameters: n=5, α=1e-4, β=0.75, k=2.
+    pub fn alexnet(id: LayerId, name: impl Into<String>) -> Lrn {
+        Lrn::new(id, name, 5, 1e-4, 0.75, 2.0)
+    }
+
+    /// Fully parameterized LRN.
+    pub fn new(
+        id: LayerId,
+        name: impl Into<String>,
+        size: usize,
+        alpha: f64,
+        beta: f64,
+        k: f64,
+    ) -> Lrn {
+        Lrn {
+            id,
+            name: name.into(),
+            size: size.max(1),
+            alpha,
+            beta,
+            k,
+        }
+    }
+
+    /// `denom[i] = k + α/n · Σ_{window} x_j²` for every element.
+    fn denominators(&self, x: &Tensor) -> Vec<f64> {
+        let (n, c, h, w) = x.dims4();
+        let hw = h * w;
+        let half = self.size / 2;
+        let mut denom = vec![0.0f64; x.len()];
+        for b in 0..n {
+            for i in 0..hw {
+                for ch in 0..c {
+                    let lo = ch.saturating_sub(half);
+                    let hi = (ch + half).min(c - 1);
+                    let mut acc = 0.0f64;
+                    for j in lo..=hi {
+                        let v = x.data()[(b * c + j) * hw + i] as f64;
+                        acc += v * v;
+                    }
+                    denom[(b * c + ch) * hw + i] =
+                        self.k + self.alpha / self.size as f64 * acc;
+                }
+            }
+        }
+        denom
+    }
+}
+
+impl Layer for Lrn {
+    fn id(&self) -> LayerId {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> LayerKind {
+        LayerKind::Lrn
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        if in_shape.len() != 4 {
+            return Err(DnnError::Build(format!(
+                "{}: LRN expects NCHW, got {in_shape:?}",
+                self.name
+            )));
+        }
+        Ok(in_shape.to_vec())
+    }
+
+    fn forward(&mut self, x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
+        let denom = self.denominators(&x);
+        let mut y = Tensor::zeros(x.shape());
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            *v = (x.data()[i] as f64 / denom[i].powf(self.beta)) as f32;
+        }
+        if ctx.training {
+            // The input is enough to recompute denominators in backward.
+            ctx.store
+                .save(SlotId(self.id, 0), Saved::F32(x), SaveHint::raw());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor> {
+        let x = ctx.store.load(SlotId(self.id, 0))?.into_f32()?;
+        dy.expect_shape(x.shape())?;
+        let (n, c, h, w) = x.dims4();
+        let hw = h * w;
+        let half = self.size / 2;
+        let denom = self.denominators(&x);
+        // y_i = x_i d_i^{-β};  ∂y_j/∂x_i = δ_ij d_j^{-β}
+        //     − β d_j^{-β-1} · (2α/n) x_j x_i   (when i is in j's window)
+        let mut dx = Tensor::zeros(x.shape());
+        let scale = 2.0 * self.alpha * self.beta / self.size as f64;
+        for b in 0..n {
+            for i in 0..hw {
+                for ch in 0..c {
+                    let idx = (b * c + ch) * hw + i;
+                    let mut acc = dy.data()[idx] as f64 / denom[idx].powf(self.beta);
+                    let lo = ch.saturating_sub(half);
+                    let hi = (ch + half).min(c - 1);
+                    for j in lo..=hi {
+                        let jdx = (b * c + j) * hw + i;
+                        let xj = x.data()[jdx] as f64;
+                        acc -= scale * dy.data()[jdx] as f64 * xj * x.data()[idx] as f64
+                            / denom[jdx].powf(self.beta + 1.0);
+                    }
+                    dx.data_mut()[idx] = acc as f32;
+                }
+            }
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::CompressionPlan;
+    use crate::store::RawStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_by_window_energy() {
+        let mut lrn = Lrn::new(0, "lrn", 3, 1.0, 1.0, 0.0);
+        // Single spatial position, 3 channels of value 1: window sums are
+        // 2, 3, 2 (edges clipped), denom = 0 + 1/3 * sum.
+        let x = Tensor::from_vec(&[1, 3, 1, 1], vec![1.0, 1.0, 1.0]).unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: false,
+            collect: false,
+            plan: &plan,
+        };
+        let y = lrn.forward(x, &mut ctx).unwrap();
+        assert!((y.data()[0] - 1.0 / (2.0 / 3.0)).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+        assert!((y.data()[2] - 1.0 / (2.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_when_alpha_zero() {
+        let mut lrn = Lrn::new(0, "lrn", 5, 0.0, 0.75, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 4, 3, 3], 1.0, &mut rng);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut ctx = ForwardContext {
+            store: &mut store,
+            training: false,
+            collect: false,
+            plan: &plan,
+        };
+        let y = lrn.forward(x.clone(), &mut ctx).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut lrn = Lrn::alexnet(0, "lrn");
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[1, 6, 2, 2], 1.0, &mut rng);
+        let plan = CompressionPlan::new();
+        let mut store = RawStore::new();
+        let mut fctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        let y = lrn.forward(x.clone(), &mut fctx).unwrap();
+        let dy = Tensor::full(y.shape(), 1.0);
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = lrn.backward(dy, &mut bctx).unwrap();
+        let eps = 1e-2f32;
+        for &xi in &[0usize, 5, 13, 20] {
+            let mut run = |delta: f32| {
+                let mut xp = x.clone();
+                xp.data_mut()[xi] += delta;
+                let mut s = RawStore::new();
+                let mut c = ForwardContext {
+                    store: &mut s,
+                    training: false,
+                    collect: false,
+                    plan: &plan,
+                };
+                lrn.forward(xp, &mut c).unwrap().data().iter().sum::<f32>()
+            };
+            let num = (run(eps) - run(-eps)) / (2.0 * eps);
+            let ana = dx.data()[xi];
+            assert!(
+                (num - ana).abs() < 5e-2 * ana.abs().max(0.5),
+                "dx[{xi}]: {num} vs {ana}"
+            );
+        }
+    }
+}

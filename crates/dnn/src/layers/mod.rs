@@ -1,0 +1,28 @@
+//! Layer implementations.
+//!
+//! Each layer follows the same discipline: forward consumes its input,
+//! parks whatever backward will need in the [`ActivationStore`], and
+//! backward loads it back. Conv inputs are saved with
+//! `compressible = true` — the tensors the paper's framework compresses;
+//! everything else is saved in compact raw form (bit-packed masks, index
+//! arrays, small per-channel vectors).
+//!
+//! [`ActivationStore`]: crate::store::ActivationStore
+
+mod batchnorm;
+mod conv;
+mod dropout;
+mod linear;
+mod lrn;
+mod pool;
+mod relu;
+mod softmax;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use lrn::Lrn;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use relu::ReLU;
+pub use softmax::SoftmaxCrossEntropy;

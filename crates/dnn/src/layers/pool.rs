@@ -1,0 +1,392 @@
+//! Max and average pooling.
+
+use crate::layer::{
+    BackwardContext, ForwardContext, Layer, LayerId, LayerKind, SaveHint, Saved, SlotId,
+};
+use crate::{DnnError, Result};
+use ebtrain_tensor::Tensor;
+
+fn pool_out_dim(in_d: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (in_d + 2 * pad).saturating_sub(k) / stride + 1
+}
+
+/// Max pooling; saves flat argmax indices (4 B per *output* element).
+pub struct MaxPool2d {
+    id: LayerId,
+    name: String,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// New max-pool layer.
+    pub fn new(id: LayerId, name: impl Into<String>, k: usize, stride: usize, pad: usize) -> Self {
+        MaxPool2d {
+            id,
+            name: name.into(),
+            k,
+            stride,
+            pad,
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn id(&self) -> LayerId {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        let [n, c, h, w] = *in_shape else {
+            return Err(DnnError::Build(format!(
+                "{}: pool expects NCHW, got {in_shape:?}",
+                self.name
+            )));
+        };
+        Ok(vec![
+            n,
+            c,
+            pool_out_dim(h, self.k, self.stride, self.pad),
+            pool_out_dim(w, self.k, self.stride, self.pad),
+        ])
+    }
+
+    fn forward(&mut self, x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
+        let (n, c, h, w) = x.dims4();
+        let oh = pool_out_dim(h, self.k, self.stride, self.pad);
+        let ow = pool_out_dim(w, self.k, self.stride, self.pad);
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        let mut indices: Vec<u32> = Vec::with_capacity(n * c * oh * ow);
+        for s in 0..n {
+            for ch in 0..c {
+                let plane_off = (s * c + ch) * h * w;
+                let plane = &x.data()[plane_off..plane_off + h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = iy as usize * w + ix as usize;
+                                if plane[idx] > best {
+                                    best = plane[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        *y.at4_mut(s, ch, oy, ox) = best;
+                        indices.push((plane_off + best_idx) as u32);
+                    }
+                }
+            }
+        }
+        if ctx.training {
+            self.in_shape = x.shape().to_vec();
+            ctx.store
+                .save(SlotId(self.id, 0), Saved::U32 { data: indices }, SaveHint::raw());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor> {
+        let Saved::U32 { data: indices } = ctx.store.load(SlotId(self.id, 0))? else {
+            return Err(DnnError::State("maxpool expected index slot".into()));
+        };
+        if indices.len() != dy.len() {
+            return Err(DnnError::State(format!(
+                "{}: index count {} != grad len {}",
+                self.name,
+                indices.len(),
+                dy.len()
+            )));
+        }
+        let mut dx = Tensor::zeros(&self.in_shape);
+        for (g, &idx) in dy.data().iter().zip(&indices) {
+            dx.data_mut()[idx as usize] += g;
+        }
+        Ok(dx)
+    }
+}
+
+/// Average pooling (set `k == input spatial size` for global average
+/// pooling, or use [`AvgPool2d::global`]). Padding cells are excluded
+/// from the divisor.
+pub struct AvgPool2d {
+    id: LayerId,
+    name: String,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// `k == 0` sentinel: global pooling (kernel = full spatial extent).
+    global: bool,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// New average-pool layer.
+    pub fn new(id: LayerId, name: impl Into<String>, k: usize, stride: usize, pad: usize) -> Self {
+        AvgPool2d {
+            id,
+            name: name.into(),
+            k,
+            stride,
+            pad,
+            global: false,
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// Global average pooling (output 1×1 per channel).
+    pub fn global(id: LayerId, name: impl Into<String>) -> Self {
+        AvgPool2d {
+            id,
+            name: name.into(),
+            k: 0,
+            stride: 1,
+            pad: 0,
+            global: true,
+            in_shape: Vec::new(),
+        }
+    }
+
+    fn kernel_for(&self, h: usize, w: usize) -> (usize, usize, usize, usize) {
+        if self.global {
+            (h, w, 1, 0)
+        } else {
+            (self.k, self.k, self.stride, self.pad)
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn id(&self) -> LayerId {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> LayerKind {
+        LayerKind::AvgPool
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        let [n, c, h, w] = *in_shape else {
+            return Err(DnnError::Build(format!(
+                "{}: pool expects NCHW, got {in_shape:?}",
+                self.name
+            )));
+        };
+        let (kh, kw, s, p) = self.kernel_for(h, w);
+        Ok(vec![
+            n,
+            c,
+            pool_out_dim(h, kh, s, p),
+            pool_out_dim(w, kw, s, p),
+        ])
+    }
+
+    fn forward(&mut self, x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
+        let (n, c, h, w) = x.dims4();
+        let (kh, kw, stride, pad) = self.kernel_for(h, w);
+        let oh = pool_out_dim(h, kh, stride, pad);
+        let ow = pool_out_dim(w, kw, stride, pad);
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        for s in 0..n {
+            for ch in 0..c {
+                let plane_off = (s * c + ch) * h * w;
+                let plane = &x.data()[plane_off..plane_off + h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        let mut count = 0usize;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += plane[iy as usize * w + ix as usize];
+                                count += 1;
+                            }
+                        }
+                        *y.at4_mut(s, ch, oy, ox) = acc / count.max(1) as f32;
+                    }
+                }
+            }
+        }
+        if ctx.training {
+            self.in_shape = x.shape().to_vec();
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: Tensor, _ctx: &mut BackwardContext) -> Result<Tensor> {
+        let [n, c, h, w] = *self.in_shape.as_slice() else {
+            return Err(DnnError::State("avgpool backward before forward".into()));
+        };
+        let (kh, kw, stride, pad) = self.kernel_for(h, w);
+        let oh = pool_out_dim(h, kh, stride, pad);
+        let ow = pool_out_dim(w, kw, stride, pad);
+        dy.expect_shape(&[n, c, oh, ow])?;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        for s in 0..n {
+            for ch in 0..c {
+                let plane_off = (s * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Same valid-cell count as forward.
+                        let mut cells: Vec<usize> = Vec::with_capacity(kh * kw);
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cells.push(iy as usize * w + ix as usize);
+                            }
+                        }
+                        let g = dy.at4(s, ch, oy, ox) / cells.len().max(1) as f32;
+                        for idx in cells {
+                            dx.data_mut()[plane_off + idx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::CompressionPlan;
+    use crate::store::RawStore;
+
+    fn fctx<'a>(
+        store: &'a mut RawStore,
+        plan: &'a CompressionPlan,
+    ) -> ForwardContext<'a> {
+        ForwardContext {
+            store,
+            training: true,
+            collect: false,
+            plan,
+        }
+    }
+
+    #[test]
+    fn maxpool_2x2_known_values() {
+        let mut pool = MaxPool2d::new(0, "p", 2, 2, 0);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let y = pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(0, "p", 2, 2, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = pool
+            .backward(Tensor::full(&[1, 1, 1, 1], 2.5), &mut bctx)
+            .unwrap();
+        assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn alexnet_overlapping_pool_shape() {
+        let pool = MaxPool2d::new(0, "p", 3, 2, 0);
+        assert_eq!(
+            pool.out_shape(&[1, 96, 55, 55]).unwrap(),
+            vec![1, 96, 27, 27]
+        );
+    }
+
+    #[test]
+    fn avgpool_averages_and_distributes() {
+        let mut pool = AvgPool2d::new(0, "p", 2, 2, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let y = pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = pool
+            .backward(Tensor::full(&[1, 1, 1, 1], 4.0), &mut bctx)
+            .unwrap();
+        assert_eq!(dx.data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn global_avgpool_reduces_to_1x1() {
+        let mut pool = AvgPool2d::global(0, "gap");
+        let x = Tensor::from_vec(
+            &[1, 2, 2, 2],
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        )
+        .unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let y = pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn padded_avgpool_excludes_pad_from_divisor() {
+        // 1x1 input, k=3 pad=1: only the single valid cell counts.
+        let mut pool = AvgPool2d::new(0, "p", 3, 1, 1);
+        let x = Tensor::from_vec(&[1, 1, 1, 1], vec![6.0]).unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let y = pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();
+        assert_eq!(y.data(), &[6.0]);
+    }
+}

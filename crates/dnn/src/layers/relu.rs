@@ -1,0 +1,152 @@
+//! ReLU with bit-packed sign mask.
+//!
+//! Backward only needs `x > 0` per element, so instead of keeping the full
+//! float tensor the layer parks a 1-bit/element mask (32× smaller). This
+//! is the "cheap recomputation" class of saving the paper's §2.1 assigns
+//! to activation-function layers — convolutions stay the only layers with
+//! heavyweight saved state.
+
+use crate::layer::{
+    get_bit, pack_bits, BackwardContext, ForwardContext, Layer, LayerId, LayerKind, SaveHint,
+    Saved, SlotId,
+};
+use crate::{DnnError, Result};
+use ebtrain_tensor::Tensor;
+
+/// Rectified linear unit.
+pub struct ReLU {
+    id: LayerId,
+    name: String,
+}
+
+impl ReLU {
+    /// New ReLU layer.
+    pub fn new(id: LayerId, name: impl Into<String>) -> ReLU {
+        ReLU {
+            id,
+            name: name.into(),
+        }
+    }
+}
+
+impl Layer for ReLU {
+    fn id(&self) -> LayerId {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn kind(&self) -> LayerKind {
+        LayerKind::ReLU
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        Ok(in_shape.to_vec())
+    }
+
+    fn forward(&mut self, mut x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
+        if ctx.training {
+            let mask = pack_bits(x.data(), |v| v > 0.0);
+            ctx.store.save(SlotId(self.id, 0), mask, SaveHint::raw());
+        }
+        for v in x.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, mut dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor> {
+        let saved = ctx.store.load(SlotId(self.id, 0))?;
+        let Saved::Bits { words, len } = saved else {
+            return Err(DnnError::State("relu expected bitmask slot".into()));
+        };
+        if len != dy.len() {
+            return Err(DnnError::State(format!(
+                "{}: mask len {len} != grad len {}",
+                self.name,
+                dy.len()
+            )));
+        }
+        for (i, v) in dy.data_mut().iter_mut().enumerate() {
+            if !get_bit(&words, i) {
+                *v = 0.0;
+            }
+        }
+        Ok(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::CompressionPlan;
+    use crate::store::{ActivationStore, RawStore};
+
+    #[test]
+    fn forward_clamps_negatives_backward_masks() {
+        let mut relu = ReLU::new(0, "relu");
+        let x = Tensor::from_vec(&[6], vec![1.0, -2.0, 0.0, 3.0, -0.5, 2.0]).unwrap();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut fctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        let y = relu.forward(x, &mut fctx).unwrap();
+        assert_eq!(y.data(), &[1.0, 0.0, 0.0, 3.0, 0.0, 2.0]);
+
+        let dy = Tensor::full(&[6], 1.0);
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = relu.backward(dy, &mut bctx).unwrap();
+        assert_eq!(dx.data(), &[1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mask_is_32x_smaller_than_activation() {
+        let mut relu = ReLU::new(0, "relu");
+        let x = Tensor::zeros(&[1, 4, 32, 32]);
+        let raw_bytes = x.byte_size();
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut fctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        relu.forward(x, &mut fctx).unwrap();
+        assert_eq!(store.current_bytes(), raw_bytes / 32);
+    }
+
+    #[test]
+    fn zero_input_stays_zero_and_blocks_gradient() {
+        // x == 0 is NOT > 0: gradient must not flow (matches the zero-
+        // preservation concern of the paper).
+        let mut relu = ReLU::new(0, "relu");
+        let x = Tensor::zeros(&[4]);
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        let mut fctx = ForwardContext {
+            store: &mut store,
+            training: true,
+            collect: false,
+            plan: &plan,
+        };
+        relu.forward(x, &mut fctx).unwrap();
+        let mut bctx = BackwardContext {
+            store: &mut store,
+            collect: false,
+        };
+        let dx = relu
+            .backward(Tensor::full(&[4], 5.0), &mut bctx)
+            .unwrap();
+        assert!(dx.data().iter().all(|&v| v == 0.0));
+    }
+}

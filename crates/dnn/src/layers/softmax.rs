@@ -1,0 +1,168 @@
+//! Softmax + cross-entropy loss head.
+
+use crate::{DnnError, Result};
+use ebtrain_tensor::Tensor;
+
+/// Combined softmax + cross-entropy head.
+///
+/// Not a [`Layer`](crate::layer::Layer): it terminates the network and
+/// produces both the scalar loss and the logits gradient (already averaged
+/// over the batch, matching Caffe's loss normalization — so downstream
+/// layer gradients need no extra scaling).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// New head.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Numerically-stable softmax probabilities, row-wise over `[N, C]`.
+    pub fn probabilities(&self, logits: &Tensor) -> Result<Tensor> {
+        let (n, c) = logits.dims2();
+        let mut probs = Tensor::zeros(&[n, c]);
+        for (row_in, row_out) in logits
+            .data()
+            .chunks(c)
+            .zip(probs.data_mut().chunks_mut(c))
+        {
+            let max = row_in.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut denom = 0.0f32;
+            for (o, &v) in row_out.iter_mut().zip(row_in) {
+                *o = (v - max).exp();
+                denom += *o;
+            }
+            for o in row_out.iter_mut() {
+                *o /= denom;
+            }
+        }
+        Ok(probs)
+    }
+
+    /// Mean cross-entropy loss and `dL/dlogits = (softmax − onehot)/N`.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let (n, c) = logits.dims2();
+        if labels.len() != n {
+            return Err(DnnError::State(format!(
+                "label count {} != batch {n}",
+                labels.len()
+            )));
+        }
+        let mut probs = self.probabilities(logits)?;
+        let mut loss = 0.0f64;
+        for (b, &label) in labels.iter().enumerate() {
+            if label >= c {
+                return Err(DnnError::State(format!("label {label} >= classes {c}")));
+            }
+            let p = probs.data()[b * c + label].max(1e-12);
+            loss -= (p as f64).ln();
+        }
+        // Gradient: (p - y)/N in place.
+        let inv_n = 1.0 / n as f32;
+        for (b, &label) in labels.iter().enumerate() {
+            let row = &mut probs.data_mut()[b * c..(b + 1) * c];
+            for (j, v) in row.iter_mut().enumerate() {
+                let y = if j == label { 1.0 } else { 0.0 };
+                *v = (*v - y) * inv_n;
+            }
+        }
+        Ok(((loss / n as f64) as f32, probs))
+    }
+
+    /// Count of argmax-correct predictions.
+    pub fn correct(&self, logits: &Tensor, labels: &[usize]) -> usize {
+        let (_, c) = logits.dims2();
+        logits
+            .data()
+            .chunks(c)
+            .zip(labels)
+            .filter(|&(row, &label)| {
+                let arg = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                arg == label
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]).unwrap();
+        let p = head.probabilities(&logits).unwrap();
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // huge logit dominates without NaN (stability)
+        assert!(p.data()[5] > 0.999);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c_loss() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = [0usize, 3, 7, 9];
+        let (loss, _) = head.loss(&logits, &labels).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot_over_n() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]).unwrap();
+        let (_, d) = head.loss(&logits, &[1]).unwrap();
+        assert!((d.data()[0] - 0.5).abs() < 1e-6);
+        assert!((d.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_difference() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (_, d) = head.loss(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (loss_p, _) = head.loss(&lp, &labels).unwrap();
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_m, _) = head.loss(&lm, &labels).unwrap();
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (num - d.data()[i]).abs() < 1e-3,
+                "d[{i}]: {num} vs {}",
+                d.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn correct_counts_argmax_hits() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits =
+            Tensor::from_vec(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 3.1]).unwrap();
+        assert_eq!(head.correct(&logits, &[0, 1, 0]), 2);
+        assert_eq!(head.correct(&logits, &[1, 0, 1]), 1);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(head.loss(&logits, &[0]).is_err()); // wrong count
+        assert!(head.loss(&logits, &[0, 3]).is_err()); // out of range
+    }
+}

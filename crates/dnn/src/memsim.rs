@@ -1,0 +1,189 @@
+//! Device-memory capacity model (the V100 stand-in).
+//!
+//! The paper's performance argument (Fig 11) is: compression shrinks the
+//! live activation set, so a larger batch fits the fixed device memory,
+//! and larger batches run at higher images/s. Reproducing that needs only
+//! (a) a capacity constraint and (b) measured per-batch iteration cost —
+//! this module supplies (a) plus the max-batch search and a data-parallel
+//! scaling model for the multi-device series.
+
+/// A training accelerator's memory capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Usable memory in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl DeviceSpec {
+    /// NVIDIA V100 16 GB (the paper's TACC Longhorn nodes).
+    pub fn v100_16gb() -> DeviceSpec {
+        DeviceSpec {
+            name: "V100-16GB".into(),
+            capacity_bytes: 16 * (1 << 30),
+        }
+    }
+
+    /// NVIDIA V100 32 GB (the paper's Inception-V4 example).
+    pub fn v100_32gb() -> DeviceSpec {
+        DeviceSpec {
+            name: "V100-32GB".into(),
+            capacity_bytes: 32 * (1 << 30),
+        }
+    }
+
+    /// Arbitrary capacity in MiB (scaled experiments).
+    pub fn with_mib(name: impl Into<String>, mib: usize) -> DeviceSpec {
+        DeviceSpec {
+            name: name.into(),
+            capacity_bytes: mib << 20,
+        }
+    }
+}
+
+/// Memory required by one training iteration at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationFootprint {
+    /// Weights + gradients + momentum (batch-independent).
+    pub parameter_bytes: usize,
+    /// Peak live activation set (scales with batch).
+    pub activation_bytes: usize,
+    /// Scratch (im2col buffers etc.).
+    pub workspace_bytes: usize,
+}
+
+impl IterationFootprint {
+    /// Total bytes the device must hold.
+    pub fn total(&self) -> usize {
+        self.parameter_bytes + self.activation_bytes + self.workspace_bytes
+    }
+
+    /// Does this footprint fit the device?
+    pub fn fits(&self, device: &DeviceSpec) -> bool {
+        self.total() <= device.capacity_bytes
+    }
+}
+
+/// Largest batch size (within `1..=limit`) whose footprint fits `device`.
+///
+/// `footprint(batch)` must be monotonically non-decreasing in `batch`
+/// (true for activation memory). Returns `None` if even batch 1 overflows.
+pub fn max_batch(
+    device: &DeviceSpec,
+    limit: usize,
+    mut footprint: impl FnMut(usize) -> IterationFootprint,
+) -> Option<usize> {
+    if !footprint(1).fits(device) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, limit.max(1));
+    if footprint(hi).fits(device) {
+        return Some(hi);
+    }
+    // Invariant: lo fits, hi does not.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if footprint(mid).fits(device) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Data-parallel scaling model for the multi-device series of Fig 11:
+/// `n` devices each process the batch at `single_ips`, minus an all-reduce
+/// penalty that grows with device count.
+#[derive(Debug, Clone, Copy)]
+pub struct DataParallelModel {
+    /// Per-step communication overhead fraction for 2 devices (halved
+    /// efficiency loss model: overhead ≈ `base_overhead · log2(n)`).
+    pub base_overhead: f64,
+}
+
+impl Default for DataParallelModel {
+    fn default() -> Self {
+        // ~5% per doubling is representative of ring all-reduce on a
+        // well-provisioned node.
+        DataParallelModel {
+            base_overhead: 0.05,
+        }
+    }
+}
+
+impl DataParallelModel {
+    /// Aggregate images/s for `n` devices given single-device throughput.
+    pub fn throughput(&self, single_ips: f64, n: usize) -> f64 {
+        if n <= 1 {
+            return single_ips;
+        }
+        let overhead = self.base_overhead * (n as f64).log2();
+        single_ips * n as f64 * (1.0 - overhead).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_footprint(batch: usize) -> IterationFootprint {
+        IterationFootprint {
+            parameter_bytes: 100 << 20,
+            activation_bytes: batch * (50 << 20),
+            workspace_bytes: 10 << 20,
+        }
+    }
+
+    #[test]
+    fn footprint_total_and_fit() {
+        let f = linear_footprint(4);
+        assert_eq!(f.total(), (100 + 200 + 10) << 20);
+        assert!(f.fits(&DeviceSpec::with_mib("d", 400)));
+        assert!(!f.fits(&DeviceSpec::with_mib("d", 300)));
+    }
+
+    #[test]
+    fn max_batch_binary_search() {
+        // capacity 1 GiB, params+ws = 110 MiB, per-batch 50 MiB
+        // => max batch = (1024-110)/50 = 18
+        let d = DeviceSpec::with_mib("d", 1024);
+        assert_eq!(max_batch(&d, 1024, linear_footprint), Some(18));
+    }
+
+    #[test]
+    fn max_batch_respects_limit_and_overflow() {
+        let d = DeviceSpec::with_mib("big", 1 << 20); // ~1 TiB
+        assert_eq!(max_batch(&d, 64, linear_footprint), Some(64)); // limit-capped
+        let tiny = DeviceSpec::with_mib("tiny", 1);
+        assert_eq!(max_batch(&tiny, 64, linear_footprint), None);
+    }
+
+    #[test]
+    fn compression_raises_max_batch() {
+        let d = DeviceSpec::with_mib("d", 1024);
+        let compressed = |batch: usize| IterationFootprint {
+            activation_bytes: batch * (5 << 20), // 10x smaller
+            ..linear_footprint(batch)
+        };
+        let base = max_batch(&d, 4096, linear_footprint).unwrap();
+        let comp = max_batch(&d, 4096, compressed).unwrap();
+        assert!(comp > base * 5, "base {base} comp {comp}");
+    }
+
+    #[test]
+    fn v100_specs() {
+        assert_eq!(DeviceSpec::v100_16gb().capacity_bytes, 16 << 30);
+        assert_eq!(DeviceSpec::v100_32gb().capacity_bytes, 32 << 30);
+    }
+
+    #[test]
+    fn data_parallel_scaling_sublinear() {
+        let m = DataParallelModel::default();
+        let one = m.throughput(100.0, 1);
+        let four = m.throughput(100.0, 4);
+        assert_eq!(one, 100.0);
+        assert!(four > 300.0 && four < 400.0, "4-device {four}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Model checkpoint serialization.
+//!
+//! Captures everything a training run needs to resume: parameter values,
+//! momentum buffers (the controller's `M̄` statistic lives there) and
+//! non-parameter layer state (batch-norm running statistics). The format
+//! is a versioned, self-describing byte stream; loading validates the
+//! structure against the target network (which must be built from the
+//! same zoo constructor and seed).
+
+use crate::network::Network;
+use crate::{DnnError, Result};
+use ebtrain_encoding::varint;
+
+/// Magic prefix "EBCK" + version.
+const MAGIC: [u8; 4] = *b"EBCK";
+const VERSION: u8 = 1;
+
+fn write_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    varint::write_usize(out, data.len());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f32s(bytes: &[u8], pos: &mut usize) -> Result<Vec<f32>> {
+    let n = varint::read_usize(bytes, pos)
+        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    if *pos + n * 4 > bytes.len() {
+        return Err(DnnError::State("checkpoint truncated".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()));
+        *pos += 4;
+    }
+    Ok(out)
+}
+
+fn write_f64s(out: &mut Vec<u8>, data: &[f64]) {
+    varint::write_usize(out, data.len());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f64s(bytes: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
+    let n = varint::read_usize(bytes, pos)
+        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    if *pos + n * 8 > bytes.len() {
+        return Err(DnnError::State("checkpoint truncated".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap()));
+        *pos += 8;
+    }
+    Ok(out)
+}
+
+/// Serialize the network's trainable and persistent state.
+pub fn save_checkpoint(net: &mut Network) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    // Parameters (value + momentum; grads are transient).
+    let params = net.params_mut();
+    varint::write_usize(&mut out, params.len());
+    for p in &params {
+        write_f32s(&mut out, p.value.data());
+        write_f32s(&mut out, p.momentum.data());
+    }
+    drop(params);
+    // Per-layer extra state, in visit order.
+    let mut extras: Vec<Vec<Vec<f64>>> = Vec::new();
+    net.visit_layers(&mut |layer| extras.push(layer.extra_state()));
+    varint::write_usize(&mut out, extras.len());
+    for layer_state in &extras {
+        varint::write_usize(&mut out, layer_state.len());
+        for buf in layer_state {
+            write_f64s(&mut out, buf);
+        }
+    }
+    out
+}
+
+/// Restore a [`save_checkpoint`] stream into a structurally identical
+/// network.
+pub fn load_checkpoint(net: &mut Network, bytes: &[u8]) -> Result<()> {
+    if bytes.len() < 5 || bytes[0..4] != MAGIC {
+        return Err(DnnError::State("checkpoint: bad magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(DnnError::State(format!(
+            "checkpoint: unsupported version {}",
+            bytes[4]
+        )));
+    }
+    let mut pos = 5usize;
+    let n_params = varint::read_usize(bytes, &mut pos)
+        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    {
+        let params = net.params_mut();
+        if params.len() != n_params {
+            return Err(DnnError::State(format!(
+                "checkpoint: {n_params} params in stream, network has {}",
+                params.len()
+            )));
+        }
+        for p in params {
+            let value = read_f32s(bytes, &mut pos)?;
+            let momentum = read_f32s(bytes, &mut pos)?;
+            if value.len() != p.value.len() {
+                return Err(DnnError::State(format!(
+                    "checkpoint: param size {} != {}",
+                    value.len(),
+                    p.value.len()
+                )));
+            }
+            p.value.data_mut().copy_from_slice(&value);
+            p.momentum.data_mut().copy_from_slice(&momentum);
+            p.grad.data_mut().fill(0.0);
+        }
+    }
+    let n_layers = varint::read_usize(bytes, &mut pos)
+        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    let mut extras: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let arity = varint::read_usize(bytes, &mut pos)
+            .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+        let mut layer_state = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            layer_state.push(read_f64s(bytes, &mut pos)?.into_iter().collect());
+        }
+        extras.push(layer_state);
+    }
+    let mut count = 0usize;
+    net.visit_layers(&mut |_| count += 1);
+    if count != n_layers {
+        return Err(DnnError::State(format!(
+            "checkpoint: {n_layers} layers in stream, network has {count}"
+        )));
+    }
+    let mut idx = 0usize;
+    net.visit_layers_mut(&mut |layer| {
+        layer.set_extra_state(&extras[idx]);
+        idx += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::CompressionPlan;
+    use crate::layers::SoftmaxCrossEntropy;
+    use crate::optimizer::{Sgd, SgdConfig};
+    use crate::store::RawStore;
+    use crate::train::{evaluate, train_step};
+    use crate::zoo;
+    use ebtrain_data::{SynthConfig, SynthImageNet};
+
+    fn trained_net() -> (Network, SynthImageNet) {
+        let data = SynthImageNet::new(SynthConfig {
+            classes: 4,
+            image_hw: 32,
+            noise: 0.15,
+            seed: 31,
+        });
+        let mut net = zoo::tiny_resnet(4, 8);
+        let head = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(SgdConfig::default());
+        let mut store = RawStore::new();
+        let plan = CompressionPlan::new();
+        for i in 0..8 {
+            let (x, labels) = data.batch((i * 8) as u64, 8);
+            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
+                .unwrap();
+        }
+        (net, data)
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_eval_behaviour_exactly() {
+        let (mut net, data) = trained_net();
+        let head = SoftmaxCrossEntropy::new();
+        let (vx, vl) = data.val_batch(0, 64);
+        let (loss_before, correct_before) =
+            evaluate(&mut net, &head, vx.clone(), &vl).unwrap();
+
+        let ckpt = save_checkpoint(&mut net);
+        // fresh net, same structure: different random init until restore
+        let mut fresh = zoo::tiny_resnet(4, 999);
+        load_checkpoint(&mut fresh, &ckpt).unwrap();
+        let (loss_after, correct_after) = evaluate(&mut fresh, &head, vx, &vl).unwrap();
+        // BN running stats restored => bit-identical inference.
+        assert_eq!(loss_before, loss_after);
+        assert_eq!(correct_before, correct_after);
+    }
+
+    #[test]
+    fn checkpoint_preserves_momentum() {
+        let (mut net, _) = trained_net();
+        let before: Vec<f64> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.momentum_abs_mean())
+            .collect();
+        let ckpt = save_checkpoint(&mut net);
+        let mut fresh = zoo::tiny_resnet(4, 1);
+        load_checkpoint(&mut fresh, &ckpt).unwrap();
+        let after: Vec<f64> = fresh
+            .params_mut()
+            .iter()
+            .map(|p| p.momentum_abs_mean())
+            .collect();
+        assert_eq!(before, after);
+        assert!(after.iter().any(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn structural_mismatch_rejected() {
+        let (mut net, _) = trained_net();
+        let ckpt = save_checkpoint(&mut net);
+        let mut wrong = zoo::tiny_vgg(4, 1);
+        assert!(load_checkpoint(&mut wrong, &ckpt).is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoints_rejected() {
+        let (mut net, _) = trained_net();
+        let ckpt = save_checkpoint(&mut net);
+        assert!(load_checkpoint(&mut net, &ckpt[..ckpt.len() / 2]).is_err());
+        assert!(load_checkpoint(&mut net, b"nonsense").is_err());
+        let mut bad_version = ckpt.clone();
+        bad_version[4] = 99;
+        assert!(load_checkpoint(&mut net, &bad_version).is_err());
+    }
+}

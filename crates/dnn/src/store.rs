@@ -1,0 +1,728 @@
+//! Activation storage policies.
+//!
+//! A training iteration parks every tensor needed by backward into an
+//! [`ActivationStore`]; the store decides the in-"device-memory"
+//! representation. The paper's framework *is* a store policy
+//! ([`CompressedStore`]); the baselines it is evaluated against are the
+//! other policies here. All stores account current and peak bytes, which
+//! is what the memory-reduction experiments (paper Fig 2/10/11, Table 1)
+//! report.
+
+use crate::layer::{LayerId, SaveHint, Saved, SlotId};
+use crate::{DnnError, Result};
+use ebtrain_sz::{CompressedBuffer, DataLayout, SzConfig};
+use ebtrain_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Cumulative store metrics (reset with
+/// [`ActivationStore::reset_metrics`]).
+#[derive(Debug, Clone, Default)]
+pub struct StoreMetrics {
+    /// Raw bytes of everything saved (what the baseline would have held).
+    pub raw_bytes_saved: u64,
+    /// Bytes actually held after the store's transformation.
+    pub stored_bytes_saved: u64,
+    /// Raw bytes of *compressible* slots only (conv activations).
+    pub compressible_raw_bytes: u64,
+    /// Stored bytes of compressible slots only.
+    pub compressible_stored_bytes: u64,
+    /// Time spent compressing.
+    pub compress_nanos: u64,
+    /// Time spent decompressing.
+    pub decompress_nanos: u64,
+    /// Simulated interconnect transfer time (migration store only).
+    pub simulated_transfer_nanos: u64,
+    /// Per-layer raw/stored byte totals for compressible slots.
+    pub per_layer: HashMap<LayerId, (u64, u64)>,
+}
+
+impl StoreMetrics {
+    /// Overall compression ratio across compressible slots.
+    pub fn compressible_ratio(&self) -> f64 {
+        if self.compressible_stored_bytes == 0 {
+            1.0
+        } else {
+            self.compressible_raw_bytes as f64 / self.compressible_stored_bytes as f64
+        }
+    }
+
+    /// Per-layer ratio for a given layer, if it saved compressible data.
+    pub fn layer_ratio(&self, layer: LayerId) -> Option<f64> {
+        self.per_layer.get(&layer).map(|&(raw, stored)| {
+            if stored == 0 {
+                1.0
+            } else {
+                raw as f64 / stored as f64
+            }
+        })
+    }
+}
+
+/// Storage policy interface; see the module docs.
+pub trait ActivationStore {
+    /// Park `value` under `slot` until backward asks for it.
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint);
+    /// Retrieve (and remove) a saved value.
+    fn load(&mut self, slot: SlotId) -> Result<Saved>;
+    /// Bytes currently held in device memory.
+    fn current_bytes(&self) -> usize;
+    /// High-water mark since the last [`reset_peak`](Self::reset_peak).
+    fn peak_bytes(&self) -> usize;
+    /// Reset the high-water mark to the current level.
+    fn reset_peak(&mut self);
+    /// Snapshot of cumulative metrics.
+    fn metrics(&self) -> StoreMetrics;
+    /// Zero the cumulative metrics.
+    fn reset_metrics(&mut self);
+}
+
+/// Byte accounting shared by the store impls.
+#[derive(Debug, Default)]
+struct Accountant {
+    current: usize,
+    peak: usize,
+    metrics: StoreMetrics,
+}
+
+impl Accountant {
+    fn on_save(&mut self, slot: SlotId, raw: usize, stored: usize, compressible: bool) {
+        self.current += stored;
+        self.peak = self.peak.max(self.current);
+        self.metrics.raw_bytes_saved += raw as u64;
+        self.metrics.stored_bytes_saved += stored as u64;
+        if compressible {
+            self.metrics.compressible_raw_bytes += raw as u64;
+            self.metrics.compressible_stored_bytes += stored as u64;
+            let e = self.metrics.per_layer.entry(slot.0).or_insert((0, 0));
+            e.0 += raw as u64;
+            e.1 += stored as u64;
+        }
+    }
+
+    fn on_load(&mut self, stored: usize) {
+        self.current = self.current.saturating_sub(stored);
+    }
+}
+
+fn missing(slot: SlotId) -> DnnError {
+    DnnError::State(format!("no saved activation for slot {slot:?}"))
+}
+
+/// Store for inference: drops saves, rejects loads, accounts nothing.
+#[derive(Debug, Default)]
+pub struct NullStore;
+
+impl ActivationStore for NullStore {
+    fn save(&mut self, _slot: SlotId, _value: Saved, _hint: SaveHint) {}
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        Err(missing(slot))
+    }
+    fn current_bytes(&self) -> usize {
+        0
+    }
+    fn peak_bytes(&self) -> usize {
+        0
+    }
+    fn reset_peak(&mut self) {}
+    fn metrics(&self) -> StoreMetrics {
+        StoreMetrics::default()
+    }
+    fn reset_metrics(&mut self) {}
+}
+
+/// Baseline policy: everything stays raw in device memory.
+#[derive(Debug, Default)]
+pub struct RawStore {
+    slots: HashMap<SlotId, Saved>,
+    acc: Accountant,
+}
+
+impl RawStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ActivationStore for RawStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        let bytes = value.byte_size();
+        self.acc.on_save(slot, bytes, bytes, hint.compressible);
+        self.slots.insert(slot, value);
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        let v = self.slots.remove(&slot).ok_or_else(|| missing(slot))?;
+        self.acc.on_load(v.byte_size());
+        Ok(v)
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.acc.current
+    }
+    fn peak_bytes(&self) -> usize {
+        self.acc.peak
+    }
+    fn reset_peak(&mut self) {
+        self.acc.peak = self.acc.current;
+    }
+    fn metrics(&self) -> StoreMetrics {
+        self.acc.metrics.clone()
+    }
+    fn reset_metrics(&mut self) {
+        self.acc.metrics = StoreMetrics::default();
+    }
+}
+
+enum CompressedEntry {
+    Raw(Saved),
+    Sz {
+        buf: CompressedBuffer,
+        shape: Vec<usize>,
+    },
+}
+
+impl CompressedEntry {
+    fn stored_bytes(&self) -> usize {
+        match self {
+            CompressedEntry::Raw(s) => s.byte_size(),
+            CompressedEntry::Sz { buf, .. } => buf.compressed_byte_len(),
+        }
+    }
+}
+
+/// The paper's policy: compressible slots go through the SZ-style
+/// error-bounded compressor; everything else stays raw.
+pub struct CompressedStore {
+    slots: HashMap<SlotId, CompressedEntry>,
+    acc: Accountant,
+    /// Fallback configuration when the plan gives no per-layer bound.
+    default_config: SzConfig,
+}
+
+impl CompressedStore {
+    /// Store with a fallback [`SzConfig`] (per-layer bounds from the
+    /// controller override `default_config.error_bound`).
+    pub fn new(default_config: SzConfig) -> Self {
+        CompressedStore {
+            slots: HashMap::new(),
+            acc: Accountant::default(),
+            default_config,
+        }
+    }
+
+    /// The fallback configuration.
+    pub fn default_config(&self) -> &SzConfig {
+        &self.default_config
+    }
+}
+
+impl ActivationStore for CompressedStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        let raw_bytes = value.byte_size();
+        let entry = match value {
+            Saved::F32(t) if hint.compressible => {
+                let mut cfg = self.default_config;
+                if let Some(eb) = hint.error_bound {
+                    cfg.error_bound = eb;
+                }
+                let layout = DataLayout::for_shape(t.shape());
+                let t0 = Instant::now();
+                match ebtrain_sz::compress(t.data(), layout, &cfg) {
+                    Ok(buf) => {
+                        self.acc.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
+                        CompressedEntry::Sz {
+                            buf,
+                            shape: t.shape().to_vec(),
+                        }
+                    }
+                    // Invalid bound (e.g. controller produced 0): degrade
+                    // to raw rather than corrupting training.
+                    Err(_) => CompressedEntry::Raw(Saved::F32(t)),
+                }
+            }
+            other => CompressedEntry::Raw(other),
+        };
+        self.acc
+            .on_save(slot, raw_bytes, entry.stored_bytes(), hint.compressible);
+        self.slots.insert(slot, entry);
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        let entry = self.slots.remove(&slot).ok_or_else(|| missing(slot))?;
+        self.acc.on_load(entry.stored_bytes());
+        match entry {
+            CompressedEntry::Raw(s) => Ok(s),
+            CompressedEntry::Sz { buf, shape } => {
+                let t0 = Instant::now();
+                let data = ebtrain_sz::decompress(&buf)?;
+                self.acc.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+                Ok(Saved::F32(Tensor::from_vec(&shape, data)?))
+            }
+        }
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.acc.current
+    }
+    fn peak_bytes(&self) -> usize {
+        self.acc.peak
+    }
+    fn reset_peak(&mut self) {
+        self.acc.peak = self.acc.current;
+    }
+    fn metrics(&self) -> StoreMetrics {
+        self.acc.metrics.clone()
+    }
+    fn reset_metrics(&mut self) {
+        self.acc.metrics = StoreMetrics::default();
+    }
+}
+
+enum LosslessEntry {
+    Raw(Saved),
+    Packed { bytes: Vec<u8>, shape: Vec<usize> },
+}
+
+impl LosslessEntry {
+    fn stored_bytes(&self) -> usize {
+        match self {
+            LosslessEntry::Raw(s) => s.byte_size(),
+            LosslessEntry::Packed { bytes, .. } => bytes.len(),
+        }
+    }
+}
+
+/// Lossless comparator policy (§5.3 "within 2×" class).
+#[derive(Default)]
+pub struct LosslessStore {
+    slots: HashMap<SlotId, LosslessEntry>,
+    acc: Accountant,
+}
+
+impl LosslessStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ActivationStore for LosslessStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        let raw_bytes = value.byte_size();
+        let entry = match value {
+            Saved::F32(t) if hint.compressible => {
+                let t0 = Instant::now();
+                let bytes = ebtrain_sz::lossless::compress(t.data());
+                self.acc.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
+                LosslessEntry::Packed {
+                    bytes,
+                    shape: t.shape().to_vec(),
+                }
+            }
+            other => LosslessEntry::Raw(other),
+        };
+        self.acc
+            .on_save(slot, raw_bytes, entry.stored_bytes(), hint.compressible);
+        self.slots.insert(slot, entry);
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        let entry = self.slots.remove(&slot).ok_or_else(|| missing(slot))?;
+        self.acc.on_load(entry.stored_bytes());
+        match entry {
+            LosslessEntry::Raw(s) => Ok(s),
+            LosslessEntry::Packed { bytes, shape } => {
+                let t0 = Instant::now();
+                let data = ebtrain_sz::lossless::decompress(&bytes)?;
+                self.acc.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+                Ok(Saved::F32(Tensor::from_vec(&shape, data)?))
+            }
+        }
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.acc.current
+    }
+    fn peak_bytes(&self) -> usize {
+        self.acc.peak
+    }
+    fn reset_peak(&mut self) {
+        self.acc.peak = self.acc.current;
+    }
+    fn metrics(&self) -> StoreMetrics {
+        self.acc.metrics.clone()
+    }
+    fn reset_metrics(&mut self) {
+        self.acc.metrics = StoreMetrics::default();
+    }
+}
+
+/// vDNN/GeePS-class migration policy: compressible activations leave
+/// device memory over a modelled interconnect and come back for backward.
+///
+/// Device memory is freed (that is the point of migration) but every
+/// round-trip charges `bytes / bandwidth` of simulated transfer time —
+/// the cost that, per the paper §2.1, caps this approach on nodes without
+/// NVLink-class links.
+pub struct MigratedStore {
+    host: HashMap<SlotId, Saved>,
+    device: HashMap<SlotId, Saved>,
+    acc: Accountant,
+    /// Interconnect bandwidth in bytes/second (e.g. PCIe 3.0 x16 ≈ 12e9).
+    bandwidth_bps: f64,
+}
+
+impl MigratedStore {
+    /// Store with the given simulated interconnect bandwidth (bytes/s).
+    pub fn new(bandwidth_bps: f64) -> Self {
+        MigratedStore {
+            host: HashMap::new(),
+            device: HashMap::new(),
+            acc: Accountant::default(),
+            bandwidth_bps: bandwidth_bps.max(1.0),
+        }
+    }
+
+    /// PCIe 3.0 x16 effective bandwidth (~12 GB/s).
+    pub fn pcie3() -> Self {
+        Self::new(12.0e9)
+    }
+
+    fn charge_transfer(&mut self, bytes: usize) {
+        let nanos = bytes as f64 / self.bandwidth_bps * 1e9;
+        self.acc.metrics.simulated_transfer_nanos += nanos as u64;
+    }
+}
+
+impl ActivationStore for MigratedStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        let raw = value.byte_size();
+        if hint.compressible {
+            // Ships to host: zero device residency, transfer time charged.
+            self.charge_transfer(raw);
+            self.acc.on_save(slot, raw, 0, true);
+            self.host.insert(slot, value);
+        } else {
+            self.acc.on_save(slot, raw, raw, false);
+            self.device.insert(slot, value);
+        }
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        if let Some(v) = self.host.remove(&slot) {
+            self.charge_transfer(v.byte_size());
+            return Ok(v);
+        }
+        let v = self.device.remove(&slot).ok_or_else(|| missing(slot))?;
+        self.acc.on_load(v.byte_size());
+        Ok(v)
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.acc.current
+    }
+    fn peak_bytes(&self) -> usize {
+        self.acc.peak
+    }
+    fn reset_peak(&mut self) {
+        self.acc.peak = self.acc.current;
+    }
+    fn metrics(&self) -> StoreMetrics {
+        self.acc.metrics.clone()
+    }
+    fn reset_metrics(&mut self) {
+        self.acc.metrics = StoreMetrics::default();
+    }
+}
+
+/// The paper's future-work combination (§6): compress activations *and*
+/// migrate the compressed bytes off-device.
+///
+/// Device residency for compressible slots is zero (like
+/// [`MigratedStore`]) but the simulated transfer moves `raw/ratio` bytes
+/// instead of `raw` — multiplying the effective interconnect bandwidth by
+/// the compression ratio, which is exactly why the paper calls the
+/// methods orthogonal.
+pub struct HybridStore {
+    host: HashMap<SlotId, (CompressedBuffer, Vec<usize>)>,
+    device: HashMap<SlotId, Saved>,
+    acc: Accountant,
+    config: SzConfig,
+    bandwidth_bps: f64,
+}
+
+impl HybridStore {
+    /// Compress-then-migrate store with the given codec config and
+    /// simulated interconnect bandwidth (bytes/s).
+    pub fn new(config: SzConfig, bandwidth_bps: f64) -> Self {
+        HybridStore {
+            host: HashMap::new(),
+            device: HashMap::new(),
+            acc: Accountant::default(),
+            config,
+            bandwidth_bps: bandwidth_bps.max(1.0),
+        }
+    }
+
+    fn charge_transfer(&mut self, bytes: usize) {
+        let nanos = bytes as f64 / self.bandwidth_bps * 1e9;
+        self.acc.metrics.simulated_transfer_nanos += nanos as u64;
+    }
+}
+
+impl ActivationStore for HybridStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        let raw = value.byte_size();
+        match value {
+            Saved::F32(t) if hint.compressible => {
+                let mut cfg = self.config;
+                if let Some(eb) = hint.error_bound {
+                    cfg.error_bound = eb;
+                }
+                let layout = DataLayout::for_shape(t.shape());
+                let t0 = Instant::now();
+                match ebtrain_sz::compress(t.data(), layout, &cfg) {
+                    Ok(buf) => {
+                        self.acc.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
+                        self.charge_transfer(buf.compressed_byte_len());
+                        // Accountant: compressed size recorded for the
+                        // ratio metrics, but device residency is zero.
+                        self.acc.on_save(slot, raw, buf.compressed_byte_len(), true);
+                        self.acc.current -= buf.compressed_byte_len();
+                        self.host.insert(slot, (buf, t.shape().to_vec()));
+                    }
+                    Err(_) => {
+                        self.acc.on_save(slot, raw, raw, true);
+                        self.device.insert(slot, Saved::F32(t));
+                    }
+                }
+            }
+            other => {
+                self.acc.on_save(slot, raw, raw, hint.compressible);
+                self.device.insert(slot, other);
+            }
+        }
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        if let Some((buf, shape)) = self.host.remove(&slot) {
+            self.charge_transfer(buf.compressed_byte_len());
+            let t0 = Instant::now();
+            let data = ebtrain_sz::decompress(&buf)?;
+            self.acc.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+            return Ok(Saved::F32(Tensor::from_vec(&shape, data)?));
+        }
+        let v = self.device.remove(&slot).ok_or_else(|| missing(slot))?;
+        self.acc.on_load(v.byte_size());
+        Ok(v)
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.acc.current
+    }
+    fn peak_bytes(&self) -> usize {
+        self.acc.peak
+    }
+    fn reset_peak(&mut self) {
+        self.acc.peak = self.acc.current;
+    }
+    fn metrics(&self) -> StoreMetrics {
+        self.acc.metrics.clone()
+    }
+    fn reset_metrics(&mut self) {
+        self.acc.metrics = StoreMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::SaveHint;
+
+    fn act_tensor() -> Tensor {
+        // ReLU-like activation plane: smooth positives with zero runs.
+        let data: Vec<f32> = (0..8 * 32 * 32)
+            .map(|i| {
+                let v = (i as f32 * 0.01).sin() + 0.3;
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Tensor::from_vec(&[1, 8, 32, 32], data).unwrap()
+    }
+
+    fn compressible() -> SaveHint {
+        SaveHint {
+            compressible: true,
+            error_bound: Some(1e-3),
+        }
+    }
+
+    #[test]
+    fn raw_store_accounts_bytes_and_peak() {
+        let mut s = RawStore::new();
+        let t = act_tensor();
+        let bytes = t.byte_size();
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        s.save(SlotId(1, 0), Saved::F32(t.clone()), SaveHint::raw());
+        assert_eq!(s.current_bytes(), 2 * bytes);
+        assert_eq!(s.peak_bytes(), 2 * bytes);
+        let _ = s.load(SlotId(0, 0)).unwrap();
+        assert_eq!(s.current_bytes(), bytes);
+        assert_eq!(s.peak_bytes(), 2 * bytes); // peak sticky
+        s.reset_peak();
+        assert_eq!(s.peak_bytes(), bytes);
+    }
+
+    #[test]
+    fn raw_store_load_missing_errors() {
+        let mut s = RawStore::new();
+        assert!(s.load(SlotId(9, 9)).is_err());
+    }
+
+    #[test]
+    fn compressed_store_shrinks_compressible_slots() {
+        let mut s = CompressedStore::new(SzConfig::with_error_bound(1e-3));
+        let t = act_tensor();
+        let raw = t.byte_size();
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        assert!(
+            s.current_bytes() < raw,
+            "stored {} raw {raw}",
+            s.current_bytes()
+        );
+        let m = s.metrics();
+        assert!(m.compressible_ratio() > 1.0);
+        assert!(m.layer_ratio(0).unwrap() > 1.0);
+        // Round-trip respects the error bound.
+        let back = s.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= 2e-3);
+        }
+        assert_eq!(s.current_bytes(), 0);
+    }
+
+    #[test]
+    fn compressed_store_keeps_noncompressible_raw() {
+        let mut s = CompressedStore::new(SzConfig::with_error_bound(1e-3));
+        let t = act_tensor();
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), SaveHint::raw());
+        let back = s.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        assert_eq!(back.data(), t.data()); // bit exact
+    }
+
+    #[test]
+    fn compressed_store_plan_bound_overrides_default() {
+        let mut s = CompressedStore::new(SzConfig::with_error_bound(1e-6));
+        let t = act_tensor();
+        // Loose per-save bound compresses much better than the default.
+        s.save(
+            SlotId(0, 0),
+            Saved::F32(t.clone()),
+            SaveHint {
+                compressible: true,
+                error_bound: Some(1e-1),
+            },
+        );
+        let loose = s.metrics().compressible_stored_bytes;
+        let mut s2 = CompressedStore::new(SzConfig::with_error_bound(1e-6));
+        s2.save(
+            SlotId(0, 0),
+            Saved::F32(t),
+            SaveHint {
+                compressible: true,
+                error_bound: None,
+            },
+        );
+        let tight = s2.metrics().compressible_stored_bytes;
+        assert!(loose < tight, "loose {loose} tight {tight}");
+    }
+
+    #[test]
+    fn lossless_store_is_bit_exact() {
+        let mut s = LosslessStore::new();
+        let t = act_tensor();
+        s.save(SlotId(2, 0), Saved::F32(t.clone()), compressible());
+        assert!(s.current_bytes() < t.byte_size());
+        let back = s.load(SlotId(2, 0)).unwrap().into_f32().unwrap();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn migrated_store_frees_device_and_charges_time() {
+        let mut s = MigratedStore::new(1e9); // 1 GB/s
+        let t = act_tensor();
+        let raw = t.byte_size();
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        assert_eq!(s.current_bytes(), 0, "migrated off device");
+        let m1 = s.metrics().simulated_transfer_nanos;
+        assert!(m1 > 0);
+        let back = s.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        assert_eq!(back.data(), t.data());
+        let m2 = s.metrics().simulated_transfer_nanos;
+        // Round trip = 2 transfers of `raw` bytes at 1 GB/s.
+        let expect = 2.0 * raw as f64; // ns at 1e9 B/s
+        assert!((m2 as f64 - expect).abs() < expect * 0.01 + 2.0);
+        assert!(m2 > m1);
+    }
+
+    #[test]
+    fn hybrid_store_compresses_then_migrates() {
+        let bw = 1e9; // 1 GB/s
+        let mut hybrid = HybridStore::new(SzConfig::with_error_bound(1e-3), bw);
+        let mut plain = MigratedStore::new(bw);
+        let t = act_tensor();
+        hybrid.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        plain.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        // Device residency: zero for the migrated slot.
+        assert_eq!(hybrid.current_bytes(), 0);
+        // Compressed migration moves ratio-x fewer bytes than plain.
+        let ht = hybrid.metrics().simulated_transfer_nanos;
+        let pt = plain.metrics().simulated_transfer_nanos;
+        assert!(
+            (ht as f64) < pt as f64 / 2.0,
+            "hybrid transfer {ht}ns not well below plain {pt}ns"
+        );
+        assert!(hybrid.metrics().compressible_ratio() > 2.0);
+        // Round-trip respects the error bound.
+        let back = hybrid.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= 2e-3);
+        }
+    }
+
+    #[test]
+    fn hybrid_store_keeps_noncompressible_on_device() {
+        let mut s = HybridStore::new(SzConfig::with_error_bound(1e-3), 1e9);
+        let t = act_tensor();
+        s.save(SlotId(1, 0), Saved::F32(t.clone()), SaveHint::raw());
+        assert_eq!(s.current_bytes(), t.byte_size());
+        let back = s.load(SlotId(1, 0)).unwrap().into_f32().unwrap();
+        assert_eq!(back.data(), t.data());
+        assert_eq!(s.current_bytes(), 0);
+    }
+
+    #[test]
+    fn null_store_is_inert() {
+        let mut s = NullStore;
+        s.save(SlotId(0, 0), Saved::F32(act_tensor()), compressible());
+        assert_eq!(s.current_bytes(), 0);
+        assert!(s.load(SlotId(0, 0)).is_err());
+    }
+
+    #[test]
+    fn metrics_reset_clears_counters() {
+        let mut s = CompressedStore::new(SzConfig::with_error_bound(1e-3));
+        s.save(SlotId(0, 0), Saved::F32(act_tensor()), compressible());
+        assert!(s.metrics().raw_bytes_saved > 0);
+        s.reset_metrics();
+        assert_eq!(s.metrics().raw_bytes_saved, 0);
+    }
+}

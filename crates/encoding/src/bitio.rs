@@ -1,0 +1,162 @@
+//! MSB-first bit-level I/O over in-memory byte buffers.
+
+use crate::{CodecError, Result};
+
+/// Accumulates bits MSB-first into a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits staged in `acc`, always < 8.
+    nbits: u32,
+    acc: u32,
+}
+
+impl BitWriter {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (MSB of those bits first). `n ≤ 57`
+    /// keeps the intermediate shift in range; codes here never exceed 32.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || value < (1u64 << n));
+        let mut left = n;
+        while left > 0 {
+            let take = (8 - self.nbits).min(left);
+            let shift = left - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u32;
+            self.acc = (self.acc << take) | chunk;
+            self.nbits += take;
+            left -= take;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc as u8);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Pad with zero bits to a byte boundary and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.bytes.push(self.acc as u8);
+        }
+        self.bytes
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `bytes`, starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read `n` bits as the low bits of a `u64`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 57);
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut out = 0u64;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(left);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as usize;
+            left -= take;
+        }
+        Ok(out)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<u32> {
+        Ok(self.read_bits(1)? as u32)
+    }
+
+    /// Bits remaining in the buffer (including trailing padding).
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(0, 7);
+        w.write_bits(0x1FFFF, 17);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(7).unwrap(), 0);
+        assert_eq!(r.read_bits(17).unwrap(), 0x1FFFF);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn padding_is_zero_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn bit_len_tracks_progress() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn interleaved_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [1u64, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            w.write_bits(b, 1);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap() as u64, b);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Canonical, length-limited Huffman codec over sparse `u32` alphabets.
+//!
+//! The SZ-style compressor produces quantization codes drawn from a
+//! potentially large alphabet (up to 2·radius symbols) but with extremely
+//! skewed frequencies — the "prediction hit" code dominates. Only symbols
+//! that actually occur are placed in the table; the table itself is
+//! serialized as `(symbol, code length)` pairs, and codes are assigned
+//! canonically so the decoder rebuilds the table from lengths alone.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint;
+use crate::{CodecError, Result};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Longest admissible code. 32 keeps codes inside the bit-I/O fast path;
+/// the builder degrades frequencies until the bound holds.
+const MAX_CODE_LEN: u8 = 32;
+
+/// Compute code lengths for `(symbol, count)` pairs (all counts > 0).
+fn build_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
+    assert!(!freqs.is_empty());
+    if freqs.len() == 1 {
+        return vec![(freqs[0].0, 1)];
+    }
+    let mut counts: Vec<u64> = freqs.iter().map(|&(_, c)| c).collect();
+    loop {
+        let lengths = huffman_lengths_once(&counts);
+        let max = lengths.iter().copied().max().unwrap();
+        if max <= MAX_CODE_LEN {
+            return freqs
+                .iter()
+                .zip(&lengths)
+                .map(|(&(s, _), &l)| (s, l))
+                .collect();
+        }
+        // Flatten the distribution and retry; converges because counts
+        // approach uniform (which yields ~log2(n) <= 32 for any sane n).
+        for c in &mut counts {
+            *c = (*c).div_ceil(2);
+        }
+    }
+}
+
+/// One round of Huffman tree construction; returns a length per input slot.
+fn huffman_lengths_once(counts: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by weight; tie-break on id for determinism.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = counts.len();
+    // parent[i] for all 2n-1 tree slots; leaves are 0..n.
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: BinaryHeap<Node> = counts
+        .iter()
+        .enumerate()
+        .map(|(id, &weight)| Node { weight, id })
+        .collect();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+        });
+        next_id += 1;
+    }
+    let root = next_id - 1;
+    // Depth of each leaf = code length.
+    let mut depth = vec![0u8; 2 * n - 1];
+    for id in (0..2 * n - 1).rev() {
+        if id == root {
+            continue;
+        }
+        depth[id] = depth[parent[id]] + 1;
+    }
+    depth.truncate(n);
+    depth
+}
+
+/// Canonical code assignment from `(symbol, length)` pairs.
+///
+/// Returns per-symbol `(code, length)` plus the sorted table used for
+/// decoding. Sorting is `(length, symbol)` as in DEFLATE.
+fn canonical_codes(lengths: &[(u32, u8)]) -> Vec<(u32, u32, u8)> {
+    let mut sorted: Vec<(u32, u8)> = lengths.to_vec();
+    sorted.sort_by_key(|&(sym, len)| (len, sym));
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &(sym, len) in &sorted {
+        code <<= len - prev_len;
+        out.push((sym, code, len));
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// Encode `symbols` into a self-describing byte stream.
+///
+/// Layout: `varint n_symbols · varint table_len · (varint sym, u8 len)* ·
+/// bitstream`. An empty input encodes to the minimal 2-byte header.
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_usize(&mut out, symbols.len());
+    if symbols.is_empty() {
+        varint::write_usize(&mut out, 0);
+        return out;
+    }
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<(u32, u64)> = freq.into_iter().collect();
+    freqs.sort_unstable_by_key(|&(s, _)| s);
+    let lengths = build_lengths(&freqs);
+    let canon = canonical_codes(&lengths);
+    let mut code_of: HashMap<u32, (u32, u8)> = HashMap::with_capacity(canon.len());
+    for &(sym, code, len) in &canon {
+        code_of.insert(sym, (code, len));
+    }
+    varint::write_usize(&mut out, lengths.len());
+    // Serialize in canonical order so the decoder rebuilds identically.
+    for &(sym, _, len) in &canon {
+        varint::write_u64(&mut out, sym as u64);
+        out.push(len);
+    }
+    let mut bw = BitWriter::new();
+    for s in symbols {
+        let (code, len) = code_of[s];
+        bw.write_bits(code as u64, len as u32);
+    }
+    let bits = bw.finish();
+    varint::write_usize(&mut out, bits.len());
+    out.extend_from_slice(&bits);
+    out
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut pos = 0usize;
+    let n = varint::read_usize(bytes, &mut pos)?;
+    let table_len = varint::read_usize(bytes, &mut pos)?;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if table_len == 0 {
+        return Err(CodecError::Corrupt("empty huffman table for non-empty data"));
+    }
+    let mut table: Vec<(u32, u8)> = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        let sym = varint::read_u64(bytes, &mut pos)? as u32;
+        let len = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        if len == 0 || len > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("invalid code length"));
+        }
+        table.push((sym, len));
+    }
+    let canon = canonical_codes(&table);
+    // Canonical decoding: for each length, the first code value and the
+    // index of its first symbol in canonical order.
+    let max_len = canon.iter().map(|&(_, _, l)| l).max().unwrap() as u32;
+    let mut first_code = vec![0u64; max_len as usize + 2];
+    let mut first_index = vec![0usize; max_len as usize + 2];
+    let mut count_per_len = vec![0usize; max_len as usize + 1];
+    for &(_, _, l) in &canon {
+        count_per_len[l as usize] += 1;
+    }
+    {
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=max_len as usize {
+            first_code[len] = code;
+            first_index[len] = index;
+            code = (code + count_per_len[len] as u64) << 1;
+            index += count_per_len[len];
+        }
+    }
+    let symbols_in_order: Vec<u32> = canon.iter().map(|&(s, _, _)| s).collect();
+
+    let bits_len = varint::read_usize(bytes, &mut pos)?;
+    if pos + bits_len > bytes.len() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut br = BitReader::new(&bytes[pos..pos + bits_len]);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut code = 0u64;
+        let mut len = 0usize;
+        loop {
+            code = (code << 1) | br.read_bit()? as u64;
+            len += 1;
+            if len > max_len as usize {
+                return Err(CodecError::Corrupt("code longer than table max"));
+            }
+            let offset = code.wrapping_sub(first_code[len]);
+            if count_per_len[len] > 0 && code >= first_code[len] && (offset as usize) < count_per_len[len]
+            {
+                out.push(symbols_in_order[first_index[len] + offset as usize]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_empty_single_and_uniform() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u32>::new());
+        assert_eq!(decode(&encode(&[42])).unwrap(), vec![42]);
+        assert_eq!(
+            decode(&encode(&[7, 7, 7, 7, 7])).unwrap(),
+            vec![7, 7, 7, 7, 7]
+        );
+        let uniform: Vec<u32> = (0..256).collect();
+        assert_eq!(decode(&encode(&uniform)).unwrap(), uniform);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = Vec::with_capacity(50_000);
+        for _ in 0..50_000 {
+            // 90% symbol 1000, remainder spread wide — the SZ shape.
+            if rng.gen_bool(0.9) {
+                data.push(1000u32);
+            } else {
+                data.push(rng.gen_range(0..4000));
+            }
+        }
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+        // Skew means far under 2 bytes/symbol.
+        assert!(enc.len() < data.len(), "enc {} data {}", enc.len(), data.len());
+    }
+
+    #[test]
+    fn compression_beats_raw_on_low_entropy() {
+        let data = vec![3u32; 10_000];
+        let enc = encode(&data);
+        // 10k symbols at 1 bit ≈ 1.25 kB + header.
+        assert!(enc.len() < 1400, "got {}", enc.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let data: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let enc = encode(&data);
+        for cut in [1, enc.len() / 2, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn large_alphabet_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..65_536)).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free_and_ordered() {
+        let lengths = vec![(10u32, 2u8), (20, 2), (30, 3), (40, 3), (50, 3)];
+        let canon = canonical_codes(&lengths);
+        // All pairs prefix-free.
+        for i in 0..canon.len() {
+            for j in 0..canon.len() {
+                if i == j {
+                    continue;
+                }
+                let (_, ci, li) = canon[i];
+                let (_, cj, lj) = canon[j];
+                if li <= lj {
+                    assert_ne!(ci, cj >> (lj - li), "prefix violation {i} {j}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! LEB128 unsigned varints (headers, run lengths, symbol tables).
+
+use crate::{CodecError, Result};
+
+/// Append `value` to `out` as a LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint starting at `pos`; advances `pos` past it.
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint overflow"));
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Convenience: write a `usize`.
+pub fn write_usize(out: &mut Vec<u8>, value: usize) {
+    write_u64(out, value as u64);
+}
+
+/// Convenience: read a `usize`.
+pub fn read_usize(bytes: &[u8], pos: &mut usize) -> Result<usize> {
+    Ok(read_u64(bytes, pos)? as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let buf = [0x80u8]; // continuation bit set, nothing follows
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn sequential_reads_advance_position() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 5);
+        write_u64(&mut buf, 1_000_000);
+        write_u64(&mut buf, 0);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 5);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 1_000_000);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,121 @@
+//! Separable 8×8 type-II DCT and its inverse (type-III), f32.
+
+use std::sync::OnceLock;
+
+/// Precomputed `cos((2x+1)·u·π/16) · scale(u)` basis, indexed `[u][x]`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let scale = if u == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (scale
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 2-D DCT-II of a row-major 8×8 block.
+pub fn dct8x8(block: &[f32; 64], out: &mut [f32; 64]) {
+    let b = basis();
+    // Rows then columns (separable).
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * b[v][y];
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+}
+
+/// Inverse 2-D DCT (type-III) of a row-major 8×8 coefficient block.
+pub fn idct8x8(coeffs: &[f32; 64], out: &mut [f32; 64]) {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    for v in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += coeffs[v * 8 + u] * b[u][x];
+            }
+            tmp[v * 8 + x] = acc;
+        }
+    }
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += tmp[v * 8 + x] * b[v][y];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dct_idct_roundtrip_is_identity() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut block = [0.0f32; 64];
+        for v in &mut block {
+            *v = rng.gen_range(-128.0..128.0);
+        }
+        let mut coeffs = [0.0f32; 64];
+        let mut back = [0.0f32; 64];
+        dct8x8(&block, &mut coeffs);
+        idct8x8(&coeffs, &mut back);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [10.0f32; 64];
+        let mut coeffs = [0.0f32; 64];
+        dct8x8(&block, &mut coeffs);
+        assert!((coeffs[0] - 80.0).abs() < 1e-3, "DC = 8*10 = {}", coeffs[0]);
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut block = [0.0f32; 64];
+        for v in &mut block {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mut coeffs = [0.0f32; 64];
+        dct8x8(&block, &mut coeffs);
+        let e_in: f32 = block.iter().map(|v| v * v).sum();
+        let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < 1e-2 * e_in.max(1.0));
+    }
+}

@@ -1,0 +1,428 @@
+//! # ebtrain-imgcomp
+//!
+//! A software reproduction of the **JPEG-ACT class** of activation
+//! compressors (Evans et al., ISCA 2020) — the state-of-the-art comparator
+//! in the paper's §5.3. JPEG-ACT treats activation tensors like images and
+//! runs a JPEG-style transform-coding pipeline over them:
+//!
+//! 1. normalize the tensor to 8-bit integers via per-tensor min/max
+//!    (this is the step that makes the error *uncontrolled* — it depends
+//!    on the data range, not on a user bound);
+//! 2. 8×8 blocks → 2-D DCT-II;
+//! 3. quantization with the standard JPEG luminance table scaled by a
+//!    quality factor;
+//! 4. zigzag scan + entropy coding (canonical Huffman + LZ here).
+//!
+//! The paper's criticism — which this crate exists to demonstrate
+//! empirically — is that (a) the error is not bounded by any user
+//! parameter, and (b) the hardware JPEG unit JPEG-ACT assumes does not
+//! exist in deployed GPUs. This software model reproduces (a) exactly and
+//! sidesteps (b) by construction.
+
+mod dct;
+mod zigzag;
+
+pub use dct::{dct8x8, idct8x8};
+pub use zigzag::ZIGZAG;
+
+use ebtrain_encoding::{huffman, lz, varint};
+
+/// Magic prefix "J1".
+const MAGIC: [u8; 2] = [0x4A, 0x31];
+
+/// Errors from the JPEG-style codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JpegError {
+    /// Structurally invalid stream.
+    Corrupt(String),
+    /// Plane geometry does not match the data length.
+    GeometryMismatch {
+        /// Elements implied by `planes*h*w`.
+        expected: usize,
+        /// Actual data length.
+        got: usize,
+    },
+    /// Quality must be 1..=100.
+    BadQuality(u8),
+}
+
+impl std::fmt::Display for JpegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JpegError::Corrupt(m) => write!(f, "corrupt jpeg-act stream: {m}"),
+            JpegError::GeometryMismatch { expected, got } => {
+                write!(f, "geometry implies {expected} elements, data has {got}")
+            }
+            JpegError::BadQuality(q) => write!(f, "quality {q} outside 1..=100"),
+        }
+    }
+}
+
+impl std::error::Error for JpegError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, JpegError>;
+
+/// Standard JPEG luminance quantization table (Annex K), row-major 8×8.
+#[rustfmt::skip]
+const BASE_QUANT: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68,109,103, 77,
+    24, 35, 55, 64, 81,104,113, 92,
+    49, 64, 78, 87,103,121,120,101,
+    72, 92, 95, 98,112,100,103, 99,
+];
+
+/// JPEG-ACT configuration: only a quality knob, no error bound — the point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegActConfig {
+    /// JPEG quality factor, 1 (worst) ..= 100 (best).
+    pub quality: u8,
+}
+
+impl Default for JpegActConfig {
+    fn default() -> Self {
+        // JPEG-ACT's reported ~7x ratio corresponds to mid-range quality.
+        JpegActConfig { quality: 75 }
+    }
+}
+
+/// Quality-scaled quantization table (libjpeg formula).
+fn scaled_quant(quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as u32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(&BASE_QUANT) {
+        *o = ((b as u32 * scale + 50) / 100).clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Owned compressed tensor.
+#[derive(Debug, Clone)]
+pub struct JpegActBuffer {
+    bytes: Vec<u8>,
+    original_len: usize,
+}
+
+impl JpegActBuffer {
+    /// Compressed size in bytes.
+    pub fn compressed_byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Original f32 size in bytes.
+    pub fn original_byte_len(&self) -> usize {
+        self.original_len * 4
+    }
+
+    /// Compression ratio `original / compressed`.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 1.0;
+        }
+        self.original_byte_len() as f64 / self.bytes.len() as f64
+    }
+
+    /// Raw stream access.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[inline]
+fn zigzag_i32_to_u32(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+#[inline]
+fn unzigzag_u32_to_i32(v: u32) -> i32 {
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+/// Compress `planes` stacked `h×w` planes of f32 data.
+///
+/// For an NCHW activation tensor, pass `planes = n*c`.
+pub fn compress(
+    data: &[f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    cfg: &JpegActConfig,
+) -> Result<JpegActBuffer> {
+    if cfg.quality == 0 || cfg.quality > 100 {
+        return Err(JpegError::BadQuality(cfg.quality));
+    }
+    let expected = planes * h * w;
+    if expected != data.len() {
+        return Err(JpegError::GeometryMismatch {
+            expected,
+            got: data.len(),
+        });
+    }
+    if h == 0 || w == 0 {
+        return Err(JpegError::Corrupt("zero plane dims".into()));
+    }
+    // Per-tensor normalization to [0, 255] — the integer cast JPEG needs.
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in data {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+    let quant = scaled_quant(cfg.quality);
+
+    let bh = h.div_ceil(8);
+    let bw = w.div_ceil(8);
+    let mut symbols: Vec<u32> = Vec::with_capacity(planes * bh * bw * 64);
+    let mut block = [0.0f32; 64];
+    let mut coeffs = [0.0f32; 64];
+    for p in 0..planes {
+        let plane = &data[p * h * w..(p + 1) * h * w];
+        for by in 0..bh {
+            for bx in 0..bw {
+                // Gather with edge replication; center around 0 (−128 bias).
+                for (k, b) in block.iter_mut().enumerate() {
+                    let y = (by * 8 + k / 8).min(h - 1);
+                    let x = (bx * 8 + k % 8).min(w - 1);
+                    let v = plane[y * w + x];
+                    let u8v = (((v - lo) / range) * 255.0).clamp(0.0, 255.0);
+                    *b = u8v - 128.0;
+                }
+                dct8x8(&block, &mut coeffs);
+                for &src in ZIGZAG.iter() {
+                    let q = (coeffs[src] / quant[src] as f32).round() as i32;
+                    symbols.push(zigzag_i32_to_u32(q));
+                }
+            }
+        }
+    }
+
+    let entropy = huffman::encode(&symbols);
+    let payload = lz::compress(&entropy);
+
+    let mut bytes = Vec::with_capacity(payload.len() + 32);
+    bytes.extend_from_slice(&MAGIC);
+    varint::write_usize(&mut bytes, data.len());
+    varint::write_usize(&mut bytes, planes);
+    varint::write_usize(&mut bytes, h);
+    varint::write_usize(&mut bytes, w);
+    bytes.push(cfg.quality);
+    bytes.extend_from_slice(&lo.to_le_bytes());
+    bytes.extend_from_slice(&hi.to_le_bytes());
+    varint::write_usize(&mut bytes, payload.len());
+    bytes.extend_from_slice(&payload);
+    Ok(JpegActBuffer {
+        bytes,
+        original_len: data.len(),
+    })
+}
+
+/// Decompress a [`JpegActBuffer`]; the reconstruction error is whatever the
+/// quality factor and data range dictate — **not** user-bounded.
+pub fn decompress(buffer: &JpegActBuffer) -> Result<Vec<f32>> {
+    let bytes = &buffer.bytes;
+    let corrupt = |m: &str| JpegError::Corrupt(m.to_string());
+    if bytes.len() < 2 || bytes[0..2] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut pos = 2usize;
+    let rd = |bytes: &[u8], pos: &mut usize| {
+        varint::read_usize(bytes, pos).map_err(|e| JpegError::Corrupt(e.to_string()))
+    };
+    let n = rd(bytes, &mut pos)?;
+    let planes = rd(bytes, &mut pos)?;
+    let h = rd(bytes, &mut pos)?;
+    let w = rd(bytes, &mut pos)?;
+    let quality = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
+    pos += 1;
+    if pos + 8 > bytes.len() {
+        return Err(corrupt("truncated header"));
+    }
+    let lo = f32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    let hi = f32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    pos += 8;
+    let payload_len = rd(bytes, &mut pos)?;
+    if pos + payload_len > bytes.len() {
+        return Err(corrupt("truncated payload"));
+    }
+    if planes * h * w != n || h == 0 || w == 0 {
+        return Err(corrupt("geometry mismatch"));
+    }
+    let entropy =
+        lz::decompress(&bytes[pos..pos + payload_len]).map_err(|e| corrupt(&e.to_string()))?;
+    let symbols = huffman::decode(&entropy).map_err(|e| corrupt(&e.to_string()))?;
+    let bh = h.div_ceil(8);
+    let bw = w.div_ceil(8);
+    if symbols.len() != planes * bh * bw * 64 {
+        return Err(corrupt("coefficient count mismatch"));
+    }
+    let quant = scaled_quant(quality);
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+
+    let mut out = vec![0.0f32; n];
+    let mut coeffs = [0.0f32; 64];
+    let mut block = [0.0f32; 64];
+    let mut s = 0usize;
+    for p in 0..planes {
+        for by in 0..bh {
+            for bx in 0..bw {
+                for &src in ZIGZAG.iter() {
+                    let q = unzigzag_u32_to_i32(symbols[s]);
+                    s += 1;
+                    coeffs[src] = q as f32 * quant[src] as f32;
+                }
+                idct8x8(&coeffs, &mut block);
+                for (k, &b) in block.iter().enumerate() {
+                    let y = by * 8 + k / 8;
+                    let x = bx * 8 + k % 8;
+                    if y >= h || x >= w {
+                        continue;
+                    }
+                    let u8v = (b + 128.0).clamp(0.0, 255.0);
+                    out[p * h * w + y * w + x] = lo + (u8v / 255.0) * range;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth_plane(h: usize, w: usize) -> Vec<f32> {
+        (0..h * w)
+            .map(|idx| {
+                let y = (idx / w) as f32;
+                let x = (idx % w) as f32;
+                (0.1 * x).sin() * (0.07 * y).cos() * 2.0 + 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zigzag_integer_mapping_roundtrips() {
+        for v in [-100_000i32, -1, 0, 1, 42, 100_000] {
+            assert_eq!(unzigzag_u32_to_i32(zigzag_i32_to_u32(v)), v);
+        }
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q10 = scaled_quant(10);
+        let q90 = scaled_quant(90);
+        assert!(q10.iter().zip(&q90).all(|(a, b)| a >= b));
+        assert!(scaled_quant(50).iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn smooth_data_roundtrips_with_small_error() {
+        let data = smooth_plane(32, 32);
+        let buf = compress(&data, 1, 32, 32, &JpegActConfig { quality: 95 }).unwrap();
+        let out = decompress(&buf).unwrap();
+        let range = 4.0f32; // data spans about [-1, 3]
+        let max_err = data
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.05 * range, "max_err {max_err}");
+    }
+
+    #[test]
+    fn compression_ratio_in_jpeg_act_regime() {
+        // Mid-quality on smooth multi-plane data: expect ballpark 5-15x,
+        // bracketing the ~7x the paper quotes for JPEG-ACT.
+        let mut data = Vec::new();
+        for _ in 0..16 {
+            data.extend(smooth_plane(32, 32));
+        }
+        let buf = compress(&data, 16, 32, 32, &JpegActConfig::default()).unwrap();
+        assert!(buf.ratio() > 4.0, "ratio {}", buf.ratio());
+    }
+
+    #[test]
+    fn error_is_not_user_bounded() {
+        // One huge outlier stretches the normalization range so every
+        // other value suffers large absolute error — the uncontrolled-
+        // error failure mode the paper's §2.1 criticizes.
+        let mut data = smooth_plane(16, 16);
+        data[0] = 1.0e6;
+        let buf = compress(&data, 1, 16, 16, &JpegActConfig { quality: 90 }).unwrap();
+        let out = decompress(&buf).unwrap();
+        let worst = data
+            .iter()
+            .zip(&out)
+            .skip(1)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            worst > 100.0,
+            "expected large uncontrolled error, got {worst}"
+        );
+    }
+
+    #[test]
+    fn non_multiple_of_8_dims_roundtrip() {
+        let data = smooth_plane(13, 21);
+        let buf = compress(&data, 1, 13, 21, &JpegActConfig { quality: 80 }).unwrap();
+        let out = decompress(&buf).unwrap();
+        assert_eq!(out.len(), data.len());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let data = vec![0.0f32; 10];
+        assert!(matches!(
+            compress(&data, 1, 4, 4, &JpegActConfig::default()),
+            Err(JpegError::GeometryMismatch { .. })
+        ));
+        assert!(matches!(
+            compress(&data, 1, 2, 5, &JpegActConfig { quality: 0 }),
+            Err(JpegError::BadQuality(0))
+        ));
+    }
+
+    #[test]
+    fn constant_plane_compresses_extremely() {
+        let data = vec![3.25f32; 64 * 64];
+        let buf = compress(&data, 1, 64, 64, &JpegActConfig::default()).unwrap();
+        assert!(buf.ratio() > 50.0, "ratio {}", buf.ratio());
+        let out = decompress(&buf).unwrap();
+        // Degenerate range: reconstruction collapses to lo == hi == 3.25.
+        assert!(out.iter().all(|&v| (v - 3.25).abs() < 0.05));
+    }
+
+    #[test]
+    fn random_noise_ratio_degrades_gracefully() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let data: Vec<f32> = (0..64 * 64).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let buf = compress(&data, 1, 64, 64, &JpegActConfig { quality: 75 }).unwrap();
+        assert!(buf.ratio() > 1.0);
+        assert!(decompress(&buf).is_ok());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = smooth_plane(8, 8);
+        let buf = compress(&data, 1, 8, 8, &JpegActConfig::default()).unwrap();
+        let cut = JpegActBuffer {
+            bytes: buf.as_bytes()[..buf.as_bytes().len() / 2].to_vec(),
+            original_len: data.len(),
+        };
+        assert!(decompress(&cut).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! JPEG zigzag scan order for 8×8 blocks.
+
+/// `ZIGZAG[i]` is the row-major index of the `i`-th coefficient in zigzag
+/// order (low frequencies first), so quantized high-frequency zeros group
+/// at the tail of every block.
+#[rustfmt::skip]
+pub const ZIGZAG: [usize; 64] = [
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_starts_dc_and_walks_antidiagonals() {
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1); // (0,1)
+        assert_eq!(ZIGZAG[2], 8); // (1,0)
+        assert_eq!(ZIGZAG[63], 63); // (7,7)
+        // Manhattan distance from origin is non-decreasing along the scan.
+        let dist = |i: usize| i / 8 + i % 8;
+        for w in ZIGZAG.windows(2) {
+            assert!(dist(w[1]) + 1 >= dist(w[0]), "{w:?}");
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The compression pipeline: predict → quantize → entropy-code.
+
+use crate::predictor::{predict, predict_i64, Predictor};
+use crate::{DataLayout, QuantMode, Result, SzConfig, SzError};
+use ebtrain_encoding::{huffman, lz, varint};
+
+/// Integer-grid clamp for dual-quantization: keeps 3-D Lorenzo sums (7
+/// terms) far from i64 overflow while covering any realistic value/eb
+/// ratio. Values beyond the clamp become sentinel-0 grid points and are
+/// stored as outliers.
+const GRID_CLAMP: f64 = (1u64 << 40) as f64;
+
+/// Deterministic integer-grid mapping shared by encoder and decoder (the
+/// decoder recomputes grid values of outliers from their exact bytes).
+#[inline]
+fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
+    if !x.is_finite() {
+        return None;
+    }
+    let q = (x as f64 / two_eb as f64).round();
+    if q.is_finite() && q.abs() < GRID_CLAMP {
+        Some(q as i64)
+    } else {
+        None
+    }
+}
+
+/// Stream magic: "Z1".
+const MAGIC: [u8; 2] = [0x5A, 0x31];
+
+/// An owned, self-describing compressed tensor.
+///
+/// This is the object an activation store holds in "device memory" in
+/// place of the raw tensor; its [`compressed_byte_len`] is what the memory
+/// accountant charges.
+///
+/// [`compressed_byte_len`]: CompressedBuffer::compressed_byte_len
+#[derive(Debug, Clone)]
+pub struct CompressedBuffer {
+    bytes: Vec<u8>,
+    original_len: usize,
+}
+
+impl CompressedBuffer {
+    /// Size of the compressed representation in bytes.
+    pub fn compressed_byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Size of the original f32 data in bytes.
+    pub fn original_byte_len(&self) -> usize {
+        self.original_len * 4
+    }
+
+    /// Number of f32 elements in the original data.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Compression ratio `original / compressed` (∞-safe: ≥ 0).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 1.0;
+        }
+        self.original_byte_len() as f64 / self.bytes.len() as f64
+    }
+
+    /// Raw stream access (for persistence or the migration simulator).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuild from a raw stream (validates the header).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        if bytes.len() < 2 || bytes[0..2] != MAGIC {
+            return Err(SzError::Corrupt("bad magic".into()));
+        }
+        let mut pos = 2usize;
+        let n = varint::read_usize(&bytes, &mut pos)
+            .map_err(|e| SzError::Corrupt(e.to_string()))?;
+        Ok(CompressedBuffer {
+            bytes,
+            original_len: n,
+        })
+    }
+}
+
+/// Compress `data` under `layout` with `config`.
+///
+/// See the crate docs for the error contract. `data` may contain any
+/// finite or non-finite values; non-finite values are stored bit-exact as
+/// outliers.
+pub fn compress(data: &[f32], layout: DataLayout, config: &SzConfig) -> Result<CompressedBuffer> {
+    config.validate()?;
+    if layout.len() != data.len() {
+        return Err(SzError::LayoutMismatch {
+            layout: layout.len(),
+            data: data.len(),
+        });
+    }
+    let n = data.len();
+    let eb = config.error_bound;
+    let two_eb = 2.0 * eb;
+    let radius = config.radius as i64;
+    let predictor = config
+        .predictor
+        .unwrap_or_else(|| Predictor::for_layout(&layout));
+
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut outliers: Vec<u32> = Vec::new();
+
+    match config.quant_mode {
+        QuantMode::Classic => {
+            let mut recon = vec![0.0f32; n];
+            for idx in 0..n {
+                let x = data[idx];
+                let pred = predict(predictor, &layout, &recon, idx);
+                let diff = x - pred;
+                let qf = (diff / two_eb).round();
+                let mut emitted = false;
+                if x.is_finite() && qf.is_finite() && qf.abs() < radius as f32 {
+                    let q = qf as i64;
+                    let rec = pred + q as f32 * two_eb;
+                    // Float rounding can push the reconstruction past the
+                    // bound; classic SZ demotes such points to outliers.
+                    if (x - rec).abs() <= eb {
+                        codes.push((q + radius) as u32);
+                        recon[idx] = rec;
+                        emitted = true;
+                    }
+                }
+                if !emitted {
+                    codes.push(0); // escape: next outlier
+                    outliers.push(x.to_bits());
+                    recon[idx] = x;
+                }
+            }
+        }
+        QuantMode::DualQuant => {
+            // Pre-quantize to the integer grid, Lorenzo on exact integers.
+            let mut grid = vec![0i64; n];
+            for idx in 0..n {
+                let x = data[idx];
+                let pred = predict_i64(predictor, &layout, &grid, idx);
+                match grid_of(x, two_eb) {
+                    Some(q) => {
+                        let delta = q - pred;
+                        // f32 rounding of q·2eb can break the bound for
+                        // large |x|/eb ratios; such points go bit-exact.
+                        let rec = (q as f64 * two_eb as f64) as f32;
+                        if delta.unsigned_abs() < radius as u64 && (x - rec).abs() <= eb {
+                            codes.push((delta + radius) as u32);
+                        } else {
+                            codes.push(0);
+                            outliers.push(x.to_bits());
+                        }
+                        grid[idx] = q;
+                    }
+                    None => {
+                        codes.push(0);
+                        outliers.push(x.to_bits());
+                        grid[idx] = 0; // sentinel, mirrored by the decoder
+                    }
+                }
+            }
+        }
+    }
+
+    let huff = huffman::encode(&codes);
+    let payload = lz::compress(&huff);
+
+    let mut bytes = Vec::with_capacity(payload.len() + outliers.len() * 4 + 32);
+    bytes.extend_from_slice(&MAGIC);
+    varint::write_usize(&mut bytes, n);
+    bytes.extend_from_slice(&eb.to_bits().to_le_bytes());
+    bytes.push(predictor.tag());
+    match layout {
+        DataLayout::D1(a) => {
+            bytes.push(1);
+            varint::write_usize(&mut bytes, a);
+        }
+        DataLayout::D2(a, b) => {
+            bytes.push(2);
+            varint::write_usize(&mut bytes, a);
+            varint::write_usize(&mut bytes, b);
+        }
+        DataLayout::D3(a, b, c) => {
+            bytes.push(3);
+            varint::write_usize(&mut bytes, a);
+            varint::write_usize(&mut bytes, b);
+            varint::write_usize(&mut bytes, c);
+        }
+    }
+    varint::write_u64(&mut bytes, config.radius as u64);
+    bytes.push(config.zero_filter as u8);
+    bytes.push(config.quant_mode.tag());
+    varint::write_usize(&mut bytes, outliers.len());
+    for o in &outliers {
+        bytes.extend_from_slice(&o.to_le_bytes());
+    }
+    varint::write_usize(&mut bytes, payload.len());
+    bytes.extend_from_slice(&payload);
+
+    Ok(CompressedBuffer {
+        bytes,
+        original_len: n,
+    })
+}
+
+/// Decompress a [`CompressedBuffer`] back to f32 values.
+pub fn decompress(buffer: &CompressedBuffer) -> Result<Vec<f32>> {
+    decompress_bytes(&buffer.bytes)
+}
+
+/// Decompress a raw stream.
+pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
+    let corrupt = |msg: &str| SzError::Corrupt(msg.to_string());
+    if bytes.len() < 2 || bytes[0..2] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut pos = 2usize;
+    let rd_usize =
+        |bytes: &[u8], pos: &mut usize| varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()));
+    let n = rd_usize(bytes, &mut pos)?;
+    if pos + 4 > bytes.len() {
+        return Err(corrupt("truncated header"));
+    }
+    let eb = f32::from_bits(u32::from_le_bytes([
+        bytes[pos],
+        bytes[pos + 1],
+        bytes[pos + 2],
+        bytes[pos + 3],
+    ]));
+    pos += 4;
+    let predictor = Predictor::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
+        .ok_or_else(|| corrupt("bad predictor tag"))?;
+    pos += 1;
+    let ndims = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
+    pos += 1;
+    let layout = match ndims {
+        1 => DataLayout::D1(rd_usize(bytes, &mut pos)?),
+        2 => {
+            let a = rd_usize(bytes, &mut pos)?;
+            let b = rd_usize(bytes, &mut pos)?;
+            DataLayout::D2(a, b)
+        }
+        3 => {
+            let a = rd_usize(bytes, &mut pos)?;
+            let b = rd_usize(bytes, &mut pos)?;
+            let c = rd_usize(bytes, &mut pos)?;
+            DataLayout::D3(a, b, c)
+        }
+        _ => return Err(corrupt("bad layout dims")),
+    };
+    if layout.len() != n {
+        return Err(corrupt("layout/len mismatch"));
+    }
+    let radius = varint::read_u64(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))? as i64;
+    let zero_filter = *bytes.get(pos).ok_or_else(|| corrupt("eof"))? != 0;
+    pos += 1;
+    let quant_mode = QuantMode::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
+        .ok_or_else(|| corrupt("bad quant mode"))?;
+    pos += 1;
+    let n_outliers = rd_usize(bytes, &mut pos)?;
+    if pos + n_outliers * 4 > bytes.len() {
+        return Err(corrupt("truncated outliers"));
+    }
+    let mut outliers = Vec::with_capacity(n_outliers);
+    for _ in 0..n_outliers {
+        outliers.push(f32::from_bits(u32::from_le_bytes([
+            bytes[pos],
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+        ])));
+        pos += 4;
+    }
+    let payload_len = rd_usize(bytes, &mut pos)?;
+    if pos + payload_len > bytes.len() {
+        return Err(corrupt("truncated payload"));
+    }
+    let huff = lz::decompress(&bytes[pos..pos + payload_len])
+        .map_err(|e| SzError::Corrupt(e.to_string()))?;
+    let codes = huffman::decode(&huff).map_err(|e| SzError::Corrupt(e.to_string()))?;
+    if codes.len() != n {
+        return Err(corrupt("code count mismatch"));
+    }
+
+    let two_eb = 2.0 * eb;
+    let mut recon = vec![0.0f32; n];
+    let mut outlier_iter = outliers.into_iter();
+    match quant_mode {
+        QuantMode::Classic => {
+            for idx in 0..n {
+                let code = codes[idx];
+                if code == 0 {
+                    recon[idx] = outlier_iter
+                        .next()
+                        .ok_or_else(|| corrupt("outlier underflow"))?;
+                } else {
+                    let q = code as i64 - radius;
+                    let pred = predict(predictor, &layout, &recon, idx);
+                    recon[idx] = pred + q as f32 * two_eb;
+                }
+            }
+        }
+        QuantMode::DualQuant => {
+            let mut grid = vec![0i64; n];
+            for idx in 0..n {
+                let code = codes[idx];
+                if code == 0 {
+                    let x = outlier_iter
+                        .next()
+                        .ok_or_else(|| corrupt("outlier underflow"))?;
+                    recon[idx] = x;
+                    grid[idx] = grid_of(x, two_eb).unwrap_or(0);
+                } else {
+                    let pred = predict_i64(predictor, &layout, &grid, idx);
+                    let q = pred + (code as i64 - radius);
+                    grid[idx] = q;
+                    recon[idx] = (q as f64 * two_eb as f64) as f32;
+                }
+            }
+        }
+    }
+    if zero_filter {
+        // Paper §4.4: values that landed within the error bound of zero are
+        // snapped back, so compressed runs of zeros stay exactly zero.
+        for v in &mut recon {
+            if v.abs() <= eb {
+                *v = 0.0;
+            }
+        }
+    }
+    Ok(recon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth_volume(a: usize, b: usize, c: usize) -> Vec<f32> {
+        (0..a * b * c)
+            .map(|idx| {
+                let i = (idx / (b * c)) as f32;
+                let j = ((idx / c) % b) as f32;
+                let k = (idx % c) as f32;
+                (0.3 * i).sin() + (0.2 * j).cos() * 0.5 + 0.1 * k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_honours_error_bound() {
+        let data = smooth_volume(4, 16, 16);
+        for eb in [1e-2f32, 1e-3, 1e-4] {
+            let cfg = SzConfig::vanilla(eb);
+            let buf = compress(&data, DataLayout::D3(4, 16, 16), &cfg).unwrap();
+            let out = decompress(&buf).unwrap();
+            assert_eq!(out.len(), data.len());
+            for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                assert!((x - y).abs() <= eb, "idx {i}: |{x} - {y}| > {eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_volume(8, 32, 32);
+        let cfg = SzConfig::vanilla(1e-3);
+        let buf = compress(&data, DataLayout::D3(8, 32, 32), &cfg).unwrap();
+        assert!(buf.ratio() > 4.0, "ratio {}", buf.ratio());
+    }
+
+    #[test]
+    fn sparse_relu_like_data_compresses_very_well() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f32> = (0..64 * 64)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    0.0
+                } else {
+                    rng.gen_range(0.0f32..2.0)
+                }
+            })
+            .collect();
+        let cfg = SzConfig::with_error_bound(1e-2);
+        let buf = compress(&data, DataLayout::D2(64, 64), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        // zero filter: exact zeros stay exact
+        for (x, y) in data.iter().zip(&out) {
+            if *x == 0.0 {
+                assert_eq!(*y, 0.0);
+            } else if x.abs() > 2.0 * 1e-2 {
+                assert!((x - y).abs() <= 1e-2);
+            }
+        }
+        assert!(buf.ratio() > 2.0, "ratio {}", buf.ratio());
+    }
+
+    #[test]
+    fn zero_filter_restores_exact_zeros() {
+        // A nonzero ramp followed by a long run of zeros: without the
+        // filter the zeros reconstruct to within ±eb of 0 but generally
+        // not exactly 0 (the pathology the paper fixes).
+        let mut data = vec![0.0f32; 256];
+        for (i, v) in data.iter_mut().take(32).enumerate() {
+            *v = 0.37 + i as f32 * 0.013;
+        }
+        let eb = 1e-3f32;
+        let vanilla = compress(&data, DataLayout::D1(256), &SzConfig::vanilla(eb)).unwrap();
+        let out_v = decompress(&vanilla).unwrap();
+        let filtered =
+            compress(&data, DataLayout::D1(256), &SzConfig::with_error_bound(eb)).unwrap();
+        let out_f = decompress(&filtered).unwrap();
+        let nz_vanilla = out_v[32..].iter().filter(|&&v| v != 0.0).count();
+        let nz_filtered = out_f[32..].iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nz_filtered, 0, "filter must re-zero the zero run");
+        // The vanilla path is allowed to (and in practice does) leak noise.
+        assert!(nz_vanilla >= nz_filtered);
+        // Either way, the bound holds on the nonzero prefix.
+        for (x, y) in data[..32].iter().zip(&out_f[..32]) {
+            assert!((x - y).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn outliers_are_bit_exact() {
+        // Huge jumps exceed the quantizer radius and must round-trip exactly.
+        let mut data = vec![0.0f32; 100];
+        data[10] = 1e20;
+        data[20] = -4e19;
+        data[30] = f32::INFINITY;
+        data[40] = f32::NAN;
+        let cfg = SzConfig::vanilla(1e-6);
+        let buf = compress(&data, DataLayout::D1(100), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        assert_eq!(out[10], 1e20);
+        assert_eq!(out[20], -4e19);
+        assert_eq!(out[30], f32::INFINITY);
+        assert!(out[40].is_nan());
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let cfg = SzConfig::with_error_bound(1e-3);
+        let buf = compress(&[], DataLayout::D1(0), &cfg).unwrap();
+        assert_eq!(decompress(&buf).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let cfg = SzConfig::with_error_bound(1e-3);
+        assert!(matches!(
+            compress(&[1.0, 2.0], DataLayout::D1(3), &cfg),
+            Err(SzError::LayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let data = smooth_volume(2, 8, 8);
+        let cfg = SzConfig::with_error_bound(1e-3);
+        let buf = compress(&data, DataLayout::D3(2, 8, 8), &cfg).unwrap();
+        let bytes = buf.as_bytes();
+        assert!(decompress_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(decompress_bytes(&[]).is_err());
+        assert!(decompress_bytes(&[0x00, 0x01, 0x02]).is_err());
+    }
+
+    #[test]
+    fn from_bytes_validates_and_preserves_metadata() {
+        let data = smooth_volume(2, 8, 8);
+        let cfg = SzConfig::with_error_bound(1e-3);
+        let buf = compress(&data, DataLayout::D3(2, 8, 8), &cfg).unwrap();
+        let rebuilt = CompressedBuffer::from_bytes(buf.as_bytes().to_vec()).unwrap();
+        assert_eq!(rebuilt.original_len(), data.len());
+        assert_eq!(decompress(&rebuilt).unwrap(), decompress(&buf).unwrap());
+        assert!(CompressedBuffer::from_bytes(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn tighter_bound_means_lower_ratio() {
+        let data = smooth_volume(4, 32, 32);
+        let loose = compress(&data, DataLayout::D3(4, 32, 32), &SzConfig::vanilla(1e-2)).unwrap();
+        let tight = compress(&data, DataLayout::D3(4, 32, 32), &SzConfig::vanilla(1e-5)).unwrap();
+        assert!(
+            loose.ratio() > tight.ratio(),
+            "loose {} tight {}",
+            loose.ratio(),
+            tight.ratio()
+        );
+    }
+
+    #[test]
+    fn dual_quant_roundtrip_honours_error_bound() {
+        let data = smooth_volume(4, 16, 16);
+        for eb in [1e-2f32, 1e-3, 1e-4] {
+            let cfg = SzConfig::dual_quant(eb);
+            let buf = compress(&data, DataLayout::D3(4, 16, 16), &cfg).unwrap();
+            let out = decompress(&buf).unwrap();
+            for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                assert!((x - y).abs() <= eb, "idx {i}: |{x} - {y}| > {eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_quant_preserves_zeros_without_filter() {
+        // The inherent-zero-preservation property: q = round(0/2eb) = 0,
+        // reconstructs exactly — no §4.4 filter needed.
+        let mut data = vec![0.0f32; 256];
+        for (i, v) in data.iter_mut().take(32).enumerate() {
+            *v = 0.37 + i as f32 * 0.013;
+        }
+        let cfg = SzConfig::dual_quant(1e-3);
+        assert!(!cfg.zero_filter);
+        let buf = compress(&data, DataLayout::D1(256), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        for (i, v) in out.iter().enumerate().skip(32) {
+            assert_eq!(*v, 0.0, "zero at {i} perturbed to {v}");
+        }
+    }
+
+    #[test]
+    fn dual_quant_handles_outliers_and_nonfinite() {
+        let mut data = vec![0.25f32; 64];
+        data[5] = 1e30; // beyond the grid clamp -> bit-exact outlier
+        data[9] = f32::NAN;
+        data[11] = -4e20;
+        let cfg = SzConfig::dual_quant(1e-4);
+        let buf = compress(&data, DataLayout::D1(64), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        assert_eq!(out[5], 1e30);
+        assert!(out[9].is_nan());
+        assert_eq!(out[11], -4e20);
+        for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+            if x.is_finite() && x.abs() < 1e6 {
+                assert!((x - y).abs() <= 1e-4, "idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_quant_large_value_small_bound_stays_exact() {
+        // f32 reconstruction rounding would violate the bound here; the
+        // encoder must demote these points to bit-exact outliers.
+        let data = vec![1.0e6f32, 1.0e6 + 0.5, -2.0e6, 0.0];
+        let cfg = SzConfig::dual_quant(1e-6);
+        let buf = compress(&data, DataLayout::D1(4), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        for (x, y) in data.iter().zip(&out) {
+            assert!((x - y).abs() <= 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dual_quant_ratio_comparable_to_classic() {
+        let data = smooth_volume(8, 32, 32);
+        let classic = compress(&data, DataLayout::D3(8, 32, 32), &SzConfig::vanilla(1e-3)).unwrap();
+        let dual = compress(&data, DataLayout::D3(8, 32, 32), &SzConfig::dual_quant(1e-3)).unwrap();
+        let (rc, rd) = (classic.ratio(), dual.ratio());
+        assert!(rd > rc * 0.5 && rd < rc * 2.5, "classic {rc:.1} vs dual {rd:.1}");
+    }
+
+    #[test]
+    fn random_data_still_bounded() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let data: Vec<f32> = (0..10_000).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+        let eb = 0.5f32;
+        let buf = compress(&data, DataLayout::D1(10_000), &SzConfig::vanilla(eb)).unwrap();
+        let out = decompress(&buf).unwrap();
+        for (x, y) in data.iter().zip(&out) {
+            assert!((x - y).abs() <= eb);
+        }
+    }
+}

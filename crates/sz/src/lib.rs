@@ -1,0 +1,269 @@
+//! # ebtrain-sz
+//!
+//! A from-scratch, CPU implementation of an **SZ/cuSZ-style error-bounded
+//! lossy compressor** for `f32` tensors — the compression substrate of the
+//! paper's training framework (the paper uses cuSZ on GPU; the algorithmic
+//! pipeline reproduced here is the same, see `DESIGN.md` §2).
+//!
+//! Pipeline (absolute-error-bound mode):
+//!
+//! 1. **Lorenzo prediction** on *reconstructed* neighbours (1-D, 2-D or
+//!    3-D), so encoder and decoder walk identical state.
+//! 2. **Linear-scaling quantization** of the prediction residual with bin
+//!    width `2·eb`: `q = round((x − pred) / 2eb)`, giving the uniform
+//!    `[−eb, +eb]` reconstruction-error distribution the paper's §3.1
+//!    analysis relies on.
+//! 3. Residuals outside the quantizer radius become **outliers**, stored
+//!    bit-exact (so pathological values cost space, never accuracy).
+//! 4. **Canonical Huffman** over the quantization codes, then an **LZ
+//!    pass** that collapses the long runs produced by smooth/sparse
+//!    activation regions (standing in for the lossless stage SZ chains
+//!    after its entropy coder).
+//!
+//! Two paper-specific extensions:
+//!
+//! * [`SzConfig::zero_filter`] — the paper's §4.4 modification: on
+//!   decompression, values with magnitude ≤ eb are snapped back to exactly
+//!   zero, preventing runs of zeros (post-ReLU sparsity) from being
+//!   smeared into ±eb noise that corrupts gradient sparsity structure.
+//! * [`lossless`] — the lossless comparator (byte-plane shuffle + LZ),
+//!   representing the ~2× lossless-compression baseline of §5.3.
+//!
+//! # Error contract
+//!
+//! With `zero_filter` **off**: every reconstructed value differs from its
+//! original by at most `eb` (outliers are exact). With `zero_filter`
+//! **on**: original zeros reconstruct *exactly*, values with `|x| > 2eb`
+//! still honour `eb`, and small non-zero values (`|x| ≤ 2eb`) may be
+//! zeroed, i.e. their error is at most `2eb`. Both contracts are enforced
+//! by property tests.
+
+pub mod blocks;
+mod codec;
+pub mod lossless;
+pub mod zfp_like;
+mod predictor;
+
+pub use codec::{compress, decompress, decompress_bytes, CompressedBuffer};
+pub use predictor::Predictor;
+
+/// Errors from compression/decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SzError {
+    /// Error bound must be a finite positive number.
+    BadErrorBound(f32),
+    /// Layout dims do not multiply to the data length.
+    LayoutMismatch {
+        /// Elements implied by the layout.
+        layout: usize,
+        /// Actual data length.
+        data: usize,
+    },
+    /// The compressed stream is structurally invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzError::BadErrorBound(eb) => write!(f, "invalid error bound {eb}"),
+            SzError::LayoutMismatch { layout, data } => {
+                write!(f, "layout implies {layout} elements, data has {data}")
+            }
+            SzError::Corrupt(msg) => write!(f, "corrupt sz stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SzError>;
+
+/// Logical layout of the flat buffer, which selects the Lorenzo variant.
+///
+/// For an NCHW activation tensor the natural choice is
+/// `D3 { d0: n*c, d1: h, d2: w }` (each channel plane predicted in 2-D,
+/// with inter-plane prediction along `d0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLayout {
+    /// Flat sequence; 1-D Lorenzo (previous element).
+    D1(usize),
+    /// `rows × cols` grid; 2-D Lorenzo.
+    D2(usize, usize),
+    /// `d0 × d1 × d2` volume; 3-D Lorenzo.
+    D3(usize, usize, usize),
+}
+
+impl DataLayout {
+    /// Total element count implied by the layout.
+    pub fn len(&self) -> usize {
+        match *self {
+            DataLayout::D1(n) => n,
+            DataLayout::D2(h, w) => h * w,
+            DataLayout::D3(a, b, c) => a * b * c,
+        }
+    }
+
+    /// True for a zero-element layout.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Best-fitting layout for an NCHW shape `[n, c, h, w]` (or fewer dims).
+    pub fn for_shape(shape: &[usize]) -> DataLayout {
+        match *shape {
+            [] => DataLayout::D1(0),
+            [n] => DataLayout::D1(n),
+            [h, w] => DataLayout::D2(h, w),
+            [c, h, w] => DataLayout::D3(c, h, w),
+            [n, c, h, w] => DataLayout::D3(n * c, h, w),
+            _ => DataLayout::D1(shape.iter().product()),
+        }
+    }
+}
+
+/// Quantization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Classic SZ: Lorenzo prediction on *reconstructed floats*,
+    /// linear-scaling quantization of the residual. Runs of zeros after
+    /// non-zero data reconstruct to ±eb noise — the pathology the paper's
+    /// §4.4 zero filter fixes.
+    #[default]
+    Classic,
+    /// cuSZ's dual-quantization: values are pre-quantized to the integer
+    /// grid `q = round(x / 2eb)` and Lorenzo runs on the integers. All
+    /// arithmetic is exact, and — a property worth noting — original
+    /// zeros map to `q = 0` and reconstruct *exactly*, so the zero filter
+    /// is inherently built in (at the cost of snapping every `|x| ≤ eb`
+    /// to zero, the same 2eb small-value contract as the filter).
+    DualQuant,
+}
+
+impl QuantMode {
+    /// Wire tag.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            QuantMode::Classic => 0,
+            QuantMode::DualQuant => 1,
+        }
+    }
+
+    /// Inverse of [`tag`](QuantMode::tag).
+    pub(crate) fn from_tag(tag: u8) -> Option<QuantMode> {
+        match tag {
+            0 => Some(QuantMode::Classic),
+            1 => Some(QuantMode::DualQuant),
+            _ => None,
+        }
+    }
+}
+
+/// Compressor configuration (absolute-error-bound mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SzConfig {
+    /// Absolute error bound `eb`: every value reconstructs within ±eb
+    /// (see the crate docs for the `zero_filter` refinement).
+    pub error_bound: f32,
+    /// Quantizer radius: residuals with `|q| ≥ radius` become outliers.
+    /// Default 32768 (16-bit code space), matching SZ defaults.
+    pub radius: u32,
+    /// Paper §4.4: snap `|x'| ≤ eb` back to exactly 0 on decompression.
+    pub zero_filter: bool,
+    /// Lorenzo predictor dimensionality; `None` derives it from layout.
+    pub predictor: Option<Predictor>,
+    /// Quantization strategy (classic SZ vs cuSZ dual-quantization).
+    pub quant_mode: QuantMode,
+}
+
+impl SzConfig {
+    /// Config with the given absolute error bound and paper defaults
+    /// (radius 32768, zero filter **on** — the framework's mode).
+    pub fn with_error_bound(eb: f32) -> Self {
+        SzConfig {
+            error_bound: eb,
+            radius: 32_768,
+            zero_filter: true,
+            predictor: None,
+            quant_mode: QuantMode::Classic,
+        }
+    }
+
+    /// Same but with the zero filter disabled (vanilla SZ behaviour).
+    pub fn vanilla(eb: f32) -> Self {
+        SzConfig {
+            zero_filter: false,
+            ..Self::with_error_bound(eb)
+        }
+    }
+
+    /// cuSZ-style dual-quantization mode (zero filter not needed — zeros
+    /// are exact by construction).
+    pub fn dual_quant(eb: f32) -> Self {
+        SzConfig {
+            quant_mode: QuantMode::DualQuant,
+            zero_filter: false,
+            ..Self::with_error_bound(eb)
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !self.error_bound.is_finite() || self.error_bound <= 0.0 {
+            return Err(SzError::BadErrorBound(self.error_bound));
+        }
+        if self.radius < 2 {
+            return Err(SzError::Corrupt("radius must be >= 2".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_for_shape_maps_nchw_to_3d() {
+        assert_eq!(DataLayout::for_shape(&[10]), DataLayout::D1(10));
+        assert_eq!(DataLayout::for_shape(&[4, 5]), DataLayout::D2(4, 5));
+        assert_eq!(DataLayout::for_shape(&[2, 4, 5]), DataLayout::D3(2, 4, 5));
+        assert_eq!(
+            DataLayout::for_shape(&[8, 3, 4, 5]),
+            DataLayout::D3(24, 4, 5)
+        );
+        assert_eq!(DataLayout::for_shape(&[2, 2, 2, 2, 2]), DataLayout::D1(32));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SzConfig::with_error_bound(1e-3).validate().is_ok());
+        assert!(SzConfig::with_error_bound(0.0).validate().is_err());
+        assert!(SzConfig::with_error_bound(-1.0).validate().is_err());
+        assert!(SzConfig::with_error_bound(f32::NAN).validate().is_err());
+        let mut c = SzConfig::with_error_bound(1e-3);
+        c.radius = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_match_paper_mode() {
+        let c = SzConfig::with_error_bound(1e-4);
+        assert_eq!(c.radius, 32_768);
+        assert!(c.zero_filter);
+        assert_eq!(c.quant_mode, QuantMode::Classic);
+        assert!(!SzConfig::vanilla(1e-4).zero_filter);
+        let d = SzConfig::dual_quant(1e-4);
+        assert_eq!(d.quant_mode, QuantMode::DualQuant);
+        assert!(!d.zero_filter);
+    }
+
+    #[test]
+    fn quant_mode_tags_roundtrip() {
+        for m in [QuantMode::Classic, QuantMode::DualQuant] {
+            assert_eq!(QuantMode::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(QuantMode::from_tag(9), None);
+    }
+}

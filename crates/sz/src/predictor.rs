@@ -1,0 +1,232 @@
+//! Lorenzo predictors over the reconstructed-value grid.
+//!
+//! The predictor reads only already-reconstructed neighbours, so the
+//! encoder (which reconstructs as it quantizes) and the decoder walk
+//! bit-identical state — the property that makes the error bound exact.
+
+use crate::DataLayout;
+
+/// Lorenzo predictor dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predictor {
+    /// `pred(i) = r[i-1]`.
+    Lorenzo1,
+    /// `pred(i,j) = r[i-1,j] + r[i,j-1] - r[i-1,j-1]`.
+    Lorenzo2,
+    /// Full 3-D inclusion–exclusion over the 7 preceding corner neighbours.
+    Lorenzo3,
+}
+
+impl Predictor {
+    /// Natural predictor for a layout.
+    pub fn for_layout(layout: &DataLayout) -> Predictor {
+        match layout {
+            DataLayout::D1(_) => Predictor::Lorenzo1,
+            DataLayout::D2(..) => Predictor::Lorenzo2,
+            DataLayout::D3(..) => Predictor::Lorenzo3,
+        }
+    }
+
+    /// Wire tag for stream headers.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Predictor::Lorenzo1 => 1,
+            Predictor::Lorenzo2 => 2,
+            Predictor::Lorenzo3 => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Predictor::tag).
+    pub fn from_tag(tag: u8) -> Option<Predictor> {
+        match tag {
+            1 => Some(Predictor::Lorenzo1),
+            2 => Some(Predictor::Lorenzo2),
+            3 => Some(Predictor::Lorenzo3),
+            _ => None,
+        }
+    }
+}
+
+/// Integer-grid variant of [`predict`] used by dual-quantization: same
+/// Lorenzo stencils over `i64` grid values (exact arithmetic, so encoder
+/// and decoder agree trivially).
+#[inline]
+pub(crate) fn predict_i64(
+    predictor: Predictor,
+    layout: &DataLayout,
+    grid: &[i64],
+    idx: usize,
+) -> i64 {
+    match predictor {
+        Predictor::Lorenzo1 => {
+            if idx == 0 {
+                0
+            } else {
+                grid[idx - 1]
+            }
+        }
+        Predictor::Lorenzo2 => {
+            let w = match *layout {
+                DataLayout::D2(_, w) => w,
+                DataLayout::D1(n) => n,
+                DataLayout::D3(_, _, w) => w,
+            };
+            let i = idx / w;
+            let j = idx % w;
+            let up = if i > 0 { grid[idx - w] } else { 0 };
+            let left = if j > 0 { grid[idx - 1] } else { 0 };
+            let diag = if i > 0 && j > 0 { grid[idx - w - 1] } else { 0 };
+            up + left - diag
+        }
+        Predictor::Lorenzo3 => {
+            let (d1, d2) = match *layout {
+                DataLayout::D3(_, d1, d2) => (d1, d2),
+                DataLayout::D2(h, w) => (h, w),
+                DataLayout::D1(n) => (1, n),
+            };
+            let plane = d1 * d2;
+            let k = idx % d2;
+            let j = (idx / d2) % d1;
+            let i = idx / plane;
+            let g = |di: usize, dj: usize, dk: usize| -> i64 {
+                if (di > 0 && i == 0) || (dj > 0 && j == 0) || (dk > 0 && k == 0) {
+                    0
+                } else {
+                    grid[idx - di * plane - dj * d2 - dk]
+                }
+            };
+            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
+                + g(1, 1, 1)
+        }
+    }
+}
+
+/// Stateless prediction for element `idx` of the flat `recon` buffer,
+/// interpreted under `layout`. Out-of-range neighbours contribute 0.
+#[inline]
+pub(crate) fn predict(
+    predictor: Predictor,
+    layout: &DataLayout,
+    recon: &[f32],
+    idx: usize,
+) -> f32 {
+    match predictor {
+        Predictor::Lorenzo1 => {
+            if idx == 0 {
+                0.0
+            } else {
+                recon[idx - 1]
+            }
+        }
+        Predictor::Lorenzo2 => {
+            let w = match *layout {
+                DataLayout::D2(_, w) => w,
+                DataLayout::D1(n) => n, // degenerate single row
+                DataLayout::D3(_, _, w) => w,
+            };
+            let i = idx / w;
+            let j = idx % w;
+            let up = if i > 0 { recon[idx - w] } else { 0.0 };
+            let left = if j > 0 { recon[idx - 1] } else { 0.0 };
+            let diag = if i > 0 && j > 0 { recon[idx - w - 1] } else { 0.0 };
+            up + left - diag
+        }
+        Predictor::Lorenzo3 => {
+            let (d1, d2) = match *layout {
+                DataLayout::D3(_, d1, d2) => (d1, d2),
+                DataLayout::D2(h, w) => (h, w),
+                DataLayout::D1(n) => (1, n),
+            };
+            let plane = d1 * d2;
+            let k = idx % d2;
+            let j = (idx / d2) % d1;
+            let i = idx / plane;
+            let g = |di: usize, dj: usize, dk: usize| -> f32 {
+                if (di > 0 && i == 0) || (dj > 0 && j == 0) || (dk > 0 && k == 0) {
+                    0.0
+                } else {
+                    recon[idx - di * plane - dj * d2 - dk]
+                }
+            };
+            // Inclusion–exclusion over the preceding corner cube.
+            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
+                + g(1, 1, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for p in [Predictor::Lorenzo1, Predictor::Lorenzo2, Predictor::Lorenzo3] {
+            assert_eq!(Predictor::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Predictor::from_tag(0), None);
+        assert_eq!(Predictor::from_tag(9), None);
+    }
+
+    #[test]
+    fn lorenzo1_uses_previous_element() {
+        let layout = DataLayout::D1(4);
+        let recon = [5.0, 7.0, 0.0, 0.0];
+        assert_eq!(predict(Predictor::Lorenzo1, &layout, &recon, 0), 0.0);
+        assert_eq!(predict(Predictor::Lorenzo1, &layout, &recon, 1), 5.0);
+        assert_eq!(predict(Predictor::Lorenzo1, &layout, &recon, 2), 7.0);
+    }
+
+    #[test]
+    fn lorenzo2_is_exact_on_planes() {
+        // f(i,j) = 2i + 3j + 1 is affine, so the 2-D Lorenzo residual is 0
+        // away from the borders.
+        let (h, w) = (4, 5);
+        let layout = DataLayout::D2(h, w);
+        let recon: Vec<f32> = (0..h * w)
+            .map(|idx| 2.0 * (idx / w) as f32 + 3.0 * (idx % w) as f32 + 1.0)
+            .collect();
+        for i in 1..h {
+            for j in 1..w {
+                let idx = i * w + j;
+                let p = predict(Predictor::Lorenzo2, &layout, &recon, idx);
+                assert!((p - recon[idx]).abs() < 1e-5, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo3_is_exact_on_trilinear_volumes() {
+        let (a, b, c) = (3, 4, 5);
+        let layout = DataLayout::D3(a, b, c);
+        let f = |i: usize, j: usize, k: usize| {
+            1.5 * i as f32 + 2.5 * j as f32 - 0.5 * k as f32 + 2.0
+        };
+        let recon: Vec<f32> = (0..a * b * c)
+            .map(|idx| f(idx / (b * c), (idx / c) % b, idx % c))
+            .collect();
+        for i in 1..a {
+            for j in 1..b {
+                for k in 1..c {
+                    let idx = i * b * c + j * c + k;
+                    let p = predict(Predictor::Lorenzo3, &layout, &recon, idx);
+                    assert!((p - recon[idx]).abs() < 1e-4, "at ({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borders_treat_missing_neighbours_as_zero() {
+        let layout = DataLayout::D2(2, 2);
+        let recon = [1.0, 2.0, 3.0, 0.0];
+        // idx 0: no neighbours
+        assert_eq!(predict(Predictor::Lorenzo2, &layout, &recon, 0), 0.0);
+        // idx 1: only left neighbour
+        assert_eq!(predict(Predictor::Lorenzo2, &layout, &recon, 1), 1.0);
+        // idx 2: only up neighbour
+        assert_eq!(predict(Predictor::Lorenzo2, &layout, &recon, 2), 1.0);
+        // idx 3: up + left - diag = 2 + 3 - 1
+        assert_eq!(predict(Predictor::Lorenzo2, &layout, &recon, 3), 4.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! A ZFP-style **fixed-rate** block compressor (simplified).
+//!
+//! The paper (§2.2) chooses SZ over ZFP because ZFP's fixed-rate mode
+//! cannot honour an *absolute* error bound — the property the framework's
+//! error-control loop requires. This module exists to make that
+//! comparison concrete: it reproduces ZFP's architecture (block-floating-
+//! point normalization per 4×4 block, an exactly-invertible integer
+//! decorrelating transform, bit-plane truncation to a fixed bit budget)
+//! and therefore also its failure mode — per-block *relative* error that
+//! becomes unbounded absolute error when a block's dynamic range is
+//! large.
+//!
+//! Simplifications vs real ZFP: the decorrelating transform is a two-
+//! level S-transform rather than ZFP's non-orthogonal lifting, and
+//! bit-planes are emitted without group testing. Rate behaviour (exact,
+//! chosen up front) and error behaviour (relative, unbounded) match.
+
+use crate::{Result, SzError};
+use ebtrain_encoding::bitio::{BitReader, BitWriter};
+use ebtrain_encoding::varint;
+
+/// Magic prefix "F1".
+const MAGIC: [u8; 2] = [0x46, 0x31];
+/// Fixed-point precision of the block-normalized integers.
+const PRECISION: i32 = 20;
+/// Bit-planes available: coefficients stay within ±2^22 after the
+/// two-level transform's growth, and their negabinary codes within 2^24.
+const TOTAL_PLANES: u32 = 24;
+/// Negabinary conversion mask (as in ZFP): truncating *low* negabinary
+/// digits perturbs the value by O(2^k), unlike zigzag whose LSB is the
+/// sign bit.
+const NBMASK: u32 = 0xAAAA_AAAA;
+
+/// Fixed-rate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZfpLikeConfig {
+    /// Bits per value, 2..=24 (ratio = 32 / bits, header amortized).
+    pub bits_per_value: u32,
+}
+
+impl Default for ZfpLikeConfig {
+    fn default() -> Self {
+        // 8 bits/value = 4x, the classic fixed-rate operating point.
+        ZfpLikeConfig { bits_per_value: 8 }
+    }
+}
+
+/// Forward S-transform pair: exactly invertible integer average/diff.
+#[inline]
+fn s_fwd(a: i32, b: i32) -> (i32, i32) {
+    (((a as i64 + b as i64) >> 1) as i32, a - b)
+}
+
+/// Inverse of [`s_fwd`].
+#[inline]
+fn s_inv(l: i32, h: i32) -> (i32, i32) {
+    let b = l - (h >> 1);
+    (h + b, b)
+}
+
+/// Two-level 1-D transform over 4 lanes (in place).
+fn lift4_fwd(v: &mut [i32; 4]) {
+    let (l0, h0) = s_fwd(v[0], v[1]);
+    let (l1, h1) = s_fwd(v[2], v[3]);
+    let (ll, lh) = s_fwd(l0, l1);
+    *v = [ll, lh, h0, h1];
+}
+
+/// Inverse of [`lift4_fwd`].
+fn lift4_inv(v: &mut [i32; 4]) {
+    let (l0, l1) = s_inv(v[0], v[1]);
+    let (a, b) = s_inv(l0, v[2]);
+    let (c, d) = s_inv(l1, v[3]);
+    *v = [a, b, c, d];
+}
+
+/// 2-D transform over a 4×4 block: rows then columns.
+fn block_fwd(block: &mut [i32; 16]) {
+    for r in 0..4 {
+        let mut row = [block[r * 4], block[r * 4 + 1], block[r * 4 + 2], block[r * 4 + 3]];
+        lift4_fwd(&mut row);
+        block[r * 4..r * 4 + 4].copy_from_slice(&row);
+    }
+    for c in 0..4 {
+        let mut col = [block[c], block[4 + c], block[8 + c], block[12 + c]];
+        lift4_fwd(&mut col);
+        for (r, v) in col.iter().enumerate() {
+            block[r * 4 + c] = *v;
+        }
+    }
+}
+
+/// Inverse of [`block_fwd`].
+fn block_inv(block: &mut [i32; 16]) {
+    for c in 0..4 {
+        let mut col = [block[c], block[4 + c], block[8 + c], block[12 + c]];
+        lift4_inv(&mut col);
+        for (r, v) in col.iter().enumerate() {
+            block[r * 4 + c] = *v;
+        }
+    }
+    for r in 0..4 {
+        let mut row = [block[r * 4], block[r * 4 + 1], block[r * 4 + 2], block[r * 4 + 3]];
+        lift4_inv(&mut row);
+        block[r * 4..r * 4 + 4].copy_from_slice(&row);
+    }
+}
+
+/// Coefficient emission order: low-frequency subbands first, so truncated
+/// tail planes cost the least-important coefficients most.
+#[rustfmt::skip]
+const PERM: [usize; 16] = [
+     0,  1,  4,  5,   // LL block
+     2,  3,  6,  7,   // LH
+     8,  9, 12, 13,   // HL
+    10, 11, 14, 15,   // HH
+];
+
+#[inline]
+fn negabinary(v: i32) -> u32 {
+    (v as u32).wrapping_add(NBMASK) ^ NBMASK
+}
+
+#[inline]
+fn from_negabinary(n: u32) -> i32 {
+    (n ^ NBMASK).wrapping_sub(NBMASK) as i32
+}
+
+/// Compress `h×w` f32 data at the configured fixed rate.
+///
+/// The output size is exactly `header + blocks · (8 + 16·bits_per_value)`
+/// bits — chosen *before* seeing the data, which is the defining property
+/// (and limitation) of fixed-rate mode.
+pub fn compress(data: &[f32], h: usize, w: usize, cfg: &ZfpLikeConfig) -> Result<Vec<u8>> {
+    if h * w != data.len() {
+        return Err(SzError::LayoutMismatch {
+            layout: h * w,
+            data: data.len(),
+        });
+    }
+    let bits = cfg.bits_per_value.clamp(2, 24);
+    let planes = (bits * 16 / 16).min(TOTAL_PLANES); // bits/value == planes kept
+    let bh = h.div_ceil(4);
+    let bw = w.div_ceil(4);
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    varint::write_usize(&mut out, h);
+    varint::write_usize(&mut out, w);
+    out.push(bits as u8);
+
+    let mut bwriter = BitWriter::new();
+    let mut block = [0i32; 16];
+    for by in 0..bh {
+        for bx in 0..bw {
+            // Gather with edge replication.
+            let mut vals = [0.0f32; 16];
+            let mut emax = i32::MIN;
+            for (k, v) in vals.iter_mut().enumerate() {
+                let y = (by * 4 + k / 4).min(h - 1);
+                let x = (bx * 4 + k % 4).min(w - 1);
+                *v = data[y * w + x];
+                if v.is_finite() && *v != 0.0 {
+                    emax = emax.max(v.abs().log2().floor() as i32);
+                }
+            }
+            if emax == i32::MIN {
+                emax = -127; // all-zero (or non-finite) block
+            }
+            // Block-floating-point normalization: |x| < 2^(emax+1) maps
+            // into PRECISION-1 magnitude bits.
+            let scale = 2f64.powi(PRECISION - 1 - emax);
+            for (b, v) in block.iter_mut().zip(&vals) {
+                let q = if v.is_finite() {
+                    (*v as f64 * scale).round()
+                } else {
+                    0.0
+                };
+                *b = q.clamp(i32::MIN as f64 / 8.0, i32::MAX as f64 / 8.0) as i32;
+            }
+            block_fwd(&mut block);
+            // Header: biased emax (8 bits).
+            bwriter.write_bits((emax + 128).clamp(0, 255) as u64, 8);
+            // Bit-planes MSB-first over zigzag-mapped coefficients in
+            // subband order, truncated at the budget.
+            let zz: Vec<u32> = PERM.iter().map(|&i| negabinary(block[i])).collect();
+            for p in 0..planes {
+                let bit = TOTAL_PLANES - 1 - p; // MSB (bit 22) down
+                for &z in &zz {
+                    bwriter.write_bits(((z >> bit) & 1) as u64, 1);
+                }
+            }
+        }
+    }
+    let payload = bwriter.finish();
+    varint::write_usize(&mut out, payload.len());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decompress a [`compress`] stream.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let corrupt = |m: &str| SzError::Corrupt(m.to_string());
+    if bytes.len() < 2 || bytes[0..2] != MAGIC {
+        return Err(corrupt("bad zfp-like magic"));
+    }
+    let mut pos = 2usize;
+    let h = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
+    let w = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
+    let bits = *bytes.get(pos).ok_or_else(|| corrupt("eof"))? as u32;
+    pos += 1;
+    if !(2..=24).contains(&bits) || h == 0 || w == 0 {
+        return Err(corrupt("bad zfp-like header"));
+    }
+    let planes = bits.min(TOTAL_PLANES);
+    let payload_len = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
+    if pos + payload_len > bytes.len() {
+        return Err(corrupt("truncated payload"));
+    }
+    let mut br = BitReader::new(&bytes[pos..pos + payload_len]);
+    let bh = h.div_ceil(4);
+    let bw = w.div_ceil(4);
+    let mut out = vec![0.0f32; h * w];
+    for by in 0..bh {
+        for bx in 0..bw {
+            let emax = br
+                .read_bits(8)
+                .map_err(|e| corrupt(&e.to_string()))? as i32
+                - 128;
+            let mut zz = [0u32; 16];
+            for p in 0..planes {
+                let bit = TOTAL_PLANES - 1 - p;
+                for z in zz.iter_mut() {
+                    let b = br.read_bits(1).map_err(|e| corrupt(&e.to_string()))?;
+                    *z |= (b as u32) << bit;
+                }
+            }
+            let mut block = [0i32; 16];
+            for (slot, &src) in PERM.iter().enumerate() {
+                block[src] = from_negabinary(zz[slot]);
+            }
+            block_inv(&mut block);
+            let scale = 2f64.powi(PRECISION - 1 - emax);
+            for (k, &q) in block.iter().enumerate() {
+                let y = by * 4 + k / 4;
+                let x = bx * 4 + k % 4;
+                if y < h && x < w {
+                    out[y * w + x] = (q as f64 / scale) as f32;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth(h: usize, w: usize) -> Vec<f32> {
+        (0..h * w)
+            .map(|i| ((i % w) as f32 * 0.2).sin() + ((i / w) as f32 * 0.15).cos())
+            .collect()
+    }
+
+    #[test]
+    fn transform_is_exactly_invertible() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..200 {
+            let mut b = [0i32; 16];
+            for v in &mut b {
+                *v = rng.gen_range(-(1 << 20)..(1 << 20));
+            }
+            let orig = b;
+            block_fwd(&mut b);
+            block_inv(&mut b);
+            assert_eq!(b, orig);
+        }
+    }
+
+    #[test]
+    fn full_precision_roundtrip_is_near_exact() {
+        let data = smooth(16, 16);
+        let c = compress(&data, 16, 16, &ZfpLikeConfig { bits_per_value: 24 }).unwrap();
+        let out = decompress(&c).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rate_is_exactly_fixed_regardless_of_content() {
+        let smooth_d = smooth(32, 32);
+        let mut rng = StdRng::seed_from_u64(62);
+        let noise: Vec<f32> = (0..32 * 32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let cfg = ZfpLikeConfig { bits_per_value: 8 };
+        let cs = compress(&smooth_d, 32, 32, &cfg).unwrap();
+        let cn = compress(&noise, 32, 32, &cfg).unwrap();
+        // Fixed rate: identical compressed size for any data.
+        assert_eq!(cs.len(), cn.len());
+        // ~4x at 8 bits/value (+ per-block emax header).
+        let ratio = (32 * 32 * 4) as f64 / cs.len() as f64;
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn error_scales_with_block_dynamic_range_no_absolute_bound() {
+        // The §2.2 point: one huge value in a block destroys the small
+        // values' absolute accuracy — fixed-rate mode cannot promise an
+        // absolute bound.
+        let mut data = smooth(8, 8);
+        let small_idx = 9; // same 4x4 block as index 0
+        let small_val = data[small_idx];
+        data[0] = 1.0e7;
+        let cfg = ZfpLikeConfig { bits_per_value: 8 };
+        let out = decompress(&compress(&data, 8, 8, &cfg).unwrap()).unwrap();
+        let err_small = (out[small_idx] - small_val).abs();
+        assert!(
+            err_small > 1.0,
+            "expected large absolute error on the small value, got {err_small}"
+        );
+        // Same data without the outlier: tiny error.
+        let mut clean = smooth(8, 8);
+        clean[0] = 1.0;
+        let out2 = decompress(&compress(&clean, 8, 8, &cfg).unwrap()).unwrap();
+        let err_clean = (out2[small_idx] - small_val).abs();
+        assert!(err_clean < 1.0, "clean-block error {err_clean}");
+        assert!(
+            err_small > 20.0 * err_clean.max(1e-3),
+            "outlier must blow up the error: {err_small} vs clean {err_clean}"
+        );
+    }
+
+    #[test]
+    fn more_bits_monotonically_reduce_error() {
+        let data = smooth(16, 16);
+        let mut last_err = f64::INFINITY;
+        for bits in [4u32, 8, 12, 16, 20] {
+            let out =
+                decompress(&compress(&data, 16, 16, &ZfpLikeConfig { bits_per_value: bits }).unwrap())
+                    .unwrap();
+            let err: f64 = data
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| ((a - b) as f64).abs())
+                .sum::<f64>()
+                / data.len() as f64;
+            assert!(err <= last_err + 1e-9, "bits {bits}: {err} > {last_err}");
+            last_err = err;
+        }
+        // 20 of 23 planes kept: ~2^3 integer-domain truncation spread
+        // through two inverse lifting levels.
+        assert!(last_err < 5e-4, "residual error {last_err}");
+    }
+
+    #[test]
+    fn non_multiple_of_4_dims_and_corrupt_streams() {
+        let data = smooth(7, 13);
+        let c = compress(&data, 7, 13, &ZfpLikeConfig::default()).unwrap();
+        assert_eq!(decompress(&c).unwrap().len(), 91);
+        assert!(decompress(&c[..c.len() / 2]).is_err());
+        assert!(decompress(&[1, 2, 3]).is_err());
+        assert!(compress(&data, 8, 13, &ZfpLikeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn zero_blocks_reconstruct_zero() {
+        let data = vec![0.0f32; 64];
+        let out = decompress(&compress(&data, 8, 8, &ZfpLikeConfig::default()).unwrap()).unwrap();
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the error-bound contract — the single most important
+//! invariant in the whole system: the framework's accuracy argument (paper
+//! §3) is built entirely on `|x − x'| ≤ eb`.
+
+use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        5 => (-1000.0f32..1000.0),
+        2 => (-1.0f32..1.0),
+        1 => Just(0.0f32),
+        1 => (-1e-6f32..1e-6),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn error_bound_holds_vanilla_1d(
+        data in prop::collection::vec(finite_f32(), 0..2000),
+        eb_exp in -5i32..0,
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let cfg = SzConfig::vanilla(eb);
+        let buf = compress(&data, DataLayout::D1(data.len()), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (x, y) in data.iter().zip(&out) {
+            prop_assert!((x - y).abs() <= eb, "|{} - {}| > {}", x, y, eb);
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_2d(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in any::<u64>(),
+        eb_exp in -4i32..0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let eb = 10f32.powi(eb_exp);
+        let cfg = SzConfig::vanilla(eb);
+        let buf = compress(&data, DataLayout::D2(rows, cols), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        for (x, y) in data.iter().zip(&out) {
+            prop_assert!((x - y).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn zero_filter_contract(
+        data in prop::collection::vec(finite_f32(), 0..2000),
+        eb_exp in -4i32..0,
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let cfg = SzConfig::with_error_bound(eb);
+        let buf = compress(&data, DataLayout::D1(data.len()), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        for (x, y) in data.iter().zip(&out) {
+            if *x == 0.0 {
+                // exact zeros reconstruct exactly
+                prop_assert_eq!(*y, 0.0);
+            } else if x.abs() > 2.0 * eb {
+                // large values keep the strict bound
+                prop_assert!((x - y).abs() <= eb);
+            } else {
+                // small values: relaxed 2eb bound (may be snapped to zero)
+                prop_assert!((x - y).abs() <= 2.0 * eb);
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_dual_quant(
+        data in prop::collection::vec(finite_f32(), 0..2000),
+        eb_exp in -5i32..0,
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let cfg = SzConfig::dual_quant(eb);
+        let buf = compress(&data, DataLayout::D1(data.len()), &cfg).unwrap();
+        let out = decompress(&buf).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (x, y) in data.iter().zip(&out) {
+            prop_assert!((x - y).abs() <= eb, "|{} - {}| > {}", x, y, eb);
+            if *x == 0.0 {
+                // inherent zero preservation of dual-quantization
+                prop_assert_eq!(*y, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_is_always_reported_and_sane(
+        data in prop::collection::vec(finite_f32(), 1..500),
+    ) {
+        let cfg = SzConfig::with_error_bound(1e-2);
+        let buf = compress(&data, DataLayout::D1(data.len()), &cfg).unwrap();
+        let r = buf.ratio();
+        prop_assert!(r > 0.0 && r.is_finite());
+        prop_assert_eq!(buf.original_byte_len(), data.len() * 4);
+    }
+
+    #[test]
+    fn stream_roundtrips_through_bytes(
+        data in prop::collection::vec(finite_f32(), 0..500),
+    ) {
+        let cfg = SzConfig::with_error_bound(1e-3);
+        let buf = compress(&data, DataLayout::D1(data.len()), &cfg).unwrap();
+        let rebuilt = ebtrain_sz::CompressedBuffer::from_bytes(buf.as_bytes().to_vec()).unwrap();
+        prop_assert_eq!(decompress(&rebuilt).unwrap(), decompress(&buf).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lossless_is_bit_exact(
+        bits in prop::collection::vec(any::<u32>(), 0..2000),
+    ) {
+        let data: Vec<f32> = bits.into_iter().map(f32::from_bits).collect();
+        let out = ebtrain_sz::lossless::decompress(&ebtrain_sz::lossless::compress(&data)).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

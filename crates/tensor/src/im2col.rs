@@ -1,0 +1,240 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! For one sample with input `[C, H, W]` and kernel `kh×kw`, `im2col`
+//! materializes the matrix `[C·kh·kw, OH·OW]` whose column `(oh,ow)` is the
+//! receptive field of output pixel `(oh,ow)`. Convolution forward is then a
+//! single GEMM with the `[OC, C·kh·kw]` weight matrix; the weight gradient
+//! is a `NT` GEMM against the same matrix (which is exactly why the input
+//! activation must be kept alive until backward — the tensor this whole
+//! framework compresses); and the input gradient is a `TN` GEMM followed by
+//! [`col2im`].
+
+use crate::{Result, TensorError};
+
+/// Static geometry of a 2-D convolution (one layer, shared by fwd/bwd).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub stride: usize,
+    /// Symmetric zero padding on all sides.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height under this geometry.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad).saturating_sub(self.kh) / self.stride + 1
+    }
+
+    /// Output width under this geometry.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad).saturating_sub(self.kw) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: `C·kh·kw`.
+    pub fn col_rows(&self) -> usize {
+        self.in_c * self.kh * self.kw
+    }
+
+    /// Columns of the im2col matrix: `OH·OW`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validate that the geometry yields a non-degenerate output.
+    pub fn validate(&self) -> Result<()> {
+        if self.stride == 0 {
+            return Err(TensorError::BadGeometry("stride must be >= 1".into()));
+        }
+        if self.kh == 0 || self.kw == 0 {
+            return Err(TensorError::BadGeometry("kernel dims must be >= 1".into()));
+        }
+        if self.in_h + 2 * self.pad < self.kh || self.in_w + 2 * self.pad < self.kw {
+            return Err(TensorError::BadGeometry(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kh,
+                self.kw,
+                self.in_h + 2 * self.pad,
+                self.in_w + 2 * self.pad
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Lower one sample's `[C,H,W]` input into the `[C·kh·kw, OH·OW]` matrix.
+///
+/// `input` is the contiguous CHW slice of one batch element; `out` must be
+/// pre-sized to `geo.col_rows() * geo.col_cols()` and is fully overwritten.
+pub fn im2col(geo: &Conv2dGeometry, input: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(input.len(), geo.in_c * geo.in_h * geo.in_w);
+    debug_assert_eq!(out.len(), geo.col_rows() * geo.col_cols());
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let cols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geo.in_c {
+        let plane = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for ky in 0..geo.kh {
+            for kx in 0..geo.kw {
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geo.in_w..(iy as usize + 1) * geo.in_w];
+                    for (ox, d) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        *d = if ix < 0 || ix >= geo.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Inverse scatter: accumulate a `[C·kh·kw, OH·OW]` gradient matrix back
+/// into a `[C,H,W]` input-gradient buffer (`grad_input` is accumulated
+/// into, not overwritten — callers zero it per sample).
+pub fn col2im(geo: &Conv2dGeometry, col: &[f32], grad_input: &mut [f32]) {
+    debug_assert_eq!(grad_input.len(), geo.in_c * geo.in_h * geo.in_w);
+    debug_assert_eq!(col.len(), geo.col_rows() * geo.col_cols());
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let cols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geo.in_c {
+        let plane_off = c * geo.in_h * geo.in_w;
+        for ky in 0..geo.kh {
+            for kx in 0..geo.kw {
+                let src = &col[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        continue;
+                    }
+                    let base = plane_off + iy as usize * geo.in_w;
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        if ix < 0 || ix >= geo.in_w as isize {
+                            continue;
+                        }
+                        grad_input[base + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(in_c: usize, hw: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_c,
+            in_h: hw,
+            in_w: hw,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_dims_match_conv_formula() {
+        let g = geo(3, 224, 11, 4, 2);
+        assert_eq!(g.out_h(), 55); // AlexNet conv1
+        let g = geo(64, 56, 3, 1, 1);
+        assert_eq!(g.out_h(), 56); // same-padded 3x3
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometry() {
+        assert!(geo(1, 4, 3, 0, 0).validate().is_err());
+        assert!(geo(1, 2, 5, 1, 0).validate().is_err());
+        assert!(geo(1, 2, 5, 1, 2).validate().is_ok());
+        let mut g = geo(1, 4, 0, 1, 0);
+        g.kw = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_known_2x2_kernel_no_pad() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1 -> 2x2 output, 4 rows.
+        let g = geo(1, 3, 2, 1, 0);
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let mut out = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&g, &input, &mut out);
+        // row 0 = top-left element of each window: 1 2 4 5
+        assert_eq!(&out[0..4], &[1., 2., 4., 5.]);
+        // row 3 = bottom-right of each window: 5 6 8 9
+        assert_eq!(&out[12..16], &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_borders() {
+        let g = geo(1, 2, 3, 1, 1);
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let mut out = vec![f32::NAN; g.col_rows() * g.col_cols()];
+        im2col(&g, &input, &mut out);
+        assert!(out.iter().all(|x| x.is_finite()));
+        // kernel position (0,0) over output (0,0) reads padded (-1,-1) => 0
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for g in [geo(2, 5, 3, 1, 1), geo(3, 8, 3, 2, 1), geo(1, 7, 5, 2, 2)] {
+            let n_in = g.in_c * g.in_h * g.in_w;
+            let n_col = g.col_rows() * g.col_cols();
+            let x: Vec<f32> = (0..n_in).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y: Vec<f32> = (0..n_col).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut ax = vec![0.0; n_col];
+            im2col(&g, &x, &mut ax);
+            let mut aty = vec![0.0; n_in];
+            col2im(&g, &y, &mut aty);
+            let lhs: f32 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+            assert!(
+                (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+                "adjoint mismatch {lhs} vs {rhs} for {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_accumulates_overlapping_windows() {
+        // 3x3 input, 2x2 kernel stride 1: centre pixel appears in 4 windows.
+        let g = geo(1, 3, 2, 1, 0);
+        let col = vec![1.0; g.col_rows() * g.col_cols()];
+        let mut grad = vec![0.0; 9];
+        col2im(&g, &col, &mut grad);
+        assert_eq!(grad[4], 4.0); // centre
+        assert_eq!(grad[0], 1.0); // corner
+        assert_eq!(grad[1], 2.0); // edge
+    }
+}

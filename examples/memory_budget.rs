@@ -1,0 +1,93 @@
+//! Domain scenario 2: capacity planning — "my accelerator has X MiB; what
+//! batch size can I train, with and without the framework?" This is the
+//! paper's Fig 11 question asked as an API.
+//!
+//! Run: `cargo run --release -p ebtrain-examples --bin memory_budget`
+//! Env: `BUDGET_MIB` (default 48).
+
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::CompressionPlan;
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::memsim::{max_batch, DeviceSpec, IterationFootprint};
+use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
+use ebtrain_dnn::store::RawStore;
+use ebtrain_dnn::train::train_step;
+use ebtrain_dnn::zoo;
+
+/// Measure one iteration's peak activation bytes at `batch`.
+fn baseline_peak(data: &SynthImageNet, batch: usize) -> usize {
+    let mut net = zoo::tiny_vgg(10, 7);
+    let head = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(SgdConfig::default());
+    let mut store = RawStore::new();
+    let plan = CompressionPlan::new();
+    let (x, labels) = data.batch(0, batch);
+    train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
+        .expect("step")
+        .peak_store_bytes
+}
+
+/// Same but under the adaptive framework (one warmup iteration to let the
+/// controller pick bounds, then measure).
+fn framework_peak(data: &SynthImageNet, batch: usize) -> usize {
+    let net = zoo::tiny_vgg(10, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig::default(),
+        FrameworkConfig {
+            w_interval: 1,
+            ..FrameworkConfig::default()
+        },
+    );
+    let (x, labels) = data.batch(0, batch);
+    trainer.step(x, &labels).expect("warmup");
+    let (x, labels) = data.batch(batch as u64, batch);
+    trainer.step(x, &labels).expect("measure").peak_store_bytes
+}
+
+fn main() {
+    let budget_mib: usize = std::env::var("BUDGET_MIB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let device = DeviceSpec::with_mib("my-accelerator", budget_mib);
+    println!(
+        "capacity planning for tiny-vgg on a {budget_mib} MiB device"
+    );
+
+    let data = SynthImageNet::new(SynthConfig::default());
+    let probe = 16usize;
+    let weights3 = zoo::tiny_vgg(10, 7).weight_bytes() * 3;
+    let base_per_sample = baseline_peak(&data, probe) as f64 / probe as f64;
+    let fw_per_sample = framework_peak(&data, probe) as f64 / probe as f64;
+    println!(
+        "measured activation footprint: baseline {:.0} KB/sample, framework {:.0} KB/sample ({:.1}x less)",
+        base_per_sample / 1024.0,
+        fw_per_sample / 1024.0,
+        base_per_sample / fw_per_sample
+    );
+
+    let footprint = |per_sample: f64| {
+        move |b: usize| IterationFootprint {
+            parameter_bytes: weights3,
+            activation_bytes: (per_sample * b as f64) as usize,
+            workspace_bytes: 1 << 20,
+        }
+    };
+    let base_max = max_batch(&device, 65_536, footprint(base_per_sample));
+    let fw_max = max_batch(&device, 65_536, footprint(fw_per_sample));
+    println!("max feasible batch on {}:", device.name);
+    println!("  baseline training : {:?}", base_max);
+    println!("  with the framework: {:?}", fw_max);
+    match (base_max, fw_max) {
+        (Some(b), Some(f)) => println!(
+            "=> the framework lets you train with a {:.1}x larger batch on the same device",
+            f as f64 / b as f64
+        ),
+        (None, Some(_)) => {
+            println!("=> baseline cannot train AT ALL on this device; the framework can")
+        }
+        _ => println!("=> device too small even for compressed training"),
+    }
+}

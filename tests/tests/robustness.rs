@@ -1,0 +1,175 @@
+//! Failure-injection tests: every codec must reject or survive corrupt
+//! streams without panicking, and the training stack must behave under
+//! the extended storage policies.
+
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dnn::layer::CompressionPlan;
+use ebtrain_dnn::layers::SoftmaxCrossEntropy;
+use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
+use ebtrain_dnn::recompute::checkpointed_train_step_with;
+use ebtrain_dnn::store::{ActivationStore, HybridStore, RawStore};
+use ebtrain_dnn::train::train_step;
+use ebtrain_dnn::zoo;
+use ebtrain_sz::{compress, DataLayout, SzConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn activation_like(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let v = (i as f32 * 0.013).sin() + rng.gen_range(-0.1..0.1);
+            if v < 0.0 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Bit-flip fuzzing: no codec may panic on a corrupted stream — it must
+/// either return an error or (for flips that keep the stream
+/// self-consistent) produce output without crashing.
+#[test]
+fn sz_decoder_survives_bitflips() {
+    let data = activation_like(2048, 1);
+    for cfg in [
+        SzConfig::with_error_bound(1e-3),
+        SzConfig::vanilla(1e-3),
+        SzConfig::dual_quant(1e-3),
+    ] {
+        let buf = compress(&data, DataLayout::D2(32, 64), &cfg).unwrap();
+        let bytes = buf.as_bytes();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let mut bad = bytes.to_vec();
+            let i = rng.gen_range(0..bad.len());
+            bad[i] ^= 1 << rng.gen_range(0..8);
+            let _ = ebtrain_sz::decompress_bytes(&bad); // must not panic
+        }
+        // Truncations at every length prefix must not panic either.
+        for cut in (0..bytes.len()).step_by(97) {
+            let _ = ebtrain_sz::decompress_bytes(&bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn lossless_and_jpeg_decoders_survive_bitflips() {
+    let data = activation_like(1024, 3);
+    let packed = ebtrain_sz::lossless::compress(&data);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..200 {
+        let mut bad = packed.clone();
+        let i = rng.gen_range(0..bad.len());
+        bad[i] ^= 1 << rng.gen_range(0..8);
+        let _ = ebtrain_sz::lossless::decompress(&bad);
+    }
+
+    let jbuf =
+        ebtrain_imgcomp::compress(&data, 1, 32, 32, &ebtrain_imgcomp::JpegActConfig::default())
+            .unwrap();
+    // JpegActBuffer has no public constructor from bytes; fuzz the whole
+    // pipeline by truncating via the zfp-like codec instead (same bit-IO).
+    let zbuf = ebtrain_sz::zfp_like::compress(
+        &data,
+        32,
+        32,
+        &ebtrain_sz::zfp_like::ZfpLikeConfig::default(),
+    )
+    .unwrap();
+    for cut in (0..zbuf.len()).step_by(37) {
+        let _ = ebtrain_sz::zfp_like::decompress(&zbuf[..cut]);
+    }
+    let _ = ebtrain_imgcomp::decompress(&jbuf).unwrap();
+}
+
+/// The hybrid compress+migrate policy must train exactly within the
+/// error-bounded contract while leaving device memory empty.
+#[test]
+fn hybrid_store_trains_with_zero_device_residency_for_convs() {
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 4,
+        image_hw: 32,
+        noise: 0.15,
+        seed: 41,
+    });
+    let mut net = zoo::tiny_vgg(4, 3);
+    let head = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.01,
+        ..SgdConfig::default()
+    });
+    let mut store = HybridStore::new(SzConfig::with_error_bound(1e-3), 12.0e9);
+    let plan = CompressionPlan::new();
+    let mut last = f32::INFINITY;
+    let mut first = None;
+    for i in 0..25 {
+        let (x, labels) = data.batch((i * 16) as u64, 16);
+        let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
+            .unwrap();
+        if first.is_none() {
+            first = Some(r.loss);
+        }
+        last = r.loss;
+    }
+    assert!(last < first.unwrap(), "hybrid store broke training");
+    let m = store.metrics();
+    assert!(m.compressible_ratio() > 1.5, "ratio {}", m.compressible_ratio());
+    assert!(m.simulated_transfer_nanos > 0);
+    // Transfer volume is the compressed bytes, not the raw bytes: the
+    // time charged must be well under raw/bandwidth.
+    let raw_time_nanos = m.compressible_raw_bytes as f64 / 12.0e9 * 1e9 * 2.0;
+    assert!(
+        (m.simulated_transfer_nanos as f64) < raw_time_nanos,
+        "hybrid transfers should be compressed-sized"
+    );
+}
+
+/// Checkpointing composed with the hybrid store: the most aggressive
+/// memory policy in the workspace still trains.
+#[test]
+fn checkpointing_over_hybrid_store_trains() {
+    let data = SynthImageNet::new(SynthConfig {
+        classes: 4,
+        image_hw: 32,
+        noise: 0.15,
+        seed: 43,
+    });
+    let mut net = zoo::tiny_resnet(4, 5);
+    let head = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(SgdConfig::default());
+    let mut store = HybridStore::new(SzConfig::with_error_bound(1e-3), 12.0e9);
+    let plan = CompressionPlan::new();
+    let mut raw_peak = 0usize;
+    {
+        // Reference: plain training peak with a raw store.
+        let mut rnet = zoo::tiny_resnet(4, 5);
+        let mut ropt = Sgd::new(SgdConfig::default());
+        let mut rstore = RawStore::new();
+        let (x, labels) = data.batch(0, 16);
+        raw_peak = train_step(
+            &mut rnet, &head, &mut ropt, &mut rstore, &plan, x, &labels, false,
+        )
+        .unwrap()
+        .peak_store_bytes
+        .max(raw_peak);
+    }
+    let mut peak = 0usize;
+    let mut last = f32::INFINITY;
+    for i in 0..4 {
+        let (x, labels) = data.batch((i * 16) as u64, 16);
+        let r = checkpointed_train_step_with(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, 4, false,
+        )
+        .unwrap();
+        peak = peak.max(r.peak_store_bytes);
+        last = r.loss;
+    }
+    assert!(last.is_finite());
+    assert!(
+        peak < raw_peak / 2,
+        "stacked policies peak {peak} not well under raw {raw_peak}"
+    );
+}
