@@ -14,8 +14,8 @@ fn activation_volume(c: usize, hw: usize, seed: u64) -> Vec<f32> {
         .map(|i| {
             let y = (i / hw) % hw;
             let x = i % hw;
-            let v = ((x as f32) * 0.13).sin() + ((y as f32) * 0.07).cos()
-                + rng.gen_range(-0.2..0.2);
+            let v =
+                ((x as f32) * 0.13).sin() + ((y as f32) * 0.07).cos() + rng.gen_range(-0.2..0.2);
             if v < 0.0 {
                 0.0
             } else {
@@ -33,9 +33,11 @@ fn bench_sz(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     for eb in [1e-2f32, 1e-3, 1e-4] {
         let cfg = SzConfig::with_error_bound(eb);
-        group.bench_with_input(BenchmarkId::new("compress", format!("eb={eb:.0e}")), &cfg, |b, cfg| {
-            b.iter(|| compress(&data, layout, cfg).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("eb={eb:.0e}")),
+            &cfg,
+            |b, cfg| b.iter(|| compress(&data, layout, cfg).unwrap()),
+        );
         let buf = compress(&data, layout, &cfg).unwrap();
         group.bench_with_input(
             BenchmarkId::new("decompress", format!("eb={eb:.0e}")),

@@ -2,9 +2,9 @@
 //! substrate (GEMM, im2col, full conv fwd/bwd, entropy stages).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebtrain_dnn::layer::Layer;
 use ebtrain_dnn::layer::{BackwardContext, CompressionPlan, ForwardContext};
 use ebtrain_dnn::layers::Conv2d;
-use ebtrain_dnn::layer::Layer;
 use ebtrain_dnn::store::RawStore;
 use ebtrain_encoding::{huffman, lz};
 use ebtrain_tensor::{gemm_nn, im2col, Conv2dGeometry, Tensor};

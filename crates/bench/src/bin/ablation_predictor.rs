@@ -27,9 +27,13 @@ fn main() {
     for (_, name, act) in &acts {
         let mut row = vec![name.clone()];
         raw_total += act.byte_size() as u64;
-        for (k, p) in [Predictor::Lorenzo1, Predictor::Lorenzo2, Predictor::Lorenzo3]
-            .iter()
-            .enumerate()
+        for (k, p) in [
+            Predictor::Lorenzo1,
+            Predictor::Lorenzo2,
+            Predictor::Lorenzo3,
+        ]
+        .iter()
+        .enumerate()
         {
             let cfg = SzConfig {
                 predictor: Some(*p),
@@ -61,7 +65,11 @@ fn main() {
             })
             .collect();
         let mut row = vec!["smooth-ref(8x64x64)".into()];
-        for p in [Predictor::Lorenzo1, Predictor::Lorenzo2, Predictor::Lorenzo3] {
+        for p in [
+            Predictor::Lorenzo1,
+            Predictor::Lorenzo2,
+            Predictor::Lorenzo3,
+        ] {
             let cfg = SzConfig {
                 predictor: Some(p),
                 ..SzConfig::with_error_bound(1e-3)

@@ -5,8 +5,8 @@
 //! layer's bound from its own statistics and re-tunes as training
 //! evolves.
 
-use ebtrain_bench::table::Table;
 use ebtrain_bench::env_usize;
+use ebtrain_bench::table::Table;
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dnn::layer::CompressionPlan;
@@ -40,8 +40,10 @@ fn main() {
         let plan = CompressionPlan::new();
         for i in 0..iters {
             let (x, labels) = data.batch((i * batch) as u64, batch);
-            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-                .expect("step");
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .expect("step");
         }
         let (_, c) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
         table.row(vec![

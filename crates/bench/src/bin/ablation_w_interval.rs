@@ -3,8 +3,8 @@
 //! overhead every W iterations; larger W amortizes it (the paper argues
 //! the statistics drift slowly, so large W is safe).
 
-use ebtrain_bench::table::Table;
 use ebtrain_bench::env_usize;
+use ebtrain_bench::table::Table;
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dnn::optimizer::SgdConfig;

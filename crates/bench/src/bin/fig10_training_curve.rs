@@ -11,8 +11,8 @@
 //! Substitution note: scaled AlexNet on SynthImageNet (see DESIGN.md §2);
 //! W scaled from 1000 to 25 to match the shorter run.
 
-use ebtrain_bench::table::Table;
 use ebtrain_bench::env_usize;
+use ebtrain_bench::table::Table;
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dnn::layer::CompressionPlan;
@@ -58,7 +58,14 @@ fn main() {
     for i in 0..iters {
         let (x, labels) = data.batch((i * batch) as u64, batch);
         train_step(
-            &mut base_net, &head, &mut base_opt, &mut base_store, &plan, x, &labels, false,
+            &mut base_net,
+            &head,
+            &mut base_opt,
+            &mut base_store,
+            &plan,
+            x,
+            &labels,
+            false,
         )
         .expect("baseline step");
         if (i + 1) % eval_every == 0 {
@@ -107,11 +114,16 @@ fn main() {
     table.print("Fig 10: accuracy curves + compression ratio per iteration window");
 
     let m = trainer.store_metrics();
-    println!("\noverall conv-activation compression ratio: {:.1}x", m.compressible_ratio());
-    println!("final baseline acc {:.3} vs framework acc {:.3} (delta {:+.3})",
+    println!(
+        "\noverall conv-activation compression ratio: {:.1}x",
+        m.compressible_ratio()
+    );
+    println!(
+        "final baseline acc {:.3} vs framework acc {:.3} (delta {:+.3})",
         base_acc.last().unwrap_or(&0.0),
         comp_acc.last().unwrap_or(&0.0),
-        comp_acc.last().unwrap_or(&0.0) - base_acc.last().unwrap_or(&0.0));
+        comp_acc.last().unwrap_or(&0.0) - base_acc.last().unwrap_or(&0.0)
+    );
     println!("\nPer-layer bounds at the last collection:");
     let mut plan_table = Table::new(&["layer", "eb", "R", "L_bar", "M_avg", "fallback"]);
     for e in trainer.plan_entries() {

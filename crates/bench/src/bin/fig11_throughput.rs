@@ -37,12 +37,18 @@ fn measure_baseline(data: &SynthImageNet, batch: usize, reps: usize) -> Point {
     let plan = CompressionPlan::new();
     // warmup
     let (x, labels) = data.batch(0, batch);
-    let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false).unwrap();
+    let r = train_step(
+        &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+    )
+    .unwrap();
     let peak = r.peak_store_bytes;
     let t0 = Instant::now();
     for i in 0..reps {
         let (x, labels) = data.batch((i * batch) as u64 + 1000, batch);
-        train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false).unwrap();
+        train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+        )
+        .unwrap();
     }
     let ips = (reps * batch) as f64 / t0.elapsed().as_secs_f64();
     Point { batch, peak, ips }
@@ -154,13 +160,19 @@ fn main() {
     }
     table.print("Fig 11: throughput vs batch size (measured), 4-device modelled");
 
-    println!("\nmax feasible batch under {}:", fmt_bytes(device.capacity_bytes as u64));
+    println!(
+        "\nmax feasible batch under {}:",
+        fmt_bytes(device.capacity_bytes as u64)
+    );
     println!("  baseline : {:?}", base_max);
-    println!("  framework: {:?} ({}x larger)", comp_max,
+    println!(
+        "  framework: {:?} ({}x larger)",
+        comp_max,
         match (base_max, comp_max) {
             (Some(b), Some(c)) => format!("{:.1}", c as f64 / b as f64),
             _ => "n/a".into(),
-        });
+        }
+    );
 
     // Net achievable throughput under the device-efficiency model: each
     // policy runs at its own max batch; the framework additionally pays

@@ -55,14 +55,20 @@ fn main() {
     let m = moments(&errors);
     println!("\nsamples            : {}", errors.len());
     println!("compression ratio  : {:.2}x", buf.ratio());
-    println!("max |error|        : {:.3e} (bound {eb:.3e})", errors.iter().fold(0.0f32, |a, &b| a.max(b.abs())));
+    println!(
+        "max |error|        : {:.3e} (bound {eb:.3e})",
+        errors.iter().fold(0.0f32, |a, &b| a.max(b.abs()))
+    );
     println!("mean / std         : {:+.3e} / {:.3e}", m.mean, m.std);
     println!(
         "excess kurtosis    : {:+.3} (uniform = -1.2, normal = 0)",
         m.excess_kurtosis
     );
     let uniform = looks_uniform(&errors, -eb as f64, eb as f64);
-    println!("uniformity check   : {}", if uniform { "PASS (uniform)" } else { "FAIL" });
+    println!(
+        "uniformity check   : {}",
+        if uniform { "PASS (uniform)" } else { "FAIL" }
+    );
     println!(
         "\nPaper shape to check: flat histogram across [-eb, +eb] — the \
          uniform error model assumed by the §3.2 propagation analysis."

@@ -89,9 +89,7 @@ fn main() {
             .collect()
     };
 
-    let mut table = Table::new(&[
-        "layer", "R", "variant", "sigma", "within_1sig", "normal?",
-    ]);
+    let mut table = Table::new(&["layer", "R", "variant", "sigma", "within_1sig", "normal?"]);
     let mut sigmas: Vec<(String, f64, f64, f64)> = Vec::new(); // name, sig_a, sig_b, r
     for (preserve, tag) in [(false, "6a zeros perturbed"), (true, "6b zeros preserved")] {
         eprintln!("[fig6] injected pass ({tag}) ...");
@@ -109,7 +107,11 @@ fn main() {
                 tag.split(' ').next().unwrap().to_string(),
                 format!("{:.3e}", m.std),
                 format!("{within:.3}"),
-                if looks_normal(&err) { "yes".into() } else { "no".into() },
+                if looks_normal(&err) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
             if preserve {
                 if let Some(e) = sigmas.iter_mut().find(|e| e.0 == *name) {

@@ -28,7 +28,12 @@ struct LayerObservation {
     stats: ConvLayerStats,
 }
 
-fn run(net: &mut Network, store: &mut dyn ActivationStore, x: Tensor, labels: &[usize]) -> Vec<LayerObservation> {
+fn run(
+    net: &mut Network,
+    store: &mut dyn ActivationStore,
+    x: Tensor,
+    labels: &[usize],
+) -> Vec<LayerObservation> {
     let head = SoftmaxCrossEntropy::new();
     let plan = CompressionPlan::new();
     let logits = {
@@ -142,8 +147,7 @@ fn main() {
              training losses a absorbs a sqrt(P) geometry factor — see the \
              exact-CLT column, which predicts sigma without any constant)"
         );
-        let mean_exact =
-            exact_ratios.iter().sum::<f64>() / exact_ratios.len().max(1) as f64;
+        let mean_exact = exact_ratios.iter().sum::<f64>() / exact_ratios.len().max(1) as f64;
         println!("exact-CLT prediction / measured: mean {mean_exact:.2} (1.0 = perfect)");
     }
     println!(

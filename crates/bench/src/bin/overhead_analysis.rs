@@ -15,7 +15,12 @@ use ebtrain_dnn::train::train_step;
 use ebtrain_dnn::zoo;
 use std::time::Instant;
 
-fn time_baseline(data: &SynthImageNet, mut net: Network, batch: usize, iters: usize) -> (f64, usize) {
+fn time_baseline(
+    data: &SynthImageNet,
+    mut net: Network,
+    batch: usize,
+    iters: usize,
+) -> (f64, usize) {
     let head = SoftmaxCrossEntropy::new();
     let mut opt = Sgd::new(SgdConfig::default());
     let mut store = RawStore::new();
@@ -24,8 +29,10 @@ fn time_baseline(data: &SynthImageNet, mut net: Network, batch: usize, iters: us
     let t0 = Instant::now();
     for i in 0..iters {
         let (x, labels) = data.batch((i * batch) as u64, batch);
-        let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-            .expect("step");
+        let r = train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+        )
+        .expect("step");
         peak = peak.max(r.peak_store_bytes);
     }
     (t0.elapsed().as_secs_f64(), peak)
@@ -177,10 +184,8 @@ fn main() {
         let t0 = Instant::now();
         for i in 0..iters {
             let (x, labels) = data.batch((i * batch) as u64, batch);
-            let r = checkpointed_train_step(
-                &mut net, &head, &mut opt, &plan, x, &labels, 4, false,
-            )
-            .expect("step");
+            let r = checkpointed_train_step(&mut net, &head, &mut opt, &plan, x, &labels, 4, false)
+                .expect("step");
             peak = peak.max(r.peak_store_bytes);
         }
         let tr = t0.elapsed().as_secs_f64();
@@ -207,8 +212,10 @@ fn main() {
         let t0 = Instant::now();
         for i in 0..iters {
             let (x, labels) = data.batch((i * batch) as u64, batch);
-            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-                .expect("step");
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .expect("step");
         }
         let wall = t0.elapsed().as_secs_f64();
         let transfer = store.metrics().simulated_transfer_nanos as f64 * 1e-9;

@@ -154,8 +154,10 @@ fn main() {
         let plan = CompressionPlan::new();
         for i in 0..iters {
             let (x, labels) = sdata.batch((i * batch) as u64, batch);
-            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-                .expect("baseline");
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .expect("baseline");
         }
         let (_, cb) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
         // Framework.

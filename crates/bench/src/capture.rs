@@ -86,7 +86,10 @@ pub fn capture_conv_activations(
         .take()
         .into_iter()
         .map(|(id, t)| {
-            let name = names.get(&id).cloned().unwrap_or_else(|| format!("layer{id}"));
+            let name = names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("layer{id}"));
             (id, name, t)
         })
         .collect())

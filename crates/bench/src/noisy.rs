@@ -71,8 +71,7 @@ mod tests {
         let (x, labels) = data.batch(0, 8);
         let (loss0, _) = noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.0, 1).unwrap();
         let (x, labels) = data.batch(8, 8);
-        let (loss1, _) =
-            noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.05, 2).unwrap();
+        let (loss1, _) = noisy_train_step(&mut net, &head, &mut opt, x, &labels, 0.05, 2).unwrap();
         assert!(loss0.is_finite() && loss1.is_finite());
         assert_eq!(opt.iteration(), 2);
     }

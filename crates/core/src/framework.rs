@@ -217,10 +217,7 @@ impl AdaptiveTrainer {
                 ),
             };
             let (eb, fallback) = match model_eb {
-                Some(eb) => (
-                    (eb as f32).clamp(cfg.min_eb, cfg.max_eb),
-                    false,
-                ),
+                Some(eb) => ((eb as f32).clamp(cfg.min_eb, cfg.max_eb), false),
                 None => (cfg.fallback_eb, true),
             };
             entries.push(LayerPlanEntry {
@@ -345,10 +342,7 @@ mod tests {
         assert!(!trainer.plan_entries().is_empty());
         assert!(trainer.plan_entries().iter().all(|e| e.fallback));
         let fb = trainer.config().fallback_eb;
-        assert!(trainer
-            .plan_entries()
-            .iter()
-            .all(|e| e.error_bound == fb));
+        assert!(trainer.plan_entries().iter().all(|e| e.error_bound == fb));
 
         // With the paper's 1% fraction the model takes over (momentum is
         // non-zero after the first SGD step) and bounds stay clamped.

@@ -226,8 +226,8 @@ mod tests {
             p.grad.data_mut().fill(1.0);
         }
         let touched = inject_conv_gradient_noise(&mut net, 0.5, 11);
-        assert_eq!(touched, 2 * 1 * 3 * 3); // conv weight only
-        // linear grads untouched
+        assert_eq!(touched, 2 * 3 * 3); // conv weight only (2 out x 1 in x 3x3)
+                                        // linear grads untouched
         let mut saw_linear_untouched = false;
         net.visit_layers(&mut |layer| {
             if layer.conv_stats().is_none() && !layer.params().is_empty() {

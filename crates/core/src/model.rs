@@ -46,13 +46,7 @@ pub fn target_sigma(momentum_abs_mean: f64, fraction: f64) -> f64 {
 /// Returns `None` when the statistics make the model degenerate (zero
 /// loss or fully-zero activations) — the caller should fall back to a
 /// conservative default bound.
-pub fn error_bound_for_sigma(
-    sigma: f64,
-    a: f64,
-    l_bar: f64,
-    batch: usize,
-    r: f64,
-) -> Option<f64> {
+pub fn error_bound_for_sigma(sigma: f64, a: f64, l_bar: f64, batch: usize, r: f64) -> Option<f64> {
     let denom = a * l_bar * ((batch as f64) * r.clamp(0.0, 1.0)).sqrt();
     if !denom.is_finite() || denom <= 0.0 || !sigma.is_finite() || sigma <= 0.0 {
         return None;
@@ -91,8 +85,7 @@ pub fn error_bound_for_sigma_exact(
     out_positions: usize,
     r: f64,
 ) -> Option<f64> {
-    let denom =
-        l_rms / 3f64.sqrt() * ((batch * out_positions) as f64 * r.clamp(0.0, 1.0)).sqrt();
+    let denom = l_rms / 3f64.sqrt() * ((batch * out_positions) as f64 * r.clamp(0.0, 1.0)).sqrt();
     if !denom.is_finite() || denom <= 0.0 || !sigma.is_finite() || sigma <= 0.0 {
         return None;
     }

@@ -207,7 +207,11 @@ mod tests {
         let m = moments(&uniform);
         assert!(m.mean.abs() < 0.01);
         assert!((m.std - (1.0 / 3.0f64).sqrt()).abs() < 0.01);
-        assert!((m.excess_kurtosis + 1.2).abs() < 0.05, "{}", m.excess_kurtosis);
+        assert!(
+            (m.excess_kurtosis + 1.2).abs() < 0.05,
+            "{}",
+            m.excess_kurtosis
+        );
 
         let normal = normal_samples(200_000, 2.0, 0.5, 6);
         let m = moments(&normal);

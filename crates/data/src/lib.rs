@@ -297,11 +297,7 @@ mod tests {
             let (img, label) = d.val_sample(i);
             let mut best = (f32::INFINITY, 0usize);
             for (c, mean) in means.iter().enumerate() {
-                let dist: f32 = mean
-                    .iter()
-                    .zip(&img)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 = mean.iter().zip(&img).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best.0 {
                     best = (dist, c);
                 }

@@ -294,7 +294,9 @@ mod tests {
 
     #[test]
     fn pack_bits_crosses_word_boundary() {
-        let values: Vec<f32> = (0..130).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let values: Vec<f32> = (0..130)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         if let Saved::Bits { words, len } = pack_bits(&values, |v| v > 0.0) {
             assert_eq!(len, 130);
             assert_eq!(words.len(), 3);

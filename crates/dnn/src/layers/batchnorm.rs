@@ -167,8 +167,7 @@ impl Layer for BatchNorm2d {
                 for i in 0..hw {
                     let xhat = (x.data()[off + i] as f64 - mean) * inv_std;
                     let d = dy.data()[off + i] as f64;
-                    dx.data_mut()[off + i] =
-                        (scale * (m * d - sum_dy - xhat * sum_dy_xhat)) as f32;
+                    dx.data_mut()[off + i] = (scale * (m * d - sum_dy - xhat * sum_dy_xhat)) as f32;
                 }
             }
         }
@@ -262,10 +261,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let x = Tensor::randn(&[3, 2, 2, 2], 1.0, &mut rng);
         // weight the outputs so the loss isn't invariant to normalization
-        let wloss: Vec<f32> = (0..x.len()).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.3).collect();
-        let loss_of = |y: &Tensor| -> f32 {
-            y.data().iter().zip(&wloss).map(|(a, b)| a * b).sum()
-        };
+        let wloss: Vec<f32> = (0..x.len())
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.3)
+            .collect();
+        let loss_of = |y: &Tensor| -> f32 { y.data().iter().zip(&wloss).map(|(a, b)| a * b).sum() };
         let plan = CompressionPlan::new();
         let mut store = RawStore::new();
         let mut ctx = ForwardContext {

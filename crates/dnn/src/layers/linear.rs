@@ -224,7 +224,10 @@ mod tests {
             let num = (run(orig + eps) - run(orig - eps)) / (2.0 * eps);
             fc.weight.value.data_mut()[wi] = orig;
             let ana = fc.weight.grad.data()[wi];
-            assert!((num - ana).abs() < 2e-2 * ana.abs().max(1.0), "dW[{wi}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "dW[{wi}] {num} vs {ana}"
+            );
         }
         for &xi in &[0usize, 7, 11] {
             let mut run = |delta: f32| {
@@ -241,7 +244,10 @@ mod tests {
             };
             let num = (run(eps) - run(-eps)) / (2.0 * eps);
             let ana = dx.data()[xi];
-            assert!((num - ana).abs() < 2e-2 * ana.abs().max(1.0), "dx[{xi}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "dx[{xi}] {num} vs {ana}"
+            );
         }
     }
 

@@ -58,8 +58,7 @@ impl Lrn {
                         let v = x.data()[(b * c + j) * hw + i] as f64;
                         acc += v * v;
                     }
-                    denom[(b * c + ch) * hw + i] =
-                        self.k + self.alpha / self.size as f64 * acc;
+                    denom[(b * c + ch) * hw + i] = self.k + self.alpha / self.size as f64 * acc;
                 }
             }
         }

@@ -99,8 +99,11 @@ impl Layer for MaxPool2d {
         }
         if ctx.training {
             self.in_shape = x.shape().to_vec();
-            ctx.store
-                .save(SlotId(self.id, 0), Saved::U32 { data: indices }, SaveHint::raw());
+            ctx.store.save(
+                SlotId(self.id, 0),
+                Saved::U32 { data: indices },
+                SaveHint::raw(),
+            );
         }
         Ok(y)
     }
@@ -288,10 +291,7 @@ mod tests {
     use crate::layer::CompressionPlan;
     use crate::store::RawStore;
 
-    fn fctx<'a>(
-        store: &'a mut RawStore,
-        plan: &'a CompressionPlan,
-    ) -> ForwardContext<'a> {
+    fn fctx<'a>(store: &'a mut RawStore, plan: &'a CompressionPlan) -> ForwardContext<'a> {
         ForwardContext {
             store,
             training: true,
@@ -367,11 +367,7 @@ mod tests {
     #[test]
     fn global_avgpool_reduces_to_1x1() {
         let mut pool = AvgPool2d::global(0, "gap");
-        let x = Tensor::from_vec(
-            &[1, 2, 2, 2],
-            vec![1., 2., 3., 4., 10., 20., 30., 40.],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]).unwrap();
         let mut store = RawStore::new();
         let plan = CompressionPlan::new();
         let y = pool.forward(x, &mut fctx(&mut store, &plan)).unwrap();

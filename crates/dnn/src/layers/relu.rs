@@ -144,9 +144,7 @@ mod tests {
             store: &mut store,
             collect: false,
         };
-        let dx = relu
-            .backward(Tensor::full(&[4], 5.0), &mut bctx)
-            .unwrap();
+        let dx = relu.backward(Tensor::full(&[4], 5.0), &mut bctx).unwrap();
         assert!(dx.data().iter().all(|&v| v == 0.0));
     }
 }

@@ -22,11 +22,7 @@ impl SoftmaxCrossEntropy {
     pub fn probabilities(&self, logits: &Tensor) -> Result<Tensor> {
         let (n, c) = logits.dims2();
         let mut probs = Tensor::zeros(&[n, c]);
-        for (row_in, row_out) in logits
-            .data()
-            .chunks(c)
-            .zip(probs.data_mut().chunks_mut(c))
-        {
+        for (row_in, row_out) in logits.data().chunks(c).zip(probs.data_mut().chunks_mut(c)) {
             let max = row_in.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
             let mut denom = 0.0f32;
             for (o, &v) in row_out.iter_mut().zip(row_in) {
@@ -152,8 +148,7 @@ mod tests {
     #[test]
     fn correct_counts_argmax_hits() {
         let head = SoftmaxCrossEntropy::new();
-        let logits =
-            Tensor::from_vec(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 3.1]).unwrap();
+        let logits = Tensor::from_vec(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 3.0, 3.1]).unwrap();
         assert_eq!(head.correct(&logits, &[0, 1, 0]), 2);
         assert_eq!(head.correct(&logits, &[1, 0, 1]), 1);
     }

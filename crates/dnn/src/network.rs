@@ -2,9 +2,7 @@
 //! shape-tracking builder the model zoo uses.
 
 use crate::layer::{BackwardContext, ForwardContext, Layer, LayerId, Param};
-use crate::layers::{
-    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Linear, Lrn, MaxPool2d, ReLU,
-};
+use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Dropout, Linear, Lrn, MaxPool2d, ReLU};
 use crate::{DnnError, Result};
 use ebtrain_tensor::ops::axpy;
 use ebtrain_tensor::Tensor;
@@ -478,9 +476,12 @@ mod tests {
     fn residual_identity_adds_input() {
         // body = 1x1 conv with zero weights => y = 0 + x = x
         let mut b = NetworkBuilder::new("res", &[2, 4, 4], 1);
-        b.residual(|bb| {
-            bb.conv(2, 1, 1, 0);
-        }, |_| {});
+        b.residual(
+            |bb| {
+                bb.conv(2, 1, 1, 0);
+            },
+            |_| {},
+        );
         let mut net = b.build();
         // zero the conv weights
         for p in net.params_mut() {
@@ -503,7 +504,9 @@ mod tests {
             store: &mut store,
             collect: false,
         };
-        let dx = net.backward(Tensor::full(&[1, 2, 4, 4], 1.0), &mut bctx).unwrap();
+        let dx = net
+            .backward(Tensor::full(&[1, 2, 4, 4], 1.0), &mut bctx)
+            .unwrap();
         assert_eq!(dx.data(), &[1.0; 32]);
     }
 
@@ -512,9 +515,12 @@ mod tests {
         // body = identity-initialized 1x1 conv (weight=1 on diagonal):
         // y = conv(x) + x = 2x, dx = 2*dy.
         let mut b = NetworkBuilder::new("res", &[1, 2, 2], 1);
-        b.residual(|bb| {
-            bb.conv(1, 1, 1, 0);
-        }, |_| {});
+        b.residual(
+            |bb| {
+                bb.conv(1, 1, 1, 0);
+            },
+            |_| {},
+        );
         let mut net = b.build();
         for p in net.params_mut() {
             if p.value.len() == 1 {
@@ -543,7 +549,9 @@ mod tests {
             store: &mut store,
             collect: false,
         };
-        let dx = net.backward(Tensor::full(&[1, 1, 2, 2], 1.0), &mut bctx).unwrap();
+        let dx = net
+            .backward(Tensor::full(&[1, 1, 2, 2], 1.0), &mut bctx)
+            .unwrap();
         assert_eq!(dx.data(), &[2.0; 4]);
     }
 
@@ -551,9 +559,12 @@ mod tests {
     fn layer_ids_unique_and_conv_ids_reported() {
         let mut b = NetworkBuilder::new("r", &[3, 8, 8], 1);
         b.conv(4, 3, 1, 1).relu();
-        b.residual(|bb| {
-            bb.conv(4, 3, 1, 1).relu().conv(4, 3, 1, 1);
-        }, |_| {});
+        b.residual(
+            |bb| {
+                bb.conv(4, 3, 1, 1).relu().conv(4, 3, 1, 1);
+            },
+            |_| {},
+        );
         let net = b.build();
         let mut ids = Vec::new();
         net.visit_layers(&mut |l| ids.push(l.id()));

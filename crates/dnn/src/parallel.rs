@@ -89,8 +89,7 @@ impl DataParallelGroup {
         let mut total_loss = 0.0f64;
         let mut total_correct = 0usize;
         let mut peak = 0usize;
-        for (widx, (replica, store)) in
-            self.replicas.iter_mut().zip(stores.iter_mut()).enumerate()
+        for (widx, (replica, store)) in self.replicas.iter_mut().zip(stores.iter_mut()).enumerate()
         {
             let lo = widx * shard;
             let shard_x = Tensor::from_vec(
@@ -157,10 +156,12 @@ impl DataParallelGroup {
         // share one optimizer and we apply it per replica at the same lr.
         let lr_iter = self.opt.iteration();
         for replica in self.replicas.iter_mut() {
-            // Re-pin the counter so every replica sees the same schedule.
-            while self.opt.iteration() > lr_iter {
-                unreachable!();
-            }
+            // Every replica must see the same schedule position.
+            assert_eq!(
+                self.opt.iteration(),
+                lr_iter,
+                "optimizer advanced mid-update"
+            );
             self.opt.step_without_advance(replica.params_mut());
             replica.zero_grads();
         }
@@ -231,8 +232,14 @@ mod tests {
         for i in 0..3 {
             let (x, labels) = data.batch((i * 16) as u64, 16);
             let rs = train_step(
-                &mut single, &SoftmaxCrossEntropy::new(), &mut sopt, &mut sstore, &plan,
-                x.clone(), &labels, false,
+                &mut single,
+                &SoftmaxCrossEntropy::new(),
+                &mut sopt,
+                &mut sstore,
+                &plan,
+                x.clone(),
+                &labels,
+                false,
             )
             .unwrap();
             let mut stores: Vec<&mut dyn ActivationStore> = vec![&mut st0, &mut st1];
@@ -269,8 +276,10 @@ mod tests {
         let mut s: Vec<RawStore> = (0..4).map(|_| RawStore::new()).collect();
         for i in 0..2 {
             let (x, labels) = data.batch((i * 16) as u64, 16);
-            let mut stores: Vec<&mut dyn ActivationStore> =
-                s.iter_mut().map(|st| st as &mut dyn ActivationStore).collect();
+            let mut stores: Vec<&mut dyn ActivationStore> = s
+                .iter_mut()
+                .map(|st| st as &mut dyn ActivationStore)
+                .collect();
             group.step(&mut stores, &plan, x, &labels, false).unwrap();
         }
         // All replicas hold bit-identical parameters (identical updates).
@@ -307,7 +316,9 @@ mod tests {
         // wrong store count
         let (x, labels) = data.batch(0, 16);
         let mut one: Vec<&mut dyn ActivationStore> = vec![&mut s0];
-        assert!(group.step(&mut one, &plan, x.clone(), &labels, false).is_err());
+        assert!(group
+            .step(&mut one, &plan, x.clone(), &labels, false)
+            .is_err());
         // indivisible batch
         let mut s1 = RawStore::new();
         let mut s2 = RawStore::new();

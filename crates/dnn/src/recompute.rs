@@ -55,7 +55,9 @@ pub fn checkpointed_train_step(
     collect: bool,
 ) -> Result<StepResult> {
     let mut store = RawStore::new();
-    checkpointed_train_step_with(net, head, opt, &mut store, plan, x, labels, n_segments, collect)
+    checkpointed_train_step_with(
+        net, head, opt, &mut store, plan, x, labels, n_segments, collect,
+    )
 }
 
 /// Gradient checkpointing composed with an arbitrary per-segment storage
@@ -225,18 +227,23 @@ mod tests {
         let mut opt = Sgd::new(SgdConfig::default());
         let mut store = RawStore::new();
         let plain = train_step(
-            &mut net, &head, &mut opt, &mut store, &plan, x.clone(), &labels, false,
+            &mut net,
+            &head,
+            &mut opt,
+            &mut store,
+            &plan,
+            x.clone(),
+            &labels,
+            false,
         )
         .unwrap()
         .peak_store_bytes;
 
         let mut net = zoo::tiny_resnet(4, 5);
         let mut opt = Sgd::new(SgdConfig::default());
-        let ckpt = checkpointed_train_step(
-            &mut net, &head, &mut opt, &plan, x, &labels, 4, false,
-        )
-        .unwrap()
-        .peak_store_bytes;
+        let ckpt = checkpointed_train_step(&mut net, &head, &mut opt, &plan, x, &labels, 4, false)
+            .unwrap()
+            .peak_store_bytes;
 
         assert!(
             (ckpt as f64) < plain as f64 * 0.8,
@@ -258,7 +265,14 @@ mod tests {
         let mut net = zoo::tiny_resnet(4, 5);
         let mut opt = Sgd::new(SgdConfig::default());
         let ckpt_raw = checkpointed_train_step(
-            &mut net, &head, &mut opt, &plan, x.clone(), &labels, 4, false,
+            &mut net,
+            &head,
+            &mut opt,
+            &plan,
+            x.clone(),
+            &labels,
+            4,
+            false,
         )
         .unwrap();
 
@@ -289,10 +303,8 @@ mod tests {
         let (x, labels) = data.batch(0, 8);
         let mut net = zoo::tiny_resnet(4, 5);
         let mut opt = Sgd::new(SgdConfig::default());
-        let r = checkpointed_train_step(
-            &mut net, &head, &mut opt, &plan, x, &labels, 1, false,
-        )
-        .unwrap();
+        let r = checkpointed_train_step(&mut net, &head, &mut opt, &plan, x, &labels, 1, false)
+            .unwrap();
         assert!(r.loss.is_finite());
         assert!(r.peak_store_bytes > 0);
     }

@@ -23,14 +23,16 @@ fn write_f32s(out: &mut Vec<u8>, data: &[f32]) {
 }
 
 fn read_f32s(bytes: &[u8], pos: &mut usize) -> Result<Vec<f32>> {
-    let n = varint::read_usize(bytes, pos)
-        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    let n =
+        varint::read_usize(bytes, pos).map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
     if *pos + n * 4 > bytes.len() {
         return Err(DnnError::State("checkpoint truncated".into()));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(f32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()));
+        out.push(f32::from_le_bytes(
+            bytes[*pos..*pos + 4].try_into().unwrap(),
+        ));
         *pos += 4;
     }
     Ok(out)
@@ -44,14 +46,16 @@ fn write_f64s(out: &mut Vec<u8>, data: &[f64]) {
 }
 
 fn read_f64s(bytes: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
-    let n = varint::read_usize(bytes, pos)
-        .map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
+    let n =
+        varint::read_usize(bytes, pos).map_err(|e| DnnError::State(format!("checkpoint: {e}")))?;
     if *pos + n * 8 > bytes.len() {
         return Err(DnnError::State("checkpoint truncated".into()));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap()));
+        out.push(f64::from_le_bytes(
+            bytes[*pos..*pos + 8].try_into().unwrap(),
+        ));
         *pos += 8;
     }
     Ok(out)
@@ -173,8 +177,10 @@ mod tests {
         let plan = CompressionPlan::new();
         for i in 0..8 {
             let (x, labels) = data.batch((i * 8) as u64, 8);
-            train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-                .unwrap();
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .unwrap();
         }
         (net, data)
     }
@@ -184,8 +190,7 @@ mod tests {
         let (mut net, data) = trained_net();
         let head = SoftmaxCrossEntropy::new();
         let (vx, vl) = data.val_batch(0, 64);
-        let (loss_before, correct_before) =
-            evaluate(&mut net, &head, vx.clone(), &vl).unwrap();
+        let (loss_before, correct_before) = evaluate(&mut net, &head, vx.clone(), &vl).unwrap();
 
         let ckpt = save_checkpoint(&mut net);
         // fresh net, same structure: different random init until restore

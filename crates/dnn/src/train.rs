@@ -136,7 +136,14 @@ mod tests {
         for it in 0..60 {
             let (x, labels) = toy_batch(&mut rng, 16);
             let r = train_step(
-                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, it == 0,
+                &mut net,
+                &head,
+                &mut opt,
+                &mut store,
+                &plan,
+                x,
+                &labels,
+                it == 0,
             )
             .unwrap();
             if first.is_none() {

@@ -111,8 +111,7 @@ fn bottleneck_block(b: &mut NetworkBuilder, mid_c: usize, stride: usize) {
 pub fn resnet18(classes: usize, seed: u64) -> Network {
     let mut b = NetworkBuilder::new("resnet18", &IMAGENET_INPUT, seed);
     b.conv(64, 7, 2, 3).batchnorm().relu().maxpool(3, 2, 1);
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2)];
     for (ch, reps, first_stride) in stages {
         basic_block(&mut b, ch, first_stride);
         for _ in 1..reps {
@@ -127,8 +126,7 @@ pub fn resnet18(classes: usize, seed: u64) -> Network {
 pub fn resnet50(classes: usize, seed: u64) -> Network {
     let mut b = NetworkBuilder::new("resnet50", &IMAGENET_INPUT, seed);
     b.conv(64, 7, 2, 3).batchnorm().relu().maxpool(3, 2, 1);
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
     for (mid, reps, first_stride) in stages {
         bottleneck_block(&mut b, mid, first_stride);
         for _ in 1..reps {
@@ -224,10 +222,7 @@ mod tests {
         // 1000 classes).
         let net = alexnet(1000, 1);
         let m = net.param_count();
-        assert!(
-            (60_000_000..63_000_000).contains(&m),
-            "alexnet params {m}"
-        );
+        assert!((60_000_000..63_000_000).contains(&m), "alexnet params {m}");
         assert_eq!(net.conv_layer_ids().len(), 5);
     }
 
@@ -236,10 +231,7 @@ mod tests {
         // torchvision resnet18: 11,689,512.
         let net = resnet18(1000, 1);
         let m = net.param_count();
-        assert!(
-            (11_000_000..12_500_000).contains(&m),
-            "resnet18 params {m}"
-        );
+        assert!((11_000_000..12_500_000).contains(&m), "resnet18 params {m}");
         assert_eq!(net.conv_layer_ids().len(), 20); // 17 + 3 projections
     }
 
@@ -248,10 +240,7 @@ mod tests {
         // torchvision resnet50: 25,557,032.
         let net = resnet50(1000, 1);
         let m = net.param_count();
-        assert!(
-            (24_500_000..27_000_000).contains(&m),
-            "resnet50 params {m}"
-        );
+        assert!((24_500_000..27_000_000).contains(&m), "resnet50 params {m}");
         assert_eq!(net.conv_layer_ids().len(), 53); // 49 + 4 projections
     }
 

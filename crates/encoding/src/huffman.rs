@@ -52,10 +52,7 @@ fn huffman_lengths_once(counts: &[u64]) -> Vec<u8> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Min-heap by weight; tie-break on id for determinism.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -165,7 +162,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
         return Ok(Vec::new());
     }
     if table_len == 0 {
-        return Err(CodecError::Corrupt("empty huffman table for non-empty data"));
+        return Err(CodecError::Corrupt(
+            "empty huffman table for non-empty data",
+        ));
     }
     let mut table: Vec<(u32, u8)> = Vec::with_capacity(table_len);
     for _ in 0..table_len {
@@ -215,7 +214,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
                 return Err(CodecError::Corrupt("code longer than table max"));
             }
             let offset = code.wrapping_sub(first_code[len]);
-            if count_per_len[len] > 0 && code >= first_code[len] && (offset as usize) < count_per_len[len]
+            if count_per_len[len] > 0
+                && code >= first_code[len]
+                && (offset as usize) < count_per_len[len]
             {
                 out.push(symbols_in_order[first_index[len] + offset as usize]);
                 break;
@@ -258,7 +259,12 @@ mod tests {
         let enc = encode(&data);
         assert_eq!(decode(&enc).unwrap(), data);
         // Skew means far under 2 bytes/symbol.
-        assert!(enc.len() < data.len(), "enc {} data {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len(),
+            "enc {} data {}",
+            enc.len(),
+            data.len()
+        );
     }
 
     #[test]

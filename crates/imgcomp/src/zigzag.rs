@@ -35,7 +35,7 @@ mod tests {
         assert_eq!(ZIGZAG[1], 1); // (0,1)
         assert_eq!(ZIGZAG[2], 8); // (1,0)
         assert_eq!(ZIGZAG[63], 63); // (7,7)
-        // Manhattan distance from origin is non-decreasing along the scan.
+                                    // Manhattan distance from origin is non-decreasing along the scan.
         let dist = |i: usize| i / 8 + i % 8;
         for w in ZIGZAG.windows(2) {
             assert!(dist(w[1]) + 1 >= dist(w[0]), "{w:?}");

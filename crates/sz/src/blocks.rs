@@ -152,9 +152,13 @@ mod tests {
         let data = volume(12, 16, 16);
         let eb = 1e-3f32;
         for bp in [1usize, 4, 100] {
-            let buf =
-                compress_parallel(&data, DataLayout::D3(12, 16, 16), &SzConfig::vanilla(eb), bp)
-                    .unwrap();
+            let buf = compress_parallel(
+                &data,
+                DataLayout::D3(12, 16, 16),
+                &SzConfig::vanilla(eb),
+                bp,
+            )
+            .unwrap();
             let out = decompress_parallel(&buf).unwrap();
             assert_eq!(out.len(), data.len());
             for (x, y) in data.iter().zip(&out) {
@@ -166,13 +170,16 @@ mod tests {
     #[test]
     fn block_count_matches_geometry() {
         let data = volume(12, 8, 8);
-        let buf =
-            compress_parallel(&data, DataLayout::D3(12, 8, 8), &SzConfig::vanilla(1e-3), 4)
-                .unwrap();
+        let buf = compress_parallel(&data, DataLayout::D3(12, 8, 8), &SzConfig::vanilla(1e-3), 4)
+            .unwrap();
         assert_eq!(buf.num_blocks(), 3);
-        let buf1 =
-            compress_parallel(&data, DataLayout::D3(12, 8, 8), &SzConfig::vanilla(1e-3), 100)
-                .unwrap();
+        let buf1 = compress_parallel(
+            &data,
+            DataLayout::D3(12, 8, 8),
+            &SzConfig::vanilla(1e-3),
+            100,
+        )
+        .unwrap();
         assert_eq!(buf1.num_blocks(), 1);
     }
 
@@ -181,12 +188,20 @@ mod tests {
         // Independent blocks restart prediction and duplicate tables; the
         // loss should stay small on real-sized tensors.
         let data = volume(32, 32, 32);
-        let whole =
-            compress_parallel(&data, DataLayout::D3(32, 32, 32), &SzConfig::vanilla(1e-3), 1000)
-                .unwrap();
-        let blocked =
-            compress_parallel(&data, DataLayout::D3(32, 32, 32), &SzConfig::vanilla(1e-3), 4)
-                .unwrap();
+        let whole = compress_parallel(
+            &data,
+            DataLayout::D3(32, 32, 32),
+            &SzConfig::vanilla(1e-3),
+            1000,
+        )
+        .unwrap();
+        let blocked = compress_parallel(
+            &data,
+            DataLayout::D3(32, 32, 32),
+            &SzConfig::vanilla(1e-3),
+            4,
+        )
+        .unwrap();
         assert!(
             blocked.ratio() > whole.ratio() * 0.6,
             "blocked {:.2} vs whole {:.2}",
@@ -200,13 +215,12 @@ mod tests {
         let data = volume(4, 8, 8);
         let cfg = SzConfig::with_error_bound(1e-3);
         let whole = compress(&data, DataLayout::D3(4, 8, 8), &cfg).unwrap();
-        let blocked =
-            compress_parallel(&data, DataLayout::D3(4, 8, 8), &cfg, 100).unwrap();
+        let blocked = compress_parallel(&data, DataLayout::D3(4, 8, 8), &cfg, 100).unwrap();
         assert_eq!(blocked.num_blocks(), 1);
+        assert_eq!(blocked.compressed_byte_len(), whole.compressed_byte_len());
         assert_eq!(
-            blocked.compressed_byte_len(),
-            whole.compressed_byte_len()
+            decompress_parallel(&blocked).unwrap(),
+            decompress(&whole).unwrap()
         );
-        assert_eq!(decompress_parallel(&blocked).unwrap(), decompress(&whole).unwrap());
     }
 }

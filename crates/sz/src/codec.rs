@@ -76,8 +76,8 @@ impl CompressedBuffer {
             return Err(SzError::Corrupt("bad magic".into()));
         }
         let mut pos = 2usize;
-        let n = varint::read_usize(&bytes, &mut pos)
-            .map_err(|e| SzError::Corrupt(e.to_string()))?;
+        let n =
+            varint::read_usize(&bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))?;
         Ok(CompressedBuffer {
             bytes,
             original_len: n,
@@ -219,8 +219,9 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
         return Err(corrupt("bad magic"));
     }
     let mut pos = 2usize;
-    let rd_usize =
-        |bytes: &[u8], pos: &mut usize| varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()));
+    let rd_usize = |bytes: &[u8], pos: &mut usize| {
+        varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()))
+    };
     let n = rd_usize(bytes, &mut pos)?;
     if pos + 4 > bytes.len() {
         return Err(corrupt("truncated header"));
@@ -255,7 +256,8 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
     if layout.len() != n {
         return Err(corrupt("layout/len mismatch"));
     }
-    let radius = varint::read_u64(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))? as i64;
+    let radius =
+        varint::read_u64(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))? as i64;
     let zero_filter = *bytes.get(pos).ok_or_else(|| corrupt("eof"))? != 0;
     pos += 1;
     let quant_mode = QuantMode::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
@@ -560,15 +562,25 @@ mod tests {
     fn dual_quant_ratio_comparable_to_classic() {
         let data = smooth_volume(8, 32, 32);
         let classic = compress(&data, DataLayout::D3(8, 32, 32), &SzConfig::vanilla(1e-3)).unwrap();
-        let dual = compress(&data, DataLayout::D3(8, 32, 32), &SzConfig::dual_quant(1e-3)).unwrap();
+        let dual = compress(
+            &data,
+            DataLayout::D3(8, 32, 32),
+            &SzConfig::dual_quant(1e-3),
+        )
+        .unwrap();
         let (rc, rd) = (classic.ratio(), dual.ratio());
-        assert!(rd > rc * 0.5 && rd < rc * 2.5, "classic {rc:.1} vs dual {rd:.1}");
+        assert!(
+            rd > rc * 0.5 && rd < rc * 2.5,
+            "classic {rc:.1} vs dual {rd:.1}"
+        );
     }
 
     #[test]
     fn random_data_still_bounded() {
         let mut rng = StdRng::seed_from_u64(77);
-        let data: Vec<f32> = (0..10_000).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|_| rng.gen_range(-100.0f32..100.0))
+            .collect();
         let eb = 0.5f32;
         let buf = compress(&data, DataLayout::D1(10_000), &SzConfig::vanilla(eb)).unwrap();
         let out = decompress(&buf).unwrap();

@@ -41,8 +41,8 @@
 pub mod blocks;
 mod codec;
 pub mod lossless;
-pub mod zfp_like;
 mod predictor;
+pub mod zfp_like;
 
 pub use codec::{compress, decompress, decompress_bytes, CompressedBuffer};
 pub use predictor::Predictor;

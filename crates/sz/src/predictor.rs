@@ -95,8 +95,7 @@ pub(crate) fn predict_i64(
                     grid[idx - di * plane - dj * d2 - dk]
                 }
             };
-            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
-                + g(1, 1, 1)
+            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0) + g(1, 1, 1)
         }
     }
 }
@@ -104,12 +103,7 @@ pub(crate) fn predict_i64(
 /// Stateless prediction for element `idx` of the flat `recon` buffer,
 /// interpreted under `layout`. Out-of-range neighbours contribute 0.
 #[inline]
-pub(crate) fn predict(
-    predictor: Predictor,
-    layout: &DataLayout,
-    recon: &[f32],
-    idx: usize,
-) -> f32 {
+pub(crate) fn predict(predictor: Predictor, layout: &DataLayout, recon: &[f32], idx: usize) -> f32 {
     match predictor {
         Predictor::Lorenzo1 => {
             if idx == 0 {
@@ -128,7 +122,11 @@ pub(crate) fn predict(
             let j = idx % w;
             let up = if i > 0 { recon[idx - w] } else { 0.0 };
             let left = if j > 0 { recon[idx - 1] } else { 0.0 };
-            let diag = if i > 0 && j > 0 { recon[idx - w - 1] } else { 0.0 };
+            let diag = if i > 0 && j > 0 {
+                recon[idx - w - 1]
+            } else {
+                0.0
+            };
             up + left - diag
         }
         Predictor::Lorenzo3 => {
@@ -149,8 +147,7 @@ pub(crate) fn predict(
                 }
             };
             // Inclusion–exclusion over the preceding corner cube.
-            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
-                + g(1, 1, 1)
+            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0) + g(1, 1, 1)
         }
     }
 }
@@ -161,7 +158,11 @@ mod tests {
 
     #[test]
     fn tags_roundtrip() {
-        for p in [Predictor::Lorenzo1, Predictor::Lorenzo2, Predictor::Lorenzo3] {
+        for p in [
+            Predictor::Lorenzo1,
+            Predictor::Lorenzo2,
+            Predictor::Lorenzo3,
+        ] {
             assert_eq!(Predictor::from_tag(p.tag()), Some(p));
         }
         assert_eq!(Predictor::from_tag(0), None);
@@ -199,9 +200,8 @@ mod tests {
     fn lorenzo3_is_exact_on_trilinear_volumes() {
         let (a, b, c) = (3, 4, 5);
         let layout = DataLayout::D3(a, b, c);
-        let f = |i: usize, j: usize, k: usize| {
-            1.5 * i as f32 + 2.5 * j as f32 - 0.5 * k as f32 + 2.0
-        };
+        let f =
+            |i: usize, j: usize, k: usize| 1.5 * i as f32 + 2.5 * j as f32 - 0.5 * k as f32 + 2.0;
         let recon: Vec<f32> = (0..a * b * c)
             .map(|idx| f(idx / (b * c), (idx / c) % b, idx % c))
             .collect();

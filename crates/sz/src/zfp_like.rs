@@ -77,7 +77,12 @@ fn lift4_inv(v: &mut [i32; 4]) {
 /// 2-D transform over a 4×4 block: rows then columns.
 fn block_fwd(block: &mut [i32; 16]) {
     for r in 0..4 {
-        let mut row = [block[r * 4], block[r * 4 + 1], block[r * 4 + 2], block[r * 4 + 3]];
+        let mut row = [
+            block[r * 4],
+            block[r * 4 + 1],
+            block[r * 4 + 2],
+            block[r * 4 + 3],
+        ];
         lift4_fwd(&mut row);
         block[r * 4..r * 4 + 4].copy_from_slice(&row);
     }
@@ -100,7 +105,12 @@ fn block_inv(block: &mut [i32; 16]) {
         }
     }
     for r in 0..4 {
-        let mut row = [block[r * 4], block[r * 4 + 1], block[r * 4 + 2], block[r * 4 + 3]];
+        let mut row = [
+            block[r * 4],
+            block[r * 4 + 1],
+            block[r * 4 + 2],
+            block[r * 4 + 3],
+        ];
         lift4_inv(&mut row);
         block[r * 4..r * 4 + 4].copy_from_slice(&row);
     }
@@ -222,10 +232,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
     let mut out = vec![0.0f32; h * w];
     for by in 0..bh {
         for bx in 0..bw {
-            let emax = br
-                .read_bits(8)
-                .map_err(|e| corrupt(&e.to_string()))? as i32
-                - 128;
+            let emax = br.read_bits(8).map_err(|e| corrupt(&e.to_string()))? as i32 - 128;
             let mut zz = [0u32; 16];
             for p in 0..planes {
                 let bit = TOTAL_PLANES - 1 - p;
@@ -337,9 +344,18 @@ mod tests {
         let data = smooth(16, 16);
         let mut last_err = f64::INFINITY;
         for bits in [4u32, 8, 12, 16, 20] {
-            let out =
-                decompress(&compress(&data, 16, 16, &ZfpLikeConfig { bits_per_value: bits }).unwrap())
-                    .unwrap();
+            let out = decompress(
+                &compress(
+                    &data,
+                    16,
+                    16,
+                    &ZfpLikeConfig {
+                        bits_per_value: bits,
+                    },
+                )
+                .unwrap(),
+            )
+            .unwrap();
             let err: f64 = data
                 .iter()
                 .zip(&out)

@@ -100,15 +100,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
 /// Dimension convention: `m`,`n` are the logical output dims of `C`, `k` is
 /// the contraction length; operand storage layouts per variant are
 /// documented on [`gemm_nn`], [`gemm_tn`], [`gemm_nt`].
-pub fn gemm(
-    layout: GemmLayout,
-    m: usize,
-    k: usize,
-    n: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
+pub fn gemm(layout: GemmLayout, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     match layout {
         GemmLayout::NN => gemm_nn(m, k, n, a, b, c),
         GemmLayout::TN => gemm_tn(m, k, n, a, b, c),

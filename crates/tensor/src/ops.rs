@@ -101,17 +101,16 @@ pub fn min_max(x: &[f32]) -> (f32, f32) {
         return (0.0, 0.0);
     }
     let fold = |c: &[f32]| {
-        c.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        c.iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     };
     if x.len() >= PAR_THRESHOLD {
-        x.par_chunks(PAR_THRESHOLD)
-            .map(fold)
-            .reduce(
-                || (f32::INFINITY, f32::NEG_INFINITY),
-                |(a, b), (c, d)| (a.min(c), b.max(d)),
-            )
+        x.par_chunks(PAR_THRESHOLD).map(fold).reduce(
+            || (f32::INFINITY, f32::NEG_INFINITY),
+            |(a, b), (c, d)| (a.min(c), b.max(d)),
+        )
     } else {
         fold(x)
     }
@@ -154,7 +153,12 @@ pub fn dot(x: &[f32], y: &[f32]) -> f64 {
     if x.len() >= PAR_THRESHOLD {
         x.par_chunks(PAR_THRESHOLD)
             .zip(y.par_chunks(PAR_THRESHOLD))
-            .map(|(a, b)| a.iter().zip(b).map(|(&u, &v)| u as f64 * v as f64).sum::<f64>())
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(&u, &v)| u as f64 * v as f64)
+                    .sum::<f64>()
+            })
             .sum()
     } else {
         x.iter().zip(y).map(|(&u, &v)| u as f64 * v as f64).sum()
@@ -207,7 +211,7 @@ mod tests {
     #[test]
     fn axpy_small_and_large() {
         let mut y = vec![1.0; 10];
-        axpy(2.0, &vec![3.0; 10], &mut y);
+        axpy(2.0, &[3.0; 10], &mut y);
         assert!(y.iter().all(|&v| v == 7.0));
         let mut y = vec![1.0; PAR_THRESHOLD + 1];
         axpy(0.5, &vec![2.0; PAR_THRESHOLD + 1], &mut y);
@@ -270,7 +274,9 @@ mod tests {
 
     #[test]
     fn parallel_paths_match_sequential() {
-        let x: Vec<f32> = (0..PAR_THRESHOLD + 17).map(|i| ((i % 101) as f32) - 50.0).collect();
+        let x: Vec<f32> = (0..PAR_THRESHOLD + 17)
+            .map(|i| ((i % 101) as f32) - 50.0)
+            .collect();
         let seq_sum: f64 = x.iter().map(|&v| v as f64).sum();
         assert!((sum(&x) - seq_sum).abs() < 1e-6);
         let seq_nz = x.iter().filter(|&&v| v != 0.0).count() as f64 / x.len() as f64;

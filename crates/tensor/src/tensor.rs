@@ -277,7 +277,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = Tensor::randn(&[100_000], 1.0, &mut rng);
         let mean = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -50,7 +50,10 @@ fn main() {
         raw / 1024
     );
 
-    println!("{:<22} {:>9} {:>12} {:>12}", "compressor", "ratio", "max_err", "mean_err");
+    println!(
+        "{:<22} {:>9} {:>12} {:>12}",
+        "compressor", "ratio", "max_err", "mean_err"
+    );
     println!("{}", "-".repeat(60));
 
     // SZ-style, absolute error bound sweep.
@@ -88,9 +91,8 @@ fn main() {
     // JPEG-ACT: quality knob, uncontrolled error.
     let (n, c, h, w) = act.dims4();
     for q in [90u8, 75, 50] {
-        let buf =
-            ebtrain_imgcomp::compress(act.data(), n * c, h, w, &JpegActConfig { quality: q })
-                .unwrap();
+        let buf = ebtrain_imgcomp::compress(act.data(), n * c, h, w, &JpegActConfig { quality: q })
+            .unwrap();
         let out = ebtrain_imgcomp::decompress(&buf).unwrap();
         let (mut max_e, mut sum_e) = (0.0f32, 0.0f64);
         for (a, b) in act.data().iter().zip(&out) {

@@ -23,9 +23,11 @@ fn baseline_peak(data: &SynthImageNet, batch: usize) -> usize {
     let mut store = RawStore::new();
     let plan = CompressionPlan::new();
     let (x, labels) = data.batch(0, batch);
-    train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-        .expect("step")
-        .peak_store_bytes
+    train_step(
+        &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+    )
+    .expect("step")
+    .peak_store_bytes
 }
 
 /// Same but under the adaptive framework (one warmup iteration to let the
@@ -52,9 +54,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(48);
     let device = DeviceSpec::with_mib("my-accelerator", budget_mib);
-    println!(
-        "capacity planning for tiny-vgg on a {budget_mib} MiB device"
-    );
+    println!("capacity planning for tiny-vgg on a {budget_mib} MiB device");
 
     let data = SynthImageNet::new(SynthConfig::default());
     let probe = 16usize;

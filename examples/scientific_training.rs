@@ -66,7 +66,10 @@ fn main() {
     let (vx, vl) = fields.batch(1_000_000, 128);
     let (_, correct) = trainer.evaluate(vx, &vl).expect("eval");
     let m = trainer.store_metrics();
-    println!("\nheld-out accuracy: {:.3} (chance 0.25)", correct as f64 / 128.0);
+    println!(
+        "\nheld-out accuracy: {:.3} (chance 0.25)",
+        correct as f64 / 128.0
+    );
     println!(
         "conv activation memory: {:.1}x smaller ({} KB -> {} KB cumulative)",
         m.compressible_ratio(),

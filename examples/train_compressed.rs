@@ -53,8 +53,10 @@ fn main() {
     let mut base_peak = 0usize;
     for i in 0..iters {
         let (x, labels) = data.batch((i * batch) as u64, batch);
-        let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-            .expect("baseline step");
+        let r = train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+        )
+        .expect("baseline step");
         base_peak = base_peak.max(r.peak_store_bytes);
     }
     let (_, base_correct) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");

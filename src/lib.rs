@@ -1,0 +1,32 @@
+//! # ebtrain
+//!
+//! Facade crate for the workspace reproducing *"A Novel Memory-Efficient
+//! Deep Learning Training Framework via Error-Bounded Lossy Compression"*
+//! (Jin, Li, Song, Tao — PPoPP'21): train DNNs in a fraction of the
+//! activation memory by compressing stashed activations with an
+//! SZ-style error-bounded lossy compressor, with the error bound chosen
+//! adaptively so convergence is unaffected.
+//!
+//! Each subsystem lives in its own crate; this crate simply re-exports
+//! them under one roof so examples and downstream users can depend on a
+//! single package:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `ebtrain-tensor` | dense f32 tensors, GEMM, im2col |
+//! | [`encoding`] | `ebtrain-encoding` | bit IO, Huffman, LZ, byte-plane |
+//! | [`sz`] | `ebtrain-sz` | error-bounded lossy compressor |
+//! | [`imgcomp`] | `ebtrain-imgcomp` | JPEG-style baseline compressor |
+//! | [`data`] | `ebtrain-data` | deterministic synthetic datasets |
+//! | [`dnn`] | `ebtrain-dnn` | layers, networks, compressed store |
+//! | [`core`] | `ebtrain-core` | adaptive error-bound framework |
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use ebtrain_core as core;
+pub use ebtrain_data as data;
+pub use ebtrain_dnn as dnn;
+pub use ebtrain_encoding as encoding;
+pub use ebtrain_imgcomp as imgcomp;
+pub use ebtrain_sz as sz;
+pub use ebtrain_tensor as tensor;

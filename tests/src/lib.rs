@@ -1,0 +1,3 @@
+//! Empty library target: this package exists only to host the
+//! workspace-level integration suite in `tests/*.rs` (compressor
+//! contracts, end-to-end training, robustness).

@@ -1,0 +1,224 @@
+//! Round-trip error-contract tests for every codec in the workspace, on
+//! both dense random data and sparse activation-like data (the regime
+//! the paper trains in).
+//!
+//! Contracts exercised:
+//!
+//! * `sz::codec` (Classic, Classic+zero-filter, DualQuant) — absolute
+//!   error bound `eb` (with the documented 2eb small-value relaxation
+//!   when the zero filter snaps `|x| <= eb` to zero).
+//! * `sz::zfp_like` — fixed rate with per-4×4-block *relative* error:
+//!   no absolute bound exists (that is the paper's §2.2 argument for SZ),
+//!   but error must stay within a block-scaled envelope and tighten as
+//!   the bit budget grows.
+//! * `encoding::byteplane` — lossless: bit-exact reconstruction ("error
+//!   bound zero"), including non-finite bit patterns.
+
+use ebtrain_encoding::byteplane::{shuffle_f32, unshuffle_f32};
+use ebtrain_sz::zfp_like::{self, ZfpLikeConfig};
+use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIDE: usize = 64;
+
+/// Dense random field, uniform in [-scale, scale].
+fn random_grid(seed: u64, scale: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..SIDE * SIDE)
+        .map(|_| rng.gen_range(-scale..scale))
+        .collect()
+}
+
+/// Post-ReLU-like activations: smooth positive structure, ~60% exact
+/// zeros — the sparsity pattern the zero filter exists for.
+fn sparse_activations(seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..SIDE * SIDE)
+        .map(|i| {
+            let y = (i / SIDE) as f32;
+            let x = (i % SIDE) as f32;
+            let v = (x * 0.11).sin() + (y * 0.07).cos() - 0.4 + rng.gen_range(-0.15..0.15);
+            if v < 0.0 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+fn corpora() -> Vec<(&'static str, Vec<f32>)> {
+    vec![
+        ("dense_random", random_grid(11, 1.0)),
+        ("dense_random_large_scale", random_grid(12, 300.0)),
+        ("sparse_activations", sparse_activations(13)),
+    ]
+}
+
+#[test]
+fn sz_classic_respects_absolute_error_bound() {
+    for (name, data) in corpora() {
+        for eb in [1e-1f32, 1e-2, 1e-3, 1e-4] {
+            let cfg = SzConfig::vanilla(eb);
+            let buf = compress(&data, DataLayout::D2(SIDE, SIDE), &cfg).unwrap();
+            let out = decompress(&buf).unwrap();
+            assert_eq!(out.len(), data.len(), "{name} eb={eb}");
+            for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                assert!(
+                    (x - y).abs() <= eb,
+                    "{name} eb={eb} idx {i}: |{x} - {y}| > {eb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sz_zero_filter_respects_relaxed_contract() {
+    for (name, data) in corpora() {
+        for eb in [1e-2f32, 1e-3] {
+            let cfg = SzConfig::with_error_bound(eb); // zero filter ON
+            let buf = compress(&data, DataLayout::D2(SIDE, SIDE), &cfg).unwrap();
+            let out = decompress(&buf).unwrap();
+            for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                if *x == 0.0 {
+                    assert_eq!(*y, 0.0, "{name} eb={eb} idx {i}: zero not exact");
+                } else if x.abs() > 2.0 * eb {
+                    assert!(
+                        (x - y).abs() <= eb,
+                        "{name} eb={eb} idx {i}: |{x} - {y}| > {eb}"
+                    );
+                } else {
+                    assert!(
+                        (x - y).abs() <= 2.0 * eb,
+                        "{name} eb={eb} idx {i}: |{x} - {y}| > 2eb"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sz_dual_quant_respects_bound_and_preserves_zeros() {
+    for (name, data) in corpora() {
+        for eb in [1e-2f32, 1e-3] {
+            let cfg = SzConfig::dual_quant(eb);
+            let buf = compress(&data, DataLayout::D2(SIDE, SIDE), &cfg).unwrap();
+            let out = decompress(&buf).unwrap();
+            for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                assert!(
+                    (x - y).abs() <= eb,
+                    "{name} eb={eb} idx {i}: |{x} - {y}| > {eb}"
+                );
+                if *x == 0.0 {
+                    assert_eq!(*y, 0.0, "{name} eb={eb} idx {i}: zero not exact");
+                }
+            }
+        }
+    }
+}
+
+/// Max reconstruction error per 4×4 block, paired with the block's
+/// maximum magnitude (the scale fixed-rate error is relative to).
+fn per_block_errors(data: &[f32], out: &[f32]) -> Vec<(f32, f32)> {
+    let mut blocks = Vec::new();
+    for by in (0..SIDE).step_by(4) {
+        for bx in (0..SIDE).step_by(4) {
+            let mut maxabs = 0.0f32;
+            let mut maxerr = 0.0f32;
+            for dy in 0..4 {
+                for dx in 0..4 {
+                    let i = (by + dy) * SIDE + bx + dx;
+                    maxabs = maxabs.max(data[i].abs());
+                    maxerr = maxerr.max((data[i] - out[i]).abs());
+                }
+            }
+            blocks.push((maxabs, maxerr));
+        }
+    }
+    blocks
+}
+
+#[test]
+fn zfp_like_error_is_block_relative_and_tightens_with_rate() {
+    for (name, data) in corpora() {
+        let mut worst_by_bits = Vec::new();
+        for bits in [8u32, 16, 24] {
+            let cfg = ZfpLikeConfig {
+                bits_per_value: bits,
+            };
+            let packed = zfp_like::compress(&data, SIDE, SIDE, &cfg).unwrap();
+            let out = zfp_like::decompress(&packed).unwrap();
+            assert_eq!(out.len(), data.len(), "{name} bits={bits}");
+
+            // Fixed rate: stream size is set by the config, not the data.
+            let expect_bits = (SIDE * SIDE) as u32 * bits;
+            let actual_bits = (packed.len() * 8) as u32;
+            assert!(
+                actual_bits as f64 <= expect_bits as f64 * 1.2 + 1024.0,
+                "{name} bits={bits}: {actual_bits} stream bits vs nominal {expect_bits}"
+            );
+
+            // Per-block relative envelope: dropping (24 - bits) low
+            // negabinary planes of a 2^-20-quantized block perturbs by at
+            // most ~2^(4-bits) of the block scale; x8 covers the two-level
+            // S-transform growth and truncation direction. All-zero blocks
+            // must be exact.
+            let envelope = 8.0 * (2.0f32).powi(4 - bits as i32);
+            let mut worst_rel = 0.0f32;
+            for (bi, (maxabs, maxerr)) in per_block_errors(&data, &out).iter().enumerate() {
+                if *maxabs == 0.0 {
+                    assert_eq!(*maxerr, 0.0, "{name} bits={bits} zero block {bi} not exact");
+                } else {
+                    let rel = maxerr / maxabs;
+                    assert!(
+                        rel <= envelope,
+                        "{name} bits={bits} block {bi}: rel err {rel} > {envelope}"
+                    );
+                    worst_rel = worst_rel.max(rel);
+                }
+            }
+            worst_by_bits.push(worst_rel);
+        }
+        // More rate, less error — the defining fixed-rate trade.
+        assert!(
+            worst_by_bits[0] > worst_by_bits[1] && worst_by_bits[1] > worst_by_bits[2],
+            "{name}: worst rel errors {worst_by_bits:?} not decreasing in rate"
+        );
+    }
+}
+
+#[test]
+fn byteplane_roundtrip_is_bit_exact() {
+    // Ordinary corpora plus raw bit patterns (NaNs, infinities,
+    // subnormals): the shuffle must be transparent to all of them.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut cases: Vec<(String, Vec<f32>)> = corpora()
+        .into_iter()
+        .map(|(n, d)| (n.to_string(), d))
+        .collect();
+    cases.push((
+        "raw_bit_patterns".to_string(),
+        (0..4096)
+            .map(|_| f32::from_bits(rng.gen::<u32>()))
+            .collect(),
+    ));
+    cases.push(("empty".to_string(), Vec::new()));
+    for (name, data) in cases {
+        let bytes = shuffle_f32(&data);
+        assert_eq!(bytes.len(), data.len() * 4, "{name}: size changed");
+        let back = unshuffle_f32(&bytes).expect("well-formed plane buffer");
+        assert_eq!(back.len(), data.len(), "{name}: length changed");
+        for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name} idx {i}: bits {:#010x} != {:#010x}",
+                a.to_bits(),
+                b.to_bits()
+            );
+        }
+    }
+}

@@ -34,8 +34,17 @@ fn train_under(store: &mut dyn ActivationStore, iters: usize, seed: u64) -> usiz
     let plan = CompressionPlan::new();
     for i in 0..iters {
         let (x, labels) = data.batch((i * 16) as u64, 16);
-        train_step(&mut net, &head, &mut opt, store, &plan, x, &labels, i % 8 == 0)
-            .expect("train step");
+        train_step(
+            &mut net,
+            &head,
+            &mut opt,
+            store,
+            &plan,
+            x,
+            &labels,
+            i % 8 == 0,
+        )
+        .expect("train step");
     }
     let (vx, vl) = data.val_batch(0, 128);
     let (_, correct) = evaluate(&mut net, &head, vx, &vl).expect("eval");
@@ -128,7 +137,10 @@ fn exact_clt_form_also_trains() {
         }
         last = r.loss;
     }
-    assert!(last < first.unwrap(), "loss must fall under exact-CLT bounds");
+    assert!(
+        last < first.unwrap(),
+        "loss must fall under exact-CLT bounds"
+    );
     assert!(trainer.store_metrics().compressible_ratio() > 1.0);
 }
 
@@ -144,8 +156,10 @@ fn training_is_deterministic_given_seeds() {
         let mut losses = Vec::new();
         for i in 0..10 {
             let (x, labels) = data.batch((i * 8) as u64, 8);
-            let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-                .expect("step");
+            let r = train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .expect("step");
             losses.push(r.loss);
         }
         losses
@@ -163,8 +177,10 @@ fn store_is_fully_drained_every_iteration() {
     let plan = CompressionPlan::new();
     for i in 0..3 {
         let (x, labels) = data.batch((i * 8) as u64, 8);
-        train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-            .expect("step");
+        train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+        )
+        .expect("step");
         assert_eq!(
             store.current_bytes(),
             0,

@@ -107,8 +107,10 @@ fn hybrid_store_trains_with_zero_device_residency_for_convs() {
     let mut first = None;
     for i in 0..25 {
         let (x, labels) = data.batch((i * 16) as u64, 16);
-        let r = train_step(&mut net, &head, &mut opt, &mut store, &plan, x, &labels, false)
-            .unwrap();
+        let r = train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+        )
+        .unwrap();
         if first.is_none() {
             first = Some(r.loss);
         }
@@ -116,7 +118,11 @@ fn hybrid_store_trains_with_zero_device_residency_for_convs() {
     }
     assert!(last < first.unwrap(), "hybrid store broke training");
     let m = store.metrics();
-    assert!(m.compressible_ratio() > 1.5, "ratio {}", m.compressible_ratio());
+    assert!(
+        m.compressible_ratio() > 1.5,
+        "ratio {}",
+        m.compressible_ratio()
+    );
     assert!(m.simulated_transfer_nanos > 0);
     // Transfer volume is the compressed bytes, not the raw bytes: the
     // time charged must be well under raw/bandwidth.
@@ -150,7 +156,14 @@ fn checkpointing_over_hybrid_store_trains() {
         let mut rstore = RawStore::new();
         let (x, labels) = data.batch(0, 16);
         raw_peak = train_step(
-            &mut rnet, &head, &mut ropt, &mut rstore, &plan, x, &labels, false,
+            &mut rnet,
+            &head,
+            &mut ropt,
+            &mut rstore,
+            &plan,
+            x,
+            &labels,
+            false,
         )
         .unwrap()
         .peak_store_bytes

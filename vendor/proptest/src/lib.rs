@@ -1,0 +1,353 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! property-test suites link against this minimal harness. It covers the
+//! subset the workspace uses — `proptest!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `Strategy`, `Just`, `any`, `prop::collection::vec`,
+//! `ProptestConfig::with_cases` — generating inputs from a deterministic
+//! seeded RNG.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs in the assertion message instead of a minimized one)
+//! and a fixed deterministic seed per test function (override with the
+//! `PROPTEST_SEED` env var to explore different streams).
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Box a strategy for storage in heterogeneous collections.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Uniform over a type's full value domain.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// `any::<T>()` — arbitrary values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_any_via_bits {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_any_via_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms.last().unwrap().1.gen_value(rng)
+        }
+    }
+
+    /// `Vec` strategy with a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S> VecStrategy<S> {
+        pub(crate) fn new(elem: S, len: Range<usize>) -> Self {
+            VecStrategy { elem, len }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vectors of `elem`-generated values with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(elem, len)
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prop` re-export.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// How many generated cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated inputs per property test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Seed for a property test's RNG stream (deterministic; `PROPTEST_SEED`
+/// overrides).
+pub fn resolve_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xEB7_7E57_5EED)
+}
+
+/// Glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+}
+
+// Re-export so macro-generated code can name the RNG via `$crate`.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, {
+                // Upstream proptest arms are conventionally parenthesized
+                // range expressions; don't lint the caller for that.
+                #[allow(unused_parens)]
+                let __arm = $strategy;
+                $crate::strategy::boxed(__arm)
+            })),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strategy),+)
+    };
+}
+
+/// Assertion inside a `proptest!` body (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// expands to a normal `#[test]` that loops over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            use $crate::__rand::SeedableRng as _;
+            let __config: $crate::test_runner::Config = $config;
+            // FNV-1a over the test name: each property gets its own stream.
+            let mut __h: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in stringify!($name).as_bytes() {
+                __h = (__h ^ *__b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut __rng =
+                $crate::__rand::rngs::StdRng::seed_from_u64($crate::resolve_seed() ^ __h);
+            for __case in 0..__config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::gen_value(&($strategy), &mut __rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn weighted_small() -> impl Strategy<Value = f32> {
+        prop_oneof![
+            3 => (-1.0f32..1.0),
+            1 => Just(0.0f32),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i32..0, y in 0.0f32..1.0) {
+            prop_assert!((-5..0).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..10, 2..17)) {
+            prop_assert!(v.len() >= 2 && v.len() < 17);
+            for e in &v {
+                prop_assert!(*e < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(x in weighted_small()) {
+            prop_assert!(x == 0.0 || (-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn any_u64_works(seed in any::<u64>()) {
+            let _ = StdRng::seed_from_u64(seed);
+        }
+    }
+
+    #[test]
+    fn union_weights_are_respected_roughly() {
+        let s = prop_oneof![9 => Just(1u32), 1 => Just(0u32)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let ones: u32 = (0..1000)
+            .map(|_| crate::strategy::Strategy::gen_value(&s, &mut rng))
+            .sum();
+        assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+}

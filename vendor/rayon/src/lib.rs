@@ -1,0 +1,543 @@
+//! Vendored, API-compatible subset of `rayon`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice-parallelism subset it uses: `par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut` and the adapters
+//! `map` / `zip` / `enumerate` / `for_each` / `sum` / `collect`.
+//!
+//! Unlike a toy sequential facade, this implementation **actually runs in
+//! parallel**: work is split into contiguous sub-ranges and executed on
+//! scoped OS threads (`std::thread::scope`), one per available core. There
+//! is no work stealing, which is fine for the regular, evenly-sized loops
+//! this workspace runs (GEMM row blocks, per-chunk codecs, elementwise
+//! tensor ops).
+
+use std::sync::OnceLock;
+
+/// Number of worker threads (`RAYON_NUM_THREADS` overrides, like rayon).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Everything needed for `slice.par_*()` method syntax.
+pub mod prelude {
+    pub use crate::iter::ParallelIterator;
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    //! Splittable parallel iterators over borrowed slices.
+
+    use crate::current_num_threads;
+
+    /// A length-aware iterator that can be split at an index, the minimal
+    /// contract a fork-join driver needs.
+    pub trait ParSplit: Sized + Send {
+        /// The element type handed to closures.
+        type Item;
+
+        /// Remaining item count.
+        fn len(&self) -> usize;
+
+        /// True when no items remain.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Split into `[0, idx)` and `[idx, len)` pieces.
+        fn split_at(self, idx: usize) -> (Self, Self);
+
+        /// Drain this piece sequentially on the current thread.
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F);
+    }
+
+    /// Cut `p` into at most `pieces` contiguous parts of near-equal size.
+    fn split_into<P: ParSplit>(p: P, pieces: usize) -> Vec<P> {
+        let total = p.len();
+        if pieces <= 1 || total <= 1 {
+            return vec![p];
+        }
+        let per = total.div_ceil(pieces);
+        let mut out = Vec::with_capacity(pieces);
+        let mut rest = p;
+        while rest.len() > per {
+            let (head, tail) = rest.split_at(per);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+
+    /// Run `f` over every item of `p` on scoped worker threads.
+    pub(crate) fn par_for_each<P, F>(p: P, f: F)
+    where
+        P: ParSplit,
+        F: Fn(P::Item) + Sync,
+    {
+        let parts = current_num_threads().min(p.len().max(1));
+        let pieces = split_into(p, parts);
+        if pieces.len() == 1 {
+            for piece in pieces {
+                piece.drive(&mut |item| f(item));
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for piece in pieces {
+                let f = &f;
+                s.spawn(move || piece.drive(&mut |item| f(item)));
+            }
+        });
+    }
+
+    /// Map every item of `p` through `f` in parallel, preserving order.
+    pub(crate) fn par_map_vec<P, R, F>(p: P, f: F) -> Vec<R>
+    where
+        P: ParSplit,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        let parts = current_num_threads().min(p.len().max(1));
+        let pieces = split_into(p, parts);
+        if pieces.len() == 1 {
+            let mut out = Vec::new();
+            for piece in pieces {
+                piece.drive(&mut |item| out.push(f(item)));
+            }
+            return out;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|piece| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut part = Vec::with_capacity(piece.len());
+                        piece.drive(&mut |item| part.push(f(item)));
+                        part
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Adapter methods, blanket-implemented for every splittable iterator.
+    pub trait ParallelIterator: ParSplit {
+        /// Parallel elementwise map; terminal ops run on worker threads.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Lock-step pairing with another parallel iterator.
+        fn zip<B: ParSplit>(self, other: B) -> Zip<Self, B> {
+            Zip { a: self, b: other }
+        }
+
+        /// Attach the item index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate {
+                base: self,
+                offset: 0,
+            }
+        }
+
+        /// Consume every item on worker threads.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            par_for_each(self, f);
+        }
+    }
+
+    impl<P: ParSplit> ParallelIterator for P {}
+
+    /// Parallel `map` adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, F, R> Map<I, F>
+    where
+        I: ParSplit,
+        F: Fn(I::Item) -> R + Sync,
+        R: Send,
+    {
+        /// Run the map and consume each result on worker threads.
+        pub fn for_each<G>(self, g: G)
+        where
+            G: Fn(R) + Sync,
+        {
+            let f = self.f;
+            par_for_each(self.base, move |item| g(f(item)));
+        }
+
+        /// Parallel map-reduce into a sum.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<R>,
+        {
+            let f = self.f;
+            par_map_vec(self.base, f).into_iter().sum()
+        }
+
+        /// Parallel map, then collect in input order (supports
+        /// `Result<Vec<_>, E>` and any other `FromIterator` target).
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let f = self.f;
+            par_map_vec(self.base, f).into_iter().collect()
+        }
+
+        /// Parallel map-reduce with an explicit fold.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+        where
+            ID: Fn() -> R + Sync,
+            OP: Fn(R, R) -> R + Sync,
+        {
+            let f = self.f;
+            par_map_vec(self.base, f).into_iter().fold(identity(), &op)
+        }
+    }
+
+    /// Lock-step zip of two splittable iterators.
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A: ParSplit, B: ParSplit> ParSplit for Zip<A, B> {
+        type Item = (A::Item, B::Item);
+
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let (a0, a1) = self.a.split_at(idx);
+            let (b0, b1) = self.b.split_at(idx);
+            (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            let n = self.len();
+            let mut bs = Vec::with_capacity(n);
+            self.b.drive(&mut |item| bs.push(item));
+            let mut bs = bs.into_iter();
+            let mut taken = 0usize;
+            self.a.drive(&mut |a_item| {
+                if taken < n {
+                    if let Some(b_item) = bs.next() {
+                        f((a_item, b_item));
+                        taken += 1;
+                    }
+                }
+            });
+        }
+    }
+
+    /// Index-attaching adapter.
+    pub struct Enumerate<I> {
+        base: I,
+        offset: usize,
+    }
+
+    impl<I: ParSplit> ParSplit for Enumerate<I> {
+        type Item = (usize, I::Item);
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let (head, tail) = self.base.split_at(idx);
+            (
+                Enumerate {
+                    base: head,
+                    offset: self.offset,
+                },
+                Enumerate {
+                    base: tail,
+                    offset: self.offset + idx,
+                },
+            )
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            let mut i = self.offset;
+            self.base.drive(&mut |item| {
+                f((i, item));
+                i += 1;
+            });
+        }
+    }
+}
+
+pub mod slice {
+    //! `par_iter`/`par_chunks` entry points on `[T]`.
+
+    use crate::iter::ParSplit;
+
+    /// Shared-slice parallel views.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel `iter()`.
+        fn par_iter(&self) -> Iter<'_, T>;
+        /// Parallel `chunks(size)`.
+        fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+    }
+
+    /// Mutable-slice parallel views.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel `iter_mut()`.
+        fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+        /// Parallel `chunks_mut(size)`.
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> Iter<'_, T> {
+            Iter { s: self }
+        }
+
+        fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+            assert!(size > 0, "par_chunks size must be non-zero");
+            Chunks { s: self, size }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+            IterMut { s: self }
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+            assert!(size > 0, "par_chunks_mut size must be non-zero");
+            ChunksMut { s: self, size }
+        }
+    }
+
+    /// Parallel shared-element iterator.
+    pub struct Iter<'a, T> {
+        s: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSplit for Iter<'a, T> {
+        type Item = &'a T;
+
+        fn len(&self) -> usize {
+            self.s.len()
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let (a, b) = self.s.split_at(idx);
+            (Iter { s: a }, Iter { s: b })
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            for item in self.s {
+                f(item);
+            }
+        }
+    }
+
+    /// Parallel mutable-element iterator.
+    pub struct IterMut<'a, T> {
+        s: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParSplit for IterMut<'a, T> {
+        type Item = &'a mut T;
+
+        fn len(&self) -> usize {
+            self.s.len()
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let (a, b) = self.s.split_at_mut(idx);
+            (IterMut { s: a }, IterMut { s: b })
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            for item in self.s.iter_mut() {
+                f(item);
+            }
+        }
+    }
+
+    /// Parallel shared-chunk iterator.
+    pub struct Chunks<'a, T> {
+        s: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParSplit for Chunks<'a, T> {
+        type Item = &'a [T];
+
+        fn len(&self) -> usize {
+            self.s.len().div_ceil(self.size)
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let elems = (idx * self.size).min(self.s.len());
+            let (a, b) = self.s.split_at(elems);
+            (
+                Chunks {
+                    s: a,
+                    size: self.size,
+                },
+                Chunks {
+                    s: b,
+                    size: self.size,
+                },
+            )
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            for chunk in self.s.chunks(self.size) {
+                f(chunk);
+            }
+        }
+    }
+
+    /// Parallel mutable-chunk iterator.
+    pub struct ChunksMut<'a, T> {
+        s: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParSplit for ChunksMut<'a, T> {
+        type Item = &'a mut [T];
+
+        fn len(&self) -> usize {
+            self.s.len().div_ceil(self.size)
+        }
+
+        fn split_at(self, idx: usize) -> (Self, Self) {
+            let elems = (idx * self.size).min(self.s.len());
+            let (a, b) = self.s.split_at_mut(elems);
+            (
+                ChunksMut {
+                    s: a,
+                    size: self.size,
+                },
+                ChunksMut {
+                    s: b,
+                    size: self.size,
+                },
+            )
+        }
+
+        fn drive<F: FnMut(Self::Item)>(self, f: &mut F) {
+            for chunk in self.s.chunks_mut(self.size) {
+                f(chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), v.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_iter_map_collect_result_short_circuits_value() {
+        let v: Vec<u32> = (0..1000).collect();
+        let ok: Result<Vec<u32>, String> = v.par_iter().map(|x| Ok(*x)).collect();
+        assert_eq!(ok.unwrap().len(), 1000);
+        let err: Result<Vec<u32>, String> = v
+            .par_iter()
+            .map(|x| {
+                if *x == 500 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(*x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_iter_mut_zip_writes_every_slot() {
+        let src: Vec<f32> = (0..5000).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 5000];
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, s)| *d = s + 1.0);
+        for (i, d) in dst.iter().enumerate() {
+            assert_eq!(*d, i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_sum_matches_serial() {
+        let v: Vec<f64> = (0..12_345).map(|i| i as f64).collect();
+        let par: f64 = v.par_chunks(512).map(|c| c.iter().sum::<f64>()).sum();
+        let serial: f64 = v.iter().sum();
+        assert!((par - serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_sees_correct_indices() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(37)
+            .enumerate()
+            .for_each(|(ci, chunk)| chunk.iter_mut().for_each(|x| *x = ci));
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 37);
+        }
+    }
+
+    #[test]
+    fn zip_of_chunks_pairs_aligned_blocks() {
+        let a: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..1024).map(|i| (i * 2) as f32).collect();
+        let dot: f32 = a
+            .par_chunks(128)
+            .zip(b.par_chunks(128))
+            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f32>())
+            .sum();
+        // Same chunked association as the parallel path: per-chunk partial
+        // sums, then a sum of partials (a flat serial sum would differ by
+        // f32 reassociation error).
+        let serial: f32 = a
+            .chunks(128)
+            .zip(b.chunks(128))
+            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f32>())
+            .sum();
+        assert_eq!(dot, serial);
+    }
+}
