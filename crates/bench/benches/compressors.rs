@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ebtrain_imgcomp::JpegActConfig;
-use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use ebtrain_sz::{compress, compress_serial, decompress, decompress_serial, DataLayout, SzConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +46,35 @@ fn bench_sz(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// Chunk-parallel vs single-threaded paths of the framed sz codec, on the
+/// 64 KiB reference volume and on a 1 MiB volume where thread fan-out has
+/// more chunks to work with. Streams are bit-identical between the two
+/// paths; only the execution strategy differs.
+fn bench_sz_parallel(c: &mut Criterion) {
+    for (label, channels, hw) in [("64KiB", 16usize, 32usize), ("1MiB", 64, 64)] {
+        let data = activation_volume(channels, hw, 5);
+        let bytes = (data.len() * 4) as u64;
+        let layout = DataLayout::D3(channels, hw, hw);
+        let cfg = SzConfig::with_error_bound(1e-2);
+        let mut group = c.benchmark_group(format!("sz_pipeline/{label}"));
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function("compress_serial", |b| {
+            b.iter(|| compress_serial(&data, layout, &cfg).unwrap())
+        });
+        group.bench_function("compress_parallel", |b| {
+            b.iter(|| compress(&data, layout, &cfg).unwrap())
+        });
+        let buf = compress(&data, layout, &cfg).unwrap();
+        group.bench_function("decompress_serial", |b| {
+            b.iter(|| decompress_serial(&buf).unwrap())
+        });
+        group.bench_function("decompress_parallel", |b| {
+            b.iter(|| decompress(&buf).unwrap())
+        });
+        group.finish();
+    }
 }
 
 fn bench_lossless(c: &mut Criterion) {
@@ -98,6 +127,6 @@ fn bench_zfp_like(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sz, bench_lossless, bench_jpeg_act, bench_zfp_like
+    targets = bench_sz, bench_sz_parallel, bench_lossless, bench_jpeg_act, bench_zfp_like
 }
 criterion_main!(benches);

@@ -25,6 +25,7 @@ use ebtrain_dnn::layers::SoftmaxCrossEntropy;
 use ebtrain_dnn::optimizer::{LrSchedule, Sgd, SgdConfig};
 use ebtrain_dnn::train::evaluate;
 use ebtrain_dnn::zoo;
+use rayon::prelude::*;
 
 const FRACTIONS: [f64; 6] = [0.0, 0.01, 0.05, 5.0, 10.0, 20.0];
 
@@ -67,33 +68,38 @@ fn main() {
         c0 as f64 / eval_n as f64
     );
 
-    // Branch the sweep.
-    let mut series: Vec<Vec<f64>> = Vec::new();
-    for &frac in &FRACTIONS {
-        eprintln!("[fig9] branch sigma = {frac} * G ...");
-        let mut net = zoo::tiny_alexnet(16, 7);
-        restore_params(&mut net, &snap);
-        let mut opt = Sgd::new(sgd.clone());
-        let mut curve = Vec::new();
-        for i in 0..iters {
-            let (x, labels) = data.batch(((pretrain + i) * batch) as u64, batch);
-            noisy_train_step(
-                &mut net,
-                &head,
-                &mut opt,
-                x,
-                &labels,
-                frac,
-                (i as u64) * 31 + (frac * 1e4) as u64,
-            )
-            .expect("step");
-            if (i + 1) % eval_every == 0 {
-                let (_, correct) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
-                curve.push(correct as f64 / eval_n as f64);
+    // Branch the sweep — every branch restarts from the same snapshot and
+    // shares only read-only state (dataset, snapshot, eval batch), so the
+    // six branches run concurrently, one per worker thread.
+    let series: Vec<Vec<f64>> = FRACTIONS
+        .par_iter()
+        .map(|&frac| {
+            eprintln!("[fig9] branch sigma = {frac} * G ...");
+            let head = SoftmaxCrossEntropy::new();
+            let mut net = zoo::tiny_alexnet(16, 7);
+            restore_params(&mut net, &snap);
+            let mut opt = Sgd::new(sgd.clone());
+            let mut curve = Vec::new();
+            for i in 0..iters {
+                let (x, labels) = data.batch(((pretrain + i) * batch) as u64, batch);
+                noisy_train_step(
+                    &mut net,
+                    &head,
+                    &mut opt,
+                    x,
+                    &labels,
+                    frac,
+                    (i as u64) * 31 + (frac * 1e4) as u64,
+                )
+                .expect("step");
+                if (i + 1) % eval_every == 0 {
+                    let (_, correct) = evaluate(&mut net, &head, vx.clone(), &vl).expect("eval");
+                    curve.push(correct as f64 / eval_n as f64);
+                }
             }
-        }
-        series.push(curve);
-    }
+            curve
+        })
+        .collect();
 
     let headers: Vec<String> = std::iter::once("iter".to_string())
         .chain(FRACTIONS.iter().map(|f| {

@@ -1,12 +1,18 @@
 //! Shared utilities for the experiment binaries (one binary per paper
 //! table/figure — see DESIGN.md §4 for the index).
 //!
-//! Environment knobs honoured by every binary:
+//! Environment knobs honoured by every binary (the full table lives in
+//! README "Environment knobs"):
 //!
 //! * `EBTRAIN_FULL=1` — run the full-fidelity configuration (224² inputs,
 //!   all four networks, paper batch sizes). Slow on small machines.
 //! * `EBTRAIN_ITERS`, `EBTRAIN_BATCH` — override iteration counts / batch
 //!   sizes of the training experiments.
+//! * `EBTRAIN_PRETRAIN`, `EBTRAIN_EVAL_EVERY` — fig9's pre-train length
+//!   and eval cadence; `EBTRAIN_EB` / `EBTRAIN_W` / `EBTRAIN_REPS` /
+//!   `EBTRAIN_BUDGET_MIB` are per-binary overrides.
+//! * `RAYON_NUM_THREADS` — worker threads for every parallel path
+//!   (codec chunks, GEMM, fig9 branches); defaults to the core count.
 
 pub mod capture;
 pub mod noisy;

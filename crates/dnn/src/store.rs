@@ -194,6 +194,11 @@ impl CompressedEntry {
 
 /// The paper's policy: compressible slots go through the SZ-style
 /// error-bounded compressor; everything else stays raw.
+///
+/// Since the codec's chunk-framed format (DESIGN.md §3), both the save
+/// (compress) and backward-demand load (decompress) paths fan the
+/// tensor's chunks across worker threads, so the per-iteration codec
+/// overhead shrinks with the core count.
 pub struct CompressedStore {
     slots: HashMap<SlotId, CompressedEntry>,
     acc: Accountant,

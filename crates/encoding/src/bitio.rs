@@ -93,6 +93,39 @@ impl<'a> BitReader<'a> {
         Ok(self.read_bits(1)? as u32)
     }
 
+    /// Peek the next `n` bits (1 ≤ n ≤ 57) without consuming them.
+    ///
+    /// Positions past the end of the buffer read as zero bits, which lets
+    /// a table-driven decoder probe a full window near the end of a
+    /// stream; pair with [`consume`](BitReader::consume), which *does*
+    /// bounds-check, so over-reads surface as errors.
+    pub fn peek_bits(&self, n: u32) -> u64 {
+        debug_assert!((1..=57).contains(&n));
+        let byte = self.pos >> 3;
+        let off = (self.pos & 7) as u32;
+        let acc = if byte + 8 <= self.bytes.len() {
+            u64::from_be_bytes(self.bytes[byte..byte + 8].try_into().unwrap())
+        } else {
+            let mut a = 0u64;
+            for i in 0..8 {
+                a = (a << 8) | *self.bytes.get(byte + i).unwrap_or(&0) as u64;
+            }
+            a
+        };
+        // Dropping the high `off` bits discards already-consumed bits.
+        (acc << off) >> (64 - n)
+    }
+
+    /// Advance the cursor by `n` bits previously inspected via
+    /// [`peek_bits`](BitReader::peek_bits).
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.pos += n as usize;
+        Ok(())
+    }
+
     /// Bits remaining in the buffer (including trailing padding).
     pub fn remaining_bits(&self) -> usize {
         self.bytes.len() * 8 - self.pos
@@ -144,6 +177,25 @@ mod tests {
         assert_eq!(w.bit_len(), 3);
         w.write_bits(0, 13);
         assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101_1011_0101, 11);
+        let bytes = w.finish(); // 2 bytes, 5 padding zero bits
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(11), 0b101_1011_0101);
+        assert_eq!(r.peek_bits(11), 0b101_1011_0101, "peek must not advance");
+        r.consume(3).unwrap();
+        assert_eq!(r.peek_bits(8), 0b1011_0101);
+        // Peeking past the end pads with zeros…
+        r.consume(8).unwrap();
+        assert_eq!(r.remaining_bits(), 5);
+        assert_eq!(r.peek_bits(12), 0);
+        // …but consuming past the end is an error.
+        assert_eq!(r.consume(6), Err(CodecError::UnexpectedEof));
+        assert!(r.consume(5).is_ok());
     }
 
     #[test]

@@ -98,11 +98,14 @@ fn huffman_lengths_once(counts: &[u64]) -> Vec<u8> {
 ///
 /// Returns per-symbol `(code, length)` plus the sorted table used for
 /// decoding. Sorting is `(length, symbol)` as in DEFLATE.
-fn canonical_codes(lengths: &[(u32, u8)]) -> Vec<(u32, u32, u8)> {
+fn canonical_codes(lengths: &[(u32, u8)]) -> Vec<(u32, u64, u8)> {
     let mut sorted: Vec<(u32, u8)> = lengths.to_vec();
     sorted.sort_by_key(|&(sym, len)| (len, sym));
     let mut out = Vec::with_capacity(sorted.len());
-    let mut code = 0u32;
+    // u64: the first length may be up to 32, so the widening shift below
+    // can be 32 bits — and overfull (corrupt) length tables may push the
+    // accumulator past 2^len, which the decoder then detects and rejects.
+    let mut code = 0u64;
     let mut prev_len = 0u8;
     for &(sym, len) in &sorted {
         code <<= len - prev_len;
@@ -113,10 +116,168 @@ fn canonical_codes(lengths: &[(u32, u8)]) -> Vec<(u32, u32, u8)> {
     out
 }
 
+/// Count symbol frequencies, returned sorted by symbol.
+///
+/// Sort-and-run-length counting: cache-friendly and free of per-symbol
+/// hashing, and the result is exactly the order [`Codebook::from_freqs`]
+/// expects. Histograms from independently-processed blocks can be
+/// combined with [`merge_freqs`] before building one shared codebook.
+pub fn count_freqs(symbols: &[u32]) -> Vec<(u32, u64)> {
+    let mut sorted = symbols.to_vec();
+    sorted.sort_unstable();
+    let mut freqs: Vec<(u32, u64)> = Vec::new();
+    for &s in &sorted {
+        match freqs.last_mut() {
+            Some((sym, c)) if *sym == s => *c += 1,
+            _ => freqs.push((s, 1)),
+        }
+    }
+    freqs
+}
+
+/// Merge a symbol-sorted histogram into another (both stay sorted).
+pub fn merge_freqs(into: &mut Vec<(u32, u64)>, other: &[(u32, u64)]) {
+    let a = std::mem::take(into);
+    let mut merged = Vec::with_capacity(a.len() + other.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < other.len() {
+        match (a.get(i), other.get(j)) {
+            (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                merged.push((sa, ca + cb));
+                i += 1;
+                j += 1;
+            }
+            (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                merged.push((sa, ca));
+                i += 1;
+            }
+            (Some(_), Some(&(sb, cb))) => {
+                merged.push((sb, cb));
+                j += 1;
+            }
+            (Some(&(sa, ca)), None) => {
+                merged.push((sa, ca));
+                i += 1;
+            }
+            (None, Some(&(sb, cb))) => {
+                merged.push((sb, cb));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *into = merged;
+}
+
+/// Symbol → `(code, length)` emission lookup.
+enum EmitLut {
+    /// Direct-indexed over `[min_sym, max_sym]` — always the case for
+    /// quantization codes, which live within `2·radius`.
+    Dense { min_sym: u32, table: Vec<(u64, u8)> },
+    /// Fallback for pathologically wide, sparse alphabets.
+    Sparse(HashMap<u32, (u64, u8)>),
+}
+
+/// A canonical Huffman code set shared by any number of encoded blocks
+/// (cuSZ-style: one codebook per tensor, one bitstream per block).
+pub struct Codebook {
+    canon: Vec<(u32, u64, u8)>,
+    emit: EmitLut,
+}
+
+impl Codebook {
+    /// Build the canonical, length-limited code set for a symbol-sorted
+    /// histogram (as produced by [`count_freqs`] / [`merge_freqs`]). An
+    /// empty histogram yields an empty codebook, valid only for empty
+    /// blocks.
+    pub fn from_freqs(freqs: &[(u32, u64)]) -> Codebook {
+        if freqs.is_empty() {
+            return Codebook {
+                canon: Vec::new(),
+                emit: EmitLut::Sparse(HashMap::new()),
+            };
+        }
+        let lengths = build_lengths(freqs);
+        let canon = canonical_codes(&lengths);
+        let min_sym = freqs.first().unwrap().0;
+        let max_sym = freqs.last().unwrap().0;
+        let span = (max_sym - min_sym) as usize + 1;
+        let emit = if span <= (1usize << 17).max(4 * freqs.len()) {
+            let mut table = vec![(0u64, 0u8); span];
+            for &(sym, code, len) in &canon {
+                table[(sym - min_sym) as usize] = (code, len);
+            }
+            EmitLut::Dense { min_sym, table }
+        } else {
+            let mut map = HashMap::with_capacity(canon.len());
+            for &(sym, code, len) in &canon {
+                map.insert(sym, (code, len));
+            }
+            EmitLut::Sparse(map)
+        };
+        Codebook { canon, emit }
+    }
+
+    /// Number of symbols in the codebook.
+    pub fn len(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// True when built from an empty histogram.
+    pub fn is_empty(&self) -> bool {
+        self.canon.is_empty()
+    }
+
+    /// Serialize as `varint table_len · (varint sym, u8 len)*` in
+    /// canonical order, so [`Decoder::deserialize`] rebuilds identically.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        varint::write_usize(out, self.canon.len());
+        for &(sym, _, len) in &self.canon {
+            varint::write_u64(out, sym as u64);
+            out.push(len);
+        }
+    }
+
+    /// Append one block: `varint n_symbols · varint bits_len · bitstream`.
+    ///
+    /// Every symbol must be present in the histogram the codebook was
+    /// built from.
+    pub fn encode_block(&self, symbols: &[u32], out: &mut Vec<u8>) {
+        varint::write_usize(out, symbols.len());
+        self.emit_bits(symbols, out);
+    }
+
+    /// Append `varint bits_len · bitstream` for `symbols`.
+    fn emit_bits(&self, symbols: &[u32], out: &mut Vec<u8>) {
+        let mut bw = BitWriter::new();
+        match &self.emit {
+            EmitLut::Dense { min_sym, table } => {
+                for s in symbols {
+                    debug_assert!(*s >= *min_sym, "symbol {s} not in codebook");
+                    let (code, len) = table[(s - min_sym) as usize];
+                    debug_assert!(len != 0, "symbol {s} not in codebook");
+                    bw.write_bits(code, len as u32);
+                }
+            }
+            EmitLut::Sparse(map) => {
+                for s in symbols {
+                    let (code, len) = map[s];
+                    bw.write_bits(code, len as u32);
+                }
+            }
+        }
+        let bits = bw.finish();
+        varint::write_usize(out, bits.len());
+        out.extend_from_slice(&bits);
+    }
+}
+
 /// Encode `symbols` into a self-describing byte stream.
 ///
 /// Layout: `varint n_symbols · varint table_len · (varint sym, u8 len)* ·
-/// bitstream`. An empty input encodes to the minimal 2-byte header.
+/// varint bits_len · bitstream`. An empty input encodes to the minimal
+/// 2-byte header. For many blocks sharing one table, use [`count_freqs`]
+/// / [`Codebook`] / [`Decoder`] directly.
 pub fn encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
     varint::write_usize(&mut out, symbols.len());
@@ -124,104 +285,214 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         varint::write_usize(&mut out, 0);
         return out;
     }
-    let mut freq: HashMap<u32, u64> = HashMap::new();
-    for &s in symbols {
-        *freq.entry(s).or_insert(0) += 1;
-    }
-    let mut freqs: Vec<(u32, u64)> = freq.into_iter().collect();
-    freqs.sort_unstable_by_key(|&(s, _)| s);
-    let lengths = build_lengths(&freqs);
-    let canon = canonical_codes(&lengths);
-    let mut code_of: HashMap<u32, (u32, u8)> = HashMap::with_capacity(canon.len());
-    for &(sym, code, len) in &canon {
-        code_of.insert(sym, (code, len));
-    }
-    varint::write_usize(&mut out, lengths.len());
-    // Serialize in canonical order so the decoder rebuilds identically.
-    for &(sym, _, len) in &canon {
-        varint::write_u64(&mut out, sym as u64);
-        out.push(len);
-    }
-    let mut bw = BitWriter::new();
-    for s in symbols {
-        let (code, len) = code_of[s];
-        bw.write_bits(code as u64, len as u32);
-    }
-    let bits = bw.finish();
-    varint::write_usize(&mut out, bits.len());
-    out.extend_from_slice(&bits);
+    let codebook = Codebook::from_freqs(&count_freqs(symbols));
+    codebook.serialize(&mut out);
+    codebook.emit_bits(symbols, &mut out);
     out
 }
 
+/// Width of the table-driven decoder's primary lookup table. Every code
+/// of at most this many bits decodes with a single peek + index; longer
+/// (rare, deep-tail) codes fall through to the canonical first-code walk.
+/// 11 bits → a 2 KiB table that stays resident in L1.
+const PRIMARY_BITS: u32 = 11;
+
+/// Prebuilt table-driven canonical decoder, reusable across any number
+/// of blocks encoded against the same [`Codebook`]. Cheap to share
+/// between threads (all state is read-only after construction).
+pub struct Decoder {
+    /// Flat `2^primary_bits` lookup: `(symbol, code length)`; a zero
+    /// length marks an overflow slot (code longer than `primary_bits`).
+    primary: Vec<(u32, u8)>,
+    primary_bits: u32,
+    /// Canonical first-code/first-index walk state for the overflow path.
+    first_code: Vec<u64>,
+    first_index: Vec<usize>,
+    count_per_len: Vec<usize>,
+    symbols_in_order: Vec<u32>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Read a table serialized by [`Codebook::serialize`] and build the
+    /// decoding structures. An empty table yields a decoder valid only
+    /// for empty blocks.
+    pub fn deserialize(bytes: &[u8], pos: &mut usize) -> Result<Decoder> {
+        let table_len = varint::read_usize(bytes, pos)?;
+        // Each serialized table entry is at least 2 bytes; a corrupt
+        // count past that cannot be satisfied, so reject before
+        // reserving memory.
+        if table_len > bytes.len().saturating_sub(*pos) / 2 {
+            return Err(CodecError::Corrupt("table length exceeds stream"));
+        }
+        let mut table: Vec<(u32, u8)> = Vec::with_capacity(table_len);
+        for _ in 0..table_len {
+            let sym = varint::read_u64(bytes, pos)? as u32;
+            let len = *bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+            *pos += 1;
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("invalid code length"));
+            }
+            table.push((sym, len));
+        }
+        if table.is_empty() {
+            return Ok(Decoder {
+                primary: Vec::new(),
+                primary_bits: 0,
+                first_code: Vec::new(),
+                first_index: Vec::new(),
+                count_per_len: Vec::new(),
+                symbols_in_order: Vec::new(),
+                max_len: 0,
+            });
+        }
+        Decoder::build(&canonical_codes(&table))
+    }
+
+    /// True when built from an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.symbols_in_order.is_empty()
+    }
+
+    /// Decode one block appended by [`Codebook::encode_block`], advancing
+    /// `pos` past it.
+    pub fn decode_block(&self, bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+        let n = varint::read_usize(bytes, pos)?;
+        let bits_len = varint::read_usize(bytes, pos)?;
+        // Subtract rather than add: `*pos + bits_len` could wrap.
+        if bits_len > bytes.len() - *pos {
+            return Err(CodecError::UnexpectedEof);
+        }
+        if n == 0 {
+            *pos += bits_len;
+            return Ok(Vec::new());
+        }
+        if self.is_empty() {
+            return Err(CodecError::Corrupt(
+                "empty huffman table for non-empty data",
+            ));
+        }
+        // Every code is at least one bit, so the bitstream bounds the
+        // symbol count; reject corrupt counts before reserving memory.
+        if n > bits_len.saturating_mul(8) {
+            return Err(CodecError::Corrupt("symbol count exceeds bitstream"));
+        }
+        let mut br = BitReader::new(&bytes[*pos..*pos + bits_len]);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_symbol(&mut br)?);
+        }
+        *pos += bits_len;
+        Ok(out)
+    }
+
+    fn build(canon: &[(u32, u64, u8)]) -> Result<Decoder> {
+        let max_len = canon.iter().map(|&(_, _, l)| l).max().unwrap() as u32;
+        // A canonically-assigned code must fit in its own length; an
+        // overfull (Kraft-violating) length table walks past that.
+        for &(_, code, len) in canon {
+            if code >= 1u64 << len {
+                return Err(CodecError::Corrupt("overfull huffman code set"));
+            }
+        }
+        let mut first_code = vec![0u64; max_len as usize + 2];
+        let mut first_index = vec![0usize; max_len as usize + 2];
+        let mut count_per_len = vec![0usize; max_len as usize + 1];
+        for &(_, _, l) in canon {
+            count_per_len[l as usize] += 1;
+        }
+        {
+            let mut code = 0u64;
+            let mut index = 0usize;
+            for len in 1..=max_len as usize {
+                first_code[len] = code;
+                first_index[len] = index;
+                code = (code + count_per_len[len] as u64) << 1;
+                index += count_per_len[len];
+            }
+        }
+        let primary_bits = max_len.min(PRIMARY_BITS);
+        let mut primary = vec![(0u32, 0u8); 1usize << primary_bits];
+        for &(sym, code, len) in canon {
+            if len as u32 <= primary_bits {
+                // Fill every slot whose top `len` bits equal `code`.
+                let base = (code as usize) << (primary_bits - len as u32);
+                let span = 1usize << (primary_bits - len as u32);
+                for slot in &mut primary[base..base + span] {
+                    *slot = (sym, len);
+                }
+            }
+        }
+        Ok(Decoder {
+            primary,
+            primary_bits,
+            first_code,
+            first_index,
+            count_per_len,
+            symbols_in_order: canon.iter().map(|&(s, _, _)| s).collect(),
+            max_len,
+        })
+    }
+
+    /// Decode one symbol: primary-table fast path, canonical walk for
+    /// codes longer than `primary_bits`.
+    #[inline]
+    fn decode_symbol(&self, br: &mut BitReader<'_>) -> Result<u32> {
+        let window = br.peek_bits(self.primary_bits) as usize;
+        let (sym, len) = self.primary[window];
+        if len != 0 {
+            br.consume(len as u32)?;
+            return Ok(sym);
+        }
+        // Overflow (code deeper than the primary table): canonical
+        // first-code walk over the remaining lengths, re-peeking the
+        // widening window instead of pulling single bits.
+        for len in (self.primary_bits + 1)..=self.max_len {
+            let code = br.peek_bits(len);
+            let offset = code.wrapping_sub(self.first_code[len as usize]);
+            if self.count_per_len[len as usize] > 0
+                && code >= self.first_code[len as usize]
+                && (offset as usize) < self.count_per_len[len as usize]
+            {
+                br.consume(len)?;
+                return Ok(self.symbols_in_order[self.first_index[len as usize] + offset as usize]);
+            }
+        }
+        Err(CodecError::Corrupt("code longer than table max"))
+    }
+}
+
 /// Decode a stream produced by [`encode`].
+///
+/// Table-driven: the canonical code set is expanded once into a flat
+/// 11-bit primary lookup table, so the per-symbol cost is a single peek
+/// + table index instead of a bit-by-bit tree walk.
 pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     let mut pos = 0usize;
     let n = varint::read_usize(bytes, &mut pos)?;
-    let table_len = varint::read_usize(bytes, &mut pos)?;
+    let decoder = Decoder::deserialize(bytes, &mut pos)?;
     if n == 0 {
         return Ok(Vec::new());
     }
-    if table_len == 0 {
+    if decoder.is_empty() {
         return Err(CodecError::Corrupt(
             "empty huffman table for non-empty data",
         ));
     }
-    let mut table: Vec<(u32, u8)> = Vec::with_capacity(table_len);
-    for _ in 0..table_len {
-        let sym = varint::read_u64(bytes, &mut pos)? as u32;
-        let len = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
-        pos += 1;
-        if len == 0 || len > MAX_CODE_LEN {
-            return Err(CodecError::Corrupt("invalid code length"));
-        }
-        table.push((sym, len));
-    }
-    let canon = canonical_codes(&table);
-    // Canonical decoding: for each length, the first code value and the
-    // index of its first symbol in canonical order.
-    let max_len = canon.iter().map(|&(_, _, l)| l).max().unwrap() as u32;
-    let mut first_code = vec![0u64; max_len as usize + 2];
-    let mut first_index = vec![0usize; max_len as usize + 2];
-    let mut count_per_len = vec![0usize; max_len as usize + 1];
-    for &(_, _, l) in &canon {
-        count_per_len[l as usize] += 1;
-    }
-    {
-        let mut code = 0u64;
-        let mut index = 0usize;
-        for len in 1..=max_len as usize {
-            first_code[len] = code;
-            first_index[len] = index;
-            code = (code + count_per_len[len] as u64) << 1;
-            index += count_per_len[len];
-        }
-    }
-    let symbols_in_order: Vec<u32> = canon.iter().map(|&(s, _, _)| s).collect();
-
     let bits_len = varint::read_usize(bytes, &mut pos)?;
-    if pos + bits_len > bytes.len() {
+    // Subtract rather than add: `pos + bits_len` could wrap.
+    if bits_len > bytes.len() - pos {
         return Err(CodecError::UnexpectedEof);
+    }
+    // Every code is at least one bit, so the bitstream bounds the symbol
+    // count; reject corrupt counts before reserving memory.
+    if n > bits_len.saturating_mul(8) {
+        return Err(CodecError::Corrupt("symbol count exceeds bitstream"));
     }
     let mut br = BitReader::new(&bytes[pos..pos + bits_len]);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let mut code = 0u64;
-        let mut len = 0usize;
-        loop {
-            code = (code << 1) | br.read_bit()? as u64;
-            len += 1;
-            if len > max_len as usize {
-                return Err(CodecError::Corrupt("code longer than table max"));
-            }
-            let offset = code.wrapping_sub(first_code[len]);
-            if count_per_len[len] > 0
-                && code >= first_code[len]
-                && (offset as usize) < count_per_len[len]
-            {
-                out.push(symbols_in_order[first_index[len] + offset as usize]);
-                break;
-            }
-        }
+        out.push(decoder.decode_symbol(&mut br)?);
     }
     Ok(out)
 }
@@ -289,6 +560,75 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let data: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..65_536)).collect();
         assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn shared_codebook_blocks_roundtrip() {
+        // Many blocks, one table — the cuSZ-style layout the sz codec
+        // uses for its chunk frames.
+        let mut rng = StdRng::seed_from_u64(21);
+        let blocks: Vec<Vec<u32>> = (0..5)
+            .map(|b| {
+                (0..2000)
+                    .map(|_| {
+                        if rng.gen_bool(0.8) {
+                            500
+                        } else {
+                            rng.gen_range(0..(b as u32 + 2) * 100)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut freqs = Vec::new();
+        for b in &blocks {
+            merge_freqs(&mut freqs, &count_freqs(b));
+        }
+        let codebook = Codebook::from_freqs(&freqs);
+        let mut stream = Vec::new();
+        codebook.serialize(&mut stream);
+        for b in &blocks {
+            codebook.encode_block(b, &mut stream);
+        }
+        codebook.encode_block(&[], &mut stream); // empty block is legal
+
+        let mut pos = 0usize;
+        let decoder = Decoder::deserialize(&stream, &mut pos).unwrap();
+        for b in &blocks {
+            assert_eq!(&decoder.decode_block(&stream, &mut pos).unwrap(), b);
+        }
+        assert_eq!(
+            decoder.decode_block(&stream, &mut pos).unwrap(),
+            Vec::<u32>::new()
+        );
+        assert_eq!(pos, stream.len());
+    }
+
+    #[test]
+    fn decode_block_rejects_wrapping_bits_len() {
+        // A bits_len varint near u64::MAX must not wrap the bounds
+        // check into a panicking slice.
+        let cb = Codebook::from_freqs(&count_freqs(&[5, 5, 9]));
+        let mut stream = Vec::new();
+        cb.serialize(&mut stream);
+        let mut pos = 0usize;
+        let dec = Decoder::deserialize(&stream, &mut pos).unwrap();
+        let mut block = Vec::new();
+        varint::write_usize(&mut block, 1); // n_symbols
+        varint::write_u64(&mut block, u64::MAX - 1); // bits_len
+        let mut bpos = 0usize;
+        assert!(dec.decode_block(&block, &mut bpos).is_err());
+    }
+
+    #[test]
+    fn merge_freqs_is_a_sorted_multiset_union() {
+        let mut a = count_freqs(&[1, 1, 5, 9]);
+        let b = count_freqs(&[0, 1, 9, 9, 12]);
+        merge_freqs(&mut a, &b);
+        assert_eq!(a, vec![(0, 1), (1, 3), (5, 1), (9, 3), (12, 1)]);
+        let mut empty = Vec::new();
+        merge_freqs(&mut empty, &a);
+        assert_eq!(empty, a);
     }
 
     #[test]

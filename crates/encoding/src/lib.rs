@@ -5,7 +5,9 @@
 //! * [`bitio`] — MSB-first bit reader/writer over byte buffers.
 //! * [`huffman`] — canonical, length-limited Huffman codec over `u32`
 //!   symbol alphabets (quantization codes in `ebtrain-sz`, RLE tokens in
-//!   `ebtrain-imgcomp`).
+//!   `ebtrain-imgcomp`), with a table-driven decoder and a
+//!   shared-codebook/many-blocks API (`Codebook` / `Decoder`) for
+//!   block-parallel formats.
 //! * [`lz`] — an LZ4-style greedy byte compressor, used as the final
 //!   lossless stage (SZ applies a general-purpose lossless pass after
 //!   Huffman; cuSZ relies on Huffman + run collapsing — both are modelled

@@ -111,7 +111,9 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>> {
     let mut pos = 0usize;
     let n = varint::read_usize(bytes, &mut pos)?;
-    let mut out = Vec::with_capacity(n);
+    // Cap the up-front reservation: a corrupt size claim should fail via
+    // the overrun checks below, not by reserving the claimed bytes.
+    let mut out = Vec::with_capacity(n.min(bytes.len().saturating_mul(256)));
     if n == 0 {
         return Ok(out);
     }

@@ -1,61 +1,53 @@
-//! Block-parallel compression — cuSZ's architectural core.
+//! Chunk geometry for block-parallel compression — cuSZ's architectural
+//! core.
 //!
 //! cuSZ achieves GPU throughput by splitting the tensor into blocks that
 //! compress *independently* (prediction state never crosses a block
 //! boundary), trading a little ratio (each block restarts its predictor
-//! and carries its own header/Huffman table) for embarrassing
-//! parallelism. This module reproduces that design on CPU threads via
-//! rayon: on a many-core machine, compression of a large activation
-//! tensor scales with cores; the error contract is untouched because it
-//! is a per-element property.
+//! and carries its own outlier list and Huffman table) for embarrassing
+//! parallelism. Since format version 2 this is how [`crate::compress`]
+//! itself works: the codec consults this module's `chunk_layouts` to
+//! split the volume into plane-aligned chunks, codes each chunk into a
+//! self-delimiting frame on a worker thread, and concatenates frames in
+//! order — so the stream is byte-identical no matter how many threads
+//! ran. The error contract is untouched because it is a per-element
+//! property.
+//!
+//! This module owns the geometry (how a [`DataLayout`] splits) and the
+//! explicit-block-size entry point [`compress_blocked`]; the framing
+//! itself lives in the codec.
 
-use crate::{compress, decompress, CompressedBuffer, DataLayout, Result, SzConfig, SzError};
-use rayon::prelude::*;
+use crate::{compress, CompressedBuffer, DataLayout, Result, SzConfig};
 
-/// A tensor compressed as independent blocks.
-#[derive(Debug, Clone)]
-pub struct BlockedBuffer {
-    chunks: Vec<CompressedBuffer>,
-    layout: DataLayout,
-}
+/// Auto-chunking target: roughly this many elements per chunk. Small
+/// enough that a 64 KiB activation volume still splits into several
+/// parallel frames, large enough that per-chunk header/table overhead
+/// stays negligible.
+const CHUNK_TARGET_ELEMS: usize = 4096;
 
-impl BlockedBuffer {
-    /// Total compressed bytes across chunks.
-    pub fn compressed_byte_len(&self) -> usize {
-        self.chunks.iter().map(|c| c.compressed_byte_len()).sum()
-    }
-
-    /// Original f32 bytes.
-    pub fn original_byte_len(&self) -> usize {
-        self.layout.len() * 4
-    }
-
-    /// Compression ratio.
-    pub fn ratio(&self) -> f64 {
-        let c = self.compressed_byte_len();
-        if c == 0 {
-            1.0
-        } else {
-            self.original_byte_len() as f64 / c as f64
-        }
-    }
-
-    /// Number of independent blocks.
-    pub fn num_blocks(&self) -> usize {
-        self.chunks.len()
+/// Number of chunks [`chunk_layouts`] would produce, computed without
+/// materializing the list (the decoder validates untrusted headers with
+/// this before allocating anything).
+pub(crate) fn chunk_count(layout: DataLayout, block_planes: usize) -> usize {
+    let bp = block_planes.max(1);
+    match layout {
+        DataLayout::D1(n) => n.div_ceil(bp.saturating_mul(4096)),
+        DataLayout::D2(h, _) => h.div_ceil(bp),
+        DataLayout::D3(a, _, _) => a.div_ceil(bp),
     }
 }
 
 /// Split a layout into plane-aligned chunks of at most `block_planes`
 /// leading-dimension slices, with the element offset of each.
-fn chunk_layouts(layout: DataLayout, block_planes: usize) -> Vec<(usize, DataLayout)> {
+pub(crate) fn chunk_layouts(layout: DataLayout, block_planes: usize) -> Vec<(usize, DataLayout)> {
     let bp = block_planes.max(1);
     match layout {
         DataLayout::D1(n) => {
             // Interpret block_planes as rows of an implicit [rows, 4096]
-            // split — for 1-D just chunk by bp*4096 elements.
-            let chunk = bp * 4096;
-            (0..n.div_ceil(chunk.max(1)))
+            // split — for 1-D just chunk by bp*4096 elements. Saturating:
+            // a decoder-supplied bp must not wrap the multiply.
+            let chunk = bp.saturating_mul(4096);
+            (0..n.div_ceil(chunk))
                 .map(|i| {
                     let lo = i * chunk;
                     (lo, DataLayout::D1((n - lo).min(chunk)))
@@ -77,51 +69,41 @@ fn chunk_layouts(layout: DataLayout, block_planes: usize) -> Vec<(usize, DataLay
     }
 }
 
-/// Compress `data` as independent blocks of `block_planes` leading
-/// slices, in parallel.
-pub fn compress_parallel(
+/// Default `block_planes` for a layout: the smallest slice count whose
+/// chunks hold at least [`CHUNK_TARGET_ELEMS`] elements.
+pub(crate) fn auto_block_planes(layout: &DataLayout) -> usize {
+    let plane_elems = match *layout {
+        // 1-D chunks by bp*4096 elements, so one "plane" is 4096 elements.
+        DataLayout::D1(_) => 4096,
+        DataLayout::D2(_, w) => w,
+        DataLayout::D3(_, b, c) => b * c,
+    };
+    CHUNK_TARGET_ELEMS.div_ceil(plane_elems.max(1))
+}
+
+/// Compress with an explicit block size instead of the automatic one:
+/// `block_planes` leading-dimension slices per independently-coded chunk.
+///
+/// Equivalent to setting [`SzConfig::chunk_planes`]; the returned stream
+/// is an ordinary framed [`CompressedBuffer`] that any of the decompress
+/// entry points accepts.
+pub fn compress_blocked(
     data: &[f32],
     layout: DataLayout,
     config: &SzConfig,
     block_planes: usize,
-) -> Result<BlockedBuffer> {
-    config.validate()?;
-    if layout.len() != data.len() {
-        return Err(SzError::LayoutMismatch {
-            layout: layout.len(),
-            data: data.len(),
-        });
-    }
-    let chunks_meta = chunk_layouts(layout, block_planes);
-    let chunks: Result<Vec<CompressedBuffer>> = chunks_meta
-        .par_iter()
-        .map(|&(off, chunk_layout)| {
-            compress(&data[off..off + chunk_layout.len()], chunk_layout, config)
-        })
-        .collect();
-    Ok(BlockedBuffer {
-        chunks: chunks?,
-        layout,
-    })
-}
-
-/// Decompress a [`BlockedBuffer`] (blocks in parallel, then concatenate).
-pub fn decompress_parallel(buffer: &BlockedBuffer) -> Result<Vec<f32>> {
-    let parts: Result<Vec<Vec<f32>>> = buffer.chunks.par_iter().map(decompress).collect();
-    let parts = parts?;
-    let mut out = Vec::with_capacity(buffer.layout.len());
-    for p in parts {
-        out.extend_from_slice(&p);
-    }
-    if out.len() != buffer.layout.len() {
-        return Err(SzError::Corrupt("blocked length mismatch".into()));
-    }
-    Ok(out)
+) -> Result<CompressedBuffer> {
+    let cfg = SzConfig {
+        chunk_planes: Some(block_planes.max(1)),
+        ..*config
+    };
+    compress(data, layout, &cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{decompress, decompress_serial};
 
     fn volume(a: usize, b: usize, c: usize) -> Vec<f32> {
         (0..a * b * c)
@@ -148,21 +130,31 @@ mod tests {
     }
 
     #[test]
+    fn auto_block_planes_hits_the_target_grain() {
+        // Small planes coalesce, huge planes stay one per chunk.
+        assert_eq!(auto_block_planes(&DataLayout::D3(16, 32, 32)), 4);
+        assert_eq!(auto_block_planes(&DataLayout::D3(8, 128, 128)), 1);
+        assert_eq!(auto_block_planes(&DataLayout::D2(1000, 10)), 410);
+        assert_eq!(auto_block_planes(&DataLayout::D1(1 << 20)), 1);
+    }
+
+    #[test]
     fn blocked_roundtrip_honours_error_bound() {
         let data = volume(12, 16, 16);
         let eb = 1e-3f32;
         for bp in [1usize, 4, 100] {
-            let buf = compress_parallel(
+            let buf = compress_blocked(
                 &data,
                 DataLayout::D3(12, 16, 16),
                 &SzConfig::vanilla(eb),
                 bp,
             )
             .unwrap();
-            let out = decompress_parallel(&buf).unwrap();
-            assert_eq!(out.len(), data.len());
-            for (x, y) in data.iter().zip(&out) {
-                assert!((x - y).abs() <= eb);
+            for out in [decompress(&buf).unwrap(), decompress_serial(&buf).unwrap()] {
+                assert_eq!(out.len(), data.len());
+                for (x, y) in data.iter().zip(&out) {
+                    assert!((x - y).abs() <= eb);
+                }
             }
         }
     }
@@ -170,17 +162,17 @@ mod tests {
     #[test]
     fn block_count_matches_geometry() {
         let data = volume(12, 8, 8);
-        let buf = compress_parallel(&data, DataLayout::D3(12, 8, 8), &SzConfig::vanilla(1e-3), 4)
-            .unwrap();
-        assert_eq!(buf.num_blocks(), 3);
-        let buf1 = compress_parallel(
+        let buf =
+            compress_blocked(&data, DataLayout::D3(12, 8, 8), &SzConfig::vanilla(1e-3), 4).unwrap();
+        assert_eq!(buf.num_chunks(), 3);
+        let buf1 = compress_blocked(
             &data,
             DataLayout::D3(12, 8, 8),
             &SzConfig::vanilla(1e-3),
             100,
         )
         .unwrap();
-        assert_eq!(buf1.num_blocks(), 1);
+        assert_eq!(buf1.num_chunks(), 1);
     }
 
     #[test]
@@ -188,14 +180,14 @@ mod tests {
         // Independent blocks restart prediction and duplicate tables; the
         // loss should stay small on real-sized tensors.
         let data = volume(32, 32, 32);
-        let whole = compress_parallel(
+        let whole = compress_blocked(
             &data,
             DataLayout::D3(32, 32, 32),
             &SzConfig::vanilla(1e-3),
             1000,
         )
         .unwrap();
-        let blocked = compress_parallel(
+        let blocked = compress_blocked(
             &data,
             DataLayout::D3(32, 32, 32),
             &SzConfig::vanilla(1e-3),
@@ -211,16 +203,20 @@ mod tests {
     }
 
     #[test]
-    fn blocked_equals_unblocked_when_single_chunk() {
-        let data = volume(4, 8, 8);
+    fn explicit_blocking_matches_config_field() {
+        let data = volume(8, 8, 8);
         let cfg = SzConfig::with_error_bound(1e-3);
-        let whole = compress(&data, DataLayout::D3(4, 8, 8), &cfg).unwrap();
-        let blocked = compress_parallel(&data, DataLayout::D3(4, 8, 8), &cfg, 100).unwrap();
-        assert_eq!(blocked.num_blocks(), 1);
-        assert_eq!(blocked.compressed_byte_len(), whole.compressed_byte_len());
-        assert_eq!(
-            decompress_parallel(&blocked).unwrap(),
-            decompress(&whole).unwrap()
-        );
+        let via_fn = compress_blocked(&data, DataLayout::D3(8, 8, 8), &cfg, 2).unwrap();
+        let via_cfg = compress(
+            &data,
+            DataLayout::D3(8, 8, 8),
+            &SzConfig {
+                chunk_planes: Some(2),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(via_fn.as_bytes(), via_cfg.as_bytes());
+        assert_eq!(via_fn.num_chunks(), 4);
     }
 }

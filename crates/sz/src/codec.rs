@@ -1,8 +1,23 @@
-//! The compression pipeline: predict → quantize → entropy-code.
+//! The compression pipeline: chunk → predict → quantize → entropy-code.
+//!
+//! Since format version 2 the stream is a **chunked container**: the
+//! volume is split into plane-aligned chunks (see [`crate::blocks`]) that
+//! are predicted, quantized and entropy-coded *independently*, each in a
+//! self-delimiting length-prefixed frame. As in cuSZ, all chunks share
+//! **one** Huffman codebook (histograms are gathered per chunk in
+//! parallel, merged, and the code set built once), while each frame
+//! carries its own outlier list and bitstream — so both [`compress`] and
+//! [`decompress`] fan chunks out across threads without paying a
+//! per-chunk table. Chunk boundaries depend only on the layout and
+//! configuration, never on thread count, so parallel and serial encodes
+//! are bit-identical (see [`compress_serial`]). The full byte layout,
+//! old and new, is documented in `DESIGN.md` §3.
 
+use crate::blocks::{auto_block_planes, chunk_count, chunk_layouts};
 use crate::predictor::{predict, predict_i64, Predictor};
 use crate::{DataLayout, QuantMode, Result, SzConfig, SzError};
 use ebtrain_encoding::{huffman, lz, varint};
+use rayon::prelude::*;
 
 /// Integer-grid clamp for dual-quantization: keeps 3-D Lorenzo sums (7
 /// terms) far from i64 overflow while covering any realistic value/eb
@@ -10,23 +25,12 @@ use ebtrain_encoding::{huffman, lz, varint};
 /// stored as outliers.
 const GRID_CLAMP: f64 = (1u64 << 40) as f64;
 
-/// Deterministic integer-grid mapping shared by encoder and decoder (the
-/// decoder recomputes grid values of outliers from their exact bytes).
-#[inline]
-fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
-    if !x.is_finite() {
-        return None;
-    }
-    let q = (x as f64 / two_eb as f64).round();
-    if q.is_finite() && q.abs() < GRID_CLAMP {
-        Some(q as i64)
-    } else {
-        None
-    }
-}
-
-/// Stream magic: "Z1".
-const MAGIC: [u8; 2] = [0x5A, 0x31];
+/// Legacy (format 1) stream magic: "Z1" — a single monolithic body.
+const MAGIC_V1: [u8; 2] = [0x5A, 0x31];
+/// Chunk-framed stream magic: "Z2", followed by a format-version byte.
+const MAGIC_V2: [u8; 2] = [0x5A, 0x32];
+/// Current format version written after [`MAGIC_V2`].
+const FORMAT_VERSION: u8 = 2;
 
 /// An owned, self-describing compressed tensor.
 ///
@@ -39,6 +43,7 @@ const MAGIC: [u8; 2] = [0x5A, 0x31];
 pub struct CompressedBuffer {
     bytes: Vec<u8>,
     original_len: usize,
+    num_chunks: usize,
 }
 
 impl CompressedBuffer {
@@ -57,6 +62,12 @@ impl CompressedBuffer {
         self.original_len
     }
 
+    /// Number of independently-coded chunk frames in the stream (legacy
+    /// single-body streams count as one chunk).
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
     /// Compression ratio `original / compressed` (∞-safe: ≥ 0).
     pub fn ratio(&self) -> f64 {
         if self.bytes.is_empty() {
@@ -70,41 +81,169 @@ impl CompressedBuffer {
         &self.bytes
     }
 
-    /// Rebuild from a raw stream (validates the header).
+    /// Rebuild from a raw stream, validating the full header (both the
+    /// current framed format and the legacy `Z1` layout are accepted).
+    ///
+    /// ```
+    /// use ebtrain_sz::{compress, decompress, CompressedBuffer, DataLayout, SzConfig};
+    ///
+    /// let data = vec![0.5f32; 64];
+    /// let buf = compress(&data, DataLayout::D1(64), &SzConfig::with_error_bound(1e-3)).unwrap();
+    /// let rebuilt = CompressedBuffer::from_bytes(buf.as_bytes().to_vec()).unwrap();
+    /// assert_eq!(rebuilt.original_len(), 64);
+    /// assert_eq!(decompress(&rebuilt).unwrap(), decompress(&buf).unwrap());
+    /// assert!(CompressedBuffer::from_bytes(vec![1, 2, 3]).is_err());
+    /// ```
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
-        if bytes.len() < 2 || bytes[0..2] != MAGIC {
-            return Err(SzError::Corrupt("bad magic".into()));
-        }
-        let mut pos = 2usize;
-        let n =
-            varint::read_usize(&bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))?;
+        let header = parse_header(&bytes)?;
         Ok(CompressedBuffer {
+            original_len: header.n,
+            num_chunks: header.n_chunks,
             bytes,
-            original_len: n,
         })
     }
 }
 
-/// Compress `data` under `layout` with `config`.
-///
-/// See the crate docs for the error contract. `data` may contain any
-/// finite or non-finite values; non-finite values are stored bit-exact as
-/// outliers.
-pub fn compress(data: &[f32], layout: DataLayout, config: &SzConfig) -> Result<CompressedBuffer> {
-    config.validate()?;
-    if layout.len() != data.len() {
-        return Err(SzError::LayoutMismatch {
-            layout: layout.len(),
-            data: data.len(),
-        });
+/// Parsed stream header, shared by both format versions.
+struct Header {
+    n: usize,
+    eb: f32,
+    predictor: Predictor,
+    layout: DataLayout,
+    radius: i64,
+    zero_filter: bool,
+    quant_mode: QuantMode,
+    /// Chunking parameter (leading-dimension slices per chunk). Legacy
+    /// streams carry the whole volume in one implicit chunk.
+    block_planes: usize,
+    /// Number of chunk frames following the header.
+    n_chunks: usize,
+    /// Byte offset of the first frame (legacy: of the single body).
+    body_off: usize,
+    legacy: bool,
+}
+
+fn corrupt(msg: &str) -> SzError {
+    SzError::Corrupt(msg.to_string())
+}
+
+fn rd_usize(bytes: &[u8], pos: &mut usize) -> Result<usize> {
+    varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()))
+}
+
+/// Parse a `Z1` or `Z2` header; everything after `body_off` is payload.
+fn parse_header(bytes: &[u8]) -> Result<Header> {
+    if bytes.len() < 2 {
+        return Err(corrupt("bad magic"));
     }
+    let legacy = match [bytes[0], bytes[1]] {
+        MAGIC_V1 => true,
+        MAGIC_V2 => false,
+        _ => return Err(corrupt("bad magic")),
+    };
+    let mut pos = 2usize;
+    if !legacy {
+        let version = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
+        pos += 1;
+        if version != FORMAT_VERSION {
+            return Err(corrupt("unsupported format version"));
+        }
+    }
+    let n = rd_usize(bytes, &mut pos)?;
+    if pos + 4 > bytes.len() {
+        return Err(corrupt("truncated header"));
+    }
+    let eb = f32::from_bits(u32::from_le_bytes([
+        bytes[pos],
+        bytes[pos + 1],
+        bytes[pos + 2],
+        bytes[pos + 3],
+    ]));
+    pos += 4;
+    let predictor = Predictor::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
+        .ok_or_else(|| corrupt("bad predictor tag"))?;
+    pos += 1;
+    let ndims = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
+    pos += 1;
+    let layout = match ndims {
+        1 => DataLayout::D1(rd_usize(bytes, &mut pos)?),
+        2 => {
+            let a = rd_usize(bytes, &mut pos)?;
+            let b = rd_usize(bytes, &mut pos)?;
+            DataLayout::D2(a, b)
+        }
+        3 => {
+            let a = rd_usize(bytes, &mut pos)?;
+            let b = rd_usize(bytes, &mut pos)?;
+            let c = rd_usize(bytes, &mut pos)?;
+            DataLayout::D3(a, b, c)
+        }
+        _ => return Err(corrupt("bad layout dims")),
+    };
+    // checked: the dims come from the untrusted stream.
+    if layout.checked_len() != Some(n) {
+        return Err(corrupt("layout/len mismatch"));
+    }
+    let radius = varint::read_u64(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))?;
+    // The encoder writes a u32 radius; anything wider is corrupt (and
+    // would make the `code - radius` arithmetic below overflow-prone).
+    if radius == 0 || radius > u32::MAX as u64 {
+        return Err(corrupt("bad radius"));
+    }
+    let radius = radius as i64;
+    let zero_filter = *bytes.get(pos).ok_or_else(|| corrupt("eof"))? != 0;
+    pos += 1;
+    let quant_mode = QuantMode::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
+        .ok_or_else(|| corrupt("bad quant mode"))?;
+    pos += 1;
+    let (block_planes, n_chunks) = if legacy {
+        (usize::MAX, 1)
+    } else {
+        let bp = rd_usize(bytes, &mut pos)?;
+        if bp == 0 {
+            return Err(corrupt("zero block_planes"));
+        }
+        let n_chunks = rd_usize(bytes, &mut pos)?;
+        // Computed arithmetically — materializing the chunk list before
+        // the count is validated would let a ~30-byte header drive an
+        // unbounded allocation.
+        let expect = chunk_count(layout, bp);
+        if n_chunks != expect {
+            return Err(corrupt("chunk count does not match geometry"));
+        }
+        // Every frame costs at least one length byte, so the stream
+        // bounds the chunk count.
+        if n_chunks > bytes.len() - pos {
+            return Err(corrupt("chunk count exceeds stream"));
+        }
+        (bp, n_chunks)
+    };
+    Ok(Header {
+        n,
+        eb,
+        predictor,
+        layout,
+        radius,
+        zero_filter,
+        quant_mode,
+        block_planes,
+        n_chunks,
+        body_off: pos,
+        legacy,
+    })
+}
+
+/// Predict + quantize one chunk into `(quantization codes, outliers)`.
+fn quantize_chunk(
+    data: &[f32],
+    layout: DataLayout,
+    predictor: Predictor,
+    config: &SzConfig,
+) -> (Vec<u32>, Vec<u32>) {
     let n = data.len();
     let eb = config.error_bound;
     let two_eb = 2.0 * eb;
     let radius = config.radius as i64;
-    let predictor = config
-        .predictor
-        .unwrap_or_else(|| Predictor::for_layout(&layout));
 
     let mut codes: Vec<u32> = Vec::with_capacity(n);
     let mut outliers: Vec<u32> = Vec::new();
@@ -166,132 +305,92 @@ pub fn compress(data: &[f32], layout: DataLayout, config: &SzConfig) -> Result<C
         }
     }
 
-    let huff = huffman::encode(&codes);
-    let payload = lz::compress(&huff);
-
-    let mut bytes = Vec::with_capacity(payload.len() + outliers.len() * 4 + 32);
-    bytes.extend_from_slice(&MAGIC);
-    varint::write_usize(&mut bytes, n);
-    bytes.extend_from_slice(&eb.to_bits().to_le_bytes());
-    bytes.push(predictor.tag());
-    match layout {
-        DataLayout::D1(a) => {
-            bytes.push(1);
-            varint::write_usize(&mut bytes, a);
-        }
-        DataLayout::D2(a, b) => {
-            bytes.push(2);
-            varint::write_usize(&mut bytes, a);
-            varint::write_usize(&mut bytes, b);
-        }
-        DataLayout::D3(a, b, c) => {
-            bytes.push(3);
-            varint::write_usize(&mut bytes, a);
-            varint::write_usize(&mut bytes, b);
-            varint::write_usize(&mut bytes, c);
-        }
-    }
-    varint::write_u64(&mut bytes, config.radius as u64);
-    bytes.push(config.zero_filter as u8);
-    bytes.push(config.quant_mode.tag());
-    varint::write_usize(&mut bytes, outliers.len());
-    for o in &outliers {
-        bytes.extend_from_slice(&o.to_le_bytes());
-    }
-    varint::write_usize(&mut bytes, payload.len());
-    bytes.extend_from_slice(&payload);
-
-    Ok(CompressedBuffer {
-        bytes,
-        original_len: n,
-    })
+    (codes, outliers)
 }
 
-/// Decompress a [`CompressedBuffer`] back to f32 values.
-pub fn decompress(buffer: &CompressedBuffer) -> Result<Vec<f32>> {
-    decompress_bytes(&buffer.bytes)
+/// Entropy-code one quantized chunk against the shared codebook into a
+/// self-contained frame body:
+/// `varint n_outliers · u32le outlier bits · varint payload_len · payload`,
+/// where the payload is the LZ pass over the chunk's Huffman block.
+fn encode_frame(codes: &[u32], outliers: &[u32], codebook: &huffman::Codebook) -> Vec<u8> {
+    let mut block = Vec::new();
+    codebook.encode_block(codes, &mut block);
+    let payload = lz::compress(&block);
+
+    let mut frame = Vec::with_capacity(payload.len() + outliers.len() * 4 + 16);
+    varint::write_usize(&mut frame, outliers.len());
+    for o in outliers {
+        frame.extend_from_slice(&o.to_le_bytes());
+    }
+    varint::write_usize(&mut frame, payload.len());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
-/// Decompress a raw stream.
-pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
-    let corrupt = |msg: &str| SzError::Corrupt(msg.to_string());
-    if bytes.len() < 2 || bytes[0..2] != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
-    let mut pos = 2usize;
-    let rd_usize = |bytes: &[u8], pos: &mut usize| {
-        varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()))
-    };
-    let n = rd_usize(bytes, &mut pos)?;
-    if pos + 4 > bytes.len() {
-        return Err(corrupt("truncated header"));
-    }
-    let eb = f32::from_bits(u32::from_le_bytes([
-        bytes[pos],
-        bytes[pos + 1],
-        bytes[pos + 2],
-        bytes[pos + 3],
-    ]));
-    pos += 4;
-    let predictor = Predictor::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
-        .ok_or_else(|| corrupt("bad predictor tag"))?;
-    pos += 1;
-    let ndims = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
-    pos += 1;
-    let layout = match ndims {
-        1 => DataLayout::D1(rd_usize(bytes, &mut pos)?),
-        2 => {
-            let a = rd_usize(bytes, &mut pos)?;
-            let b = rd_usize(bytes, &mut pos)?;
-            DataLayout::D2(a, b)
-        }
-        3 => {
-            let a = rd_usize(bytes, &mut pos)?;
-            let b = rd_usize(bytes, &mut pos)?;
-            let c = rd_usize(bytes, &mut pos)?;
-            DataLayout::D3(a, b, c)
-        }
-        _ => return Err(corrupt("bad layout dims")),
-    };
-    if layout.len() != n {
-        return Err(corrupt("layout/len mismatch"));
-    }
-    let radius =
-        varint::read_u64(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))? as i64;
-    let zero_filter = *bytes.get(pos).ok_or_else(|| corrupt("eof"))? != 0;
-    pos += 1;
-    let quant_mode = QuantMode::from_tag(*bytes.get(pos).ok_or_else(|| corrupt("eof"))?)
-        .ok_or_else(|| corrupt("bad quant mode"))?;
-    pos += 1;
-    let n_outliers = rd_usize(bytes, &mut pos)?;
-    if pos + n_outliers * 4 > bytes.len() {
+/// Decode one frame body back into `layout.len()` f32 values. With a
+/// shared `decoder` the payload holds a table-less Huffman block (format
+/// 2); without one it is a legacy self-contained stream. `strict`
+/// rejects trailing bytes after the payload (framed streams are exact;
+/// the legacy body is parsed leniently, as the old decoder did).
+fn decode_chunk(
+    frame: &[u8],
+    layout: DataLayout,
+    header: &Header,
+    decoder: Option<&huffman::Decoder>,
+    strict: bool,
+) -> Result<Vec<f32>> {
+    let n = layout.len();
+    let mut pos = 0usize;
+    let n_outliers = rd_usize(frame, &mut pos)?;
+    // Divide rather than multiply: a huge claimed count must not wrap
+    // the bounds arithmetic (and must fail before any reservation).
+    if n_outliers > n || n_outliers > (frame.len() - pos) / 4 {
         return Err(corrupt("truncated outliers"));
     }
     let mut outliers = Vec::with_capacity(n_outliers);
     for _ in 0..n_outliers {
         outliers.push(f32::from_bits(u32::from_le_bytes([
-            bytes[pos],
-            bytes[pos + 1],
-            bytes[pos + 2],
-            bytes[pos + 3],
+            frame[pos],
+            frame[pos + 1],
+            frame[pos + 2],
+            frame[pos + 3],
         ])));
         pos += 4;
     }
-    let payload_len = rd_usize(bytes, &mut pos)?;
-    if pos + payload_len > bytes.len() {
+    let payload_len = rd_usize(frame, &mut pos)?;
+    // Subtract rather than add: `pos + payload_len` could wrap.
+    if payload_len > frame.len() - pos {
         return Err(corrupt("truncated payload"));
     }
-    let huff = lz::decompress(&bytes[pos..pos + payload_len])
+    if strict && payload_len != frame.len() - pos {
+        return Err(corrupt("trailing bytes in chunk frame"));
+    }
+    let block = lz::decompress(&frame[pos..pos + payload_len])
         .map_err(|e| SzError::Corrupt(e.to_string()))?;
-    let codes = huffman::decode(&huff).map_err(|e| SzError::Corrupt(e.to_string()))?;
+    let codes = match decoder {
+        Some(decoder) => {
+            let mut bpos = 0usize;
+            let codes = decoder
+                .decode_block(&block, &mut bpos)
+                .map_err(|e| SzError::Corrupt(e.to_string()))?;
+            if bpos != block.len() {
+                return Err(corrupt("trailing bytes in huffman block"));
+            }
+            codes
+        }
+        None => huffman::decode(&block).map_err(|e| SzError::Corrupt(e.to_string()))?,
+    };
     if codes.len() != n {
         return Err(corrupt("code count mismatch"));
     }
 
+    let eb = header.eb;
     let two_eb = 2.0 * eb;
+    let radius = header.radius;
+    let predictor = header.predictor;
     let mut recon = vec![0.0f32; n];
     let mut outlier_iter = outliers.into_iter();
-    match quant_mode {
+    match header.quant_mode {
         QuantMode::Classic => {
             for idx in 0..n {
                 let code = codes[idx];
@@ -318,14 +417,17 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
                     grid[idx] = grid_of(x, two_eb).unwrap_or(0);
                 } else {
                     let pred = predict_i64(predictor, &layout, &grid, idx);
-                    let q = pred + (code as i64 - radius);
+                    // Wrapping: a corrupt code stream may accumulate the
+                    // grid arbitrarily; garbage values are fine (the
+                    // stream is lossy-garbage either way), panics are not.
+                    let q = pred.wrapping_add(code as i64 - radius);
                     grid[idx] = q;
                     recon[idx] = (q as f64 * two_eb as f64) as f32;
                 }
             }
         }
     }
-    if zero_filter {
+    if header.zero_filter {
         // Paper §4.4: values that landed within the error bound of zero are
         // snapped back, so compressed runs of zeros stay exactly zero.
         for v in &mut recon {
@@ -335,6 +437,232 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
         }
     }
     Ok(recon)
+}
+
+/// Deterministic integer-grid mapping shared by encoder and decoder (the
+/// decoder recomputes grid values of outliers from their exact bytes).
+#[inline]
+fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
+    if !x.is_finite() {
+        return None;
+    }
+    let q = (x as f64 / two_eb as f64).round();
+    if q.is_finite() && q.abs() < GRID_CLAMP {
+        Some(q as i64)
+    } else {
+        None
+    }
+}
+
+/// Per-chunk phase-1 output: quantization codes, bit-exact outliers, and
+/// the chunk's symbol histogram (merged into the shared codebook).
+struct QuantizedChunk {
+    codes: Vec<u32>,
+    outliers: Vec<u32>,
+    freqs: Vec<(u32, u64)>,
+}
+
+fn compress_impl(
+    data: &[f32],
+    layout: DataLayout,
+    config: &SzConfig,
+    parallel: bool,
+) -> Result<CompressedBuffer> {
+    config.validate()?;
+    if layout.len() != data.len() {
+        return Err(SzError::LayoutMismatch {
+            layout: layout.len(),
+            data: data.len(),
+        });
+    }
+    let n = data.len();
+    let predictor = config
+        .predictor
+        .unwrap_or_else(|| Predictor::for_layout(&layout));
+    let block_planes = config
+        .chunk_planes
+        .unwrap_or_else(|| auto_block_planes(&layout))
+        .max(1);
+    let chunks = chunk_layouts(layout, block_planes);
+
+    // Phase 1 (parallel): predict + quantize each chunk and histogram
+    // its codes.
+    let quantize_one = |&(off, cl): &(usize, DataLayout)| {
+        let (codes, outliers) = quantize_chunk(&data[off..off + cl.len()], cl, predictor, config);
+        let freqs = huffman::count_freqs(&codes);
+        QuantizedChunk {
+            codes,
+            outliers,
+            freqs,
+        }
+    };
+    let quantized: Vec<QuantizedChunk> = if parallel && chunks.len() > 1 {
+        chunks.par_iter().map(quantize_one).collect()
+    } else {
+        chunks.iter().map(quantize_one).collect()
+    };
+
+    // Phase 2 (serial, cheap): merge histograms and build the single
+    // shared codebook, exactly as cuSZ builds one codebook per tensor.
+    let mut freqs: Vec<(u32, u64)> = Vec::new();
+    for q in &quantized {
+        huffman::merge_freqs(&mut freqs, &q.freqs);
+    }
+    let codebook = huffman::Codebook::from_freqs(&freqs);
+
+    // Phase 3 (parallel): emit each chunk's bitstream against the shared
+    // codebook and run the per-chunk LZ pass.
+    let emit_one = |q: &QuantizedChunk| encode_frame(&q.codes, &q.outliers, &codebook);
+    let frames: Vec<Vec<u8>> = if parallel && quantized.len() > 1 {
+        quantized.par_iter().map(emit_one).collect()
+    } else {
+        quantized.iter().map(emit_one).collect()
+    };
+
+    let frames_len: usize = frames.iter().map(|f| f.len()).sum();
+    let mut bytes = Vec::with_capacity(frames_len + 10 * frames.len() + 32);
+    bytes.extend_from_slice(&MAGIC_V2);
+    bytes.push(FORMAT_VERSION);
+    varint::write_usize(&mut bytes, n);
+    bytes.extend_from_slice(&config.error_bound.to_bits().to_le_bytes());
+    bytes.push(predictor.tag());
+    match layout {
+        DataLayout::D1(a) => {
+            bytes.push(1);
+            varint::write_usize(&mut bytes, a);
+        }
+        DataLayout::D2(a, b) => {
+            bytes.push(2);
+            varint::write_usize(&mut bytes, a);
+            varint::write_usize(&mut bytes, b);
+        }
+        DataLayout::D3(a, b, c) => {
+            bytes.push(3);
+            varint::write_usize(&mut bytes, a);
+            varint::write_usize(&mut bytes, b);
+            varint::write_usize(&mut bytes, c);
+        }
+    }
+    varint::write_u64(&mut bytes, config.radius as u64);
+    bytes.push(config.zero_filter as u8);
+    bytes.push(config.quant_mode.tag());
+    varint::write_usize(&mut bytes, block_planes);
+    varint::write_usize(&mut bytes, frames.len());
+    codebook.serialize(&mut bytes);
+    for frame in &frames {
+        varint::write_usize(&mut bytes, frame.len());
+        bytes.extend_from_slice(frame);
+    }
+
+    Ok(CompressedBuffer {
+        bytes,
+        original_len: n,
+        num_chunks: chunks.len(),
+    })
+}
+
+/// Compress `data` under `layout` with `config`.
+///
+/// The volume is split into independently-coded chunks (see
+/// [`crate::blocks`]) that are compressed in parallel across threads; the
+/// resulting stream is identical to [`compress_serial`]'s. See the crate
+/// docs for the error contract. `data` may contain any finite or
+/// non-finite values; non-finite values are stored bit-exact as outliers.
+///
+/// ```
+/// use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+///
+/// let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).sin()).collect();
+/// let buf = compress(&data, DataLayout::D2(16, 16), &SzConfig::with_error_bound(1e-3)).unwrap();
+/// assert!(buf.compressed_byte_len() < buf.original_byte_len());
+/// let out = decompress(&buf).unwrap();
+/// assert!(data.iter().zip(&out).all(|(x, y)| (x - y).abs() <= 1e-3));
+/// ```
+pub fn compress(data: &[f32], layout: DataLayout, config: &SzConfig) -> Result<CompressedBuffer> {
+    compress_impl(data, layout, config, true)
+}
+
+/// Single-threaded [`compress`]: same chunking, same bytes, no thread
+/// fan-out. The reference implementation for determinism tests and the
+/// serial baseline in the throughput benchmarks.
+pub fn compress_serial(
+    data: &[f32],
+    layout: DataLayout,
+    config: &SzConfig,
+) -> Result<CompressedBuffer> {
+    compress_impl(data, layout, config, false)
+}
+
+/// Decompress a [`CompressedBuffer`] back to f32 values.
+///
+/// ```
+/// use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+///
+/// let data = vec![1.0f32, 2.0, 3.0, 4.0];
+/// let buf = compress(&data, DataLayout::D1(4), &SzConfig::with_error_bound(1e-4)).unwrap();
+/// let out = decompress(&buf).unwrap();
+/// assert!(data.iter().zip(&out).all(|(x, y)| (x - y).abs() <= 1e-4));
+/// ```
+pub fn decompress(buffer: &CompressedBuffer) -> Result<Vec<f32>> {
+    decompress_impl(&buffer.bytes, true)
+}
+
+/// Single-threaded [`decompress`] (the serial baseline in benchmarks).
+pub fn decompress_serial(buffer: &CompressedBuffer) -> Result<Vec<f32>> {
+    decompress_impl(&buffer.bytes, false)
+}
+
+/// Decompress a raw stream (both the current framed format and the
+/// legacy `Z1` layout are accepted).
+pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
+    decompress_impl(bytes, true)
+}
+
+fn decompress_impl(bytes: &[u8], parallel: bool) -> Result<Vec<f32>> {
+    let header = parse_header(bytes)?;
+    if header.legacy {
+        return decode_chunk(
+            &bytes[header.body_off..],
+            header.layout,
+            &header,
+            None,
+            false,
+        );
+    }
+    let metas = chunk_layouts(header.layout, header.block_planes);
+    let mut pos = header.body_off;
+    let decoder = huffman::Decoder::deserialize(bytes, &mut pos)
+        .map_err(|e| SzError::Corrupt(e.to_string()))?;
+    let mut work: Vec<(DataLayout, &[u8])> = Vec::with_capacity(header.n_chunks);
+    for &(_, cl) in &metas {
+        let frame_len = rd_usize(bytes, &mut pos)?;
+        // Subtract rather than add: `pos + frame_len` could wrap.
+        if frame_len > bytes.len() - pos {
+            return Err(corrupt("truncated chunk frame"));
+        }
+        work.push((cl, &bytes[pos..pos + frame_len]));
+        pos += frame_len;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after chunk frames"));
+    }
+
+    let decode_one =
+        |&(cl, frame): &(DataLayout, &[u8])| decode_chunk(frame, cl, &header, Some(&decoder), true);
+    let parts: Result<Vec<Vec<f32>>> = if parallel && work.len() > 1 {
+        work.par_iter().map(decode_one).collect()
+    } else {
+        work.iter().map(decode_one).collect()
+    };
+    let parts = parts?;
+    let mut out = Vec::with_capacity(header.n);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    if out.len() != header.n {
+        return Err(corrupt("chunked length mismatch"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -449,6 +777,7 @@ mod tests {
     fn empty_input_roundtrips() {
         let cfg = SzConfig::with_error_bound(1e-3);
         let buf = compress(&[], DataLayout::D1(0), &cfg).unwrap();
+        assert_eq!(buf.num_chunks(), 0);
         assert_eq!(decompress(&buf).unwrap(), Vec::<f32>::new());
     }
 
@@ -473,14 +802,205 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_is_rejected() {
+        // Chunk frames are length-prefixed and the stream end is strict,
+        // so *any* strict prefix must fail cleanly.
+        let data = smooth_volume(16, 32, 32);
+        let cfg = SzConfig::with_error_bound(1e-2);
+        let buf = compress(&data, DataLayout::D3(16, 32, 32), &cfg).unwrap();
+        assert!(buf.num_chunks() > 1, "want a multi-chunk stream");
+        let bytes = buf.as_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                decompress_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_wrapping_frame_length_errors_not_panics() {
+        // A frame-length varint near usize::MAX makes naive `pos + len`
+        // bounds arithmetic wrap; the decoder must reject, not panic.
+        let data = smooth_volume(16, 32, 32);
+        let cfg = SzConfig::with_error_bound(1e-2);
+        let buf = compress(&data, DataLayout::D3(16, 32, 32), &cfg).unwrap();
+        let bytes = buf.as_bytes();
+        let header = parse_header(bytes).unwrap();
+        let mut pos = header.body_off;
+        ebtrain_encoding::huffman::Decoder::deserialize(bytes, &mut pos).unwrap();
+        // `pos` now sits on the first frame_len varint; replace it.
+        let mut evil = bytes[..pos].to_vec();
+        varint::write_u64(&mut evil, u64::MAX - 16);
+        evil.extend_from_slice(&bytes[pos..]);
+        assert!(decompress_bytes(&evil).is_err());
+    }
+
+    #[test]
+    fn crafted_huge_header_claims_error_before_allocating() {
+        // ~30 bytes claiming a petabyte-scale volume must fail cheaply
+        // (chunk count is validated arithmetically and against the
+        // stream length, never materialized first).
+        let huge = 1usize << 40;
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&[0x5A, 0x32, 2]); // magic "Z2", version
+        varint::write_usize(&mut evil, huge * 2); // n
+        evil.extend_from_slice(&1e-3f32.to_bits().to_le_bytes());
+        evil.push(2); // Lorenzo2
+        evil.push(2); // ndims
+        varint::write_usize(&mut evil, huge); // h
+        varint::write_usize(&mut evil, 2); // w
+        varint::write_u64(&mut evil, 32_768); // radius
+        evil.push(0); // zero_filter
+        evil.push(0); // quant_mode classic
+        varint::write_usize(&mut evil, 1); // block_planes
+        varint::write_usize(&mut evil, huge); // n_chunks (matches geometry)
+        assert!(decompress_bytes(&evil).is_err());
+        assert!(CompressedBuffer::from_bytes(evil).is_err());
+    }
+
+    #[test]
+    fn crafted_overflowing_layout_dims_error_not_panic() {
+        // Three 2^22 dims multiply to 2^66: checked_len must reject the
+        // header instead of overflow-panicking in debug builds.
+        let d = 1usize << 22;
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&[0x5A, 0x32, 2]);
+        varint::write_usize(&mut evil, 7); // n (arbitrary)
+        evil.extend_from_slice(&1e-3f32.to_bits().to_le_bytes());
+        evil.push(3); // Lorenzo3
+        evil.push(3); // ndims
+        for _ in 0..3 {
+            varint::write_usize(&mut evil, d);
+        }
+        varint::write_u64(&mut evil, 32_768);
+        evil.extend_from_slice(&[0, 0]);
+        varint::write_usize(&mut evil, 1); // block_planes
+        varint::write_usize(&mut evil, 1); // n_chunks
+        assert!(decompress_bytes(&evil).is_err());
+    }
+
+    #[test]
+    fn crafted_dual_quant_grid_blowup_is_garbage_not_panic() {
+        // A well-framed dual-quant stream whose code sequence no real
+        // encoder would emit: every code is u32::MAX, so the Lorenzo2
+        // grid grows ~3x per element and overflows i64 within one chunk.
+        // The decoder must return (any values), never overflow-panic.
+        use ebtrain_encoding::huffman::{count_freqs, Codebook};
+        let (h, w) = (64usize, 64usize);
+        let codes = vec![u32::MAX; h * w];
+        let codebook = Codebook::from_freqs(&count_freqs(&codes));
+        let mut block = Vec::new();
+        codebook.encode_block(&codes, &mut block);
+        let payload = lz::compress(&block);
+
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&[0x5A, 0x32, 2]);
+        varint::write_usize(&mut evil, h * w);
+        evil.extend_from_slice(&1e-3f32.to_bits().to_le_bytes());
+        evil.push(2); // Lorenzo2
+        evil.push(2); // ndims
+        varint::write_usize(&mut evil, h);
+        varint::write_usize(&mut evil, w);
+        varint::write_u64(&mut evil, 32_768);
+        evil.push(0); // zero_filter
+        evil.push(1); // quant_mode: dual
+        varint::write_usize(&mut evil, h); // block_planes: one chunk
+        varint::write_usize(&mut evil, 1); // n_chunks
+        codebook.serialize(&mut evil);
+        let mut frame = Vec::new();
+        varint::write_usize(&mut frame, 0); // n_outliers
+        varint::write_usize(&mut frame, payload.len());
+        frame.extend_from_slice(&payload);
+        varint::write_usize(&mut evil, frame.len());
+        evil.extend_from_slice(&frame);
+
+        let out = decompress_bytes(&evil).unwrap();
+        assert_eq!(out.len(), h * w);
+    }
+
+    #[test]
+    fn crafted_legacy_outlier_count_errors_not_panics() {
+        // Legacy body with an outlier count whose `* 4` would wrap.
+        let huge = 1usize << 61;
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&[0x5A, 0x31]); // magic "Z1"
+        varint::write_usize(&mut evil, huge); // n
+        evil.extend_from_slice(&1e-3f32.to_bits().to_le_bytes());
+        evil.push(1); // Lorenzo1
+        evil.push(1); // ndims
+        varint::write_usize(&mut evil, huge); // dim
+        varint::write_u64(&mut evil, 32_768); // radius
+        evil.push(0); // zero_filter
+        evil.push(0); // quant_mode classic
+        varint::write_usize(&mut evil, huge); // n_outliers
+        assert!(decompress_bytes(&evil).is_err());
+    }
+
+    #[test]
     fn from_bytes_validates_and_preserves_metadata() {
         let data = smooth_volume(2, 8, 8);
         let cfg = SzConfig::with_error_bound(1e-3);
         let buf = compress(&data, DataLayout::D3(2, 8, 8), &cfg).unwrap();
         let rebuilt = CompressedBuffer::from_bytes(buf.as_bytes().to_vec()).unwrap();
         assert_eq!(rebuilt.original_len(), data.len());
+        assert_eq!(rebuilt.num_chunks(), buf.num_chunks());
         assert_eq!(decompress(&rebuilt).unwrap(), decompress(&buf).unwrap());
         assert!(CompressedBuffer::from_bytes(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn parallel_and_serial_bytes_are_identical() {
+        let data = smooth_volume(16, 32, 32);
+        for cfg in [
+            SzConfig::with_error_bound(1e-2),
+            SzConfig::vanilla(1e-3),
+            SzConfig::dual_quant(1e-3),
+        ] {
+            let par = compress(&data, DataLayout::D3(16, 32, 32), &cfg).unwrap();
+            let ser = compress_serial(&data, DataLayout::D3(16, 32, 32), &cfg).unwrap();
+            assert!(par.num_chunks() > 1);
+            assert_eq!(par.as_bytes(), ser.as_bytes());
+            assert_eq!(decompress(&par).unwrap(), decompress_serial(&ser).unwrap());
+        }
+    }
+
+    #[test]
+    fn chunk_planes_config_controls_frame_count() {
+        let data = smooth_volume(12, 8, 8);
+        let mut cfg = SzConfig::with_error_bound(1e-3);
+        cfg.chunk_planes = Some(4);
+        let buf = compress(&data, DataLayout::D3(12, 8, 8), &cfg).unwrap();
+        assert_eq!(buf.num_chunks(), 3);
+        cfg.chunk_planes = Some(100);
+        let one = compress(&data, DataLayout::D3(12, 8, 8), &cfg).unwrap();
+        assert_eq!(one.num_chunks(), 1);
+    }
+
+    #[test]
+    fn legacy_z1_stream_still_decodes() {
+        // Golden stream captured from the pre-framing (format 1) encoder:
+        // sin ramp, D2(4, 6), eb = 1e-2, classic quantization + zero
+        // filter. Byte-frozen so format compatibility cannot silently rot.
+        const GOLDEN_Z1: &[u8] = &[
+            0x5a, 0x31, 0x18, 0x0a, 0xd7, 0x23, 0x3c, 0x02, 0x02, 0x04, 0x06, 0x80, 0x80, 0x02,
+            0x01, 0x00, 0x00, 0x52, 0x4f, 0xf0, 0x40, 0x18, 0x10, 0xf8, 0xff, 0x01, 0x03, 0xfa,
+            0xff, 0x01, 0x03, 0x87, 0x80, 0x02, 0x03, 0xff, 0xff, 0x01, 0x04, 0x80, 0x80, 0x02,
+            0x04, 0x81, 0x80, 0x02, 0x04, 0x82, 0x80, 0x02, 0x04, 0x88, 0x80, 0x02, 0x04, 0x89,
+            0x80, 0x02, 0x04, 0xab, 0x80, 0x02, 0x04, 0xd7, 0xff, 0x01, 0x05, 0xf7, 0xff, 0x01,
+            0x05, 0xf9, 0xff, 0x01, 0x05, 0xfb, 0xff, 0x01, 0x05, 0xfc, 0xff, 0x01, 0x05, 0xfd,
+            0xff, 0x01, 0x05, 0x0c, 0x7a, 0xb4, 0x96, 0x74, 0x9e, 0x6e, 0x40, 0x00, 0xeb, 0xfe,
+            0x68, 0x80,
+        ];
+        let data: Vec<f32> = (0..24).map(|i| (i as f32 * 0.17).sin()).collect();
+        let out = decompress_bytes(GOLDEN_Z1).unwrap();
+        assert_eq!(out.len(), data.len());
+        for (x, y) in data.iter().zip(&out) {
+            assert!((x - y).abs() <= 1e-2, "|{x} - {y}| > 1e-2");
+        }
+        let rebuilt = CompressedBuffer::from_bytes(GOLDEN_Z1.to_vec()).unwrap();
+        assert_eq!(rebuilt.original_len(), 24);
+        assert_eq!(rebuilt.num_chunks(), 1);
     }
 
     #[test]

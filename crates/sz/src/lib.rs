@@ -7,6 +7,12 @@
 //!
 //! Pipeline (absolute-error-bound mode):
 //!
+//! 0. **Chunking** — the volume is split into plane-aligned blocks that
+//!    compress independently and are written as self-delimiting frames,
+//!    so both directions run block-parallel across threads (cuSZ's
+//!    architectural core; see [`blocks`] and `DESIGN.md` §3). Chunk
+//!    geometry depends only on layout and configuration, so parallel and
+//!    serial encodes are bit-identical.
 //! 1. **Lorenzo prediction** on *reconstructed* neighbours (1-D, 2-D or
 //!    3-D), so encoder and decoder walk identical state.
 //! 2. **Linear-scaling quantization** of the prediction residual with bin
@@ -44,7 +50,9 @@ pub mod lossless;
 mod predictor;
 pub mod zfp_like;
 
-pub use codec::{compress, decompress, decompress_bytes, CompressedBuffer};
+pub use codec::{
+    compress, compress_serial, decompress, decompress_bytes, decompress_serial, CompressedBuffer,
+};
 pub use predictor::Predictor;
 
 /// Errors from compression/decompression.
@@ -102,6 +110,17 @@ impl DataLayout {
             DataLayout::D1(n) => n,
             DataLayout::D2(h, w) => h * w,
             DataLayout::D3(a, b, c) => a * b * c,
+        }
+    }
+
+    /// [`len`](DataLayout::len) without the overflow hazard: `None` when
+    /// the dims do not multiply within `usize`. Decoders must use this on
+    /// layouts read from untrusted streams.
+    pub fn checked_len(&self) -> Option<usize> {
+        match *self {
+            DataLayout::D1(n) => Some(n),
+            DataLayout::D2(h, w) => h.checked_mul(w),
+            DataLayout::D3(a, b, c) => a.checked_mul(b)?.checked_mul(c),
         }
     }
 
@@ -175,6 +194,12 @@ pub struct SzConfig {
     pub predictor: Option<Predictor>,
     /// Quantization strategy (classic SZ vs cuSZ dual-quantization).
     pub quant_mode: QuantMode,
+    /// Leading-dimension slices per independently-coded chunk (the
+    /// block-parallel grain; see [`blocks`]). `None` picks a size
+    /// automatically (~4096 elements per chunk). Chunk geometry is part
+    /// of the stream, but the decoder reads it from the header — any
+    /// setting decodes any stream.
+    pub chunk_planes: Option<usize>,
 }
 
 impl SzConfig {
@@ -187,6 +212,7 @@ impl SzConfig {
             zero_filter: true,
             predictor: None,
             quant_mode: QuantMode::Classic,
+            chunk_planes: None,
         }
     }
 
@@ -215,6 +241,9 @@ impl SzConfig {
         }
         if self.radius < 2 {
             return Err(SzError::Corrupt("radius must be >= 2".into()));
+        }
+        if self.chunk_planes == Some(0) {
+            return Err(SzError::Corrupt("chunk_planes must be >= 1".into()));
         }
         Ok(())
     }

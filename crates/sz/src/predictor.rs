@@ -50,6 +50,11 @@ impl Predictor {
 /// Integer-grid variant of [`predict`] used by dual-quantization: same
 /// Lorenzo stencils over `i64` grid values (exact arithmetic, so encoder
 /// and decoder agree trivially).
+///
+/// Wrapping sums: encoder-side grids are bounded by the codec's grid
+/// clamp (2^40), so the stencil never wraps on valid data — but the
+/// decoder also runs this over grids reconstructed from *corrupt*
+/// streams, which must produce garbage values, not overflow panics.
 #[inline]
 pub(crate) fn predict_i64(
     predictor: Predictor,
@@ -76,7 +81,7 @@ pub(crate) fn predict_i64(
             let up = if i > 0 { grid[idx - w] } else { 0 };
             let left = if j > 0 { grid[idx - 1] } else { 0 };
             let diag = if i > 0 && j > 0 { grid[idx - w - 1] } else { 0 };
-            up + left - diag
+            up.wrapping_add(left).wrapping_sub(diag)
         }
         Predictor::Lorenzo3 => {
             let (d1, d2) = match *layout {
@@ -95,7 +100,13 @@ pub(crate) fn predict_i64(
                     grid[idx - di * plane - dj * d2 - dk]
                 }
             };
-            g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0) + g(1, 1, 1)
+            g(0, 0, 1)
+                .wrapping_add(g(0, 1, 0))
+                .wrapping_add(g(1, 0, 0))
+                .wrapping_sub(g(0, 1, 1))
+                .wrapping_sub(g(1, 0, 1))
+                .wrapping_sub(g(1, 1, 0))
+                .wrapping_add(g(1, 1, 1))
         }
     }
 }

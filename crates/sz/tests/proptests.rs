@@ -113,6 +113,75 @@ proptest! {
         let rebuilt = ebtrain_sz::CompressedBuffer::from_bytes(buf.as_bytes().to_vec()).unwrap();
         prop_assert_eq!(decompress(&rebuilt).unwrap(), decompress(&buf).unwrap());
     }
+
+    #[test]
+    fn parallel_and_serial_encodes_are_bit_identical(
+        data in prop::collection::vec(finite_f32(), 0..20_000),
+        chunk_planes in 1usize..6,
+        dual in any::<bool>(),
+    ) {
+        // Chunk geometry is a pure function of layout + config, so thread
+        // fan-out must never show up in the bytes.
+        let mut cfg = if dual {
+            SzConfig::dual_quant(1e-3)
+        } else {
+            SzConfig::with_error_bound(1e-3)
+        };
+        cfg.chunk_planes = Some(chunk_planes); // deliberately tiny chunks
+        let layout = DataLayout::D1(data.len());
+        let par = compress(&data, layout, &cfg).unwrap();
+        let ser = ebtrain_sz::compress_serial(&data, layout, &cfg).unwrap();
+        prop_assert_eq!(par.as_bytes(), ser.as_bytes());
+        prop_assert_eq!(
+            decompress(&par).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ebtrain_sz::decompress_serial(&ser).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn truncated_streams_error_cleanly(
+        rows in 2usize..24,
+        cols in 2usize..24,
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let mut cfg = SzConfig::with_error_bound(1e-2);
+        cfg.chunk_planes = Some(rows.div_ceil(3)); // force multiple frames
+        let buf = compress(&data, DataLayout::D2(rows, cols), &cfg).unwrap();
+        let bytes = buf.as_bytes();
+        // Chunk frames are length-prefixed and the stream end is strict,
+        // so every strict prefix must be rejected with an error — and
+        // must never panic.
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(ebtrain_sz::decompress_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic(
+        rows in 2usize..24,
+        cols in 2usize..24,
+        seed in any::<u64>(),
+        victim_frac in 0.0f64..1.0,
+        flip in 1u8..255,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let mut cfg = SzConfig::with_error_bound(1e-2);
+        cfg.chunk_planes = Some(rows.div_ceil(3));
+        let buf = compress(&data, DataLayout::D2(rows, cols), &cfg).unwrap();
+        let mut bytes = buf.as_bytes().to_vec();
+        let victim = ((bytes.len() as f64 * victim_frac) as usize).min(bytes.len() - 1);
+        bytes[victim] ^= flip;
+        // A bit flip may survive as (lossy-garbage) data, but decoding
+        // must return — Ok with the advertised length, or a clean error.
+        if let Ok(out) = ebtrain_sz::decompress_bytes(&bytes) {
+            prop_assert_eq!(out.len(), data.len());
+        }
+    }
 }
 
 proptest! {

@@ -16,7 +16,10 @@
 
 use ebtrain_encoding::byteplane::{shuffle_f32, unshuffle_f32};
 use ebtrain_sz::zfp_like::{self, ZfpLikeConfig};
-use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use ebtrain_sz::{
+    compress, compress_serial, decompress, decompress_bytes, decompress_serial, DataLayout,
+    SzConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,6 +118,51 @@ fn sz_dual_quant_respects_bound_and_preserves_zeros() {
                 if *x == 0.0 {
                     assert_eq!(*y, 0.0, "{name} eb={eb} idx {i}: zero not exact");
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn sz_chunk_framed_streams_respect_contracts_and_determinism() {
+    // The block-parallel container (DESIGN.md §3): force multi-chunk
+    // streams for every quantization mode, check the error contract
+    // holds across chunk boundaries, that serial and parallel paths
+    // produce identical bytes, and that truncation is rejected cleanly.
+    for (name, data) in corpora() {
+        for base in [
+            SzConfig::vanilla(1e-3),
+            SzConfig::with_error_bound(1e-3),
+            SzConfig::dual_quant(1e-3),
+        ] {
+            let cfg = SzConfig {
+                chunk_planes: Some(7), // SIDE=64 rows -> 10 chunks
+                ..base
+            };
+            let layout = DataLayout::D2(SIDE, SIDE);
+            let buf = compress(&data, layout, &cfg).unwrap();
+            assert_eq!(buf.num_chunks(), SIDE.div_ceil(7), "{name}");
+            let ser = compress_serial(&data, layout, &cfg).unwrap();
+            assert_eq!(buf.as_bytes(), ser.as_bytes(), "{name}: nondeterministic");
+
+            let eb = 1e-3f32;
+            for out in [decompress(&buf).unwrap(), decompress_serial(&buf).unwrap()] {
+                assert_eq!(out.len(), data.len());
+                for (i, (x, y)) in data.iter().zip(&out).enumerate() {
+                    let bound = if cfg.zero_filter { 2.0 * eb } else { eb };
+                    assert!(
+                        (x - y).abs() <= bound,
+                        "{name} idx {i}: |{x} - {y}| > {bound}"
+                    );
+                }
+            }
+
+            let bytes = buf.as_bytes();
+            for cut in [3, bytes.len() / 3, bytes.len() - 1] {
+                assert!(
+                    decompress_bytes(&bytes[..cut]).is_err(),
+                    "{name}: prefix of {cut} bytes decoded"
+                );
             }
         }
     }
