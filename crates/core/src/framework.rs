@@ -16,8 +16,11 @@ use ebtrain_dnn::layer::{CompressionPlan, LayerId};
 use ebtrain_dnn::layers::SoftmaxCrossEntropy;
 use ebtrain_dnn::network::Network;
 use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
-use ebtrain_dnn::store::{ActivationStore, CompressedStore, StoreMetrics};
-use ebtrain_dnn::train::{evaluate, train_step};
+use ebtrain_dnn::store::{
+    ActivationStore, ArenaMetrics, BudgetConfig, BudgetedStore, CompressedStore, FarthestNextUse,
+    StoreMetrics,
+};
+use ebtrain_dnn::train::{budgeted_train_step, evaluate, train_step};
 use ebtrain_dnn::Result;
 use ebtrain_sz::SzConfig;
 use ebtrain_tensor::Tensor;
@@ -111,12 +114,22 @@ pub struct IterationRecord {
     pub collected: bool,
 }
 
+/// Activation-store strategy behind the trainer: the paper's
+/// compress-everything policy, or the budget-enforcing manager
+/// (`ebtrain-membudget`) that compresses/evicts only under pressure.
+enum TrainerStore {
+    /// Unbudgeted: every compressible slot is compressed on save.
+    Compressed(Box<CompressedStore>),
+    /// Hard device-byte budget with tiered residency and prefetch.
+    Budgeted(Box<BudgetedStore>),
+}
+
 /// The paper's framework: adaptive error-bounded compressed training.
 pub struct AdaptiveTrainer {
     net: Network,
     head: SoftmaxCrossEntropy,
     opt: Sgd,
-    store: CompressedStore,
+    store: TrainerStore,
     plan: CompressionPlan,
     cfg: FrameworkConfig,
     plan_entries: Vec<LayerPlanEntry>,
@@ -134,7 +147,39 @@ impl AdaptiveTrainer {
             net,
             head: SoftmaxCrossEntropy::new(),
             opt: Sgd::new(sgd),
-            store: CompressedStore::new(sz),
+            store: TrainerStore::Compressed(Box::new(CompressedStore::new(sz))),
+            plan: CompressionPlan::new(),
+            cfg,
+            plan_entries: Vec::new(),
+            history: Vec::new(),
+            prev_raw: 0,
+            prev_stored: 0,
+        }
+    }
+
+    /// Wrap a network with the adaptive framework **under an enforced
+    /// device-memory budget**: activations live in a
+    /// [`BudgetedStore`] (farthest-next-use eviction, prefetch-ahead
+    /// backward) instead of the always-compress store, and every step's
+    /// peak store residency is guaranteed `≤ budget.budget_bytes`. The
+    /// controller's per-layer bounds still apply — they set the error
+    /// bound entries compress under *when demoted*.
+    pub fn new_budgeted(
+        net: Network,
+        sgd: SgdConfig,
+        cfg: FrameworkConfig,
+        mut budget: BudgetConfig,
+    ) -> AdaptiveTrainer {
+        budget.sz.error_bound = cfg.fallback_eb;
+        budget.sz.zero_filter = cfg.zero_filter;
+        AdaptiveTrainer {
+            net,
+            head: SoftmaxCrossEntropy::new(),
+            opt: Sgd::new(sgd),
+            store: TrainerStore::Budgeted(Box::new(BudgetedStore::new(
+                budget,
+                Box::new(FarthestNextUse),
+            ))),
             plan: CompressionPlan::new(),
             cfg,
             plan_entries: Vec::new(),
@@ -148,20 +193,33 @@ impl AdaptiveTrainer {
     pub fn step(&mut self, x: Tensor, labels: &[usize]) -> Result<IterationRecord> {
         let iter = self.opt.iteration();
         let collect = iter.is_multiple_of(self.cfg.w_interval.max(1));
-        let r = train_step(
-            &mut self.net,
-            &self.head,
-            &mut self.opt,
-            &mut self.store,
-            &self.plan,
-            x,
-            labels,
-            collect,
-        )?;
+        let r = match &mut self.store {
+            TrainerStore::Compressed(store) => train_step(
+                &mut self.net,
+                &self.head,
+                &mut self.opt,
+                store.as_mut(),
+                &self.plan,
+                x,
+                labels,
+                collect,
+            )?,
+            TrainerStore::Budgeted(store) => budgeted_train_step(
+                &mut self.net,
+                &self.head,
+                &mut self.opt,
+                store.as_mut(),
+                &self.plan,
+                x,
+                labels,
+                collect,
+                None,
+            )?,
+        };
         if collect {
             self.update_plan();
         }
-        let m = self.store.metrics();
+        let m = self.store_metrics();
         let d_raw = m.compressible_raw_bytes - self.prev_raw;
         let d_stored = m.compressible_stored_bytes - self.prev_stored;
         self.prev_raw = m.compressible_raw_bytes;
@@ -170,8 +228,12 @@ impl AdaptiveTrainer {
             iter,
             loss: r.loss,
             accuracy: r.correct as f64 / r.batch.max(1) as f64,
-            compression_ratio: if d_stored == 0 {
+            // Same honest contract as `StoreMetrics::compressible_ratio`:
+            // full elision this iteration reports infinity, not 1.0.
+            compression_ratio: if d_raw == 0 {
                 1.0
+            } else if d_stored == 0 {
+                f64::INFINITY
             } else {
                 d_raw as f64 / d_stored as f64
             },
@@ -249,7 +311,28 @@ impl AdaptiveTrainer {
 
     /// Cumulative store metrics (compression ratios, codec time).
     pub fn store_metrics(&self) -> StoreMetrics {
-        self.store.metrics()
+        match &self.store {
+            TrainerStore::Compressed(s) => s.metrics(),
+            TrainerStore::Budgeted(s) => s.metrics(),
+        }
+    }
+
+    /// Budget-manager counters (tiers, evictions, prefetch) when this
+    /// trainer runs under [`new_budgeted`](Self::new_budgeted); `None`
+    /// for the unbudgeted store.
+    pub fn budget_metrics(&self) -> Option<ArenaMetrics> {
+        match &self.store {
+            TrainerStore::Compressed(_) => None,
+            TrainerStore::Budgeted(s) => Some(s.arena_metrics()),
+        }
+    }
+
+    /// The enforced store budget in bytes, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        match &self.store {
+            TrainerStore::Compressed(_) => None,
+            TrainerStore::Budgeted(s) => Some(s.budget_bytes()),
+        }
     }
 
     /// Full iteration history.
@@ -415,6 +498,57 @@ mod tests {
             "exact-CLT bounds ({exact:.2e}) should be tighter than paper-form ({paper:.2e}) early in training"
         );
         assert!(exact > 0.0);
+    }
+
+    #[test]
+    fn budgeted_trainer_enforces_budget_end_to_end() {
+        use ebtrain_dnn::layer::CompressionPlan;
+        use ebtrain_dnn::optimizer::Sgd;
+        use ebtrain_dnn::store::RawStore;
+        use ebtrain_dnn::train::train_step;
+        let data = dataset();
+        // Raw activation peak of one step, to size the budget below it.
+        let raw_peak = {
+            let mut net = zoo::tiny_vgg(4, 9);
+            let head = ebtrain_dnn::layers::SoftmaxCrossEntropy::new();
+            let mut opt = Sgd::new(SgdConfig::default());
+            let mut store = RawStore::new();
+            let plan = CompressionPlan::new();
+            let (x, labels) = data.batch(0, 8);
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .unwrap()
+            .peak_store_bytes
+        };
+        let budget = raw_peak / 3;
+        let net = zoo::tiny_vgg(4, 9);
+        let mut trainer = AdaptiveTrainer::new_budgeted(
+            net,
+            SgdConfig::default(),
+            quick_cfg(),
+            BudgetConfig::with_budget(budget),
+        );
+        assert_eq!(trainer.budget_bytes(), Some(budget));
+        for i in 0..6u64 {
+            let (x, labels) = data.batch(i * 8, 8);
+            let r = trainer.step(x, &labels).unwrap();
+            assert!(r.loss.is_finite());
+            assert!(
+                r.peak_store_bytes <= budget,
+                "iter {i}: enforced peak {} > budget {budget}",
+                r.peak_store_bytes
+            );
+        }
+        let am = trainer.budget_metrics().expect("budgeted trainer");
+        assert_eq!(am.over_budget_events, 0);
+        assert!(
+            am.demotions + am.evictions_host > 0,
+            "a budget below the raw peak must create pressure: {am:?}"
+        );
+        // The adaptive plan still populates (controller drives demotion
+        // bounds).
+        assert!(!trainer.plan_entries().is_empty());
     }
 
     #[test]

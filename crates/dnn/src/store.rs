@@ -10,6 +10,13 @@
 
 use crate::layer::{LayerId, SaveHint, Saved, SlotId};
 use crate::{DnnError, Result};
+use ebtrain_membudget::{BudgetedArena, EvictionPolicy, Fetched, MembudgetError};
+// Budget-manager configuration surface, re-exported so downstream crates
+// (core, bench) configure a `BudgetedStore` without a direct
+// `ebtrain-membudget` dependency.
+pub use ebtrain_membudget::{
+    ArenaMetrics, BudgetConfig, ColdPolicy, FarthestNextUse, Lru, Tier as BudgetTier,
+};
 use ebtrain_sz::{CompressedBuffer, DataLayout, SzConfig};
 use ebtrain_tensor::Tensor;
 use std::collections::HashMap;
@@ -39,19 +46,30 @@ pub struct StoreMetrics {
 
 impl StoreMetrics {
     /// Overall compression ratio across compressible slots.
+    ///
+    /// Honest accounting: `1.0` only when nothing compressible was saved;
+    /// a store that saved compressible bytes and kept **zero** of them
+    /// resident (full elision — migration, drop-for-recompute) reports
+    /// `f64::INFINITY`, not a fake `1.0` that understates the reduction.
     pub fn compressible_ratio(&self) -> f64 {
-        if self.compressible_stored_bytes == 0 {
+        if self.compressible_raw_bytes == 0 {
             1.0
+        } else if self.compressible_stored_bytes == 0 {
+            f64::INFINITY
         } else {
             self.compressible_raw_bytes as f64 / self.compressible_stored_bytes as f64
         }
     }
 
     /// Per-layer ratio for a given layer, if it saved compressible data.
+    /// Same contract as [`compressible_ratio`](Self::compressible_ratio):
+    /// fully-elided layers report `f64::INFINITY`.
     pub fn layer_ratio(&self, layer: LayerId) -> Option<f64> {
         self.per_layer.get(&layer).map(|&(raw, stored)| {
-            if stored == 0 {
+            if raw == 0 {
                 1.0
+            } else if stored == 0 {
+                f64::INFINITY
             } else {
                 raw as f64 / stored as f64
             }
@@ -541,6 +559,282 @@ impl ActivationStore for HybridStore {
     }
 }
 
+/// How a [`Saved`] value is reconstructed from a budgeted-arena payload.
+enum SavedMeta {
+    /// Dense tensor (arena `F32` payload when compressible, opaque bytes
+    /// when not — non-compressible floats must stay bit-exact).
+    F32 { shape: Vec<usize> },
+    /// Bit-packed mask (arena bytes).
+    Bits { len: usize },
+    /// Index tensor (arena bytes).
+    U32,
+}
+
+/// Phase of the training step the store believes it is in (drives when
+/// the backward schedule is handed to the arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorePhase {
+    Saving,
+    Loading,
+}
+
+/// The active memory manager: an [`ActivationStore`] over
+/// [`ebtrain_membudget::BudgetedArena`], enforcing a **hard device-byte
+/// budget** instead of merely accounting one.
+///
+/// Saves land raw (hot) while the budget allows; under pressure the
+/// arena demotes hot entries to the SZ-compressed warm tier and evicts
+/// warm entries cold (host migration or drop-for-recompute, per
+/// [`ColdPolicy`]). On the first load of a backward pass the store hands
+/// the arena the reverse save order as the expected access schedule,
+/// which drives both the [`FarthestNextUse`] eviction policy and the
+/// prefetch pipeline (upcoming warm entries decompress on worker threads
+/// while the caller runs the current layer's gradient kernel). See
+/// `DESIGN.md` §6.
+///
+/// Non-compressible saves (bit masks, argmax indices, float slots the
+/// layer marked raw) are stored as opaque bytes: they obey the budget
+/// and can migrate to host, but are never lossy-compressed.
+pub struct BudgetedStore {
+    arena: BudgetedArena<SlotId>,
+    meta: HashMap<SlotId, SavedMeta>,
+    save_order: Vec<SlotId>,
+    phase: StorePhase,
+    drops_at_step_start: u64,
+    metrics: StoreMetrics,
+}
+
+impl BudgetedStore {
+    /// Store over a configured arena and eviction policy.
+    pub fn new(cfg: BudgetConfig, policy: Box<dyn EvictionPolicy>) -> BudgetedStore {
+        BudgetedStore {
+            arena: BudgetedArena::new(cfg, policy),
+            meta: HashMap::new(),
+            save_order: Vec::new(),
+            phase: StorePhase::Saving,
+            drops_at_step_start: 0,
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Convenience: given budget, default codec config, host migration,
+    /// farthest-next-use eviction, prefetch depth 2.
+    pub fn with_budget(budget_bytes: usize) -> BudgetedStore {
+        Self::new(
+            BudgetConfig::with_budget(budget_bytes),
+            Box::new(FarthestNextUse),
+        )
+    }
+
+    /// The enforced budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.arena.budget_bytes()
+    }
+
+    /// Arena-level counters (tiers, evictions, prefetch, codec time).
+    pub fn arena_metrics(&self) -> ArenaMetrics {
+        self.arena.metrics()
+    }
+
+    /// Active eviction policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.arena.policy_name()
+    }
+
+    /// Mark the start of a fresh training step: clears the
+    /// dropped-payload flag consulted by
+    /// [`step_dropped`](Self::step_dropped).
+    pub fn begin_step(&mut self) {
+        self.drops_at_step_start = self.arena.metrics().drops;
+    }
+
+    /// True when any payload saved since [`begin_step`](Self::begin_step)
+    /// was dropped under [`ColdPolicy::DropForRecompute`] — the signal
+    /// that a plain step cannot finish backward and the caller must fall
+    /// back to recompute (see
+    /// [`budgeted_train_step`](crate::train::budgeted_train_step)).
+    pub fn step_dropped(&self) -> bool {
+        self.arena.metrics().drops > self.drops_at_step_start
+    }
+
+    /// Drop all held state (entries, schedule, metadata). Budget, policy
+    /// and cumulative metrics survive.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.meta.clear();
+        self.save_order.clear();
+        self.phase = StorePhase::Saving;
+    }
+
+    fn record_save(&mut self, slot: SlotId, raw: usize, stored: usize, compressible: bool) {
+        self.metrics.raw_bytes_saved += raw as u64;
+        self.metrics.stored_bytes_saved += stored as u64;
+        if compressible {
+            self.metrics.compressible_raw_bytes += raw as u64;
+            self.metrics.compressible_stored_bytes += stored as u64;
+            let e = self.metrics.per_layer.entry(slot.0).or_insert((0, 0));
+            e.0 += raw as u64;
+            e.1 += stored as u64;
+        }
+    }
+}
+
+/// Serialize a float slice to little-endian bytes (bit-exact).
+fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_words(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+fn u32s_to_bytes(data: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+impl ActivationStore for BudgetedStore {
+    fn save(&mut self, slot: SlotId, value: Saved, hint: SaveHint) {
+        if self.phase == StorePhase::Loading {
+            // A new forward pass begins: the previous step's schedule is
+            // stale.
+            self.save_order.clear();
+            self.phase = StorePhase::Saving;
+        }
+        let raw = value.byte_size();
+        let compressible = hint.compressible && matches!(value, Saved::F32(_));
+        let _tier = match value {
+            Saved::F32(t) if hint.compressible => {
+                self.meta.insert(
+                    slot,
+                    SavedMeta::F32 {
+                        shape: t.shape().to_vec(),
+                    },
+                );
+                let layout = DataLayout::for_shape(t.shape());
+                self.arena
+                    .insert_f32(slot, t.into_vec(), layout, hint.error_bound)
+            }
+            Saved::F32(t) => {
+                // Raw-hinted floats must stay bit-exact: opaque bytes.
+                self.meta.insert(
+                    slot,
+                    SavedMeta::F32 {
+                        shape: t.shape().to_vec(),
+                    },
+                );
+                self.arena.insert_bytes(slot, f32s_to_bytes(t.data()))
+            }
+            Saved::Bits { words, len } => {
+                self.meta.insert(slot, SavedMeta::Bits { len });
+                self.arena.insert_bytes(slot, words_to_bytes(&words))
+            }
+            Saved::U32 { data } => {
+                self.meta.insert(slot, SavedMeta::U32);
+                self.arena.insert_bytes(slot, u32s_to_bytes(&data))
+            }
+        };
+        let stored = self.arena.resident_of(slot).unwrap_or(0);
+        self.record_save(slot, raw, stored, compressible);
+        self.save_order.push(slot);
+    }
+
+    fn load(&mut self, slot: SlotId) -> Result<Saved> {
+        if self.phase == StorePhase::Saving && !self.save_order.is_empty() {
+            // First load of the backward pass: declare the expected
+            // access order (reverse save order) so eviction and prefetch
+            // see the future.
+            let schedule: Vec<SlotId> = self.save_order.iter().rev().copied().collect();
+            self.arena.set_schedule(schedule);
+            self.phase = StorePhase::Loading;
+        }
+        let meta = self.meta.remove(&slot).ok_or_else(|| missing(slot))?;
+        let fetched = self.arena.load(slot).map_err(|e| match e {
+            MembudgetError::Missing => missing(slot),
+            MembudgetError::Dropped => DnnError::State(format!(
+                "slot {slot:?} was dropped under the memory budget; recompute required"
+            )),
+            MembudgetError::Codec(err) => DnnError::Sz(err),
+        })?;
+        match (meta, fetched) {
+            (SavedMeta::F32 { shape, .. }, Fetched::F32(data)) => {
+                Ok(Saved::F32(Tensor::from_vec(&shape, data)?))
+            }
+            (SavedMeta::F32 { shape, .. }, Fetched::Bytes(bytes)) => {
+                Ok(Saved::F32(Tensor::from_vec(&shape, bytes_to_f32s(&bytes))?))
+            }
+            (SavedMeta::Bits { len }, Fetched::Bytes(bytes)) => Ok(Saved::Bits {
+                words: bytes_to_words(&bytes),
+                len,
+            }),
+            (SavedMeta::U32, Fetched::Bytes(bytes)) => Ok(Saved::U32 {
+                data: bytes_to_u32s(&bytes),
+            }),
+            _ => Err(DnnError::State(format!(
+                "budgeted store payload/metadata mismatch for slot {slot:?}"
+            ))),
+        }
+    }
+
+    fn current_bytes(&self) -> usize {
+        self.arena.resident_bytes()
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.arena.peak_resident_bytes()
+    }
+
+    fn reset_peak(&mut self) {
+        self.arena.reset_peak();
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        let am = self.arena.metrics();
+        let mut m = self.metrics.clone();
+        m.compress_nanos = am.compress_nanos;
+        m.decompress_nanos = am.decompress_nanos;
+        m.simulated_transfer_nanos = am.transfer_nanos;
+        m
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics = StoreMetrics::default();
+        self.arena.reset_metrics();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +1014,98 @@ mod tests {
         s.save(SlotId(0, 0), Saved::F32(act_tensor()), compressible());
         assert_eq!(s.current_bytes(), 0);
         assert!(s.load(SlotId(0, 0)).is_err());
+    }
+
+    #[test]
+    fn elided_slots_report_honest_infinite_ratio() {
+        // A store that saved compressible bytes but kept none resident
+        // (migration) must report infinity, not a fake 1.0.
+        let mut s = MigratedStore::new(1e9);
+        s.save(SlotId(0, 0), Saved::F32(act_tensor()), compressible());
+        let m = s.metrics();
+        assert!(m.compressible_raw_bytes > 0);
+        assert_eq!(m.compressible_stored_bytes, 0);
+        assert!(m.compressible_ratio().is_infinite());
+        assert!(m.layer_ratio(0).unwrap().is_infinite());
+        // Nothing saved at all stays 1.0.
+        assert_eq!(StoreMetrics::default().compressible_ratio(), 1.0);
+    }
+
+    #[test]
+    fn budgeted_store_enforces_budget_and_roundtrips() {
+        let t = act_tensor();
+        let raw = t.byte_size();
+        // Budget below 2 of the 3 raw saves: pressure must demote/evict.
+        let budget = raw + raw / 2;
+        let mut s = BudgetedStore::with_budget(budget);
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        s.save(SlotId(1, 0), Saved::F32(t.clone()), compressible());
+        s.save(SlotId(2, 0), Saved::F32(t.clone()), compressible());
+        let mask = crate::layer::pack_bits(t.data(), |v| v > 0.5);
+        s.save(SlotId(3, 0), mask, SaveHint::raw());
+        assert!(
+            s.peak_bytes() <= budget,
+            "peak {} exceeds budget {budget}",
+            s.peak_bytes()
+        );
+        // Everything loads back (host tier keeps overflow); lossy slots
+        // within the bound, the mask bit-exact.
+        for slot in [2u8, 1, 0].map(|l| SlotId(l as usize, 0)) {
+            let back = s.load(slot).unwrap().into_f32().unwrap();
+            for (a, b) in t.data().iter().zip(back.data()) {
+                assert!((a - b).abs() <= 2e-3, "slot {slot:?}");
+            }
+        }
+        let Saved::Bits { words, len } = s.load(SlotId(3, 0)).unwrap() else {
+            panic!("mask type changed");
+        };
+        assert_eq!(len, t.len());
+        for (i, &v) in t.data().iter().enumerate() {
+            assert_eq!(crate::layer::get_bit(&words, i), v > 0.5, "bit {i}");
+        }
+        assert_eq!(s.current_bytes(), 0);
+        let am = s.arena_metrics();
+        assert_eq!(am.over_budget_events, 0);
+        assert!(am.demotions + am.evictions_host > 0, "no pressure response");
+    }
+
+    #[test]
+    fn budgeted_store_generous_budget_stays_hot_and_exact() {
+        let t = act_tensor();
+        let mut s = BudgetedStore::with_budget(100 << 20);
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+        let back = s.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        // Hot tier: raw payload, bit-exact even for a compressible hint.
+        assert_eq!(back.data(), t.data());
+        assert_eq!(s.arena_metrics().hot_hits, 1);
+    }
+
+    #[test]
+    fn budgeted_store_raw_hinted_floats_stay_bit_exact_under_pressure() {
+        let t = act_tensor();
+        // Budget holds nothing: raw-hinted floats must go to host bytes,
+        // never through the lossy codec.
+        let mut s = BudgetedStore::new(BudgetConfig::with_budget(64), Box::new(FarthestNextUse));
+        s.save(SlotId(0, 0), Saved::F32(t.clone()), SaveHint::raw());
+        let back = s.load(SlotId(0, 0)).unwrap().into_f32().unwrap();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn budgeted_store_drop_policy_sets_step_flag() {
+        let mut cfg = BudgetConfig::with_budget(64);
+        cfg.cold = ColdPolicy::DropForRecompute;
+        let mut s = BudgetedStore::new(cfg, Box::new(Lru));
+        s.begin_step();
+        assert!(!s.step_dropped());
+        s.save(SlotId(0, 0), Saved::F32(act_tensor()), compressible());
+        assert!(s.step_dropped(), "overflowing save must flag the step");
+        assert!(s.load(SlotId(0, 0)).is_err());
+        s.clear();
+        s.begin_step();
+        assert!(!s.step_dropped());
     }
 
     #[test]

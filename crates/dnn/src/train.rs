@@ -66,6 +66,80 @@ pub fn train_step(
     })
 }
 
+/// One training step under an **enforced device-memory budget**, with a
+/// recompute fallback.
+///
+/// Runs forward with the [`BudgetedStore`](crate::store::BudgetedStore);
+/// the arena demotes and evicts
+/// under pressure, so the live activation set never exceeds the budget.
+/// If the store reports that some payload had to be **dropped**
+/// ([`ColdPolicy::DropForRecompute`](crate::store::ColdPolicy) and even
+/// compressed residency overflowed), backward cannot proceed — instead
+/// of failing, the step falls back to gradient checkpointing
+/// ([`checkpointed_train_step_with`](crate::recompute::checkpointed_train_step_with))
+/// over `fallback_segments` segments (default `⌈√nodes⌉`), re-running
+/// forward per segment so each segment's much smaller live set fits.
+/// Under `ColdPolicy::HostMigrate` the fallback never triggers: the host
+/// tier absorbs any overflow (at simulated transfer cost).
+///
+/// The returned [`StepResult::peak_store_bytes`] is the *enforced* peak:
+/// callers can assert `peak ≤ budget` every step (the
+/// `fig11_budgeted_batch` binary does).
+#[allow(clippy::too_many_arguments)]
+pub fn budgeted_train_step(
+    net: &mut Network,
+    head: &SoftmaxCrossEntropy,
+    opt: &mut Sgd,
+    store: &mut crate::store::BudgetedStore,
+    plan: &CompressionPlan,
+    x: Tensor,
+    labels: &[usize],
+    collect: bool,
+    fallback_segments: Option<usize>,
+) -> Result<StepResult> {
+    let batch = x.shape()[0];
+    store.reset_peak();
+    store.begin_step();
+    // The batch is tiny next to the activation set; keep a copy so the
+    // recompute fallback can re-run forward from scratch.
+    let x_backup = x.clone();
+    let logits = {
+        let mut fctx = ForwardContext {
+            store,
+            training: true,
+            collect,
+            plan,
+        };
+        net.forward(x, &mut fctx)?
+    };
+    if store.step_dropped() {
+        // Even compressed residency overflowed the budget: recompute.
+        store.clear();
+        store.reset_peak();
+        let segments = fallback_segments
+            .unwrap_or_else(|| (net.num_top_nodes() as f64).sqrt().ceil() as usize)
+            .max(1);
+        return crate::recompute::checkpointed_train_step_with(
+            net, head, opt, store, plan, x_backup, labels, segments, collect,
+        );
+    }
+    let (loss, dlogits) = head.loss(&logits, labels)?;
+    let correct = head.correct(&logits, labels);
+    {
+        let mut bctx = BackwardContext { store, collect };
+        net.backward(dlogits, &mut bctx)?;
+    }
+    let peak = store.peak_bytes();
+    opt.step(net.params_mut());
+    net.zero_grads();
+    Ok(StepResult {
+        loss,
+        correct,
+        batch,
+        peak_store_bytes: peak,
+    })
+}
+
 /// Inference over one batch: `(mean loss, correct count)`.
 pub fn evaluate(
     net: &mut Network,
@@ -178,6 +252,100 @@ mod tests {
         // conv input (8*16 floats) + relu mask + fc input must be > 0.
         assert!(r.peak_store_bytes > 8 * 16 * 4);
         assert_eq!(r.batch, 8);
+    }
+
+    #[test]
+    fn budgeted_step_enforces_budget_and_still_learns() {
+        use crate::store::BudgetedStore;
+        // First measure the raw activation peak, then train under ~40% of
+        // it: the arena must compress/evict to fit, every step.
+        let head = SoftmaxCrossEntropy::new();
+        let plan = CompressionPlan::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let raw_peak = {
+            let mut net = toy_net(3);
+            let mut opt = Sgd::new(SgdConfig::default());
+            let mut store = RawStore::new();
+            let (x, labels) = toy_batch(&mut rng, 16);
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .unwrap()
+            .peak_store_bytes
+        };
+        let budget = raw_peak * 2 / 5;
+        let mut net = toy_net(3);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            schedule: crate::optimizer::LrSchedule::Constant,
+        });
+        let mut store = BudgetedStore::with_budget(budget);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let (x, labels) = toy_batch(&mut rng, 16);
+            let r = budgeted_train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false, None,
+            )
+            .unwrap();
+            assert!(
+                r.peak_store_bytes <= budget,
+                "peak {} > budget {budget}",
+                r.peak_store_bytes
+            );
+            if first.is_none() {
+                first = Some(r.loss);
+            }
+            last = r.loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.7,
+            "loss {} -> {last} under budget",
+            first.unwrap()
+        );
+        assert_eq!(store.arena_metrics().over_budget_events, 0);
+    }
+
+    #[test]
+    fn budgeted_step_falls_back_to_recompute_on_drop() {
+        use crate::store::{BudgetConfig, BudgetedStore, ColdPolicy, FarthestNextUse};
+        let head = SoftmaxCrossEntropy::new();
+        let plan = CompressionPlan::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Budget sized so the full forward set cannot stay resident even
+        // compressed, but one segment's worth can: with drop-for-recompute
+        // the step must complete via the checkpointing fallback.
+        let raw_peak = {
+            let mut net = toy_net(5);
+            let mut opt = Sgd::new(SgdConfig::default());
+            let mut store = RawStore::new();
+            let (x, labels) = toy_batch(&mut rng, 32);
+            train_step(
+                &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,
+            )
+            .unwrap()
+            .peak_store_bytes
+        };
+        // Below the full live set, but above any single slot (so the
+        // per-segment live sets of the fallback still fit).
+        let mut cfg = BudgetConfig::with_budget(raw_peak - raw_peak / 8);
+        cfg.cold = ColdPolicy::DropForRecompute;
+        // Keep entries raw-or-dead so the drop path actually triggers.
+        cfg.sz.error_bound = f32::NAN; // codec rejects -> no warm tier
+        let mut store = BudgetedStore::new(cfg, Box::new(FarthestNextUse));
+        let mut net = toy_net(5);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (x, labels) = toy_batch(&mut rng, 32);
+        let r = budgeted_train_step(
+            &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false, None,
+        )
+        .unwrap();
+        assert!(r.loss.is_finite());
+        assert!(store.arena_metrics().drops > 0, "fallback never triggered");
     }
 
     #[test]

@@ -291,6 +291,26 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
     out
 }
 
+/// Advance `pos` past a table serialized by [`Codebook::serialize`]
+/// without building any decoding structures — for consumers that only
+/// need to locate the data that follows (e.g. a frame index over a
+/// container whose codebook sits between header and frames).
+pub fn skip_serialized_codebook(bytes: &[u8], pos: &mut usize) -> Result<()> {
+    let table_len = varint::read_usize(bytes, pos)?;
+    if table_len > bytes.len().saturating_sub(*pos) / 2 {
+        return Err(CodecError::Corrupt("table length exceeds stream"));
+    }
+    for _ in 0..table_len {
+        let _sym = varint::read_u64(bytes, pos)?;
+        let len = *bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if len == 0 || len > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("invalid code length"));
+        }
+    }
+    Ok(())
+}
+
 /// Width of the table-driven decoder's primary lookup table. Every code
 /// of at most this many bits decodes with a single peek + index; longer
 /// (rare, deep-tail) codes fall through to the canonical first-code walk.

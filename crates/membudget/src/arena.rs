@@ -1,0 +1,879 @@
+//! The budgeted arena: tiered residency under a hard byte budget.
+
+use crate::policy::{Candidate, EvictionPolicy};
+use crate::{MembudgetError, Result};
+use ebtrain_sz::{CompressedBuffer, DataLayout, SzConfig};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What happens to payloads that cannot stay on-device even compressed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColdPolicy {
+    /// Ship the payload to host memory over a simulated interconnect
+    /// (vDNN-class migration; compressed entries travel compressed, so
+    /// the effective bandwidth is multiplied by the ratio — the paper's
+    /// §6 "orthogonal methods" point). Loads always succeed.
+    HostMigrate,
+    /// Drop the payload; a later load returns
+    /// [`MembudgetError::Dropped`] and the caller must regenerate it by
+    /// re-running forward (gradient-checkpointing fallback).
+    DropForRecompute,
+}
+
+/// Arena configuration.
+#[derive(Debug, Clone)]
+pub struct BudgetConfig {
+    /// Hard cap on device-resident bytes. The arena never exceeds it —
+    /// not between calls and not transiently inside one.
+    pub budget_bytes: usize,
+    /// Codec configuration for hot → warm demotion (`error_bound` is the
+    /// fallback; per-entry bounds override it).
+    pub sz: SzConfig,
+    /// Cold-tier behaviour.
+    pub cold: ColdPolicy,
+    /// How many scheduled entries ahead of the cursor to decode on
+    /// worker threads (0 disables prefetch).
+    pub prefetch_depth: usize,
+    /// Simulated host interconnect bandwidth in bytes/second (PCIe 3.0
+    /// x16 ≈ 12e9); used by the host tier's transfer-time accounting.
+    pub host_bandwidth_bps: f64,
+}
+
+impl BudgetConfig {
+    /// Config with paper-ish defaults: given budget, 1e-3 bound,
+    /// host migration, prefetch depth 2, PCIe3-class link.
+    pub fn with_budget(budget_bytes: usize) -> BudgetConfig {
+        BudgetConfig {
+            budget_bytes,
+            sz: SzConfig::with_error_bound(1e-3),
+            cold: ColdPolicy::HostMigrate,
+            prefetch_depth: 2,
+            host_bandwidth_bps: 12.0e9,
+        }
+    }
+}
+
+/// Tier an insert landed in (also the load-side hit counter key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Raw on device.
+    Hot,
+    /// Compressed on device.
+    Warm,
+    /// Off-device (host).
+    Cold,
+    /// Discarded for recompute.
+    Dropped,
+}
+
+/// A payload handed back by [`BudgetedArena::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fetched {
+    /// Float tensor data.
+    F32(Vec<f32>),
+    /// Opaque bytes (bit-masks, index tensors — the store layer owns the
+    /// encoding).
+    Bytes(Vec<u8>),
+}
+
+/// Cumulative arena counters (cleared by
+/// [`BudgetedArena::reset_metrics`]).
+#[derive(Debug, Clone, Default)]
+pub struct ArenaMetrics {
+    /// Payloads inserted.
+    pub inserts: u64,
+    /// Payloads loaded (removed).
+    pub loads: u64,
+    /// Hot → warm demotions (compression under pressure).
+    pub demotions: u64,
+    /// Warm/hot → host evictions.
+    pub evictions_host: u64,
+    /// Payloads dropped for recompute.
+    pub drops: u64,
+    /// Prefetch decodes issued to worker threads.
+    pub prefetch_issued: u64,
+    /// Loads served by a completed (or joined) prefetch.
+    pub prefetch_hits: u64,
+    /// Loads served raw from device.
+    pub hot_hits: u64,
+    /// Loads that paid an inline decompression.
+    pub warm_hits: u64,
+    /// Loads that paid a host round-trip.
+    pub host_hits: u64,
+    /// Time spent compressing (demotion + cold path).
+    pub compress_nanos: u64,
+    /// Time spent decompressing on the caller's thread (inline, i.e.
+    /// *not* hidden by prefetch).
+    pub decompress_nanos: u64,
+    /// Simulated host interconnect time.
+    pub transfer_nanos: u64,
+    /// Raw bytes that went through the demotion compressor.
+    pub bytes_compressed_raw: u64,
+    /// Compressed bytes the demotion compressor produced.
+    pub bytes_compressed_out: u64,
+    /// Times a charge would have pushed residency past the budget
+    /// (always 0 — kept as a release-mode tripwire).
+    pub over_budget_events: u64,
+}
+
+/// Background decode of one compressed payload.
+struct DecodeJob {
+    handle: JoinHandle<ebtrain_sz::Result<Vec<f32>>>,
+}
+
+impl DecodeJob {
+    fn spawn(buf: CompressedBuffer) -> DecodeJob {
+        DecodeJob {
+            handle: std::thread::spawn(move || ebtrain_sz::decompress(&buf)),
+        }
+    }
+
+    fn join(self) -> ebtrain_sz::Result<Vec<f32>> {
+        self.handle.join().unwrap_or_else(|_| {
+            Err(ebtrain_sz::SzError::Corrupt(
+                "decode worker panicked".into(),
+            ))
+        })
+    }
+}
+
+enum Repr {
+    HotF32(Vec<f32>),
+    HotBytes(Vec<u8>),
+    Warm(CompressedBuffer),
+    /// Prefetch in progress; charged conservatively for *both* the
+    /// compressed source and the raw result while in flight.
+    InFlight(DecodeJob),
+    HostF32(Vec<f32>),
+    HostWarm(CompressedBuffer),
+    HostBytes(Vec<u8>),
+    Dropped,
+}
+
+struct Entry {
+    repr: Repr,
+    /// Layout under which an f32 payload compresses.
+    layout: DataLayout,
+    /// Error bound for demotion (entry-specific override of the config).
+    eb: f32,
+    raw_bytes: usize,
+    /// Device bytes currently charged for this entry.
+    resident: usize,
+    last_touch: u64,
+}
+
+impl Entry {
+    fn tier(&self) -> Tier {
+        match self.repr {
+            Repr::HotF32(_) | Repr::HotBytes(_) | Repr::InFlight(_) => Tier::Hot,
+            Repr::Warm(_) => Tier::Warm,
+            Repr::HostF32(_) | Repr::HostWarm(_) | Repr::HostBytes(_) => Tier::Cold,
+            Repr::Dropped => Tier::Dropped,
+        }
+    }
+}
+
+/// Tiered activation arena under a hard device-byte budget; see the
+/// crate docs for the design.
+pub struct BudgetedArena<K> {
+    cfg: BudgetConfig,
+    policy: Box<dyn EvictionPolicy>,
+    entries: HashMap<K, Entry>,
+    resident: usize,
+    peak: usize,
+    clock: u64,
+    /// Expected future access order (the backward schedule) and the
+    /// cursor of how far into it loads have progressed.
+    schedule: Vec<K>,
+    sched_pos: HashMap<K, usize>,
+    cursor: usize,
+    metrics: ArenaMetrics,
+}
+
+impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
+    /// Arena with the given configuration and eviction policy.
+    pub fn new(cfg: BudgetConfig, policy: Box<dyn EvictionPolicy>) -> BudgetedArena<K> {
+        BudgetedArena {
+            cfg,
+            policy,
+            entries: HashMap::new(),
+            resident: 0,
+            peak: 0,
+            clock: 0,
+            schedule: Vec::new(),
+            sched_pos: HashMap::new(),
+            cursor: 0,
+            metrics: ArenaMetrics::default(),
+        }
+    }
+
+    /// The hard budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.cfg.budget_bytes
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// High-water mark of [`resident_bytes`](Self::resident_bytes) since
+    /// the last [`reset_peak`](Self::reset_peak). The enforcement proof:
+    /// `peak ≤ budget` holds after any call sequence.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Reset the high-water mark to the current residency.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.resident;
+    }
+
+    /// Number of live entries (all tiers).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative counters.
+    pub fn metrics(&self) -> ArenaMetrics {
+        self.metrics.clone()
+    }
+
+    /// Zero the cumulative counters.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = ArenaMetrics::default();
+    }
+
+    /// Active eviction policy name (reporting).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current residency tier of `key`, if live.
+    pub fn tier_of(&self, key: K) -> Option<Tier> {
+        self.entries.get(&key).map(|e| e.tier())
+    }
+
+    /// Device bytes currently charged for `key`, if live.
+    pub fn resident_of(&self, key: K) -> Option<usize> {
+        self.entries.get(&key).map(|e| e.resident)
+    }
+
+    /// Declare the expected future access order (the backward schedule).
+    /// Drives [`FarthestNextUse`](crate::policy::FarthestNextUse) and the
+    /// prefetch pipeline; resets the
+    /// schedule cursor.
+    pub fn set_schedule(&mut self, order: Vec<K>) {
+        self.sched_pos = order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        self.schedule = order;
+        self.cursor = 0;
+    }
+
+    /// Drop every entry and any in-flight prefetches. Metrics and peak
+    /// survive (use [`reset_metrics`](Self::reset_metrics) /
+    /// [`reset_peak`](Self::reset_peak)).
+    pub fn clear(&mut self) {
+        for (_, e) in self.entries.drain() {
+            if let Repr::InFlight(job) = e.repr {
+                let _ = job.join();
+            }
+        }
+        self.resident = 0;
+        self.schedule.clear();
+        self.sched_pos.clear();
+        self.cursor = 0;
+    }
+
+    fn charge(&mut self, bytes: usize) {
+        self.resident += bytes;
+        if self.resident > self.cfg.budget_bytes {
+            // Unreachable by construction; counted rather than panicking
+            // so release builds surface the bug in reports.
+            self.metrics.over_budget_events += 1;
+        }
+        self.peak = self.peak.max(self.resident);
+    }
+
+    fn uncharge(&mut self, bytes: usize) {
+        self.resident = self.resident.saturating_sub(bytes);
+    }
+
+    fn charge_transfer(&mut self, bytes: usize) {
+        let nanos = bytes as f64 / self.cfg.host_bandwidth_bps.max(1.0) * 1e9;
+        self.metrics.transfer_nanos += nanos as u64;
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Next scheduled access of `key` at or after the cursor.
+    fn next_use(&self, key: K) -> Option<usize> {
+        self.sched_pos
+            .get(&key)
+            .copied()
+            .filter(|&p| p >= self.cursor)
+    }
+
+    /// Pick a victim among live entries of `tier` (excluding `exclude`).
+    fn pick_victim(&mut self, tier: Tier, exclude: Option<K>) -> Option<K> {
+        let mut keys: Vec<K> = Vec::new();
+        let mut cands: Vec<Candidate> = Vec::new();
+        for (&k, e) in &self.entries {
+            if e.tier() != tier || Some(k) == exclude {
+                continue;
+            }
+            // In-flight prefetches are pinned: their worker owns the
+            // payload until joined.
+            if matches!(e.repr, Repr::InFlight(_)) {
+                continue;
+            }
+            keys.push(k);
+            cands.push(Candidate {
+                last_touch: e.last_touch,
+                next_use: self.next_use(k),
+                resident_bytes: e.resident,
+            });
+        }
+        self.policy.victim(&cands).map(|i| keys[i])
+    }
+
+    /// Compress an f32 payload under the entry's bound; `None` when the
+    /// codec rejects the configuration (degenerate bound).
+    fn compress_payload(
+        &mut self,
+        data: &[f32],
+        layout: DataLayout,
+        eb: f32,
+    ) -> Option<CompressedBuffer> {
+        let mut cfg = self.cfg.sz;
+        cfg.error_bound = eb;
+        let t0 = Instant::now();
+        let out = ebtrain_sz::compress(data, layout, &cfg).ok();
+        self.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
+        if let Some(buf) = &out {
+            self.metrics.bytes_compressed_raw += (data.len() * 4) as u64;
+            self.metrics.bytes_compressed_out += buf.compressed_byte_len() as u64;
+        }
+        out
+    }
+
+    /// Move one hot entry down to warm (f32: compress) or cold (bytes).
+    fn demote(&mut self, key: K) {
+        let Some(mut e) = self.entries.remove(&key) else {
+            return;
+        };
+        match std::mem::replace(&mut e.repr, Repr::Dropped) {
+            Repr::HotF32(data) => {
+                let compressed = self.compress_payload(&data, e.layout, e.eb);
+                match compressed {
+                    // Compression must actually help; an inflating stream
+                    // goes straight to the cold tier instead.
+                    Some(buf) if buf.compressed_byte_len() < e.resident => {
+                        self.uncharge(e.resident);
+                        e.resident = buf.compressed_byte_len();
+                        self.charge(e.resident);
+                        e.repr = Repr::Warm(buf);
+                        self.metrics.demotions += 1;
+                    }
+                    _ => {
+                        self.uncharge(e.resident);
+                        e.resident = 0;
+                        e.repr = self.send_cold_f32(data);
+                    }
+                }
+            }
+            Repr::HotBytes(bytes) => {
+                self.uncharge(e.resident);
+                e.resident = 0;
+                e.repr = self.send_cold_bytes(bytes);
+            }
+            other => {
+                e.repr = other; // not hot; nothing to do
+            }
+        }
+        self.entries.insert(key, e);
+    }
+
+    /// Move one warm entry off-device.
+    fn evict_warm(&mut self, key: K) {
+        let Some(mut e) = self.entries.remove(&key) else {
+            return;
+        };
+        if let Repr::Warm(buf) = std::mem::replace(&mut e.repr, Repr::Dropped) {
+            self.uncharge(e.resident);
+            e.resident = 0;
+            e.repr = match self.cfg.cold {
+                ColdPolicy::HostMigrate => {
+                    self.charge_transfer(buf.compressed_byte_len());
+                    self.metrics.evictions_host += 1;
+                    Repr::HostWarm(buf)
+                }
+                ColdPolicy::DropForRecompute => {
+                    self.metrics.drops += 1;
+                    Repr::Dropped
+                }
+            };
+        }
+        self.entries.insert(key, e);
+    }
+
+    fn send_cold_f32(&mut self, data: Vec<f32>) -> Repr {
+        match self.cfg.cold {
+            ColdPolicy::HostMigrate => {
+                self.charge_transfer(data.len() * 4);
+                self.metrics.evictions_host += 1;
+                Repr::HostF32(data)
+            }
+            ColdPolicy::DropForRecompute => {
+                self.metrics.drops += 1;
+                Repr::Dropped
+            }
+        }
+    }
+
+    fn send_cold_bytes(&mut self, bytes: Vec<u8>) -> Repr {
+        match self.cfg.cold {
+            ColdPolicy::HostMigrate => {
+                self.charge_transfer(bytes.len());
+                self.metrics.evictions_host += 1;
+                Repr::HostBytes(bytes)
+            }
+            ColdPolicy::DropForRecompute => {
+                self.metrics.drops += 1;
+                Repr::Dropped
+            }
+        }
+    }
+
+    /// Free device bytes until `need` more fit under the budget, walking
+    /// the ladder: demote hot entries first, then evict warm ones.
+    /// Stops (without erroring) when nothing evictable remains; callers
+    /// re-check the headroom and take the cold path themselves.
+    fn make_room(&mut self, need: usize, exclude: Option<K>) {
+        loop {
+            if self.resident + need <= self.cfg.budget_bytes {
+                return;
+            }
+            if let Some(k) = self.pick_victim(Tier::Hot, exclude) {
+                self.demote(k);
+                continue;
+            }
+            if let Some(k) = self.pick_victim(Tier::Warm, exclude) {
+                self.evict_warm(k);
+                continue;
+            }
+            return; // only pinned/in-flight entries left
+        }
+    }
+
+    /// Insert an f32 payload. Lands hot if the budget allows, else warm
+    /// (compressed under `eb` / the config bound), else cold. Returns
+    /// the tier it landed in.
+    pub fn insert_f32(
+        &mut self,
+        key: K,
+        data: Vec<f32>,
+        layout: DataLayout,
+        eb: Option<f32>,
+    ) -> Tier {
+        self.remove(key);
+        self.metrics.inserts += 1;
+        let raw = data.len() * 4;
+        let eb = eb.unwrap_or(self.cfg.sz.error_bound);
+        let touch = self.tick();
+        let mut entry = Entry {
+            repr: Repr::Dropped,
+            layout,
+            eb,
+            raw_bytes: raw,
+            resident: 0,
+            last_touch: touch,
+        };
+
+        self.make_room(raw, Some(key));
+        if self.resident + raw <= self.cfg.budget_bytes {
+            entry.resident = raw;
+            entry.repr = Repr::HotF32(data);
+            self.charge(raw);
+            let tier = Tier::Hot;
+            self.entries.insert(key, entry);
+            return tier;
+        }
+
+        // Hot does not fit: compress and try the warm tier.
+        let tier = match self.compress_payload(&data, layout, eb) {
+            Some(buf) => {
+                let cb = buf.compressed_byte_len();
+                self.make_room(cb, Some(key));
+                if self.resident + cb <= self.cfg.budget_bytes {
+                    entry.resident = cb;
+                    entry.repr = Repr::Warm(buf);
+                    self.charge(cb);
+                    self.metrics.demotions += 1;
+                    Tier::Warm
+                } else {
+                    // Even compressed it overflows: go cold. Under
+                    // HostMigrate the *compressed* bytes travel.
+                    match self.cfg.cold {
+                        ColdPolicy::HostMigrate => {
+                            self.charge_transfer(cb);
+                            self.metrics.evictions_host += 1;
+                            entry.repr = Repr::HostWarm(buf);
+                            Tier::Cold
+                        }
+                        ColdPolicy::DropForRecompute => {
+                            self.metrics.drops += 1;
+                            entry.repr = Repr::Dropped;
+                            Tier::Dropped
+                        }
+                    }
+                }
+            }
+            // Codec rejected the bound: raw payload takes the cold path.
+            None => {
+                entry.repr = self.send_cold_f32(data);
+                match entry.repr {
+                    Repr::Dropped => Tier::Dropped,
+                    _ => Tier::Cold,
+                }
+            }
+        };
+        self.entries.insert(key, entry);
+        tier
+    }
+
+    /// Insert an opaque byte payload (masks, index tensors). Never
+    /// compressed; evicts to host / drops under pressure like any other
+    /// entry.
+    pub fn insert_bytes(&mut self, key: K, bytes: Vec<u8>) -> Tier {
+        self.remove(key);
+        self.metrics.inserts += 1;
+        let raw = bytes.len();
+        let touch = self.tick();
+        let mut entry = Entry {
+            repr: Repr::Dropped,
+            layout: DataLayout::D1(0),
+            eb: self.cfg.sz.error_bound,
+            raw_bytes: raw,
+            resident: 0,
+            last_touch: touch,
+        };
+        self.make_room(raw, Some(key));
+        let tier = if self.resident + raw <= self.cfg.budget_bytes {
+            entry.resident = raw;
+            entry.repr = Repr::HotBytes(bytes);
+            self.charge(raw);
+            Tier::Hot
+        } else {
+            entry.repr = self.send_cold_bytes(bytes);
+            match entry.repr {
+                Repr::Dropped => Tier::Dropped,
+                _ => Tier::Cold,
+            }
+        };
+        self.entries.insert(key, entry);
+        tier
+    }
+
+    /// Remove an entry without fetching it (joins an in-flight decode).
+    pub fn remove(&mut self, key: K) {
+        if let Some(e) = self.entries.remove(&key) {
+            self.uncharge(e.resident);
+            if let Repr::InFlight(job) = e.repr {
+                let _ = job.join();
+            }
+        }
+    }
+
+    /// Fetch (and remove) a payload. Advances the schedule cursor and —
+    /// when a schedule is set — issues prefetch decodes for upcoming
+    /// warm entries before returning, so they overlap the caller's
+    /// compute.
+    pub fn load(&mut self, key: K) -> Result<Fetched> {
+        let entry = self.entries.remove(&key).ok_or(MembudgetError::Missing)?;
+        self.uncharge(entry.resident);
+        self.metrics.loads += 1;
+        if let Some(pos) = self.sched_pos.get(&key).copied() {
+            if pos >= self.cursor {
+                self.cursor = pos + 1;
+            }
+        }
+        let raw = entry.raw_bytes;
+        let fetched = match entry.repr {
+            Repr::HotF32(data) => {
+                self.metrics.hot_hits += 1;
+                Ok(Fetched::F32(data))
+            }
+            Repr::HotBytes(bytes) => {
+                self.metrics.hot_hits += 1;
+                Ok(Fetched::Bytes(bytes))
+            }
+            Repr::Warm(buf) => {
+                let t0 = Instant::now();
+                let out = ebtrain_sz::decompress(&buf).map_err(MembudgetError::Codec);
+                self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+                self.metrics.warm_hits += 1;
+                out.map(Fetched::F32)
+            }
+            Repr::InFlight(job) => {
+                self.metrics.prefetch_hits += 1;
+                job.join().map(Fetched::F32).map_err(MembudgetError::Codec)
+            }
+            Repr::HostF32(data) => {
+                self.charge_transfer(raw);
+                self.metrics.host_hits += 1;
+                Ok(Fetched::F32(data))
+            }
+            Repr::HostWarm(buf) => {
+                self.charge_transfer(buf.compressed_byte_len());
+                self.metrics.host_hits += 1;
+                let t0 = Instant::now();
+                let out = ebtrain_sz::decompress(&buf).map_err(MembudgetError::Codec);
+                self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+                out.map(Fetched::F32)
+            }
+            Repr::HostBytes(bytes) => {
+                self.charge_transfer(raw);
+                self.metrics.host_hits += 1;
+                Ok(Fetched::Bytes(bytes))
+            }
+            Repr::Dropped => Err(MembudgetError::Dropped),
+        };
+        self.prefetch_ahead();
+        fetched
+    }
+
+    /// Issue background decodes for the next scheduled warm entries, up
+    /// to the configured depth — but never past the budget: an in-flight
+    /// decode is charged for both its compressed source and its raw
+    /// result, and prefetch is skipped (not forced via eviction) when
+    /// that would not fit.
+    fn prefetch_ahead(&mut self) {
+        if self.cfg.prefetch_depth == 0 {
+            return;
+        }
+        let mut in_flight = self
+            .entries
+            .values()
+            .filter(|e| matches!(e.repr, Repr::InFlight(_)))
+            .count();
+        let mut pos = self.cursor;
+        while in_flight < self.cfg.prefetch_depth && pos < self.schedule.len() {
+            let key = self.schedule[pos];
+            pos += 1;
+            let Some(e) = self.entries.get(&key) else {
+                continue;
+            };
+            if !matches!(e.repr, Repr::Warm(_)) {
+                continue;
+            }
+            let extra = e.raw_bytes;
+            if self.resident + extra > self.cfg.budget_bytes {
+                continue; // would over-commit; serve this one inline later
+            }
+            let e = self.entries.get_mut(&key).expect("checked above");
+            if let Repr::Warm(buf) = std::mem::replace(&mut e.repr, Repr::Dropped) {
+                e.repr = Repr::InFlight(DecodeJob::spawn(buf));
+                e.resident += extra;
+                self.charge(extra);
+                self.metrics.prefetch_issued += 1;
+                in_flight += 1;
+            }
+        }
+    }
+}
+
+impl<K> Drop for BudgetedArena<K> {
+    fn drop(&mut self) {
+        for (_, e) in self.entries.drain() {
+            if let Repr::InFlight(job) = e.repr {
+                let _ = job.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FarthestNextUse, Lru};
+
+    fn volume(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 + seed as f32) * 0.013).sin())
+            .collect()
+    }
+
+    fn arena(budget: usize) -> BudgetedArena<u32> {
+        BudgetedArena::new(BudgetConfig::with_budget(budget), Box::new(Lru))
+    }
+
+    #[test]
+    fn fits_hot_when_budget_allows() {
+        let mut a = arena(1 << 20);
+        let data = volume(1000, 0);
+        let tier = a.insert_f32(7, data.clone(), DataLayout::D1(1000), None);
+        assert_eq!(tier, Tier::Hot);
+        assert_eq!(a.resident_bytes(), 4000);
+        match a.load(7).unwrap() {
+            Fetched::F32(v) => assert_eq!(v, data),
+            _ => panic!("wrong payload"),
+        }
+        assert_eq!(a.resident_bytes(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn pressure_demotes_then_evicts_and_budget_holds() {
+        // Budget fits ~1.5 raw volumes: the second insert must demote the
+        // first to warm; repeated inserts push old entries to host.
+        use rand::{Rng, SeedableRng};
+        let n = 64 * 64;
+        let raw = n * 4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let noisy = |rng: &mut rand::rngs::StdRng| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        };
+        let mut originals = Vec::new();
+        let mut a = arena(raw + raw / 2);
+        for k in 0..6u32 {
+            let data = noisy(&mut rng);
+            originals.push(data.clone());
+            a.insert_f32(k, data, DataLayout::D2(64, 64), Some(1e-2));
+            assert!(
+                a.peak_resident_bytes() <= a.budget_bytes(),
+                "peak {} > budget {} after insert {k}",
+                a.peak_resident_bytes(),
+                a.budget_bytes()
+            );
+        }
+        let m = a.metrics();
+        assert!(m.demotions > 0, "no demotions under pressure");
+        assert!(m.evictions_host > 0, "no evictions under pressure");
+        assert_eq!(m.over_budget_events, 0);
+        // Every payload still loads (host tier keeps everything).
+        for k in 0..6u32 {
+            let Fetched::F32(v) = a.load(k).unwrap() else {
+                panic!("wrong payload")
+            };
+            for (x, y) in originals[k as usize].iter().zip(&v) {
+                assert!((x - y).abs() <= 1e-2 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_policy_loses_overflow_and_reports_it() {
+        let n = 64 * 64;
+        let mut cfg = BudgetConfig::with_budget(100); // absurdly tight
+        cfg.cold = ColdPolicy::DropForRecompute;
+        let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(Lru));
+        let tier = a.insert_f32(1, volume(n, 1), DataLayout::D2(64, 64), Some(1e-2));
+        assert_eq!(tier, Tier::Dropped);
+        assert_eq!(a.metrics().drops, 1);
+        assert!(matches!(a.load(1), Err(MembudgetError::Dropped)));
+        assert!(matches!(a.load(99), Err(MembudgetError::Missing)));
+    }
+
+    #[test]
+    fn bytes_payloads_roundtrip_and_migrate() {
+        let mut a = arena(64);
+        assert_eq!(a.insert_bytes(1, vec![0xAB; 48]), Tier::Hot);
+        // Second insert exceeds the budget; the first must leave for host.
+        assert_eq!(a.insert_bytes(2, vec![0xCD; 48]), Tier::Hot);
+        assert_eq!(a.tier_of(1), Some(Tier::Cold));
+        assert!(a.peak_resident_bytes() <= 64);
+        let Fetched::Bytes(b1) = a.load(1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b1, vec![0xAB; 48]);
+        assert!(a.metrics().transfer_nanos > 0);
+    }
+
+    #[test]
+    fn schedule_prefetch_overlaps_and_hits() {
+        let n = 32 * 32;
+        let raw = n * 4;
+        // Budget: two raw volumes -> later inserts sit warm.
+        let mut cfg = BudgetConfig::with_budget(raw * 2);
+        cfg.prefetch_depth = 2;
+        let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(FarthestNextUse));
+        let keys: Vec<u32> = (0..5).collect();
+        for &k in &keys {
+            a.insert_f32(k, volume(n, k as u64), DataLayout::D2(32, 32), Some(1e-2));
+        }
+        // Backward touches keys in reverse.
+        let schedule: Vec<u32> = keys.iter().rev().copied().collect();
+        a.set_schedule(schedule.clone());
+        for &k in &schedule {
+            let Fetched::F32(v) = a.load(k).unwrap() else {
+                panic!()
+            };
+            assert_eq!(v.len(), n);
+            assert!(a.peak_resident_bytes() <= a.budget_bytes());
+        }
+        let m = a.metrics();
+        assert!(
+            m.prefetch_issued > 0 && m.prefetch_hits > 0,
+            "prefetch never engaged: {m:?}"
+        );
+        assert_eq!(m.over_budget_events, 0);
+    }
+
+    #[test]
+    fn farthest_next_use_keeps_soon_needed_entries_hot() {
+        let n = 32 * 32;
+        let raw = n * 4;
+        // Room for exactly 2 raw volumes (plus slack below a third).
+        let mut cfg = BudgetConfig::with_budget(raw * 2 + raw / 2);
+        cfg.prefetch_depth = 0;
+        let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(FarthestNextUse));
+        // Backward will touch 2 first, then 1, then 0.
+        a.set_schedule(vec![2, 1, 0]);
+        for k in 0..3u32 {
+            a.insert_f32(k, volume(n, k as u64), DataLayout::D2(32, 32), Some(1e-2));
+        }
+        // Key 0 is needed last -> it should be the demoted one.
+        assert_eq!(a.tier_of(0), Some(Tier::Warm));
+        assert_eq!(a.tier_of(2), Some(Tier::Hot));
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_and_recharges_once() {
+        let mut a = arena(1 << 20);
+        a.insert_f32(3, volume(100, 1), DataLayout::D1(100), None);
+        a.insert_f32(3, volume(200, 2), DataLayout::D1(200), None);
+        assert_eq!(a.resident_bytes(), 800);
+        assert_eq!(a.len(), 1);
+        let Fetched::F32(v) = a.load(3).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.len(), 200);
+    }
+
+    #[test]
+    fn clear_joins_flights_and_zeroes_residency() {
+        let n = 32 * 32;
+        let mut cfg = BudgetConfig::with_budget(n * 4 * 2);
+        cfg.prefetch_depth = 4;
+        let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(Lru));
+        for k in 0..4u32 {
+            a.insert_f32(k, volume(n, k as u64), DataLayout::D2(32, 32), Some(1e-2));
+        }
+        a.set_schedule(vec![3, 2, 1, 0]);
+        let _ = a.load(3); // triggers prefetch issue
+        a.clear();
+        assert_eq!(a.resident_bytes(), 0);
+        assert!(a.is_empty());
+    }
+}

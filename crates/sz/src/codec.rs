@@ -105,34 +105,34 @@ impl CompressedBuffer {
 }
 
 /// Parsed stream header, shared by both format versions.
-struct Header {
-    n: usize,
-    eb: f32,
-    predictor: Predictor,
-    layout: DataLayout,
-    radius: i64,
-    zero_filter: bool,
-    quant_mode: QuantMode,
+pub(crate) struct Header {
+    pub(crate) n: usize,
+    pub(crate) eb: f32,
+    pub(crate) predictor: Predictor,
+    pub(crate) layout: DataLayout,
+    pub(crate) radius: i64,
+    pub(crate) zero_filter: bool,
+    pub(crate) quant_mode: QuantMode,
     /// Chunking parameter (leading-dimension slices per chunk). Legacy
     /// streams carry the whole volume in one implicit chunk.
-    block_planes: usize,
+    pub(crate) block_planes: usize,
     /// Number of chunk frames following the header.
-    n_chunks: usize,
+    pub(crate) n_chunks: usize,
     /// Byte offset of the first frame (legacy: of the single body).
-    body_off: usize,
-    legacy: bool,
+    pub(crate) body_off: usize,
+    pub(crate) legacy: bool,
 }
 
-fn corrupt(msg: &str) -> SzError {
+pub(crate) fn corrupt(msg: &str) -> SzError {
     SzError::Corrupt(msg.to_string())
 }
 
-fn rd_usize(bytes: &[u8], pos: &mut usize) -> Result<usize> {
+pub(crate) fn rd_usize(bytes: &[u8], pos: &mut usize) -> Result<usize> {
     varint::read_usize(bytes, pos).map_err(|e| SzError::Corrupt(e.to_string()))
 }
 
 /// Parse a `Z1` or `Z2` header; everything after `body_off` is payload.
-fn parse_header(bytes: &[u8]) -> Result<Header> {
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
     if bytes.len() < 2 {
         return Err(corrupt("bad magic"));
     }
@@ -332,7 +332,7 @@ fn encode_frame(codes: &[u32], outliers: &[u32], codebook: &huffman::Codebook) -
 /// 2); without one it is a legacy self-contained stream. `strict`
 /// rejects trailing bytes after the payload (framed streams are exact;
 /// the legacy body is parsed leniently, as the old decoder did).
-fn decode_chunk(
+pub(crate) fn decode_chunk(
     frame: &[u8],
     layout: DataLayout,
     header: &Header,
@@ -388,45 +388,17 @@ fn decode_chunk(
     let two_eb = 2.0 * eb;
     let radius = header.radius;
     let predictor = header.predictor;
-    let mut recon = vec![0.0f32; n];
-    let mut outlier_iter = outliers.into_iter();
-    match header.quant_mode {
-        QuantMode::Classic => {
-            for idx in 0..n {
-                let code = codes[idx];
-                if code == 0 {
-                    recon[idx] = outlier_iter
-                        .next()
-                        .ok_or_else(|| corrupt("outlier underflow"))?;
-                } else {
-                    let q = code as i64 - radius;
-                    let pred = predict(predictor, &layout, &recon, idx);
-                    recon[idx] = pred + q as f32 * two_eb;
-                }
-            }
-        }
-        QuantMode::DualQuant => {
-            let mut grid = vec![0i64; n];
-            for idx in 0..n {
-                let code = codes[idx];
-                if code == 0 {
-                    let x = outlier_iter
-                        .next()
-                        .ok_or_else(|| corrupt("outlier underflow"))?;
-                    recon[idx] = x;
-                    grid[idx] = grid_of(x, two_eb).unwrap_or(0);
-                } else {
-                    let pred = predict_i64(predictor, &layout, &grid, idx);
-                    // Wrapping: a corrupt code stream may accumulate the
-                    // grid arbitrarily; garbage values are fine (the
-                    // stream is lossy-garbage either way), panics are not.
-                    let q = pred.wrapping_add(code as i64 - radius);
-                    grid[idx] = q;
-                    recon[idx] = (q as f64 * two_eb as f64) as f32;
-                }
-            }
-        }
-    }
+    // Specialized per-(predictor, layout) reconstruction loops — same
+    // stencils, same operand order, no per-element div/mod or dispatch
+    // (see `reconstruct.rs`).
+    let mut recon = match header.quant_mode {
+        QuantMode::Classic => crate::reconstruct::reconstruct_classic(
+            &codes, &outliers, predictor, layout, radius, two_eb,
+        )?,
+        QuantMode::DualQuant => crate::reconstruct::reconstruct_dual(
+            &codes, &outliers, predictor, layout, radius, two_eb,
+        )?,
+    };
     if header.zero_filter {
         // Paper §4.4: values that landed within the error bound of zero are
         // snapped back, so compressed runs of zeros stay exactly zero.
@@ -442,7 +414,7 @@ fn decode_chunk(
 /// Deterministic integer-grid mapping shared by encoder and decoder (the
 /// decoder recomputes grid values of outliers from their exact bytes).
 #[inline]
-fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
+pub(crate) fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
     if !x.is_finite() {
         return None;
     }
@@ -1093,6 +1065,103 @@ mod tests {
             rd > rc * 0.5 && rd < rc * 2.5,
             "classic {rc:.1} vs dual {rd:.1}"
         );
+    }
+
+    #[test]
+    fn specialized_reconstruct_matches_generic() {
+        // The specialized per-(predictor, layout) loops in `reconstruct.rs`
+        // must replay the generic stencils element-for-element — including
+        // forced predictor/layout mismatches (e.g. Lorenzo3 over a 2-D
+        // layout), where the generic decomposition degenerates.
+        let mut rng = StdRng::seed_from_u64(99);
+        let layouts = [
+            DataLayout::D1(513),
+            DataLayout::D2(21, 17),
+            DataLayout::D3(5, 9, 11),
+        ];
+        for layout in layouts {
+            for predictor in [
+                Predictor::Lorenzo1,
+                Predictor::Lorenzo2,
+                Predictor::Lorenzo3,
+            ] {
+                for quant_mode in [QuantMode::Classic, QuantMode::DualQuant] {
+                    let n = layout.len();
+                    let data: Vec<f32> = (0..n)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                0.0
+                            } else {
+                                rng.gen_range(-4.0f32..4.0)
+                            }
+                        })
+                        .collect();
+                    let mut cfg = SzConfig::vanilla(1e-3);
+                    cfg.predictor = Some(predictor);
+                    cfg.quant_mode = quant_mode;
+                    let (codes, outliers) = quantize_chunk(&data, layout, predictor, &cfg);
+                    let outliers_f: Vec<f32> =
+                        outliers.iter().map(|&b| f32::from_bits(b)).collect();
+                    let radius = cfg.radius as i64;
+                    let two_eb = 2.0 * cfg.error_bound;
+                    // Generic reference: per-element predict()/predict_i64().
+                    let mut reference = vec![0.0f32; n];
+                    let mut oi = outliers_f.iter();
+                    match quant_mode {
+                        QuantMode::Classic => {
+                            for idx in 0..n {
+                                reference[idx] = if codes[idx] == 0 {
+                                    *oi.next().unwrap()
+                                } else {
+                                    let q = codes[idx] as i64 - radius;
+                                    predict(predictor, &layout, &reference, idx) + q as f32 * two_eb
+                                };
+                            }
+                        }
+                        QuantMode::DualQuant => {
+                            let mut grid = vec![0i64; n];
+                            for idx in 0..n {
+                                if codes[idx] == 0 {
+                                    let x = *oi.next().unwrap();
+                                    reference[idx] = x;
+                                    grid[idx] = grid_of(x, two_eb).unwrap_or(0);
+                                } else {
+                                    let pred = predict_i64(predictor, &layout, &grid, idx);
+                                    let q = pred.wrapping_add(codes[idx] as i64 - radius);
+                                    grid[idx] = q;
+                                    reference[idx] = (q as f64 * two_eb as f64) as f32;
+                                }
+                            }
+                        }
+                    }
+                    let specialized = match quant_mode {
+                        QuantMode::Classic => crate::reconstruct::reconstruct_classic(
+                            &codes,
+                            &outliers_f,
+                            predictor,
+                            layout,
+                            radius,
+                            two_eb,
+                        ),
+                        QuantMode::DualQuant => crate::reconstruct::reconstruct_dual(
+                            &codes,
+                            &outliers_f,
+                            predictor,
+                            layout,
+                            radius,
+                            two_eb,
+                        ),
+                    }
+                    .unwrap();
+                    for (i, (a, b)) in reference.iter().zip(&specialized).enumerate() {
+                        assert!(
+                            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                            "{layout:?}/{predictor:?}/{quant_mode:?} idx {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

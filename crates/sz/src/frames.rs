@@ -1,0 +1,417 @@
+//! Frame index and plane-range decode for the Z2 chunk-framed container.
+//!
+//! The Z2 stream (DESIGN.md §3) was designed so every chunk frame decodes
+//! independently given the shared codebook. This module is the consumer
+//! of that property: [`CompressedBuffer::frame_index`] maps each frame to
+//! the plane/element/byte ranges it covers **without decoding anything**
+//! (only the length prefixes are read), and
+//! [`CompressedBuffer::decompress_planes`] decodes a chosen range of
+//! leading-dimension planes while *skipping* the frame bodies outside the
+//! range — the streaming-decode primitive for budgeted/partial fetches.
+//! The budgeted activation manager (`ebtrain-membudget`) currently
+//! decodes warm entries whole (its tensors are decode-sized already);
+//! wiring its warm tier to partial fetches of very large layers is a
+//! tracked ROADMAP follow-up.
+//!
+//! A "plane" is one leading-dimension slice: a row for `D2(h, w)`, a
+//! `d1 × d2` plane for `D3`, and a 4096-element run for `D1` (matching
+//! the chunk geometry in [`crate::blocks`]). Legacy `Z1` streams are one
+//! monolithic body, so their index has a single frame and every range
+//! decode pays a full decode (documented, tested).
+
+use crate::codec::{corrupt, decode_chunk, parse_header, rd_usize, CompressedBuffer};
+use crate::{blocks, DataLayout, Result};
+use ebtrain_encoding::huffman;
+use std::ops::Range;
+
+/// Elements per leading-dimension "plane" of a layout (see module docs).
+fn plane_elems(layout: DataLayout) -> usize {
+    match layout {
+        DataLayout::D1(_) => 4096,
+        DataLayout::D2(_, w) => w,
+        DataLayout::D3(_, b, c) => b * c,
+    }
+}
+
+/// Number of planes a layout splits into.
+fn plane_count(layout: DataLayout) -> usize {
+    match layout {
+        DataLayout::D1(n) => n.div_ceil(4096),
+        DataLayout::D2(h, _) => h,
+        DataLayout::D3(a, _, _) => a,
+    }
+}
+
+/// One frame's coverage: which planes/elements it reconstructs and which
+/// stream bytes hold its body (length prefix excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// Leading-dimension plane range this frame covers.
+    pub planes: Range<usize>,
+    /// Flat element range this frame reconstructs.
+    pub elems: Range<usize>,
+    /// Byte range of the frame body within the stream.
+    pub bytes: Range<usize>,
+}
+
+/// Byte-level map of a compressed stream's frames.
+#[derive(Debug, Clone)]
+pub struct FrameIndex {
+    layout: DataLayout,
+    plane_elems: usize,
+    n_planes: usize,
+    entries: Vec<FrameEntry>,
+}
+
+impl FrameIndex {
+    /// The stream's data layout.
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Elements per leading-dimension plane.
+    pub fn plane_elems(&self) -> usize {
+        self.plane_elems
+    }
+
+    /// Number of planes in the stream (`decompress_planes` ranges are
+    /// bounded by this).
+    pub fn n_planes(&self) -> usize {
+        self.n_planes
+    }
+
+    /// Per-frame coverage, in stream order.
+    pub fn entries(&self) -> &[FrameEntry] {
+        &self.entries
+    }
+
+    /// Frame indices whose plane coverage intersects `planes`.
+    pub fn frames_covering(&self, planes: &Range<usize>) -> Range<usize> {
+        if planes.start >= planes.end {
+            return 0..0;
+        }
+        let lo = self
+            .entries
+            .partition_point(|e| e.planes.end <= planes.start);
+        let hi = self
+            .entries
+            .partition_point(|e| e.planes.start < planes.end);
+        lo..hi
+    }
+
+    /// Total bytes of all frame bodies (the denominator for partial-read
+    /// accounting).
+    pub fn frame_bytes_total(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes.len()).sum()
+    }
+}
+
+/// Byte-access accounting of a [`CompressedBuffer::decompress_planes_with_stats`]
+/// call — the counter that proves a range decode only touched its own
+/// frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeDecodeStats {
+    /// Frames in the stream.
+    pub frames_total: usize,
+    /// Frames actually decoded for this range.
+    pub frames_decoded: usize,
+    /// Total bytes of all frame bodies in the stream.
+    pub frame_bytes_total: usize,
+    /// Frame-body bytes read (decoded); bodies outside the range are
+    /// skipped via their length prefix.
+    pub frame_bytes_decoded: usize,
+}
+
+impl CompressedBuffer {
+    /// Build the frame index: plane/element/byte coverage of every frame,
+    /// by walking length prefixes only (no entropy decode, no codebook
+    /// expansion).
+    pub fn frame_index(&self) -> Result<FrameIndex> {
+        let bytes = self.as_bytes();
+        let header = parse_header(bytes)?;
+        let pe = plane_elems(header.layout);
+        let np = plane_count(header.layout);
+        if header.legacy {
+            return Ok(FrameIndex {
+                layout: header.layout,
+                plane_elems: pe,
+                n_planes: np,
+                entries: vec![FrameEntry {
+                    planes: 0..np,
+                    elems: 0..header.n,
+                    bytes: header.body_off..bytes.len(),
+                }],
+            });
+        }
+        let mut pos = header.body_off;
+        // Skip the shared codebook without building decode tables.
+        huffman::skip_serialized_codebook(bytes, &mut pos)
+            .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
+        let metas = blocks::chunk_layouts(header.layout, header.block_planes);
+        let mut entries = Vec::with_capacity(metas.len());
+        let bp = header.block_planes;
+        for (ci, &(off, cl)) in metas.iter().enumerate() {
+            let frame_len = rd_usize(bytes, &mut pos)?;
+            if frame_len > bytes.len() - pos {
+                return Err(corrupt("truncated chunk frame"));
+            }
+            let p0 = ci * bp;
+            let p1 = (p0 + bp).min(np);
+            entries.push(FrameEntry {
+                planes: p0..p1,
+                elems: off..off + cl.len(),
+                bytes: pos..pos + frame_len,
+            });
+            pos += frame_len;
+        }
+        if pos != bytes.len() {
+            return Err(corrupt("trailing bytes after chunk frames"));
+        }
+        Ok(FrameIndex {
+            layout: header.layout,
+            plane_elems: pe,
+            n_planes: np,
+            entries,
+        })
+    }
+
+    /// Decode only the leading-dimension planes in `planes`, reading
+    /// (beyond the header and shared codebook) only the frames that cover
+    /// the range — other frame bodies are skipped via their length
+    /// prefixes. Returns the reconstructed values of exactly those
+    /// planes, identical to the corresponding slice of a full
+    /// [`decompress`](crate::decompress) (property-tested).
+    ///
+    /// `planes` is in plane units (see the module docs); `planes.end`
+    /// must not exceed the stream's plane count. The final plane of a
+    /// `D1` stream may be partial.
+    ///
+    /// ```
+    /// use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+    ///
+    /// let data: Vec<f32> = (0..12 * 8 * 8).map(|i| (i as f32 * 0.01).sin()).collect();
+    /// let mut cfg = SzConfig::with_error_bound(1e-3);
+    /// cfg.chunk_planes = Some(2);
+    /// let buf = compress(&data, DataLayout::D3(12, 8, 8), &cfg).unwrap();
+    /// let full = decompress(&buf).unwrap();
+    /// let part = buf.decompress_planes(3..7).unwrap();
+    /// assert_eq!(part, full[3 * 64..7 * 64]);
+    /// ```
+    pub fn decompress_planes(&self, planes: Range<usize>) -> Result<Vec<f32>> {
+        self.decompress_planes_with_stats(planes).map(|(v, _)| v)
+    }
+
+    /// [`decompress_planes`](Self::decompress_planes) plus byte-access
+    /// accounting (how many frames / frame-body bytes the call decoded).
+    pub fn decompress_planes_with_stats(
+        &self,
+        planes: Range<usize>,
+    ) -> Result<(Vec<f32>, RangeDecodeStats)> {
+        let bytes = self.as_bytes();
+        let header = parse_header(bytes)?;
+        let pe = plane_elems(header.layout);
+        let np = plane_count(header.layout);
+        if planes.start > planes.end || planes.end > np {
+            return Err(corrupt("plane range out of bounds"));
+        }
+        // Requested flat element window (final D1 plane may be partial).
+        let start_e = planes.start * pe;
+        let end_e = (planes.end * pe).min(header.n);
+        let mut out = Vec::with_capacity(end_e - start_e);
+
+        if header.legacy {
+            // Z1 has one monolithic body: no random access, decode it all.
+            let body = &bytes[header.body_off..];
+            let full = decode_chunk(body, header.layout, &header, None, false)?;
+            out.extend_from_slice(&full[start_e..end_e]);
+            let stats = RangeDecodeStats {
+                frames_total: 1,
+                frames_decoded: 1,
+                frame_bytes_total: body.len(),
+                frame_bytes_decoded: body.len(),
+            };
+            return Ok((out, stats));
+        }
+
+        let mut pos = header.body_off;
+        let decoder = huffman::Decoder::deserialize(bytes, &mut pos)
+            .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
+        let metas = blocks::chunk_layouts(header.layout, header.block_planes);
+        let mut stats = RangeDecodeStats {
+            frames_total: metas.len(),
+            ..RangeDecodeStats::default()
+        };
+        for &(off, cl) in &metas {
+            let frame_len = rd_usize(bytes, &mut pos)?;
+            if frame_len > bytes.len() - pos {
+                return Err(corrupt("truncated chunk frame"));
+            }
+            stats.frame_bytes_total += frame_len;
+            let chunk_e = off..off + cl.len();
+            if start_e < end_e && chunk_e.start < end_e && chunk_e.end > start_e {
+                let part = decode_chunk(
+                    &bytes[pos..pos + frame_len],
+                    cl,
+                    &header,
+                    Some(&decoder),
+                    true,
+                )?;
+                stats.frames_decoded += 1;
+                stats.frame_bytes_decoded += frame_len;
+                // Chunks restart prediction, so a frame must decode whole;
+                // slice out the requested overlap.
+                let lo = start_e.max(chunk_e.start) - chunk_e.start;
+                let hi = end_e.min(chunk_e.end) - chunk_e.start;
+                out.extend_from_slice(&part[lo..hi]);
+            }
+            pos += frame_len;
+        }
+        if pos != bytes.len() {
+            return Err(corrupt("trailing bytes after chunk frames"));
+        }
+        if out.len() != end_e - start_e {
+            return Err(corrupt("plane range length mismatch"));
+        }
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, decompress, SzConfig};
+
+    fn volume(a: usize, b: usize, c: usize) -> Vec<f32> {
+        (0..a * b * c)
+            .map(|i| ((i % c) as f32 * 0.11).sin() + ((i / c) as f32 * 0.05).cos())
+            .collect()
+    }
+
+    #[test]
+    fn frame_index_covers_stream_exactly() {
+        let data = volume(12, 8, 8);
+        let mut cfg = SzConfig::with_error_bound(1e-3);
+        cfg.chunk_planes = Some(4);
+        let buf = compress(&data, DataLayout::D3(12, 8, 8), &cfg).unwrap();
+        let idx = buf.frame_index().unwrap();
+        assert_eq!(idx.n_planes(), 12);
+        assert_eq!(idx.plane_elems(), 64);
+        assert_eq!(idx.entries().len(), 3);
+        // Planes and elements tile the volume; byte ranges are disjoint,
+        // ordered, and end exactly at the stream end.
+        let mut next_plane = 0;
+        let mut next_elem = 0;
+        let mut prev_end = 0;
+        for e in idx.entries() {
+            assert_eq!(e.planes.start, next_plane);
+            assert_eq!(e.elems.start, next_elem);
+            assert!(e.bytes.start >= prev_end);
+            next_plane = e.planes.end;
+            next_elem = e.elems.end;
+            prev_end = e.bytes.end;
+        }
+        assert_eq!(next_plane, 12);
+        assert_eq!(next_elem, data.len());
+        assert_eq!(prev_end, buf.as_bytes().len());
+    }
+
+    #[test]
+    fn frames_covering_selects_overlap() {
+        let data = volume(12, 8, 8);
+        let mut cfg = SzConfig::with_error_bound(1e-3);
+        cfg.chunk_planes = Some(4);
+        let buf = compress(&data, DataLayout::D3(12, 8, 8), &cfg).unwrap();
+        let idx = buf.frame_index().unwrap();
+        assert_eq!(idx.frames_covering(&(0..4)), 0..1);
+        assert_eq!(idx.frames_covering(&(3..5)), 0..2);
+        assert_eq!(idx.frames_covering(&(4..12)), 1..3);
+        assert_eq!(idx.frames_covering(&(0..0)), 0..0);
+        assert_eq!(idx.frames_covering(&(11..12)), 2..3);
+    }
+
+    #[test]
+    fn range_decode_matches_full_decode_and_skips_other_frames() {
+        let data = volume(16, 8, 8);
+        let mut cfg = SzConfig::with_error_bound(1e-2);
+        cfg.chunk_planes = Some(2);
+        let buf = compress(&data, DataLayout::D3(16, 8, 8), &cfg).unwrap();
+        let full = decompress(&buf).unwrap();
+        let idx = buf.frame_index().unwrap();
+        for range in [0..16, 0..2, 5..9, 15..16, 3..3] {
+            let (part, stats) = buf.decompress_planes_with_stats(range.clone()).unwrap();
+            assert_eq!(
+                part,
+                full[range.start * 64..range.end * 64],
+                "range {range:?}"
+            );
+            // The byte counter matches the index's frame map exactly.
+            let covered = idx.frames_covering(&range);
+            let expect_bytes: usize = idx.entries()[covered.clone()]
+                .iter()
+                .map(|e| e.bytes.len())
+                .sum();
+            assert_eq!(stats.frames_decoded, covered.len());
+            assert_eq!(stats.frame_bytes_decoded, expect_bytes);
+            assert_eq!(stats.frame_bytes_total, idx.frame_bytes_total());
+            if covered.len() < idx.entries().len() {
+                assert!(stats.frame_bytes_decoded < stats.frame_bytes_total);
+            }
+        }
+    }
+
+    #[test]
+    fn d1_partial_final_plane() {
+        let n = 4096 * 2 + 100;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.003).cos()).collect();
+        let mut cfg = SzConfig::with_error_bound(1e-3);
+        cfg.chunk_planes = Some(1); // one 4096-element plane per frame
+        let buf = compress(&data, DataLayout::D1(n), &cfg).unwrap();
+        let idx = buf.frame_index().unwrap();
+        assert_eq!(idx.n_planes(), 3);
+        let full = decompress(&buf).unwrap();
+        let tail = buf.decompress_planes(2..3).unwrap();
+        assert_eq!(tail.len(), 100);
+        assert_eq!(tail, full[4096 * 2..]);
+        let mid = buf.decompress_planes(1..2).unwrap();
+        assert_eq!(mid, full[4096..4096 * 2]);
+    }
+
+    #[test]
+    fn out_of_bounds_range_rejected() {
+        let data = volume(4, 8, 8);
+        let buf = compress(
+            &data,
+            DataLayout::D3(4, 8, 8),
+            &SzConfig::with_error_bound(1e-3),
+        )
+        .unwrap();
+        assert!(buf.decompress_planes(0..5).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 3..1;
+        assert!(buf.decompress_planes(reversed).is_err());
+        assert_eq!(buf.decompress_planes(4..4).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn legacy_z1_index_is_one_frame_and_ranges_still_decode() {
+        // Golden Z1 stream from codec::tests (sin ramp, D2(4, 6), eb 1e-2).
+        const GOLDEN_Z1: &[u8] = &[
+            0x5a, 0x31, 0x18, 0x0a, 0xd7, 0x23, 0x3c, 0x02, 0x02, 0x04, 0x06, 0x80, 0x80, 0x02,
+            0x01, 0x00, 0x00, 0x52, 0x4f, 0xf0, 0x40, 0x18, 0x10, 0xf8, 0xff, 0x01, 0x03, 0xfa,
+            0xff, 0x01, 0x03, 0x87, 0x80, 0x02, 0x03, 0xff, 0xff, 0x01, 0x04, 0x80, 0x80, 0x02,
+            0x04, 0x81, 0x80, 0x02, 0x04, 0x82, 0x80, 0x02, 0x04, 0x88, 0x80, 0x02, 0x04, 0x89,
+            0x80, 0x02, 0x04, 0xab, 0x80, 0x02, 0x04, 0xd7, 0xff, 0x01, 0x05, 0xf7, 0xff, 0x01,
+            0x05, 0xf9, 0xff, 0x01, 0x05, 0xfb, 0xff, 0x01, 0x05, 0xfc, 0xff, 0x01, 0x05, 0xfd,
+            0xff, 0x01, 0x05, 0x0c, 0x7a, 0xb4, 0x96, 0x74, 0x9e, 0x6e, 0x40, 0x00, 0xeb, 0xfe,
+            0x68, 0x80,
+        ];
+        let buf = CompressedBuffer::from_bytes(GOLDEN_Z1.to_vec()).unwrap();
+        let idx = buf.frame_index().unwrap();
+        assert_eq!(idx.entries().len(), 1);
+        assert_eq!(idx.n_planes(), 4);
+        let full = crate::decompress_bytes(GOLDEN_Z1).unwrap();
+        let (rows, stats) = buf.decompress_planes_with_stats(1..3).unwrap();
+        assert_eq!(rows, full[6..18]);
+        assert_eq!(stats.frames_decoded, 1); // no random access in Z1
+    }
+}

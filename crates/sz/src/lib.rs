@@ -46,13 +46,16 @@
 
 pub mod blocks;
 mod codec;
+mod frames;
 pub mod lossless;
 mod predictor;
+mod reconstruct;
 pub mod zfp_like;
 
 pub use codec::{
     compress, compress_serial, decompress, decompress_bytes, decompress_serial, CompressedBuffer,
 };
+pub use frames::{FrameEntry, FrameIndex, RangeDecodeStats};
 pub use predictor::Predictor;
 
 /// Errors from compression/decompression.

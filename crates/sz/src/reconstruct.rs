@@ -1,0 +1,283 @@
+//! Specialized Lorenzo reconstruction loops for the decoder hot path.
+//!
+//! The generic per-element [`predict`](crate::predictor) helper recomputes
+//! `idx / w`, `idx % w` (and the plane decomposition in 3-D) and
+//! re-dispatches on the predictor for *every element*. Decompression
+//! spends most of its non-entropy time in that loop, so this module
+//! lowers each `(predictor, layout)` combination to a dedicated nested
+//! loop: indices are carried by the loops themselves (no div/mod), the
+//! predictor dispatch happens once per chunk, and the border handling is
+//! hoisted out of the inner loop as loop-invariant flags.
+//!
+//! The arithmetic — operand order included — mirrors the generic
+//! stencils in `predictor.rs` exactly, so encoder (which still walks the
+//! generic path while quantizing) and decoder reconstruct the same
+//! values; `codec::tests::specialized_reconstruct_matches_generic` pins
+//! that equivalence element-by-element.
+
+use crate::codec::grid_of;
+use crate::predictor::Predictor;
+use crate::{DataLayout, Result, SzError};
+
+fn corrupt(msg: &str) -> SzError {
+    SzError::Corrupt(msg.to_string())
+}
+
+/// Loop shape a `(predictor, layout)` pair lowers to.
+///
+/// Every combination reduces to one of three shapes because the generic
+/// stencils only look at the trailing dimensions: Lorenzo1 is a running
+/// scan under any layout; Lorenzo2 sees the volume as `rows x w` rows
+/// (its `i = idx / w` decomposition); Lorenzo3 over a 2-D/1-D layout
+/// degenerates (the plane index is constant zero) to the 2-D/1-D stencil.
+enum Geometry {
+    Scan,
+    Grid2 { rows: usize, w: usize },
+    Grid3 { d0: usize, d1: usize, d2: usize },
+}
+
+fn geometry(predictor: Predictor, layout: DataLayout, n: usize) -> Geometry {
+    match predictor {
+        Predictor::Lorenzo1 => Geometry::Scan,
+        Predictor::Lorenzo2 => {
+            let w = match layout {
+                DataLayout::D2(_, w) => w,
+                DataLayout::D1(n) => n,
+                DataLayout::D3(_, _, w) => w,
+            };
+            debug_assert!(w > 0 && n.is_multiple_of(w));
+            Geometry::Grid2 { rows: n / w, w }
+        }
+        Predictor::Lorenzo3 => match layout {
+            DataLayout::D3(a, b, c) => Geometry::Grid3 {
+                d0: a,
+                d1: b,
+                d2: c,
+            },
+            DataLayout::D2(h, w) => Geometry::Grid2 { rows: h, w },
+            DataLayout::D1(_) => Geometry::Scan,
+        },
+    }
+}
+
+/// Classic-mode reconstruction: codes quantize the residual against the
+/// float prediction over already-reconstructed neighbours.
+pub(crate) fn reconstruct_classic(
+    codes: &[u32],
+    outliers: &[f32],
+    predictor: Predictor,
+    layout: DataLayout,
+    radius: i64,
+    two_eb: f32,
+) -> Result<Vec<f32>> {
+    let n = codes.len();
+    let mut recon = vec![0.0f32; n];
+    if n == 0 {
+        return Ok(recon);
+    }
+    let mut oi = 0usize;
+
+    // One element: outlier escape or `pred + q * 2eb`, exactly as the
+    // generic loop computed it.
+    macro_rules! emit {
+        ($idx:expr, $pred:expr) => {{
+            let idx = $idx;
+            let code = codes[idx];
+            if code == 0 {
+                let x = *outliers
+                    .get(oi)
+                    .ok_or_else(|| corrupt("outlier underflow"))?;
+                oi += 1;
+                recon[idx] = x;
+            } else {
+                let q = code as i64 - radius;
+                recon[idx] = $pred + q as f32 * two_eb;
+            }
+        }};
+    }
+
+    match geometry(predictor, layout, n) {
+        Geometry::Scan => {
+            emit!(0, 0.0f32);
+            for idx in 1..n {
+                emit!(idx, recon[idx - 1]);
+            }
+        }
+        Geometry::Grid2 { rows, w } => {
+            // Row 0: only the left neighbour exists.
+            emit!(0, 0.0f32);
+            for j in 1..w {
+                emit!(j, recon[j - 1]);
+            }
+            for i in 1..rows {
+                let base = i * w;
+                emit!(base, recon[base - w]);
+                for j in 1..w {
+                    let idx = base + j;
+                    emit!(idx, recon[idx - w] + recon[idx - 1] - recon[idx - w - 1]);
+                }
+            }
+        }
+        Geometry::Grid3 { d0, d1, d2 } => {
+            let plane = d1 * d2;
+            for i in 0..d0 {
+                let has_b = i > 0; // a neighbour plane behind us
+                for j in 0..d1 {
+                    let has_u = j > 0; // a neighbour row above us
+                    let row = i * plane + j * d2;
+                    {
+                        // k = 0: no left-column terms.
+                        let u = if has_u { recon[row - d2] } else { 0.0 };
+                        let b = if has_b { recon[row - plane] } else { 0.0 };
+                        let bu = if has_b && has_u {
+                            recon[row - plane - d2]
+                        } else {
+                            0.0
+                        };
+                        emit!(row, u + b - bu);
+                    }
+                    for k in 1..d2 {
+                        let idx = row + k;
+                        let l = recon[idx - 1];
+                        let (u, ul) = if has_u {
+                            (recon[idx - d2], recon[idx - d2 - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        let (b, bl) = if has_b {
+                            (recon[idx - plane], recon[idx - plane - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        let (bu, bul) = if has_b && has_u {
+                            (recon[idx - plane - d2], recon[idx - plane - d2 - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        // Inclusion–exclusion in the generic stencil's
+                        // operand order.
+                        emit!(idx, l + u + b - ul - bl - bu + bul);
+                    }
+                }
+            }
+        }
+    }
+    Ok(recon)
+}
+
+/// Dual-quantization reconstruction: the Lorenzo stencil runs on the
+/// exact integer grid; wrapping arithmetic mirrors the generic path
+/// (corrupt code streams may accumulate arbitrarily — garbage values are
+/// fine, panics are not).
+pub(crate) fn reconstruct_dual(
+    codes: &[u32],
+    outliers: &[f32],
+    predictor: Predictor,
+    layout: DataLayout,
+    radius: i64,
+    two_eb: f32,
+) -> Result<Vec<f32>> {
+    let n = codes.len();
+    let mut recon = vec![0.0f32; n];
+    if n == 0 {
+        return Ok(recon);
+    }
+    let mut grid = vec![0i64; n];
+    let mut oi = 0usize;
+
+    macro_rules! emit {
+        ($idx:expr, $pred:expr) => {{
+            let idx = $idx;
+            let code = codes[idx];
+            if code == 0 {
+                let x = *outliers
+                    .get(oi)
+                    .ok_or_else(|| corrupt("outlier underflow"))?;
+                oi += 1;
+                recon[idx] = x;
+                grid[idx] = grid_of(x, two_eb).unwrap_or(0);
+            } else {
+                let q = ($pred as i64).wrapping_add(code as i64 - radius);
+                grid[idx] = q;
+                recon[idx] = (q as f64 * two_eb as f64) as f32;
+            }
+        }};
+    }
+
+    match geometry(predictor, layout, n) {
+        Geometry::Scan => {
+            emit!(0, 0i64);
+            for idx in 1..n {
+                emit!(idx, grid[idx - 1]);
+            }
+        }
+        Geometry::Grid2 { rows, w } => {
+            emit!(0, 0i64);
+            for j in 1..w {
+                emit!(j, grid[j - 1]);
+            }
+            for i in 1..rows {
+                let base = i * w;
+                emit!(base, grid[base - w]);
+                for j in 1..w {
+                    let idx = base + j;
+                    emit!(
+                        idx,
+                        grid[idx - w]
+                            .wrapping_add(grid[idx - 1])
+                            .wrapping_sub(grid[idx - w - 1])
+                    );
+                }
+            }
+        }
+        Geometry::Grid3 { d0, d1, d2 } => {
+            let plane = d1 * d2;
+            for i in 0..d0 {
+                let has_b = i > 0;
+                for j in 0..d1 {
+                    let has_u = j > 0;
+                    let row = i * plane + j * d2;
+                    {
+                        let u = if has_u { grid[row - d2] } else { 0 };
+                        let b = if has_b { grid[row - plane] } else { 0 };
+                        let bu = if has_b && has_u {
+                            grid[row - plane - d2]
+                        } else {
+                            0
+                        };
+                        emit!(row, u.wrapping_add(b).wrapping_sub(bu));
+                    }
+                    for k in 1..d2 {
+                        let idx = row + k;
+                        let l = grid[idx - 1];
+                        let (u, ul) = if has_u {
+                            (grid[idx - d2], grid[idx - d2 - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        let (b, bl) = if has_b {
+                            (grid[idx - plane], grid[idx - plane - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        let (bu, bul) = if has_b && has_u {
+                            (grid[idx - plane - d2], grid[idx - plane - d2 - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        emit!(
+                            idx,
+                            l.wrapping_add(u)
+                                .wrapping_add(b)
+                                .wrapping_sub(ul)
+                                .wrapping_sub(bl)
+                                .wrapping_sub(bu)
+                                .wrapping_add(bul)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(recon)
+}

@@ -139,6 +139,47 @@ proptest! {
     }
 
     #[test]
+    fn plane_range_decode_matches_full_decode(
+        d0 in 1usize..20,
+        d1 in 1usize..12,
+        d2 in 1usize..12,
+        chunk_planes in 1usize..7,
+        seed in any::<u64>(),
+        range_seed in any::<u64>(),
+        dual in any::<bool>(),
+    ) {
+        // `decompress_planes(r)` must be bit-identical to the matching
+        // slice of a full decompress, for arbitrary ranges/geometries,
+        // and must decode only the frames covering the range.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = d0 * d1 * d2;
+        let data: Vec<f32> = (0..n)
+            .map(|_| if rng.gen_bool(0.3) { 0.0 } else { rng.gen_range(-5.0f32..5.0) })
+            .collect();
+        let mut cfg = if dual { SzConfig::dual_quant(1e-2) } else { SzConfig::with_error_bound(1e-2) };
+        cfg.chunk_planes = Some(chunk_planes);
+        let buf = compress(&data, DataLayout::D3(d0, d1, d2), &cfg).unwrap();
+        let full = decompress(&buf).unwrap();
+        let idx = buf.frame_index().unwrap();
+        let mut rrng = rand::rngs::StdRng::seed_from_u64(range_seed);
+        let a = rrng.gen_range(0..=d0);
+        let b = rrng.gen_range(a..=d0);
+        let (part, stats) = buf.decompress_planes_with_stats(a..b).unwrap();
+        let plane = d1 * d2;
+        prop_assert_eq!(
+            part.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            full[a * plane..b * plane].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let covered = idx.frames_covering(&(a..b));
+        prop_assert_eq!(stats.frames_decoded, covered.len());
+        prop_assert!(stats.frame_bytes_decoded <= stats.frame_bytes_total);
+        if covered.len() < stats.frames_total {
+            prop_assert!(stats.frame_bytes_decoded < stats.frame_bytes_total);
+        }
+    }
+
+    #[test]
     fn truncated_streams_error_cleanly(
         rows in 2usize..24,
         cols in 2usize..24,

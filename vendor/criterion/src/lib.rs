@@ -12,7 +12,23 @@
 //! criterion, a `--test` argument switches to a single-iteration smoke
 //! run so the test suite stays fast.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated by [`run_one`] for the machine-readable summary
+/// written at the end of `criterion_main!` (see [`write_json_summary`]).
+struct SampleRecord {
+    label: String,
+    median_ns: f64,
+    best_ns: f64,
+    /// Bytes processed per iteration, when the group declared
+    /// `Throughput::Bytes`.
+    bytes_per_iter: Option<u64>,
+    /// Elements processed per iteration (`Throughput::Elements`).
+    elems_per_iter: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<SampleRecord>> = Mutex::new(Vec::new());
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -237,6 +253,116 @@ fn run_one<F>(
         human_time(median),
         human_time(best)
     );
+    let (bytes_per_iter, elems_per_iter) = match throughput {
+        Some(Throughput::Bytes(n)) => (Some(n), None),
+        Some(Throughput::Elements(n)) => (None, Some(n)),
+        None => (None, None),
+    };
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push(SampleRecord {
+            label: label.to_string(),
+            median_ns: median * 1e9,
+            best_ns: best * 1e9,
+            bytes_per_iter,
+            elems_per_iter,
+        });
+}
+
+/// Minimal JSON string escape (labels are ASCII identifiers in practice).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Locate the workspace root by walking up from the current directory to
+/// the first `Cargo.toml` declaring `[workspace]`; falls back to `.`.
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return ".".into();
+        }
+    }
+}
+
+/// Bench-target name from `argv[0]`: file stem minus cargo's trailing
+/// `-<16 hex>` disambiguation hash.
+fn bench_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Write every recorded benchmark result as machine-readable JSON —
+/// called by `criterion_main!` after all groups ran. The perf-trajectory
+/// file: `BENCH_<target>.json` at the workspace root (override the path
+/// with `EBTRAIN_BENCH_JSON`; format documented in the README). Skipped
+/// in `--test` mode (nothing is recorded) so `cargo test` never clobbers
+/// real measurements.
+pub fn write_json_summary() {
+    let records = std::mem::take(&mut *RESULTS.lock().expect("results poisoned"));
+    if records.is_empty() {
+        return;
+    }
+    let name = bench_name();
+    let path = std::env::var("EBTRAIN_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| workspace_root().join(format!("BENCH_{name}.json")));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{}\",\n  \"samples\": [\n",
+        json_escape(&name)
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let mibs = r
+            .bytes_per_iter
+            .map(|b| b as f64 / (r.median_ns * 1e-9) / (1 << 20) as f64);
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}{}{}{}}}{}\n",
+            json_escape(&r.label),
+            r.median_ns,
+            r.best_ns,
+            r.bytes_per_iter
+                .map(|b| format!(", \"bytes_per_iter\": {b}"))
+                .unwrap_or_default(),
+            r.elems_per_iter
+                .map(|e| format!(", \"elems_per_iter\": {e}"))
+                .unwrap_or_default(),
+            mibs.map(|m| format!(", \"mib_per_s\": {m:.1}"))
+                .unwrap_or_default(),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 fn human_time(secs: f64) -> String {
@@ -286,6 +412,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
