@@ -1,0 +1,277 @@
+//! **Figure 12 (new experiment)** — data-parallel scaling with
+//! error-bounded gradient streams.
+//!
+//! Weak-scaling study of `ebtrain-dist`: for 1→8 workers (each with its
+//! own shard, replica, and activation store), train `tiny_vgg` with the
+//! dense-f32 ring all-reduce and with the **SZ-compressed ring**
+//! (error feedback on), measuring
+//!
+//! * throughput (images/s) and scaling efficiency,
+//! * communication bytes per step — raw (dense-equivalent) vs actually
+//!   transmitted (compressed), and the reduction ratio,
+//! * loss-trajectory parity: N=4 compressed training vs a single worker
+//!   on the same global batch.
+//!
+//! The full run **asserts** the paper-style claims: ≥4× communication
+//! reduction at eb=1e-3 on `tiny_vgg` gradients, and a compressed N=4
+//! loss curve that tracks the single-worker one (the integration test
+//! `dist_parity.rs` asserts a tighter tolerance on `tiny_alexnet`).
+//!
+//! Results append to the perf-trajectory series
+//! `BENCH_dist_scaling.json` via the criterion-shim JSON writer.
+//!
+//! `--smoke` (also `EBTRAIN_SMOKE=1`): 1–2 workers, 3 iterations — CI
+//! runs this on every push. Knobs: `EBTRAIN_EB` (comm bound, default
+//! 1e-3), `EBTRAIN_DIST_ITERS` (timed iterations, default 10).
+
+use criterion::Throughput;
+use ebtrain_bench::table::Table;
+use ebtrain_bench::{env_f64, env_flag, env_usize, fmt_bytes};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dist::{CommMode, DistConfig, DistributedTrainer};
+use ebtrain_dnn::zoo;
+use std::time::Instant;
+
+struct RunResult {
+    images_per_sec: f64,
+    median_step_ns: f64,
+    best_step_ns: f64,
+    payload_bytes_per_step: u64,
+    dense_bytes_per_step: u64,
+    losses: Vec<f32>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_training(
+    data: &SynthImageNet,
+    classes: usize,
+    world: usize,
+    per_batch: usize,
+    iters: usize,
+    comm: CommMode,
+    fw_interval: usize,
+    seed: u64,
+) -> RunResult {
+    let mut cfg = DistConfig::new(world, comm);
+    cfg.framework.w_interval = fw_interval;
+    let mut trainer =
+        DistributedTrainer::new(cfg, |_| zoo::tiny_vgg(classes, seed)).expect("build group");
+    let global = per_batch * world;
+    // Warmup step (pool spin-up, first-touch allocations) outside the
+    // timed window.
+    let (x, labels) = data.batch(0, global);
+    trainer.step(x, &labels).expect("warmup step");
+    let comm_before = trainer.comm_stats();
+    let mut losses = Vec::with_capacity(iters);
+    let mut step_ns: Vec<f64> = Vec::with_capacity(iters);
+    let t_all = Instant::now();
+    for i in 0..iters {
+        let (x, labels) = data.batch(((i + 1) * global) as u64, global);
+        let t0 = Instant::now();
+        let r = trainer.step(x, &labels).expect("train step");
+        step_ns.push(t0.elapsed().as_nanos() as f64);
+        losses.push(r.loss);
+    }
+    let elapsed = t_all.elapsed().as_secs_f64();
+    let comm = trainer.comm_stats().delta_since(&comm_before);
+    step_ns.sort_by(|a, b| a.total_cmp(b));
+    RunResult {
+        images_per_sec: (iters * global) as f64 / elapsed,
+        median_step_ns: step_ns[step_ns.len() / 2],
+        best_step_ns: step_ns[0],
+        payload_bytes_per_step: comm.payload_bytes / iters as u64,
+        dense_bytes_per_step: comm.dense_equiv_bytes / iters as u64,
+        losses,
+    }
+}
+
+fn mean_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    let n = a.len().min(b.len()).max(1);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum::<f64>()
+        / n as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || env_flag("EBTRAIN_SMOKE");
+    let eb = env_f64("EBTRAIN_EB", 1e-3) as f32;
+    let (classes, worlds, per_batch, iters): (usize, Vec<usize>, usize, usize) = if smoke {
+        (4, vec![1, 2], 4, env_usize("EBTRAIN_DIST_ITERS", 3))
+    } else {
+        (10, vec![1, 2, 4, 8], 8, env_usize("EBTRAIN_DIST_ITERS", 10))
+    };
+    let fw_interval = 4;
+    let seed = 7u64;
+    let data = SynthImageNet::new(SynthConfig {
+        classes,
+        image_hw: 32,
+        noise: 0.2,
+        seed: 47,
+    });
+    let compressed_mode = CommMode::Compressed {
+        error_bound: eb,
+        error_feedback: true,
+        adaptive: false, // fixed bound: the headline claim is "at eb=1e-3"
+    };
+    println!(
+        "fig12_dist_scaling{}: tiny-vgg/32px, per-worker batch {per_batch}, {iters} iters, \
+         gradient eb {eb:.0e} (error feedback on)",
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let mut table = Table::new(&[
+        "workers",
+        "transport",
+        "img/s",
+        "speedup",
+        "comm_raw/step",
+        "comm_sent/step",
+        "reduction",
+        "final_loss",
+    ]);
+    let mut base_dense_ips = None;
+    let mut min_reduction: Option<f64> = None;
+    for &world in &worlds {
+        for (mode_name, mode) in [("dense", CommMode::Dense), ("sz", compressed_mode)] {
+            eprintln!("[fig12] {world} worker(s), {mode_name} transport ...");
+            let r = run_training(
+                &data,
+                classes,
+                world,
+                per_batch,
+                iters,
+                mode,
+                fw_interval,
+                seed,
+            );
+            if world == 1 && mode_name == "dense" {
+                base_dense_ips = Some(r.images_per_sec);
+            }
+            let reduction = if r.payload_bytes_per_step > 0 {
+                r.dense_bytes_per_step as f64 / r.payload_bytes_per_step as f64
+            } else {
+                1.0
+            };
+            if world > 1 && mode_name == "sz" {
+                min_reduction = Some(min_reduction.map_or(reduction, |m: f64| m.min(reduction)));
+            }
+            table.row(vec![
+                format!("{world}"),
+                mode_name.into(),
+                format!("{:.1}", r.images_per_sec),
+                base_dense_ips
+                    .map(|b| format!("{:.2}x", r.images_per_sec / b))
+                    .unwrap_or_else(|| "-".into()),
+                fmt_bytes(r.dense_bytes_per_step),
+                fmt_bytes(r.payload_bytes_per_step),
+                format!("{reduction:.1}x"),
+                format!("{:.3}", r.losses.last().copied().unwrap_or(f32::NAN)),
+            ]);
+            criterion::record_sample(
+                &format!("step/{mode_name}/n{world}"),
+                r.median_step_ns,
+                r.best_step_ns,
+                Some(Throughput::Elements((per_batch * world) as u64)),
+            );
+            criterion::record_sample(
+                &format!("comm/{mode_name}/n{world}"),
+                r.median_step_ns,
+                r.best_step_ns,
+                Some(Throughput::Bytes(r.payload_bytes_per_step)),
+            );
+        }
+    }
+    table.print("Fig 12: data-parallel scaling, dense vs error-bounded gradient streams");
+
+    // Loss parity, two comparisons (see also tests/tests/dist_parity.rs):
+    //
+    // 1. compressed-N vs dense-N, identical world size: the replicas
+    //    draw identical dropout-mask streams, so the per-iteration
+    //    trajectory gap isolates the *compression* effect. The parity
+    //    runs use the subsystem's proper operating point — the
+    //    σ-adaptive bound with error feedback — rather than the fixed
+    //    ratio-measurement bound: the paper's discipline is precisely
+    //    that the bound must track the acceptable gradient error.
+    // 2. compressed-N vs a single worker on the same global batch,
+    //    compared on *evaluation* loss (dropout off): sharding changes
+    //    the dropout-mask shapes, so per-iteration training losses
+    //    differ by mask noise for any data-parallel run, dense included;
+    //    the deterministic evaluation pass is the honest trajectory
+    //    comparison.
+    // The parity arms run a lower-variance regime than the scaling
+    // table (4 classes, past the steep descent phase): during the steep
+    // phase, per-run dropout noise moves a single evaluation point by
+    // O(0.5) in either direction regardless of transport, which would
+    // measure SGD noise, not the collective.
+    let parity_world = if smoke { *worlds.last().unwrap() } else { 4 };
+    let parity_iters = if smoke { iters } else { 30 };
+    let parity_classes = 4usize;
+    let pdata = SynthImageNet::new(SynthConfig {
+        classes: parity_classes,
+        image_hw: 32,
+        noise: 0.2,
+        seed: 48,
+    });
+    let run_parity = |world: usize, mode: CommMode| {
+        let mut cfg = DistConfig::new(world, mode);
+        cfg.framework.w_interval = fw_interval;
+        let mut t =
+            DistributedTrainer::new(cfg, |_| zoo::tiny_vgg(parity_classes, seed)).expect("group");
+        let global = per_batch * 4; // same global batch for every arm
+        let mut losses = Vec::new();
+        for i in 0..parity_iters {
+            let (x, labels) = pdata.batch((i * global) as u64, global);
+            losses.push(t.step(x, &labels).expect("step").loss);
+        }
+        let (ex, elabels) = pdata.batch(1_000_000, 64);
+        let (eval_loss, _) = t.evaluate(ex, &elabels).expect("eval");
+        (losses, eval_loss, t.comm_error_bound())
+    };
+    eprintln!("[fig12] parity: {parity_world} workers, σ-adaptive sz transport ...");
+    let (comp_losses, comp_eval, comp_eb) =
+        run_parity(parity_world, CommMode::compressed_default());
+    eprintln!("[fig12] parity: {parity_world} workers, dense ...");
+    let (dense_losses, dense_eval, _) = run_parity(parity_world, CommMode::Dense);
+    eprintln!("[fig12] parity: 1 worker, dense ...");
+    let (single_losses, single_eval, _) = run_parity(1, CommMode::Dense);
+    let compression_gap = mean_abs_diff(&comp_losses, &dense_losses);
+    let single_train_gap = mean_abs_diff(&comp_losses, &single_losses);
+    println!(
+        "\nloss parity over {parity_iters} iters, global batch {} (σ-adaptive eb ended at {}):",
+        per_batch * 4,
+        comp_eb.map_or("-".into(), |e| format!("{e:.1e}")),
+    );
+    println!(
+        "  compressed-N{parity_world} vs dense-N{parity_world} (same masks): \
+         mean |Δtrain loss| = {compression_gap:.4}"
+    );
+    println!(
+        "  compressed-N{parity_world} vs 1-worker: mean |Δtrain loss| = {single_train_gap:.4} \
+         (includes dropout-shape noise); eval loss {comp_eval:.4} vs {single_eval:.4} \
+         (dense-N{parity_world}: {dense_eval:.4})"
+    );
+
+    if !smoke {
+        let min_reduction = min_reduction.expect("compressed runs measured");
+        assert!(
+            min_reduction >= 4.0,
+            "communication reduction {min_reduction:.2}x below the 4x claim at eb={eb:e}"
+        );
+        assert!(
+            compression_gap < 0.05,
+            "σ-bounded compression changed the trajectory: mean |Δ| = {compression_gap}"
+        );
+        assert!(
+            (comp_eval - single_eval).abs() < 0.25,
+            "compressed N={parity_world} eval loss {comp_eval} diverged from single-worker \
+             {single_eval}"
+        );
+        println!(
+            "\nOK: >= {min_reduction:.1}x communication reduction at eb={eb:.0e}, \
+             loss trajectory within tolerance."
+        );
+    }
+    criterion::write_json_summary_named("dist_scaling");
+}

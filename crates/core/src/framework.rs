@@ -20,7 +20,7 @@ use ebtrain_dnn::store::{
     ActivationStore, ArenaMetrics, BudgetConfig, BudgetedStore, CompressedStore, FarthestNextUse,
     StoreMetrics,
 };
-use ebtrain_dnn::train::{budgeted_train_step, evaluate, train_step};
+use ebtrain_dnn::train::{budgeted_train_step_synced, evaluate, train_step_synced, GradSyncHook};
 use ebtrain_dnn::Result;
 use ebtrain_sz::SzConfig;
 use ebtrain_tensor::Tensor;
@@ -191,10 +191,26 @@ impl AdaptiveTrainer {
 
     /// One adaptive training iteration.
     pub fn step(&mut self, x: Tensor, labels: &[usize]) -> Result<IterationRecord> {
+        self.step_synced(x, labels, None)
+    }
+
+    /// One adaptive training iteration with an optional gradient
+    /// synchronization hook, invoked between backward and the optimizer
+    /// step. This is the seam a data-parallel runner (`ebtrain-dist`)
+    /// threads its collective through: every replica owns a full
+    /// `AdaptiveTrainer` (its own store — budgeted or not — its own
+    /// controller state), and only the flat gradient crosses replica
+    /// boundaries.
+    pub fn step_synced(
+        &mut self,
+        x: Tensor,
+        labels: &[usize],
+        sync: Option<&mut GradSyncHook>,
+    ) -> Result<IterationRecord> {
         let iter = self.opt.iteration();
         let collect = iter.is_multiple_of(self.cfg.w_interval.max(1));
         let r = match &mut self.store {
-            TrainerStore::Compressed(store) => train_step(
+            TrainerStore::Compressed(store) => train_step_synced(
                 &mut self.net,
                 &self.head,
                 &mut self.opt,
@@ -203,8 +219,9 @@ impl AdaptiveTrainer {
                 x,
                 labels,
                 collect,
+                sync,
             )?,
-            TrainerStore::Budgeted(store) => budgeted_train_step(
+            TrainerStore::Budgeted(store) => budgeted_train_step_synced(
                 &mut self.net,
                 &self.head,
                 &mut self.opt,
@@ -214,6 +231,7 @@ impl AdaptiveTrainer {
                 labels,
                 collect,
                 None,
+                sync,
             )?,
         };
         if collect {

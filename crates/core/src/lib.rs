@@ -34,6 +34,7 @@ pub mod stats;
 
 pub use framework::{AdaptiveTrainer, FrameworkConfig, IterationRecord, LayerPlanEntry, ModelForm};
 pub use model::{
-    error_bound_for_sigma, error_bound_for_sigma_exact, predict_sigma, predict_sigma_exact,
-    target_sigma, PAPER_A, PAPER_SIGMA_FRACTION,
+    comm_error_bound_for_sigma, error_bound_for_sigma, error_bound_for_sigma_exact, predict_sigma,
+    predict_sigma_exact, target_sigma, PAPER_A, PAPER_SIGMA_FRACTION,
 };
+pub use stats::{summarize_gradient, GradSummary};

@@ -92,6 +92,40 @@ pub fn error_bound_for_sigma_exact(
     Some(sigma / denom)
 }
 
+/// σ-model hook for the **gradient communication** path (`ebtrain-dist`):
+/// the largest collective error bound whose quantization noise stays
+/// within the acceptable gradient error `σ` — the same inversion the
+/// activation controller performs with Eq. 9, applied to the error a
+/// compressed all-reduce adds to the *averaged* gradient.
+///
+/// Model: an error-bounded codec reconstructs each transmitted value
+/// within `±eb`, i.e. ~`U(−eb, +eb)` per element (std `eb/√3`). A
+/// chunked ring all-reduce quantizes each segment's partial sum once per
+/// hop; after the final division by `N` the worst-case per-element error
+/// stays ≤ `eb` for the scatter phase plus ≤ `eb` for the single gather
+/// quantization — so without error feedback we budget a safety factor 2.
+/// **With** per-worker error feedback the quantization residual is
+/// re-injected the next iteration, making the *time-averaged* injected
+/// error unbiased, and the full `σ` budget can go to one step's noise:
+///
+/// ```text
+/// eb = √3 · σ / k,   k = 1 (error feedback) | 2 (without)
+/// ```
+///
+/// `grad_rms` is the observed RMS of the flat gradient (see
+/// [`summarize_gradient`](crate::stats::summarize_gradient)); the bound
+/// is clamped to it so a loose σ target can never quantize the gradient
+/// coarser than its own scale. Returns `None` on degenerate statistics
+/// (zero momentum → σ = 0, or an all-zero gradient) — callers keep their
+/// previous bound, mirroring the activation controller's fallback.
+pub fn comm_error_bound_for_sigma(sigma: f64, grad_rms: f64, error_feedback: bool) -> Option<f64> {
+    if !sigma.is_finite() || sigma <= 0.0 || !grad_rms.is_finite() || grad_rms <= 0.0 {
+        return None;
+    }
+    let k = if error_feedback { 1.0 } else { 2.0 };
+    Some((3f64.sqrt() * sigma / k).min(grad_rms))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +202,29 @@ mod tests {
         let s_exact = predict_sigma_exact(0.1, 16, 1, 1e-3, 1.0);
         let s_paper = predict_sigma(1.0 / 3f64.sqrt(), 0.1, 16, 1e-3, 1.0);
         assert!((s_exact - s_paper).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comm_bound_scales_with_sigma_and_error_feedback() {
+        let with_ef = comm_error_bound_for_sigma(1e-3, 1.0, true).unwrap();
+        let without = comm_error_bound_for_sigma(1e-3, 1.0, false).unwrap();
+        // √3·σ with EF, half that without (hop-accumulation safety).
+        assert!((with_ef - 3f64.sqrt() * 1e-3).abs() < 1e-15);
+        assert!((without - with_ef / 2.0).abs() < 1e-15);
+        // Linear in σ.
+        let looser = comm_error_bound_for_sigma(2e-3, 1.0, true).unwrap();
+        assert!((looser / with_ef - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_bound_clamps_to_gradient_scale_and_rejects_degenerates() {
+        // A huge σ target cannot push eb past the gradient RMS.
+        let eb = comm_error_bound_for_sigma(10.0, 5e-3, true).unwrap();
+        assert_eq!(eb, 5e-3);
+        assert!(comm_error_bound_for_sigma(0.0, 1.0, true).is_none());
+        assert!(comm_error_bound_for_sigma(1e-3, 0.0, true).is_none());
+        assert!(comm_error_bound_for_sigma(f64::NAN, 1.0, true).is_none());
+        assert!(comm_error_bound_for_sigma(1e-3, f64::INFINITY, true).is_none());
     }
 
     #[test]

@@ -167,6 +167,53 @@ pub fn looks_uniform(data: &[f32], lo: f64, hi: f64) -> bool {
     (m.excess_kurtosis + 1.2).abs() < 0.3 && chi_per_bin < data.len() as f64 * 0.002 + 5.0
 }
 
+/// Summary statistics of a flat gradient vector — the observed-gradient
+/// side of the communication σ-model
+/// ([`model::comm_error_bound_for_sigma`](crate::model::comm_error_bound_for_sigma)):
+/// the RMS anchors the error bound to the gradient's own scale, and the
+/// non-zero fraction tells the controller how much of the vector carries
+/// signal at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GradSummary {
+    /// Mean |g|.
+    pub abs_mean: f64,
+    /// √E\[g²\].
+    pub rms: f64,
+    /// Largest |g|.
+    pub max_abs: f64,
+    /// Fraction of exactly-non-zero elements.
+    pub nonzero_frac: f64,
+    /// Element count.
+    pub len: usize,
+}
+
+/// Compute a [`GradSummary`] over a flat gradient (f64 accumulation).
+pub fn summarize_gradient(g: &[f32]) -> GradSummary {
+    if g.is_empty() {
+        return GradSummary::default();
+    }
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut nonzero = 0usize;
+    for &v in g {
+        let v = v as f64;
+        let a = v.abs();
+        abs_sum += a;
+        sq_sum += v * v;
+        max_abs = max_abs.max(a);
+        nonzero += usize::from(v != 0.0);
+    }
+    let n = g.len() as f64;
+    GradSummary {
+        abs_mean: abs_sum / n,
+        rms: (sq_sum / n).sqrt(),
+        max_abs,
+        nonzero_frac: nonzero as f64 / n,
+        len: g.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +304,16 @@ mod tests {
         assert_eq!(moments(&[1.0]).std, 0.0);
         assert_eq!(fraction_within(&[], 0.0, 1.0), 0.0);
         assert!(!looks_normal(&[3.0; 500]));
+    }
+
+    #[test]
+    fn grad_summary_computes_scale_and_sparsity() {
+        let s = summarize_gradient(&[0.0, 3.0, -4.0, 0.0]);
+        assert!((s.abs_mean - 1.75).abs() < 1e-12);
+        assert!((s.rms - (25.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.max_abs, 4.0);
+        assert!((s.nonzero_frac - 0.5).abs() < 1e-12);
+        assert_eq!(s.len, 4);
+        assert_eq!(summarize_gradient(&[]), GradSummary::default());
     }
 }

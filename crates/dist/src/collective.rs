@@ -1,0 +1,224 @@
+//! The [`Collective`] trait, communication-byte accounting, and the ring
+//! segment geometry.
+//!
+//! A collective is shared (`Arc`) by all workers of one group; each
+//! worker calls the operations from its own thread with its `rank`, and
+//! the implementation synchronizes internally. Semantics follow the
+//! MPI/NCCL conventions with one deliberate twist: **`all_reduce`
+//! averages** (divides by the world size) because gradient averaging is
+//! the only reduction this workspace performs, and folding the division
+//! into the collective keeps every replica's arithmetic identical.
+
+use crate::Result;
+use std::ops::Range;
+
+/// Ring segments are aligned to this many elements — exactly one `D1`
+/// plane of the Z2 stream format ([`ebtrain_sz::DataLayout::plane_elems`]),
+/// so that a segment of the gradient coincides with a whole number of
+/// chunk frames and the first scatter hop can be served by the frame
+/// index (`decompress_planes`) without decoding neighbouring segments.
+pub const SEG_ALIGN: usize = 4096;
+
+/// Split `len` elements into `world` contiguous ring segments, aligned
+/// to [`SEG_ALIGN`] (ceil-divided in plane units, so every segment but
+/// the last covers the same number of planes; trailing segments may be
+/// empty when the vector is small).
+pub fn seg_ranges(len: usize, world: usize) -> Vec<Range<usize>> {
+    let world = world.max(1);
+    let planes = len.div_ceil(SEG_ALIGN);
+    let per = planes.div_ceil(world).max(1);
+    (0..world)
+        .map(|i| {
+            let lo = (i * per * SEG_ALIGN).min(len);
+            let hi = (((i + 1) * per) * SEG_ALIGN).min(len);
+            lo..hi.max(lo)
+        })
+        .collect()
+}
+
+/// Planes per segment for a `len`-element vector (the `chunk_planes`
+/// setting that makes Z2 frames coincide with ring segments).
+pub fn seg_planes(len: usize, world: usize) -> usize {
+    len.div_ceil(SEG_ALIGN).div_ceil(world.max(1)).max(1)
+}
+
+/// Cumulative communication counters of a collective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages plus per-receiver broadcast deliveries.
+    pub messages: u64,
+    /// Bytes that actually travelled (compressed size for compressed
+    /// transports; for the frame-indexed hop, the shared header/codebook
+    /// plus only the frames covering the sent segment).
+    pub payload_bytes: u64,
+    /// Bytes a dense f32 transport would have moved for the identical
+    /// schedule — the baseline of the Fig 12 reduction claim.
+    pub dense_equiv_bytes: u64,
+    /// Completed broadcast operations (counted once per group).
+    pub broadcasts: u64,
+    /// Completed reduce-scatter/all-gather phases (an `all_reduce` is
+    /// one of each).
+    pub phases: u64,
+}
+
+impl CommStats {
+    /// `dense_equiv_bytes / payload_bytes` — how much the transport
+    /// saved over dense f32 (1.0 for the dense baseline itself).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            1.0
+        } else {
+            self.dense_equiv_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+
+    /// Element-wise difference (for per-step deltas).
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            messages: self.messages - earlier.messages,
+            payload_bytes: self.payload_bytes - earlier.payload_bytes,
+            dense_equiv_bytes: self.dense_equiv_bytes - earlier.dense_equiv_bytes,
+            broadcasts: self.broadcasts - earlier.broadcasts,
+            phases: self.phases - earlier.phases,
+        }
+    }
+}
+
+/// An in-memory collective for one group of `world_size` workers.
+///
+/// Every method is called **concurrently by all ranks** (each from its
+/// own thread) and returns only when this rank's part of the operation
+/// completed. Implementations must release every blocked rank with
+/// [`DistError::Aborted`](crate::DistError::Aborted) when any rank calls
+/// [`abort`](Collective::abort) (or fails internally), so one worker's
+/// failure can never deadlock the group.
+pub trait Collective: Send + Sync {
+    /// Number of participating ranks.
+    fn world_size(&self) -> usize;
+
+    /// Implementation name (reporting).
+    fn name(&self) -> &'static str;
+
+    /// Replace every rank's `buf` with `root`'s — used once at start-up
+    /// to put all replicas on identical parameters. Compressed
+    /// implementations quantize: **all** ranks (root included) end up
+    /// with the identical decoded copy.
+    fn broadcast(&self, rank: usize, root: usize, buf: &mut [f32]) -> Result<()>;
+
+    /// Ring reduce-scatter: on return, this rank's **owned segment** of
+    /// `buf` (see [`seg_ranges`]) holds the across-rank **sum**; other
+    /// segments hold partial garbage. Returns the owned segment index.
+    fn reduce_scatter(&self, rank: usize, buf: &mut [f32]) -> Result<usize>;
+
+    /// Ring all-gather of per-segment results: each rank contributes the
+    /// segment it owns (`owned` from [`reduce_scatter`](Collective::reduce_scatter));
+    /// on return every rank's `buf` holds identical values in all
+    /// segments.
+    fn all_gather(&self, rank: usize, owned: usize, buf: &mut [f32]) -> Result<()>;
+
+    /// Average `buf` across all ranks (reduce-scatter, all-gather, then
+    /// divide by the world size). Every rank returns with **bit-identical**
+    /// contents — compressed implementations guarantee this by having the
+    /// segment owner adopt its own quantized stream.
+    fn all_reduce(&self, rank: usize, buf: &mut [f32]) -> Result<()> {
+        if self.world_size() <= 1 || buf.is_empty() {
+            return Ok(());
+        }
+        let owned = self.reduce_scatter(rank, buf)?;
+        self.all_gather(rank, owned, buf)?;
+        let inv = 1.0 / self.world_size() as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
+    }
+
+    /// Cumulative communication counters.
+    fn stats(&self) -> CommStats;
+
+    /// Zero the counters.
+    fn reset_stats(&self);
+
+    /// Update the transport's error bound (no-op for lossless
+    /// transports) — the knob the σ-model hook turns.
+    fn set_error_bound(&self, _eb: f32) {}
+
+    /// Current error bound, if the transport is lossy.
+    fn error_bound(&self) -> Option<f32> {
+        None
+    }
+
+    /// Poison the collective: every rank blocked in (or later entering)
+    /// any operation returns [`DistError::Aborted`](crate::DistError::Aborted).
+    fn abort(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_tile_the_vector_plane_aligned() {
+        for (len, world) in [
+            (SEG_ALIGN * 10, 4),
+            (SEG_ALIGN * 10 + 17, 4),
+            (100, 3),
+            (0, 2),
+            (SEG_ALIGN, 8),
+            (SEG_ALIGN * 3 - 1, 2),
+        ] {
+            let segs = seg_ranges(len, world);
+            assert_eq!(segs.len(), world);
+            let mut cursor = 0;
+            for (i, s) in segs.iter().enumerate() {
+                assert_eq!(s.start, cursor, "len {len} world {world} seg {i}");
+                assert!(s.end >= s.start);
+                // Interior boundaries sit on plane multiples.
+                if s.end < len {
+                    assert_eq!(s.end % SEG_ALIGN, 0, "unaligned boundary at seg {i}");
+                }
+                cursor = s.end;
+            }
+            assert_eq!(cursor, len, "segments must cover the vector");
+        }
+    }
+
+    #[test]
+    fn seg_planes_matches_ranges() {
+        let len = SEG_ALIGN * 10 + 5;
+        let world = 4;
+        let per = seg_planes(len, world);
+        let segs = seg_ranges(len, world);
+        for (i, s) in segs.iter().enumerate() {
+            if !s.is_empty() {
+                assert_eq!(s.start, i * per * SEG_ALIGN);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_ratio_and_delta() {
+        let a = CommStats {
+            messages: 2,
+            payload_bytes: 100,
+            dense_equiv_bytes: 800,
+            broadcasts: 0,
+            phases: 1,
+        };
+        assert!((a.reduction_ratio() - 8.0).abs() < 1e-12);
+        assert_eq!(CommStats::default().reduction_ratio(), 1.0);
+        let later = CommStats {
+            messages: 5,
+            payload_bytes: 150,
+            dense_equiv_bytes: 1000,
+            broadcasts: 1,
+            phases: 2,
+        };
+        let d = later.delta_since(&a);
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.payload_bytes, 50);
+        assert_eq!(d.dense_equiv_bytes, 200);
+        assert_eq!(d.broadcasts, 1);
+        assert_eq!(d.phases, 1);
+    }
+}

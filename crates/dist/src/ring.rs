@@ -1,0 +1,987 @@
+//! Ring collectives: the shared mailbox/barrier machinery, the exact
+//! dense-f32 baseline, and the SZ-compressed transport with per-worker
+//! error feedback.
+//!
+//! # Ring schedule
+//!
+//! The gradient splits into `N` plane-aligned segments
+//! ([`seg_ranges`]). A classic two-phase ring runs `2(N−1)` hops, every
+//! rank sending to `(rank+1) % N`:
+//!
+//! * **reduce-scatter**, hop `t`: rank `r` sends segment `(r − t) mod N`
+//!   (its current partial sum) and adds the received segment
+//!   `(r − t − 1) mod N` into its accumulator. After `N−1` hops rank `r`
+//!   owns the complete sum of segment `(r + 1) mod N`.
+//! * **all-gather**, hop `t`: rank `r` sends segment `(r + 1 − t) mod N`
+//!   and installs the received segment `(r − t) mod N`. Received
+//!   messages are **forwarded verbatim** on the next hop.
+//!
+//! # Compressed transport
+//!
+//! [`CompressedRing`] ships every segment as a Z2 SZ stream
+//! (`ebtrain-sz`), with three twists:
+//!
+//! * **Hop 0 is frame-indexed.** The first scatter hop transmits raw
+//!   gradient values, so the sender compresses its *whole* gradient once
+//!   as a plane-chunked stream whose chunk geometry equals the ring
+//!   segmentation, and the receiver decodes **only the frames covering
+//!   the sent segment** via [`CompressedBuffer::decompress_planes`]. The
+//!   wire cost counted is the shared header + codebook plus exactly
+//!   those frames.
+//! * **All-gather never re-compresses.** The segment owner compresses
+//!   its reduced segment once, *adopts its own decoded copy*, and every
+//!   later hop forwards the identical bytes — so each segment's final
+//!   value decodes from one stream and **all replicas finish
+//!   bit-identical**, the property replica-lockstep SGD needs.
+//! * **Error feedback.** Each rank keeps a residual vector `e`; before
+//!   compressing values `v` for a coordinate range it sends `v + e`, and
+//!   afterwards stores `e ← (v + e) − decode(encode(v + e))`. The
+//!   quantization error a step rounds away is re-injected the next step,
+//!   which keeps the *time-averaged* injected gradient error unbiased
+//!   (EF-SGD). One `all_reduce` touches every coordinate exactly once
+//!   across both phases, so the residual is well-defined.
+//!
+//! Any rank failing mid-operation poisons the collective and releases
+//! every blocked peer with `Aborted` — no deadlock on worker failure.
+
+use crate::collective::{seg_planes, seg_ranges, Collective, CommStats};
+use crate::{DistError, Result};
+use ebtrain_sz::{compress, decompress, CompressedBuffer, DataLayout, SzConfig};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Wait-loop tick: every blocked wait re-checks the poison flag at least
+/// this often, so an abort can never be lost to a missed wakeup.
+const POISON_TICK: Duration = Duration::from_millis(25);
+
+/// One hop's payload.
+#[derive(Clone)]
+enum Payload {
+    /// Empty segment (vector smaller than the ring).
+    Empty,
+    /// Raw f32 values (dense transport).
+    Dense(Arc<Vec<f32>>),
+    /// Independent Z2 stream of one segment.
+    Stream(Arc<CompressedBuffer>),
+    /// Plane range of a shared whole-gradient stream (hop 0): the
+    /// receiver frame-decodes only `planes`.
+    SharedStream {
+        stream: Arc<CompressedBuffer>,
+        planes: Range<usize>,
+    },
+}
+
+/// One point-to-point message.
+#[derive(Clone)]
+struct Message {
+    seg: usize,
+    payload: Payload,
+    /// Wire bytes this payload costs (recounted on every forward hop).
+    wire_bytes: usize,
+    /// Bytes a dense f32 transport would have cost for the same hop.
+    dense_bytes: usize,
+}
+
+struct Slot {
+    cell: Mutex<Option<Message>>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    gen: u64,
+    arrived: usize,
+}
+
+/// Payload parked by a broadcast root for every peer to copy.
+/// Broadcast is the one-time exact parameter sync on every transport,
+/// so the payload is always dense (see `CompressedRing::broadcast`).
+#[derive(Clone)]
+enum BcastPayload {
+    Dense(Arc<Vec<f32>>),
+}
+
+/// State shared by all ranks of one ring group.
+struct RingCore {
+    world: usize,
+    slots: Vec<Slot>,
+    poisoned: AtomicBool,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    bcast: Mutex<Option<BcastPayload>>,
+    bcast_cv: Condvar,
+    stats: Mutex<CommStats>,
+}
+
+fn aborted() -> DistError {
+    DistError::Aborted("a peer failed or aborted the collective".into())
+}
+
+impl RingCore {
+    fn new(world: usize) -> RingCore {
+        RingCore {
+            world,
+            slots: (0..world)
+                .map(|_| Slot {
+                    cell: Mutex::new(None),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            poisoned: AtomicBool::new(false),
+            barrier: Mutex::new(BarrierState { gen: 0, arrived: 0 }),
+            barrier_cv: Condvar::new(),
+            bcast: Mutex::new(None),
+            bcast_cv: Condvar::new(),
+            stats: Mutex::new(CommStats::default()),
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(aborted())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for s in &self.slots {
+            s.cv.notify_all();
+        }
+        self.barrier_cv.notify_all();
+        self.bcast_cv.notify_all();
+    }
+
+    /// Deliver `msg` into `to`'s mailbox (capacity 1: waits until the
+    /// previous message was consumed) and account its bytes.
+    fn send(&self, to: usize, msg: Message) -> Result<()> {
+        {
+            let mut st = self.stats.lock().expect("stats poisoned");
+            st.messages += 1;
+            st.payload_bytes += msg.wire_bytes as u64;
+            st.dense_equiv_bytes += msg.dense_bytes as u64;
+        }
+        let slot = &self.slots[to];
+        let mut cell = slot.cell.lock().expect("slot poisoned");
+        while cell.is_some() {
+            self.check()?;
+            cell = slot.cv.wait_timeout(cell, POISON_TICK).expect("slot").0;
+        }
+        self.check()?;
+        *cell = Some(msg);
+        slot.cv.notify_all();
+        Ok(())
+    }
+
+    /// Take the message addressed to `rank`.
+    fn recv(&self, rank: usize) -> Result<Message> {
+        let slot = &self.slots[rank];
+        let mut cell = slot.cell.lock().expect("slot poisoned");
+        loop {
+            if let Some(msg) = cell.take() {
+                slot.cv.notify_all();
+                return Ok(msg);
+            }
+            self.check()?;
+            cell = slot.cv.wait_timeout(cell, POISON_TICK).expect("slot").0;
+        }
+    }
+
+    /// Generation barrier across all ranks.
+    fn barrier(&self) -> Result<()> {
+        let mut st = self.barrier.lock().expect("barrier poisoned");
+        self.check()?;
+        let gen = st.gen;
+        st.arrived += 1;
+        if st.arrived == self.world {
+            st.arrived = 0;
+            st.gen += 1;
+            self.barrier_cv.notify_all();
+            return Ok(());
+        }
+        while st.gen == gen {
+            self.check()?;
+            st = self
+                .barrier_cv
+                .wait_timeout(st, POISON_TICK)
+                .expect("barrier")
+                .0;
+        }
+        Ok(())
+    }
+
+    /// Root side of a broadcast: park the payload (waiting for any
+    /// previous broadcast to be fully consumed) and account one delivery
+    /// per peer.
+    fn bcast_put(&self, payload: BcastPayload, wire_each: usize, dense_each: usize) -> Result<()> {
+        let mut cell = self.bcast.lock().expect("bcast poisoned");
+        while cell.is_some() {
+            self.check()?;
+            cell = self.bcast_cv.wait_timeout(cell, POISON_TICK).expect("b").0;
+        }
+        self.check()?;
+        *cell = Some(payload);
+        self.bcast_cv.notify_all();
+        let peers = (self.world - 1) as u64;
+        let mut st = self.stats.lock().expect("stats poisoned");
+        st.messages += peers;
+        st.payload_bytes += wire_each as u64 * peers;
+        st.dense_equiv_bytes += dense_each as u64 * peers;
+        st.broadcasts += 1;
+        Ok(())
+    }
+
+    /// Peer side: clone the parked payload (after the put barrier).
+    fn bcast_get(&self) -> Result<BcastPayload> {
+        let cell = self.bcast.lock().expect("bcast poisoned");
+        self.check()?;
+        cell.clone()
+            .ok_or_else(|| DistError::Aborted("broadcast payload missing at barrier".into()))
+    }
+
+    fn bcast_clear(&self) {
+        *self.bcast.lock().expect("bcast poisoned") = None;
+        self.bcast_cv.notify_all();
+    }
+
+    fn count_phase(&self, rank: usize) {
+        if rank == 0 {
+            self.stats.lock().expect("stats poisoned").phases += 1;
+        }
+    }
+
+    /// The whole broadcast protocol, shared by both transports: park
+    /// (root) → barrier → copy (peers) → barrier → clear (root). Dense
+    /// payload on every transport — broadcast is the one-time exact
+    /// parameter sync; only recurring gradient streams are lossy.
+    fn dense_broadcast(&self, rank: usize, root: usize, buf: &mut [f32]) -> Result<()> {
+        if self.world <= 1 {
+            return Ok(());
+        }
+        if rank == root {
+            let bytes = buf.len() * 4;
+            self.bcast_put(BcastPayload::Dense(Arc::new(buf.to_vec())), bytes, bytes)?;
+        }
+        self.barrier()?;
+        if rank != root {
+            match self.bcast_get()? {
+                BcastPayload::Dense(data) if data.len() == buf.len() => {
+                    buf.copy_from_slice(&data);
+                }
+                _ => {
+                    self.poison();
+                    return Err(DistError::Aborted("broadcast payload mismatch".into()));
+                }
+            }
+        }
+        self.barrier()?;
+        if rank == root {
+            self.bcast_clear();
+        }
+        Ok(())
+    }
+}
+
+/// The exact dense-f32 ring — the communication baseline Fig 12 compares
+/// against. Mathematically exact: the only deviation from a serial sum
+/// is the fixed ring association order, which is identical on every
+/// rank (replicas stay bit-identical).
+pub struct DenseRing {
+    core: RingCore,
+}
+
+impl DenseRing {
+    /// Dense ring collective for `world` ranks.
+    pub fn new(world: usize) -> DenseRing {
+        DenseRing {
+            core: RingCore::new(world.max(1)),
+        }
+    }
+}
+
+impl Collective for DenseRing {
+    fn world_size(&self) -> usize {
+        self.core.world
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-ring"
+    }
+
+    fn broadcast(&self, rank: usize, root: usize, buf: &mut [f32]) -> Result<()> {
+        self.core.dense_broadcast(rank, root, buf)
+    }
+
+    fn reduce_scatter(&self, rank: usize, buf: &mut [f32]) -> Result<usize> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(0);
+        }
+        let segs = seg_ranges(buf.len(), n);
+        for t in 0..n - 1 {
+            let s_send = (rank + n - t) % n;
+            let s_recv = (rank + 2 * n - t - 1) % n;
+            let r = segs[s_send].clone();
+            let payload = if r.is_empty() {
+                Payload::Empty
+            } else {
+                Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
+            };
+            self.core.send(
+                (rank + 1) % n,
+                Message {
+                    seg: s_send,
+                    payload,
+                    wire_bytes: r.len() * 4,
+                    dense_bytes: r.len() * 4,
+                },
+            )?;
+            let msg = self.core.recv(rank)?;
+            if msg.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match msg.payload {
+                Payload::Empty => {}
+                Payload::Dense(vals) if vals.len() == dst.len() => {
+                    for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
+                        *b += v;
+                    }
+                }
+                _ => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+        }
+        self.core.count_phase(rank);
+        Ok((rank + 1) % n)
+    }
+
+    fn all_gather(&self, rank: usize, owned: usize, buf: &mut [f32]) -> Result<()> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(());
+        }
+        let segs = seg_ranges(buf.len(), n);
+        let mut forward: Option<Message> = None;
+        for t in 0..n - 1 {
+            let s_send = (rank + 1 + n - t) % n;
+            let msg = match forward.take() {
+                Some(m) => m,
+                None => {
+                    debug_assert_eq!(s_send, owned);
+                    let r = segs[owned].clone();
+                    let payload = if r.is_empty() {
+                        Payload::Empty
+                    } else {
+                        Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
+                    };
+                    Message {
+                        seg: owned,
+                        payload,
+                        wire_bytes: r.len() * 4,
+                        dense_bytes: r.len() * 4,
+                    }
+                }
+            };
+            self.core.send((rank + 1) % n, msg)?;
+            let received = self.core.recv(rank)?;
+            let s_recv = (rank + n - t) % n;
+            if received.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match &received.payload {
+                Payload::Empty => {}
+                Payload::Dense(vals) if vals.len() == dst.len() => {
+                    buf[dst].copy_from_slice(vals);
+                }
+                _ => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+            if t + 1 < n - 1 {
+                forward = Some(received);
+            }
+        }
+        self.core.count_phase(rank);
+        Ok(())
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.core.stats.lock().expect("stats poisoned")
+    }
+
+    fn reset_stats(&self) {
+        *self.core.stats.lock().expect("stats poisoned") = CommStats::default();
+    }
+
+    fn abort(&self) {
+        self.core.poison();
+    }
+}
+
+/// Per-rank error-feedback state.
+struct Residual {
+    values: Vec<f32>,
+}
+
+/// The compressed ring: segments travel as Z2 SZ streams under an
+/// absolute error bound, with optional per-rank error feedback. See the
+/// module docs for the schedule and the bit-identical-replicas argument.
+pub struct CompressedRing {
+    core: RingCore,
+    cfg: Mutex<SzConfig>,
+    error_feedback: bool,
+    residuals: Vec<Mutex<Residual>>,
+}
+
+impl CompressedRing {
+    /// Compressed ring for `world` ranks at absolute error bound `eb`
+    /// (vanilla SZ contract: every decoded value within ±eb), with or
+    /// without error feedback.
+    pub fn new(world: usize, eb: f32, error_feedback: bool) -> CompressedRing {
+        let world = world.max(1);
+        CompressedRing {
+            core: RingCore::new(world),
+            cfg: Mutex::new(SzConfig::vanilla(eb)),
+            error_feedback,
+            residuals: (0..world)
+                .map(|_| Mutex::new(Residual { values: Vec::new() }))
+                .collect(),
+        }
+    }
+
+    /// Whether error feedback is active.
+    pub fn error_feedback(&self) -> bool {
+        self.error_feedback
+    }
+
+    fn snapshot_cfg(&self) -> SzConfig {
+        *self.cfg.lock().expect("cfg poisoned")
+    }
+
+    fn codec<T>(&self, r: ebtrain_sz::Result<T>) -> Result<T> {
+        r.map_err(|e| {
+            self.core.poison();
+            DistError::Sz(e)
+        })
+    }
+
+    /// Compress `vals` (one segment, or the whole gradient when
+    /// `chunk_planes` is set) and, under error feedback, fold the
+    /// residual bookkeeping: `vals` must already include the residual;
+    /// `res[range]` receives `vals − decode(stream)`.
+    fn encode_segment(
+        &self,
+        vals: &[f32],
+        cfg: &SzConfig,
+        res: Option<&mut [f32]>,
+    ) -> Result<Arc<CompressedBuffer>> {
+        let stream = self.codec(compress(vals, DataLayout::D1(vals.len()), cfg))?;
+        if let Some(res) = res {
+            let decoded = self.codec(decompress(&stream))?;
+            for ((r, &v), &d) in res.iter_mut().zip(vals).zip(decoded.iter()) {
+                *r = v - d;
+            }
+        }
+        Ok(Arc::new(stream))
+    }
+}
+
+impl Collective for CompressedRing {
+    fn world_size(&self) -> usize {
+        self.core.world
+    }
+
+    fn name(&self) -> &'static str {
+        "compressed-ring"
+    }
+
+    /// Broadcast is **exact** (dense payload) even on this transport:
+    /// only the recurring gradient *streams* are error-bounded. The
+    /// broadcast is a one-time parameter sync, and quantizing it would
+    /// start every replica a bounded-but-needless distance from the
+    /// reference model (the EF-SGD convention: compress what repeats,
+    /// ship the model once, losslessly).
+    fn broadcast(&self, rank: usize, root: usize, buf: &mut [f32]) -> Result<()> {
+        self.core.dense_broadcast(rank, root, buf)
+    }
+
+    fn reduce_scatter(&self, rank: usize, buf: &mut [f32]) -> Result<usize> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(0);
+        }
+        let len = buf.len();
+        let segs = seg_ranges(len, n);
+        let per = seg_planes(len, n);
+        let n_planes = len.div_ceil(crate::SEG_ALIGN);
+        let base_cfg = self.snapshot_cfg();
+        let mut res = self.residuals[rank].lock().expect("residual poisoned");
+        if self.error_feedback && res.values.len() != len {
+            res.values = vec![0.0; len];
+        }
+        for t in 0..n - 1 {
+            let s_send = (rank + n - t) % n;
+            let s_recv = (rank + 2 * n - t - 1) % n;
+            let r = segs[s_send].clone();
+            let msg = if r.is_empty() {
+                Message {
+                    seg: s_send,
+                    payload: Payload::Empty,
+                    wire_bytes: 0,
+                    dense_bytes: 0,
+                }
+            } else if t == 0 {
+                // Hop 0: raw gradient values — compress the whole vector
+                // once, plane-chunked so chunk frames == ring segments,
+                // and ship (logically) only this segment's frames; the
+                // receiver decodes just those via the frame index.
+                let mut cfg = base_cfg;
+                cfg.chunk_planes = Some(per);
+                let mut tmp = buf.to_vec();
+                if self.error_feedback {
+                    for (v, e) in tmp[r.clone()].iter_mut().zip(&res.values[r.clone()]) {
+                        *v += *e;
+                    }
+                }
+                let plane_range = (s_send * per).min(n_planes)..((s_send + 1) * per).min(n_planes);
+                let stream = self.codec(compress(&tmp, DataLayout::D1(len), &cfg))?;
+                let stream = Arc::new(stream);
+                if self.error_feedback {
+                    let decoded = self.codec(stream.decompress_planes(plane_range.clone()))?;
+                    for ((e, &v), &d) in res.values[r.clone()]
+                        .iter_mut()
+                        .zip(&tmp[r.clone()])
+                        .zip(decoded.iter())
+                    {
+                        *e = v - d;
+                    }
+                }
+                // Wire cost: shared header + codebook, plus only the
+                // frames covering this segment.
+                let idx = self.codec(stream.frame_index())?;
+                let covered = idx.frames_covering(&plane_range);
+                let frame_bytes: usize = idx.entries()[covered].iter().map(|e| e.bytes.len()).sum();
+                let overhead = stream.compressed_byte_len() - idx.frame_bytes_total();
+                Message {
+                    seg: s_send,
+                    payload: Payload::SharedStream {
+                        stream,
+                        planes: plane_range,
+                    },
+                    wire_bytes: overhead + frame_bytes,
+                    dense_bytes: r.len() * 4,
+                }
+            } else {
+                // Later hops carry partial sums: an independent Z2
+                // stream per segment.
+                let mut vals = buf[r.clone()].to_vec();
+                if self.error_feedback {
+                    for (v, e) in vals.iter_mut().zip(&res.values[r.clone()]) {
+                        *v += *e;
+                    }
+                }
+                let res_slice: Option<&mut [f32]> = if self.error_feedback {
+                    Some(&mut res.values[r.clone()])
+                } else {
+                    None
+                };
+                let stream = self.encode_segment(&vals, &base_cfg, res_slice)?;
+                Message {
+                    seg: s_send,
+                    wire_bytes: stream.compressed_byte_len(),
+                    dense_bytes: r.len() * 4,
+                    payload: Payload::Stream(stream),
+                }
+            };
+            self.core.send((rank + 1) % n, msg)?;
+            let received = self.core.recv(rank)?;
+            if received.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            let vals = match received.payload {
+                Payload::Empty => Vec::new(),
+                Payload::SharedStream { stream, planes } => {
+                    self.codec(stream.decompress_planes(planes))?
+                }
+                Payload::Stream(stream) => self.codec(decompress(&stream))?,
+                Payload::Dense(_) => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected dense payload".into()));
+                }
+            };
+            if vals.len() != dst.len() {
+                self.core.poison();
+                return Err(DistError::Aborted("segment length mismatch".into()));
+            }
+            for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
+                *b += v;
+            }
+        }
+        self.core.count_phase(rank);
+        Ok((rank + 1) % n)
+    }
+
+    fn all_gather(&self, rank: usize, owned: usize, buf: &mut [f32]) -> Result<()> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(());
+        }
+        let segs = seg_ranges(buf.len(), n);
+        let base_cfg = self.snapshot_cfg();
+        let mut forward: Option<Message> = None;
+        for t in 0..n - 1 {
+            let s_send = (rank + 1 + n - t) % n;
+            let msg = match forward.take() {
+                Some(m) => m,
+                None => {
+                    debug_assert_eq!(s_send, owned);
+                    let r = segs[owned].clone();
+                    if r.is_empty() {
+                        Message {
+                            seg: owned,
+                            payload: Payload::Empty,
+                            wire_bytes: 0,
+                            dense_bytes: 0,
+                        }
+                    } else {
+                        // Compress the reduced segment once; adopt the
+                        // decoded copy locally so this rank holds exactly
+                        // what every peer will decode.
+                        let mut res = self.residuals[rank].lock().expect("residual");
+                        let mut vals = buf[r.clone()].to_vec();
+                        if self.error_feedback {
+                            if res.values.len() != buf.len() {
+                                res.values = vec![0.0; buf.len()];
+                            }
+                            for (v, e) in vals.iter_mut().zip(&res.values[r.clone()]) {
+                                *v += *e;
+                            }
+                        }
+                        let res_slice: Option<&mut [f32]> = if self.error_feedback {
+                            Some(&mut res.values[r.clone()])
+                        } else {
+                            None
+                        };
+                        let stream = self.encode_segment(&vals, &base_cfg, res_slice)?;
+                        let decoded = self.codec(decompress(&stream))?;
+                        buf[r.clone()].copy_from_slice(&decoded);
+                        Message {
+                            seg: owned,
+                            wire_bytes: stream.compressed_byte_len(),
+                            dense_bytes: r.len() * 4,
+                            payload: Payload::Stream(stream),
+                        }
+                    }
+                }
+            };
+            self.core.send((rank + 1) % n, msg)?;
+            let received = self.core.recv(rank)?;
+            let s_recv = (rank + n - t) % n;
+            if received.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match &received.payload {
+                Payload::Empty => {}
+                Payload::Stream(stream) => {
+                    let decoded = self.codec(decompress(stream))?;
+                    if decoded.len() != dst.len() {
+                        self.core.poison();
+                        return Err(DistError::Aborted("segment length mismatch".into()));
+                    }
+                    buf[dst].copy_from_slice(&decoded);
+                }
+                _ => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+            if t + 1 < n - 1 {
+                forward = Some(received);
+            }
+        }
+        self.core.count_phase(rank);
+        Ok(())
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.core.stats.lock().expect("stats poisoned")
+    }
+
+    fn reset_stats(&self) {
+        *self.core.stats.lock().expect("stats poisoned") = CommStats::default();
+    }
+
+    fn set_error_bound(&self, eb: f32) {
+        self.cfg.lock().expect("cfg poisoned").error_bound = eb;
+    }
+
+    fn error_bound(&self) -> Option<f32> {
+        Some(self.cfg.lock().expect("cfg poisoned").error_bound)
+    }
+
+    fn abort(&self) {
+        self.core.poison();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebtrain_pool::WorkerPool;
+
+    /// Drive `op` concurrently for every rank over per-rank buffers.
+    fn run_ranks<C: Collective + 'static>(
+        coll: &Arc<C>,
+        bufs: &mut [Vec<f32>],
+        op: impl Fn(&C, usize, &mut Vec<f32>) -> Result<()> + Send + Sync,
+    ) -> Vec<Result<()>> {
+        let world = bufs.len();
+        let pool = WorkerPool::new(world);
+        let mut outs: Vec<Option<Result<()>>> = (0..world).map(|_| None).collect();
+        pool.scope(|s| {
+            for (rank, (buf, out)) in bufs.iter_mut().zip(outs.iter_mut()).enumerate() {
+                let coll = Arc::clone(coll);
+                let op = &op;
+                s.spawn(move || {
+                    *out = Some(op(&coll, rank, buf));
+                });
+            }
+        });
+        outs.into_iter().map(|o| o.expect("rank ran")).collect()
+    }
+
+    fn make_bufs(world: usize, len: usize, scale: f32) -> Vec<Vec<f32>> {
+        (0..world)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((i as f32 * 0.013 + r as f32).sin()) * scale)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn exact_mean(bufs: &[Vec<f32>]) -> Vec<f32> {
+        let world = bufs.len();
+        let len = bufs[0].len();
+        (0..len)
+            .map(|i| bufs.iter().map(|b| b[i]).sum::<f32>() / world as f32)
+            .collect()
+    }
+
+    #[test]
+    fn dense_ring_all_reduce_averages_exactly() {
+        for world in [2usize, 3, 4] {
+            let len = crate::SEG_ALIGN * world + 123;
+            let mut bufs = make_bufs(world, len, 1.0);
+            let expect = exact_mean(&bufs);
+            let coll = Arc::new(DenseRing::new(world));
+            let results = run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b));
+            for r in results {
+                r.unwrap();
+            }
+            for (rank, b) in bufs.iter().enumerate() {
+                for (i, (x, y)) in b.iter().zip(&expect).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-5 * y.abs().max(1.0),
+                        "world {world} rank {rank} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+            // All ranks bit-identical.
+            for b in &bufs[1..] {
+                assert_eq!(b, &bufs[0]);
+            }
+            let st = coll.stats();
+            assert_eq!(st.payload_bytes, st.dense_equiv_bytes);
+            assert!(st.messages > 0);
+        }
+    }
+
+    #[test]
+    fn compressed_ring_stays_within_error_bound_and_ranks_agree() {
+        let world = 4;
+        let eb = 1e-3f32;
+        let len = crate::SEG_ALIGN * world + 777;
+        let mut bufs = make_bufs(world, len, 1.0);
+        let expect = exact_mean(&bufs);
+        let coll = Arc::new(CompressedRing::new(world, eb, false));
+        for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        // Without error feedback: scatter-phase error ≤ eb after the
+        // final averaging, plus the single gather quantization ≤ eb.
+        let tol = 2.0 * eb + 1e-6;
+        for (rank, b) in bufs.iter().enumerate() {
+            for (i, (x, y)) in b.iter().zip(&expect).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "rank {rank} elem {i}: {x} vs {y} (tol {tol})"
+                );
+            }
+        }
+        for b in &bufs[1..] {
+            assert_eq!(b, &bufs[0], "replicas must finish bit-identical");
+        }
+        let st = coll.stats();
+        assert!(
+            st.payload_bytes < st.dense_equiv_bytes,
+            "compressed transport should beat dense: {st:?}"
+        );
+        assert_eq!(st.phases, 2);
+    }
+
+    #[test]
+    fn error_feedback_keeps_time_average_unbiased() {
+        // Repeatedly all-reduce the same vectors. With EF the residual
+        // re-injects what quantization rounded away, so the *mean* of
+        // the outputs over steps converges to the exact mean much
+        // tighter than any single step's bound.
+        let world = 3;
+        let eb = 1e-2f32; // coarse on purpose
+        let len = crate::SEG_ALIGN + 37;
+        let base = make_bufs(world, len, 1.0);
+        let expect = exact_mean(&base);
+        let coll = Arc::new(CompressedRing::new(world, eb, true));
+        let steps = 24;
+        let mut accum = vec![0.0f64; len];
+        for _ in 0..steps {
+            let mut bufs = base.clone();
+            for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+                r.unwrap();
+            }
+            for (a, v) in accum.iter_mut().zip(&bufs[0]) {
+                *a += *v as f64;
+            }
+        }
+        let mean_err: f64 = accum
+            .iter()
+            .zip(&expect)
+            .map(|(a, &e)| (a / steps as f64 - e as f64).abs())
+            .sum::<f64>()
+            / len as f64;
+        // A persistent bias would keep mean_err near the single-step
+        // quantization error (~eb/2 on average); EF must beat it well.
+        assert!(
+            mean_err < eb as f64 / 4.0,
+            "time-averaged error {mean_err} not unbiased (eb {eb})"
+        );
+    }
+
+    #[test]
+    fn broadcast_synchronizes_all_ranks_exactly() {
+        // Exact on BOTH transports: broadcast is the one-time parameter
+        // sync; only gradient streams are error-bounded.
+        let world = 4;
+        let len = 5000;
+        for compressed in [false, true] {
+            let mut bufs = make_bufs(world, len, 1.0);
+            let root_vals = bufs[2].clone();
+            let coll: Arc<dyn Collective> = if compressed {
+                Arc::new(CompressedRing::new(world, 1e-4, false))
+            } else {
+                Arc::new(DenseRing::new(world))
+            };
+            let pool = WorkerPool::new(world);
+            pool.scope(|s| {
+                for (rank, buf) in bufs.iter_mut().enumerate() {
+                    let coll = Arc::clone(&coll);
+                    s.spawn(move || coll.broadcast(rank, 2, buf).unwrap());
+                }
+            });
+            for (rank, b) in bufs.iter().enumerate() {
+                assert_eq!(
+                    b, &root_vals,
+                    "rank {rank} diverged (compressed={compressed})"
+                );
+            }
+            assert_eq!(coll.stats().broadcasts, 1);
+        }
+    }
+
+    #[test]
+    fn small_vectors_leave_trailing_segments_empty_but_still_reduce() {
+        let world = 4;
+        let len = 100; // far below SEG_ALIGN * world
+        let mut bufs = make_bufs(world, len, 1.0);
+        let expect = exact_mean(&bufs);
+        let coll = Arc::new(CompressedRing::new(world, 1e-3, true));
+        for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        for b in &bufs {
+            for (x, y) in b.iter().zip(&expect) {
+                assert!((x - y).abs() <= 2e-3 + 1e-6, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn abort_releases_blocked_peers() {
+        let world = 3;
+        let coll = Arc::new(DenseRing::new(world));
+        let pool = WorkerPool::new(world);
+        let mut outcomes: Vec<Option<Result<()>>> = (0..world).map(|_| None).collect();
+        pool.scope(|s| {
+            for (rank, out) in outcomes.iter_mut().enumerate() {
+                let coll = Arc::clone(&coll);
+                s.spawn(move || {
+                    if rank == 2 {
+                        // This rank never joins the collective.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        coll.abort();
+                        *out = Some(Err(aborted()));
+                    } else {
+                        let mut buf = vec![1.0f32; 9000];
+                        *out = Some(coll.all_reduce(rank, &mut buf));
+                    }
+                });
+            }
+        });
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert!(
+                matches!(o, Some(Err(DistError::Aborted(_)))),
+                "rank {rank} should have aborted: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop0_wire_bytes_exclude_other_segments_frames() {
+        // One rank's hop-0 message must cost (header+codebook) plus only
+        // its own segment's frames — substantially less than the whole
+        // stream when the gradient spans many segments.
+        let world = 4;
+        let len = crate::SEG_ALIGN * 8;
+        let vals: Vec<f32> = (0..len).map(|i| (i as f32 * 0.001).sin()).collect();
+        let mut cfg = SzConfig::vanilla(1e-3);
+        cfg.chunk_planes = Some(seg_planes(len, world));
+        let stream = compress(&vals, DataLayout::D1(len), &cfg).unwrap();
+        let idx = stream.frame_index().unwrap();
+        let per = seg_planes(len, world);
+        let covered = idx.frames_covering(&(0..per));
+        let seg_bytes: usize = idx.entries()[covered].iter().map(|e| e.bytes.len()).sum();
+        let overhead = stream.compressed_byte_len() - idx.frame_bytes_total();
+        assert!(
+            overhead + seg_bytes < stream.compressed_byte_len(),
+            "hop-0 accounting should not charge the whole stream"
+        );
+        // And the frame-indexed decode of that segment matches the slice
+        // of a full decode (the receiver-side path).
+        let full = decompress(&stream).unwrap();
+        let part = stream.decompress_planes(0..per).unwrap();
+        assert_eq!(part, full[..per * crate::SEG_ALIGN]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the collective contracts — the distributed
+//! analogue of the codec's `|x − x'| ≤ eb` suite: a compressed
+//! `all_reduce` over **random shapes and values** must stay within the
+//! configured error bound of the exact dense-f32 reference, and every
+//! rank must finish with bit-identical buffers (the replica-lockstep
+//! invariant).
+//!
+//! Error budget (see `DESIGN.md` §7): the scatter phase accumulates at
+//! most `(N−1)·eb` on a segment's sum and the gather owner quantizes
+//! once more (`+eb`); after the final division by `N` the per-element
+//! error is ≤ `eb`. With error feedback the transmitted value includes
+//! the previous residual (|r| ≤ eb), so any *single* step stays within
+//! `2·eb` while the time average is unbiased.
+
+use ebtrain_dist::{seg_ranges, Collective, CompressedRing, DenseRing};
+use ebtrain_pool::WorkerPool;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run `all_reduce` concurrently on every rank; returns per-rank buffers.
+fn all_reduce_group(coll: Arc<dyn Collective>, mut bufs: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let world = bufs.len();
+    let pool = WorkerPool::new(world);
+    pool.scope(|s| {
+        for (rank, buf) in bufs.iter_mut().enumerate() {
+            let coll = Arc::clone(&coll);
+            s.spawn(move || coll.all_reduce(rank, buf).unwrap());
+        }
+    });
+    bufs
+}
+
+fn random_bufs(world: usize, len: usize, seed: u64, scale: f32) -> Vec<Vec<f32>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..world)
+        .map(|_| (0..len).map(|_| rng.gen_range(-scale..scale)).collect())
+        .collect()
+}
+
+fn exact_mean(bufs: &[Vec<f32>]) -> Vec<f64> {
+    let world = bufs.len() as f64;
+    (0..bufs[0].len())
+        .map(|i| bufs.iter().map(|b| b[i] as f64).sum::<f64>() / world)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compressed_all_reduce_matches_dense_reference_within_eb(
+        world in 2usize..5,
+        len in prop_oneof![1usize..300, 3000usize..20_000],
+        seed in any::<u64>(),
+        eb_exp in -4i32..-1,
+        scale in prop_oneof![Just(1.0f32), Just(10.0f32)],
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let bufs = random_bufs(world, len, seed, scale);
+        let expect = exact_mean(&bufs);
+
+        // Dense reference: exact up to f32 summation order.
+        let dense = all_reduce_group(Arc::new(DenseRing::new(world)), bufs.clone());
+        let f32_slack = scale * world as f32 * 1e-5;
+        for b in &dense {
+            for (x, e) in b.iter().zip(&expect) {
+                prop_assert!(((*x as f64) - e).abs() <= f32_slack as f64 + 1e-9);
+            }
+        }
+
+        // Compressed (no error feedback): within eb of the dense result.
+        let coll = Arc::new(CompressedRing::new(world, eb, false));
+        let comp = all_reduce_group(coll.clone(), bufs.clone());
+        let tol = (eb + f32_slack) as f64 + 1e-9;
+        for (rank, b) in comp.iter().enumerate() {
+            prop_assert_eq!(b.len(), len);
+            for (i, (x, e)) in b.iter().zip(&expect).enumerate() {
+                prop_assert!(
+                    ((*x as f64) - e).abs() <= tol,
+                    "rank {} elem {}: {} vs {} (eb {})", rank, i, x, e, eb
+                );
+            }
+        }
+        // Replica lockstep: all ranks bit-identical.
+        for b in &comp[1..] {
+            prop_assert_eq!(b, &comp[0]);
+        }
+        // Accounting sanity. (No byte-savings assertion here: random
+        // uniform values are the codec's adversarial case — per-hop
+        // codebooks can outweigh dense f32. Real gradients are smooth
+        // and sparse; the reduction claim is asserted on them by the
+        // trainer tests and `fig12_dist_scaling`.)
+        let st = coll.stats();
+        prop_assert!(st.messages > 0);
+        prop_assert!(st.dense_equiv_bytes > 0);
+    }
+
+    #[test]
+    fn error_feedback_single_step_stays_within_two_eb(
+        world in 2usize..5,
+        len in 100usize..6000,
+        seed in any::<u64>(),
+        eb_exp in -3i32..-1,
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let bufs = random_bufs(world, len, seed, 1.0);
+        let expect = exact_mean(&bufs);
+        let coll = Arc::new(CompressedRing::new(world, eb, true));
+        // Two successive steps on the same collective: the second one
+        // carries non-zero residuals.
+        let _ = all_reduce_group(coll.clone(), bufs.clone());
+        let comp = all_reduce_group(coll.clone(), bufs.clone());
+        let tol = (2.0 * eb) as f64 + 1e-6;
+        for b in &comp {
+            for (x, e) in b.iter().zip(&expect) {
+                prop_assert!(((*x as f64) - e).abs() <= tol,
+                    "{} vs {} (eb {})", x, e, eb);
+            }
+        }
+        for b in &comp[1..] {
+            prop_assert_eq!(b, &comp[0]);
+        }
+    }
+
+    #[test]
+    fn segments_always_tile_random_lengths(
+        len in 0usize..100_000,
+        world in 1usize..9,
+    ) {
+        let segs = seg_ranges(len, world);
+        prop_assert_eq!(segs.len(), world);
+        let mut cursor = 0;
+        for s in &segs {
+            prop_assert_eq!(s.start, cursor);
+            prop_assert!(s.end >= s.start);
+            cursor = s.end;
+        }
+        prop_assert_eq!(cursor, len);
+    }
+}

@@ -235,7 +235,13 @@ pub struct ConvLayerStats {
 /// `forward` consumes its input (mirroring a framework that owns
 /// activations and may immediately compress or free them); `backward`
 /// consumes the output gradient and returns the input gradient.
-pub trait Layer {
+///
+/// Layers are `Send` so whole networks can move to (or be borrowed
+/// mutably from) worker threads — the data-parallel replica runner in
+/// `ebtrain-dist` executes one network per pool thread. Layer state is
+/// plain owned data, so every implementation satisfies this bound
+/// automatically.
+pub trait Layer: Send {
     /// Stable id inside the network.
     fn id(&self) -> LayerId;
     /// Human-readable name ("conv1", "fc6", ...).
@@ -260,6 +266,14 @@ pub trait Layer {
     fn conv_stats(&self) -> Option<ConvLayerStats> {
         None
     }
+
+    /// Reseed any internal randomness (dropout mask streams). No-op for
+    /// deterministic layers. Data-parallel runners call this with a
+    /// rank-dependent seed so replicas keep identical *parameters* but
+    /// draw independent masks — without it, N replicas built from one
+    /// builder seed would apply the same mask to every shard, which is
+    /// not how per-device RNG behaves on real data-parallel stacks.
+    fn reseed_stochastic(&mut self, _seed: u64) {}
 
     /// Non-parameter persistent state (e.g. batch-norm running
     /// statistics) for checkpoint serialization. Empty by default.

@@ -44,6 +44,10 @@ impl Layer for Dropout {
         Ok(in_shape.to_vec())
     }
 
+    fn reseed_stochastic(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     fn forward(&mut self, mut x: Tensor, ctx: &mut ForwardContext) -> Result<Tensor> {
         if !ctx.training || self.p == 0.0 {
             return Ok(x);

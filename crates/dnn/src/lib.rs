@@ -51,7 +51,7 @@ pub use store::{
     ActivationStore, CompressedStore, HybridStore, LosslessStore, MigratedStore, NullStore,
     RawStore, StoreMetrics,
 };
-pub use train::{evaluate, train_step, StepResult};
+pub use train::{evaluate, train_step, train_step_synced, GradSyncHook, StepResult};
 
 /// Errors from network construction and execution.
 #[derive(Debug)]

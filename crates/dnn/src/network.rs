@@ -167,6 +167,80 @@ impl Network {
         }
     }
 
+    /// Reseed every stochastic layer (dropout) from `salt`, each layer
+    /// with a distinct derived seed. Data-parallel replicas call this
+    /// with their rank so mask streams are independent across workers
+    /// while parameters stay identical (see
+    /// [`Layer::reseed_stochastic`] for the per-layer hook).
+    pub fn reseed_stochastic(&mut self, salt: u64) {
+        self.visit_layers_mut(&mut |layer| {
+            let seed = salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(layer.id() as u64 + 1);
+            layer.reseed_stochastic(seed);
+        });
+    }
+
+    /// Serialize every parameter **gradient** into one flat vector
+    /// (depth-first layer order — the same stable order as
+    /// [`params_mut`](Self::params_mut)), reusing `out`'s allocation.
+    /// This is the view a gradient collective reduces over.
+    pub fn flatten_grads_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        for p in self.params_mut() {
+            out.extend_from_slice(p.grad.data());
+        }
+    }
+
+    /// Scatter a flat gradient vector (as produced by
+    /// [`flatten_grads_into`](Self::flatten_grads_into)) back into the
+    /// per-parameter gradient tensors. Errors on length mismatch.
+    pub fn unflatten_grads(&mut self, flat: &[f32]) -> Result<()> {
+        let expect = self.param_count();
+        if flat.len() != expect {
+            return Err(DnnError::State(format!(
+                "flat gradient has {} values, network has {expect} parameters",
+                flat.len()
+            )));
+        }
+        let mut off = 0;
+        for p in self.params_mut() {
+            let g = p.grad.data_mut();
+            g.copy_from_slice(&flat[off..off + g.len()]);
+            off += g.len();
+        }
+        Ok(())
+    }
+
+    /// Serialize every parameter **value** into one flat vector (same
+    /// order as the gradient view) — the payload a parameter broadcast
+    /// ships when synchronizing replicas.
+    pub fn flatten_params_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        for p in self.params_mut() {
+            out.extend_from_slice(p.value.data());
+        }
+    }
+
+    /// Scatter a flat parameter vector back into the layer parameters.
+    /// Errors on length mismatch.
+    pub fn unflatten_params(&mut self, flat: &[f32]) -> Result<()> {
+        let expect = self.param_count();
+        if flat.len() != expect {
+            return Err(DnnError::State(format!(
+                "flat parameter vector has {} values, network has {expect}",
+                flat.len()
+            )));
+        }
+        let mut off = 0;
+        for p in self.params_mut() {
+            let v = p.value.data_mut();
+            v.copy_from_slice(&flat[off..off + v.len()]);
+            off += v.len();
+        }
+        Ok(())
+    }
+
     /// Number of top-level nodes (segment boundaries for gradient
     /// checkpointing live between top-level nodes; residual blocks are
     /// atomic units).
@@ -573,6 +647,43 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate layer ids");
         assert_eq!(net.conv_layer_ids().len(), 3);
+    }
+
+    #[test]
+    fn flatten_roundtrips_grads_and_params() {
+        let mut net = tiny_net();
+        let count = net.param_count();
+        // Stamp recognizable gradients, flatten, perturb, unflatten.
+        let mut stamp = 0.0f32;
+        for p in net.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = stamp;
+                stamp += 1.0;
+            }
+        }
+        let mut flat = Vec::new();
+        net.flatten_grads_into(&mut flat);
+        assert_eq!(flat.len(), count);
+        assert_eq!(flat[0], 0.0);
+        assert_eq!(*flat.last().unwrap(), (count - 1) as f32);
+        let doubled: Vec<f32> = flat.iter().map(|v| v * 2.0).collect();
+        net.unflatten_grads(&doubled).unwrap();
+        let mut back = Vec::new();
+        net.flatten_grads_into(&mut back);
+        assert_eq!(back, doubled);
+        // Length mismatch rejected.
+        assert!(net.unflatten_grads(&doubled[1..]).is_err());
+
+        // Parameter view round-trips the same way.
+        let mut pv = Vec::new();
+        net.flatten_params_into(&mut pv);
+        assert_eq!(pv.len(), count);
+        let shifted: Vec<f32> = pv.iter().map(|v| v + 0.5).collect();
+        net.unflatten_params(&shifted).unwrap();
+        let mut pv2 = Vec::new();
+        net.flatten_params_into(&mut pv2);
+        assert_eq!(pv2, shifted);
+        assert!(net.unflatten_params(&[]).is_err());
     }
 
     #[test]

@@ -80,6 +80,27 @@ pub fn checkpointed_train_step_with(
     n_segments: usize,
     collect: bool,
 ) -> Result<StepResult> {
+    checkpointed_train_step_synced(
+        net, head, opt, store, plan, x, labels, n_segments, collect, None,
+    )
+}
+
+/// [`checkpointed_train_step_with`] plus an optional
+/// [`GradSyncHook`](crate::train::GradSyncHook) between the last
+/// segment's backward and the optimizer step (see `train_step_synced`).
+#[allow(clippy::too_many_arguments)]
+pub fn checkpointed_train_step_synced(
+    net: &mut Network,
+    head: &SoftmaxCrossEntropy,
+    opt: &mut Sgd,
+    store: &mut dyn ActivationStore,
+    plan: &CompressionPlan,
+    x: Tensor,
+    labels: &[usize],
+    n_segments: usize,
+    collect: bool,
+    sync: Option<&mut crate::train::GradSyncHook>,
+) -> Result<StepResult> {
     let n_nodes = net.num_top_nodes();
     if n_nodes == 0 {
         return Err(DnnError::State("empty network".into()));
@@ -127,6 +148,9 @@ pub fn checkpointed_train_step_with(
         dy = net.backward_range(seg.clone(), dy, &mut bctx)?;
     }
 
+    if let Some(sync) = sync {
+        sync(net)?;
+    }
     opt.step(net.params_mut());
     net.zero_grads();
     Ok(StepResult {

@@ -9,6 +9,14 @@ use crate::store::{ActivationStore, NullStore};
 use crate::Result;
 use ebtrain_tensor::Tensor;
 
+/// Synchronization hook a data-parallel runner injects **between
+/// backward and the optimizer step** — the point where every worker's
+/// local gradients exist but no update has been applied yet. A gradient
+/// collective (see `ebtrain-dist`) flattens the gradients here,
+/// all-reduces them across replicas, and scatters the averaged result
+/// back, so the subsequent local SGD step is identical on every worker.
+pub type GradSyncHook<'a> = dyn FnMut(&mut Network) -> Result<()> + 'a;
+
 /// Outcome of one training step.
 #[derive(Debug, Clone, Copy)]
 pub struct StepResult {
@@ -38,6 +46,23 @@ pub fn train_step(
     labels: &[usize],
     collect: bool,
 ) -> Result<StepResult> {
+    train_step_synced(net, head, opt, store, plan, x, labels, collect, None)
+}
+
+/// [`train_step`] with an optional [`GradSyncHook`] invoked after
+/// backward and before the optimizer step.
+#[allow(clippy::too_many_arguments)]
+pub fn train_step_synced(
+    net: &mut Network,
+    head: &SoftmaxCrossEntropy,
+    opt: &mut Sgd,
+    store: &mut dyn ActivationStore,
+    plan: &CompressionPlan,
+    x: Tensor,
+    labels: &[usize],
+    collect: bool,
+    sync: Option<&mut GradSyncHook>,
+) -> Result<StepResult> {
     let batch = x.shape()[0];
     store.reset_peak();
     let logits = {
@@ -56,6 +81,9 @@ pub fn train_step(
         net.backward(dlogits, &mut bctx)?;
     }
     let peak = store.peak_bytes();
+    if let Some(sync) = sync {
+        sync(net)?;
+    }
     opt.step(net.params_mut());
     net.zero_grads();
     Ok(StepResult {
@@ -97,6 +125,37 @@ pub fn budgeted_train_step(
     collect: bool,
     fallback_segments: Option<usize>,
 ) -> Result<StepResult> {
+    budgeted_train_step_synced(
+        net,
+        head,
+        opt,
+        store,
+        plan,
+        x,
+        labels,
+        collect,
+        fallback_segments,
+        None,
+    )
+}
+
+/// [`budgeted_train_step`] with an optional [`GradSyncHook`]; the hook
+/// also fires exactly once on the recompute-fallback path, so a
+/// data-parallel worker participates in its collective regardless of
+/// which execution path its memory pressure forced.
+#[allow(clippy::too_many_arguments)]
+pub fn budgeted_train_step_synced(
+    net: &mut Network,
+    head: &SoftmaxCrossEntropy,
+    opt: &mut Sgd,
+    store: &mut crate::store::BudgetedStore,
+    plan: &CompressionPlan,
+    x: Tensor,
+    labels: &[usize],
+    collect: bool,
+    fallback_segments: Option<usize>,
+    sync: Option<&mut GradSyncHook>,
+) -> Result<StepResult> {
     let batch = x.shape()[0];
     store.reset_peak();
     store.begin_step();
@@ -119,8 +178,8 @@ pub fn budgeted_train_step(
         let segments = fallback_segments
             .unwrap_or_else(|| (net.num_top_nodes() as f64).sqrt().ceil() as usize)
             .max(1);
-        return crate::recompute::checkpointed_train_step_with(
-            net, head, opt, store, plan, x_backup, labels, segments, collect,
+        return crate::recompute::checkpointed_train_step_synced(
+            net, head, opt, store, plan, x_backup, labels, segments, collect, sync,
         );
     }
     let (loss, dlogits) = head.loss(&logits, labels)?;
@@ -130,6 +189,9 @@ pub fn budgeted_train_step(
         net.backward(dlogits, &mut bctx)?;
     }
     let peak = store.peak_bytes();
+    if let Some(sync) = sync {
+        sync(net)?;
+    }
     opt.step(net.params_mut());
     net.zero_grads();
     Ok(StepResult {

@@ -2,11 +2,12 @@
 
 use crate::policy::{Candidate, EvictionPolicy};
 use crate::{MembudgetError, Result};
+use ebtrain_pool::{TaskHandle, WorkerPool};
 use ebtrain_sz::{CompressedBuffer, DataLayout, SzConfig};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::thread::JoinHandle;
+use std::ops::Range;
 use std::time::Instant;
 
 /// What happens to payloads that cannot stay on-device even compressed.
@@ -117,22 +118,33 @@ pub struct ArenaMetrics {
     /// Times a charge would have pushed residency past the budget
     /// (always 0 — kept as a release-mode tripwire).
     pub over_budget_events: u64,
+    /// Plane-range fetches served from warm/host-warm entries via the
+    /// frame-indexed range decoder.
+    pub partial_fetches: u64,
+    /// Frame-body bytes actually decoded by partial fetches.
+    pub partial_bytes_decoded: u64,
+    /// Frame-body bytes the fetched streams hold in total (the
+    /// denominator proving partial fetches skip most of the stream).
+    pub partial_bytes_total: u64,
 }
 
-/// Background decode of one compressed payload.
+/// Background decode of one compressed payload, running on the shared
+/// persistent [`WorkerPool`] (no per-decode OS-thread spawn; joining a
+/// not-yet-started decode runs it inline, so a saturated pool degrades
+/// to the non-prefetched cost instead of deadlocking).
 struct DecodeJob {
-    handle: JoinHandle<ebtrain_sz::Result<Vec<f32>>>,
+    handle: TaskHandle<ebtrain_sz::Result<Vec<f32>>>,
 }
 
 impl DecodeJob {
     fn spawn(buf: CompressedBuffer) -> DecodeJob {
         DecodeJob {
-            handle: std::thread::spawn(move || ebtrain_sz::decompress(&buf)),
+            handle: WorkerPool::global().submit(move || ebtrain_sz::decompress(&buf)),
         }
     }
 
     fn join(self) -> ebtrain_sz::Result<Vec<f32>> {
-        self.handle.join().unwrap_or_else(|_| {
+        self.handle.join_result().unwrap_or_else(|_| {
             Err(ebtrain_sz::SzError::Corrupt(
                 "decode worker panicked".into(),
             ))
@@ -653,6 +665,108 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         fetched
     }
 
+    /// Fetch a **plane range** of an f32 entry *without* removing it —
+    /// the partial-fetch path for very large layers whose consumers only
+    /// need a slice (plane units are the stream's leading-dimension
+    /// slices; see [`ebtrain_sz::DataLayout::plane_elems`]).
+    ///
+    /// Warm and host-warm entries are served by the frame-indexed range
+    /// decoder ([`CompressedBuffer::decompress_planes`]): only the frames
+    /// covering the range are decoded (and, for host entries, only those
+    /// bytes pay transfer), which is the whole point — the
+    /// `partial_bytes_decoded` / `partial_bytes_total` metrics prove the
+    /// fetch touched less than the full stream. Hot entries return a
+    /// plain slice copy. An in-flight prefetch is joined and kept hot.
+    pub fn fetch_planes(&mut self, key: K, planes: Range<usize>) -> Result<Vec<f32>> {
+        let touch = self.tick();
+        if !self.entries.contains_key(&key) {
+            return Err(MembudgetError::Missing);
+        }
+        // Join an in-flight decode first so the match below only sees
+        // settled representations; the result stays resident as hot
+        // (uncharging the compressed source the worker consumed).
+        if matches!(
+            self.entries.get(&key).map(|e| &e.repr),
+            Some(Repr::InFlight(_))
+        ) {
+            let mut e = self.entries.remove(&key).expect("checked above");
+            if let Repr::InFlight(job) = std::mem::replace(&mut e.repr, Repr::Dropped) {
+                match job.join() {
+                    Ok(data) => {
+                        let over = e.resident.saturating_sub(e.raw_bytes);
+                        e.resident = e.raw_bytes;
+                        e.repr = Repr::HotF32(data);
+                        self.uncharge(over);
+                        self.metrics.prefetch_hits += 1;
+                        self.entries.insert(key, e);
+                    }
+                    Err(err) => {
+                        // The entry is gone; release its budget charge
+                        // like load()/remove() do on removal.
+                        self.uncharge(e.resident);
+                        return Err(MembudgetError::Codec(err));
+                    }
+                }
+            }
+        }
+        // The entry borrow pins the `entries` field only; counters below
+        // go through disjoint `self.metrics` field accesses.
+        let bandwidth = self.cfg.host_bandwidth_bps.max(1.0);
+        let entry = self.entries.get_mut(&key).ok_or(MembudgetError::Missing)?;
+        entry.last_touch = touch;
+        let elems_of = |layout: DataLayout, planes: &Range<usize>, n: usize| {
+            let pe = layout.plane_elems();
+            let np = layout.plane_count();
+            if planes.start > planes.end || planes.end > np {
+                return Err(MembudgetError::Codec(ebtrain_sz::SzError::Corrupt(
+                    "plane range out of bounds".into(),
+                )));
+            }
+            // Both ends clamp to the element count: the final D1 plane
+            // may be partial, so `start * pe` can exceed `n` for an
+            // empty range at the tail (`plane_count..plane_count`).
+            Ok(((planes.start * pe).min(n), (planes.end * pe).min(n)))
+        };
+        match &entry.repr {
+            Repr::HotF32(data) => {
+                let (lo, hi) = elems_of(entry.layout, &planes, data.len())?;
+                self.metrics.hot_hits += 1;
+                Ok(data[lo..hi].to_vec())
+            }
+            Repr::Warm(buf) | Repr::HostWarm(buf) => {
+                let host = matches!(entry.repr, Repr::HostWarm(_));
+                let t0 = Instant::now();
+                let decoded = buf
+                    .decompress_planes_with_stats(planes)
+                    .map_err(MembudgetError::Codec);
+                self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
+                let (vals, stats) = decoded?;
+                if host {
+                    self.metrics.transfer_nanos +=
+                        (stats.frame_bytes_decoded as f64 / bandwidth * 1e9) as u64;
+                    self.metrics.host_hits += 1;
+                } else {
+                    self.metrics.warm_hits += 1;
+                }
+                self.metrics.partial_fetches += 1;
+                self.metrics.partial_bytes_decoded += stats.frame_bytes_decoded as u64;
+                self.metrics.partial_bytes_total += stats.frame_bytes_total as u64;
+                Ok(vals)
+            }
+            Repr::HostF32(data) => {
+                let (lo, hi) = elems_of(entry.layout, &planes, data.len())?;
+                self.metrics.transfer_nanos += (((hi - lo) * 4) as f64 / bandwidth * 1e9) as u64;
+                self.metrics.host_hits += 1;
+                Ok(data[lo..hi].to_vec())
+            }
+            Repr::HotBytes(_) | Repr::HostBytes(_) => Err(MembudgetError::Codec(
+                ebtrain_sz::SzError::Corrupt("plane fetch on a byte entry".into()),
+            )),
+            Repr::Dropped => Err(MembudgetError::Dropped),
+            Repr::InFlight(_) => unreachable!("in-flight joined above"),
+        }
+    }
+
     /// Issue background decodes for the next scheduled warm entries, up
     /// to the configured depth — but never past the budget: an in-flight
     /// decode is charged for both its compressed source and its raw
@@ -846,6 +960,72 @@ mod tests {
         // Key 0 is needed last -> it should be the demoted one.
         assert_eq!(a.tier_of(0), Some(Tier::Warm));
         assert_eq!(a.tier_of(2), Some(Tier::Hot));
+    }
+
+    #[test]
+    fn partial_fetch_decodes_fewer_bytes_than_full_stream() {
+        // A large warm entry fetched by plane range must only touch the
+        // frames covering the range — the satellite's bytes-touched
+        // guarantee for huge layers.
+        let planes = 64usize;
+        let pw = 48usize; // plane width
+        let n = planes * pw * pw;
+        let data = volume(n, 9);
+        // Budget below the raw size but above the compressed size: the
+        // insert lands warm.
+        let mut cfg = BudgetConfig::with_budget(n); // raw is n*4
+        cfg.sz.chunk_planes = Some(4);
+        let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(Lru));
+        let tier = a.insert_f32(1, data.clone(), DataLayout::D3(planes, pw, pw), Some(1e-3));
+        assert_eq!(tier, Tier::Warm);
+        let vals = a.fetch_planes(1, 10..14).unwrap();
+        assert_eq!(vals.len(), 4 * pw * pw);
+        for (i, v) in vals.iter().enumerate() {
+            let orig = data[10 * pw * pw + i];
+            assert!(
+                (orig - v).abs() <= 1e-3 + 1e-6 || orig.abs() <= 2e-3,
+                "elem {i}: {orig} vs {v}"
+            );
+        }
+        let m = a.metrics();
+        assert_eq!(m.partial_fetches, 1);
+        assert!(
+            m.partial_bytes_decoded < m.partial_bytes_total,
+            "partial fetch touched the whole stream: {} of {}",
+            m.partial_bytes_decoded,
+            m.partial_bytes_total
+        );
+        // The entry is still resident and still loads whole.
+        assert_eq!(a.tier_of(1), Some(Tier::Warm));
+        let Fetched::F32(v) = a.load(1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.len(), n);
+    }
+
+    #[test]
+    fn partial_fetch_serves_hot_and_rejects_bad_ranges() {
+        let mut a = arena(1 << 20);
+        let n = 4096 + 100; // final D1 plane is partial
+        let data = volume(n, 4);
+        a.insert_f32(5, data.clone(), DataLayout::D1(n), None);
+        assert_eq!(a.tier_of(5), Some(Tier::Hot));
+        // Hot path: a plain slice copy (D1 planes are 4096-element runs).
+        let vals = a.fetch_planes(5, 1..2).unwrap();
+        assert_eq!(vals, data[4096..]);
+        // Empty range at the tail of a partial final plane: empty, not a
+        // slice panic.
+        assert_eq!(a.fetch_planes(5, 2..2).unwrap(), Vec::<f32>::new());
+        assert!(a.fetch_planes(5, 0..3).is_err(), "range past plane count");
+        assert!(matches!(
+            a.fetch_planes(99, 0..1),
+            Err(MembudgetError::Missing)
+        ));
+        a.insert_bytes(6, vec![1, 2, 3]);
+        assert!(
+            a.fetch_planes(6, 0..1).is_err(),
+            "byte entries have no planes"
+        );
     }
 
     #[test]

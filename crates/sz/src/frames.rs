@@ -24,22 +24,16 @@ use crate::{blocks, DataLayout, Result};
 use ebtrain_encoding::huffman;
 use std::ops::Range;
 
-/// Elements per leading-dimension "plane" of a layout (see module docs).
+/// Elements per leading-dimension "plane" of a layout (see module docs;
+/// now a public [`DataLayout`] method so other crates can map plane
+/// ranges to element ranges).
 fn plane_elems(layout: DataLayout) -> usize {
-    match layout {
-        DataLayout::D1(_) => 4096,
-        DataLayout::D2(_, w) => w,
-        DataLayout::D3(_, b, c) => b * c,
-    }
+    layout.plane_elems()
 }
 
 /// Number of planes a layout splits into.
 fn plane_count(layout: DataLayout) -> usize {
-    match layout {
-        DataLayout::D1(n) => n.div_ceil(4096),
-        DataLayout::D2(h, _) => h,
-        DataLayout::D3(a, _, _) => a,
-    }
+    layout.plane_count()
 }
 
 /// One frame's coverage: which planes/elements it reconstructs and which
@@ -214,8 +208,10 @@ impl CompressedBuffer {
         if planes.start > planes.end || planes.end > np {
             return Err(corrupt("plane range out of bounds"));
         }
-        // Requested flat element window (final D1 plane may be partial).
-        let start_e = planes.start * pe;
+        // Requested flat element window. Both ends clamp to `n`: the
+        // final D1 plane may be partial, so an empty range at the tail
+        // (`n_planes..n_planes`) would otherwise put `start` past `end`.
+        let start_e = (planes.start * pe).min(header.n);
         let end_e = (planes.end * pe).min(header.n);
         let mut out = Vec::with_capacity(end_e - start_e);
 
@@ -374,6 +370,20 @@ mod tests {
         assert_eq!(tail, full[4096 * 2..]);
         let mid = buf.decompress_planes(1..2).unwrap();
         assert_eq!(mid, full[4096..4096 * 2]);
+    }
+
+    #[test]
+    fn d1_empty_range_at_partial_tail_plane() {
+        // n_planes..n_planes on a stream whose last D1 plane is partial:
+        // start*4096 exceeds n, which must clamp to an empty result, not
+        // underflow.
+        let n = 4096 + 100;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.002).sin()).collect();
+        let buf = compress(&data, DataLayout::D1(n), &SzConfig::with_error_bound(1e-3)).unwrap();
+        let idx = buf.frame_index().unwrap();
+        assert_eq!(idx.n_planes(), 2);
+        assert_eq!(buf.decompress_planes(2..2).unwrap(), Vec::<f32>::new());
+        assert!(buf.decompress_planes(2..3).is_err());
     }
 
     #[test]

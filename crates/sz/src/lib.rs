@@ -132,6 +132,29 @@ impl DataLayout {
         self.len() == 0
     }
 
+    /// Elements per leading-dimension "plane" — the granularity of
+    /// [`CompressedBuffer::decompress_planes`](crate::CompressedBuffer::decompress_planes)
+    /// ranges: a row for `D2`, a `d1 × d2` plane for `D3`, and a
+    /// 4096-element run for `D1` (matching the chunk geometry in
+    /// [`blocks`]).
+    pub fn plane_elems(&self) -> usize {
+        match *self {
+            DataLayout::D1(_) => 4096,
+            DataLayout::D2(_, w) => w,
+            DataLayout::D3(_, b, c) => b * c,
+        }
+    }
+
+    /// Number of planes the layout splits into (the final `D1` plane may
+    /// be partial).
+    pub fn plane_count(&self) -> usize {
+        match *self {
+            DataLayout::D1(n) => n.div_ceil(4096),
+            DataLayout::D2(h, _) => h,
+            DataLayout::D3(a, _, _) => a,
+        }
+    }
+
     /// Best-fitting layout for an NCHW shape `[n, c, h, w]` (or fewer dims).
     pub fn for_shape(shape: &[usize]) -> DataLayout {
         match *shape {

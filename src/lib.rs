@@ -20,11 +20,13 @@
 //! | [`data`] | `ebtrain-data` | deterministic synthetic datasets |
 //! | [`dnn`] | `ebtrain-dnn` | layers, networks, compressed store |
 //! | [`core`] | `ebtrain-core` | adaptive error-bound framework |
+//! | [`dist`] | `ebtrain-dist` | data-parallel compressed training (ring all-reduce over error-bounded gradient streams) |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
 pub use ebtrain_core as core;
 pub use ebtrain_data as data;
+pub use ebtrain_dist as dist;
 pub use ebtrain_dnn as dnn;
 pub use ebtrain_encoding as encoding;
 pub use ebtrain_imgcomp as imgcomp;

@@ -1,0 +1,174 @@
+//! Deterministic parity of distributed compressed training (ISSUE 4
+//! acceptance): N=4 compressed ring all-reduce **with error feedback**
+//! must match single-worker SGD on `tiny_alexnet`.
+//!
+//! Two comparisons, because data parallelism has two independent
+//! deviation sources:
+//!
+//! * **Compression** — isolated by comparing compressed-N4 against
+//!   dense-N4: both groups draw byte-identical dropout-mask streams
+//!   (same per-layer seeds, same call counts, same shard shapes), so
+//!   their per-iteration loss gap is purely the σ-bounded gradient
+//!   quantization. Asserted *tight*.
+//! * **Sharding** — dropout masks change shape when the batch splits
+//!   4-way, so per-iteration training losses differ from the single
+//!   worker's by mask noise even for the exact dense transport. The
+//!   honest trajectory comparison is the deterministic evaluation pass
+//!   (dropout off) plus a smoothed-trajectory bound. Asserted with a
+//!   mask-noise-sized tolerance.
+
+use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
+use ebtrain_data::{SynthConfig, SynthImageNet};
+use ebtrain_dist::{CommMode, DistConfig, DistributedTrainer};
+use ebtrain_dnn::optimizer::SgdConfig;
+use ebtrain_dnn::zoo;
+
+const CLASSES: usize = 4;
+const GLOBAL_BATCH: usize = 16;
+const ITERS: usize = 24;
+const NET_SEED: u64 = 11;
+
+fn dataset() -> SynthImageNet {
+    SynthImageNet::new(SynthConfig {
+        classes: CLASSES,
+        image_hw: 32,
+        noise: 0.15,
+        seed: 93,
+    })
+}
+
+fn fw() -> FrameworkConfig {
+    FrameworkConfig {
+        w_interval: 4,
+        ..FrameworkConfig::default()
+    }
+}
+
+/// Train a distributed group; returns (per-iter losses, eval loss).
+fn run_group(world: usize, comm: CommMode) -> (Vec<f32>, f32) {
+    let data = dataset();
+    let mut cfg = DistConfig::new(world, comm);
+    cfg.framework = fw();
+    cfg.sgd = SgdConfig::default();
+    let mut group = DistributedTrainer::new(cfg, |_| zoo::tiny_alexnet(CLASSES, NET_SEED)).unwrap();
+    let mut losses = Vec::with_capacity(ITERS);
+    for i in 0..ITERS {
+        let (x, labels) = data.batch((i * GLOBAL_BATCH) as u64, GLOBAL_BATCH);
+        losses.push(group.step(x, &labels).unwrap().loss);
+    }
+    let (ex, elabels) = data.batch(1_000_000, 64);
+    let (eval_loss, _) = group.evaluate(ex, &elabels).unwrap();
+    (losses, eval_loss)
+}
+
+/// Single-worker reference on the same global batch, same framework.
+fn run_single() -> (Vec<f32>, f32) {
+    let data = dataset();
+    let mut trainer = AdaptiveTrainer::new(
+        zoo::tiny_alexnet(CLASSES, NET_SEED),
+        SgdConfig::default(),
+        fw(),
+    );
+    let mut losses = Vec::with_capacity(ITERS);
+    for i in 0..ITERS {
+        let (x, labels) = data.batch((i * GLOBAL_BATCH) as u64, GLOBAL_BATCH);
+        losses.push(trainer.step(x, &labels).unwrap().loss);
+    }
+    let (ex, elabels) = data.batch(1_000_000, 64);
+    let (eval_loss, _) = trainer.evaluate(ex, &elabels).unwrap();
+    (losses, eval_loss)
+}
+
+fn mean(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn mean_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum::<f64>()
+        / a.len().min(b.len()).max(1) as f64
+}
+
+#[test]
+fn n4_compressed_ring_with_error_feedback_matches_single_worker() {
+    // σ-adaptive bound with error feedback: the subsystem's operating
+    // point (the bound tracks 1% of mean momentum, Eq. 8).
+    let (comp, comp_eval) = run_group(4, CommMode::compressed_default());
+    let (dense, dense_eval) = run_group(4, CommMode::Dense);
+    let (single, single_eval) = run_single();
+
+    // (a) Compression effect, mask-for-mask identical runs: tight.
+    let compression_gap = mean_abs_diff(&comp, &dense);
+    assert!(
+        compression_gap < 0.05,
+        "σ-bounded gradient compression changed the N=4 trajectory: \
+         mean |Δloss| = {compression_gap:.4}\ncompressed: {comp:?}\ndense: {dense:?}"
+    );
+    assert!(
+        (comp_eval - dense_eval).abs() < 0.05,
+        "eval loss gap vs dense-N4: {comp_eval} vs {dense_eval}"
+    );
+
+    // (b) Versus single-worker SGD: smoothed trajectory + deterministic
+    // evaluation, with a dropout-mask-noise-sized tolerance.
+    let late = ITERS - 8;
+    let comp_late = mean(&comp[late..]);
+    let single_late = mean(&single[late..]);
+    assert!(
+        (comp_late - single_late).abs() < 0.30,
+        "late-window training loss diverged: N=4 compressed {comp_late:.4} vs single \
+         {single_late:.4}\ncompressed: {comp:?}\nsingle: {single:?}"
+    );
+    assert!(
+        (comp_eval - single_eval).abs() < 0.30,
+        "eval loss diverged: N=4 compressed {comp_eval:.4} vs single {single_eval:.4}"
+    );
+
+    // (c) Both actually trained: late-window loss clearly below the
+    // early window.
+    let comp_early = mean(&comp[..4]);
+    let single_early = mean(&single[..4]);
+    assert!(
+        comp_late < comp_early - 0.05,
+        "compressed N=4 did not learn: {comp_early:.4} -> {comp_late:.4}"
+    );
+    assert!(
+        single_late < single_early - 0.05,
+        "single worker did not learn: {single_early:.4} -> {single_late:.4}"
+    );
+}
+
+#[test]
+fn compressed_transport_actually_saves_bytes_on_real_gradients() {
+    // The ratio claim on *real* (smooth, momentum-shaped) gradients —
+    // the counterpart of the bench's eb=1e-3 measurement, kept here so
+    // `cargo test` guards it too. Fixed bound, error feedback on.
+    let data = dataset();
+    let mut cfg = DistConfig::new(
+        2,
+        CommMode::Compressed {
+            error_bound: 1e-3,
+            error_feedback: true,
+            adaptive: false,
+        },
+    );
+    cfg.framework = fw();
+    let mut group = DistributedTrainer::new(cfg, |_| zoo::tiny_vgg(CLASSES, NET_SEED)).unwrap();
+    // Delta over the training steps only: the one-time parameter
+    // broadcast is deliberately exact (dense), so it would dilute the
+    // gradient-stream ratio.
+    let before = group.comm_stats();
+    for i in 0..3u64 {
+        let (x, labels) = data.batch(i * 8, 8);
+        group.step(x, &labels).unwrap();
+    }
+    let st = group.comm_stats().delta_since(&before);
+    assert!(
+        st.reduction_ratio() >= 4.0,
+        "expected >= 4x byte reduction on tiny_vgg gradients at eb=1e-3, got {:.2}x ({:?})",
+        st.reduction_ratio(),
+        st
+    );
+}

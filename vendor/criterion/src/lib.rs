@@ -318,6 +318,29 @@ fn bench_name() -> String {
     }
 }
 
+/// Record one externally-measured sample into the JSON summary — the
+/// hook non-criterion experiment binaries (e.g. `fig12_dist_scaling`)
+/// use to feed the same perf-trajectory files the bench targets write.
+/// `median_ns`/`best_ns` are per-iteration wall-clock nanoseconds;
+/// `throughput` adds the derived bytes/s or elems/s column.
+pub fn record_sample(label: &str, median_ns: f64, best_ns: f64, throughput: Option<Throughput>) {
+    let (bytes_per_iter, elems_per_iter) = match throughput {
+        Some(Throughput::Bytes(n)) => (Some(n), None),
+        Some(Throughput::Elements(n)) => (None, Some(n)),
+        None => (None, None),
+    };
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push(SampleRecord {
+            label: label.to_string(),
+            median_ns,
+            best_ns,
+            bytes_per_iter,
+            elems_per_iter,
+        });
+}
+
 /// Write every recorded benchmark result as machine-readable JSON —
 /// called by `criterion_main!` after all groups ran. The perf-trajectory
 /// file: `BENCH_<target>.json` at the workspace root (override the path
@@ -325,18 +348,24 @@ fn bench_name() -> String {
 /// in `--test` mode (nothing is recorded) so `cargo test` never clobbers
 /// real measurements.
 pub fn write_json_summary() {
+    write_json_summary_named(&bench_name());
+}
+
+/// [`write_json_summary`] with an explicit series name (the file becomes
+/// `BENCH_<name>.json`) — for experiment binaries whose target name is
+/// not the series name they maintain.
+pub fn write_json_summary_named(name: &str) {
     let records = std::mem::take(&mut *RESULTS.lock().expect("results poisoned"));
     if records.is_empty() {
         return;
     }
-    let name = bench_name();
     let path = std::env::var("EBTRAIN_BENCH_JSON")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| workspace_root().join(format!("BENCH_{name}.json")));
     let mut out = String::new();
     out.push_str(&format!(
         "{{\n  \"bench\": \"{}\",\n  \"samples\": [\n",
-        json_escape(&name)
+        json_escape(name)
     ));
     for (i, r) in records.iter().enumerate() {
         let mibs = r
