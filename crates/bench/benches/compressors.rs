@@ -45,6 +45,24 @@ fn bench_sz(c: &mut Criterion) {
             |b, buf| b.iter(|| decompress(buf).unwrap()),
         );
     }
+    // Dual-quantization rows: the integer-grid encoder is where the
+    // specialized per-(predictor, layout) quantize loops pay off most
+    // (the classic encoder is latency-bound on its float divide/round
+    // chain, so address-arithmetic savings mostly hide under it).
+    for eb in [1e-2f32, 1e-3] {
+        let cfg = SzConfig::dual_quant(eb);
+        group.bench_with_input(
+            BenchmarkId::new("compress_dualquant", format!("eb={eb:.0e}")),
+            &cfg,
+            |b, cfg| b.iter(|| compress(&data, layout, cfg).unwrap()),
+        );
+        let buf = compress(&data, layout, &cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress_dualquant", format!("eb={eb:.0e}")),
+            &buf,
+            |b, buf| b.iter(|| decompress(buf).unwrap()),
+        );
+    }
     group.finish();
 }
 

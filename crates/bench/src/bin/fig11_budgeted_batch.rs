@@ -71,7 +71,7 @@ fn measure_budgeted(
     let head = SoftmaxCrossEntropy::new();
     let mut opt = Sgd::new(SgdConfig::default());
     let mut cfg = BudgetConfig::with_budget(store_budget);
-    cfg.sz.error_bound = env_f64("EBTRAIN_EB", 1e-3) as f32;
+    cfg.bound = ebtrain_dnn::store::BoundSpec::Abs(env_f64("EBTRAIN_EB", 1e-3) as f32);
     let mut store = BudgetedStore::new(cfg, Box::new(ebtrain_dnn::store::FarthestNextUse));
     let plan = CompressionPlan::new();
     let mut peak = 0usize;

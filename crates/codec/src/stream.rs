@@ -1,0 +1,153 @@
+//! The self-describing [`TaggedStream`] container.
+//!
+//! Wire format: `0xEB 0xC0` magic, one [`CodecId`] byte, then the
+//! backend's own byte stream verbatim. The two-byte magic collides with
+//! none of the historical backend magics (`Z1`/`Z2` = `0x5A..`, `L1` =
+//! `0x4C31`, `F1` = `0x4631`, `B1` = `0x4231`), so
+//! [`TaggedStream::from_bytes`] can accept **untagged legacy streams**
+//! too: it sniffs those magics and wraps the bytes with the right codec
+//! id at zero cost (the body offset is simply 0).
+
+use crate::{corrupt, CodecId, Result};
+
+/// Container magic: `0xEB 0xC0` ("EB-trained Codec").
+const MAGIC: [u8; 2] = [0xEB, 0xC0];
+
+/// An owned, self-describing compressed stream: codec id + body.
+///
+/// This is what every backend-agnostic consumer holds in place of a
+/// backend-specific buffer type; [`codec_id`](TaggedStream::codec_id)
+/// routes it back to its decoder (directly or through a
+/// [`CodecRegistry`](crate::CodecRegistry)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedStream {
+    bytes: Vec<u8>,
+    codec_id: CodecId,
+    body_off: usize,
+}
+
+impl TaggedStream {
+    /// Wrap a backend body in the tagged container.
+    pub fn tag(codec_id: CodecId, body: Vec<u8>) -> TaggedStream {
+        let mut bytes = Vec::with_capacity(body.len() + 3);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(codec_id.0);
+        bytes.extend_from_slice(&body);
+        TaggedStream {
+            bytes,
+            codec_id,
+            body_off: 3,
+        }
+    }
+
+    /// Parse a stream: the tagged container, or an untagged legacy
+    /// backend stream (sniffed by its historical magic).
+    ///
+    /// ```
+    /// use ebtrain_codec::{CodecId, TaggedStream};
+    ///
+    /// let tagged = TaggedStream::tag(CodecId::SZ, vec![1, 2, 3]);
+    /// let parsed = TaggedStream::from_bytes(tagged.as_bytes().to_vec()).unwrap();
+    /// assert_eq!(parsed.codec_id(), CodecId::SZ);
+    /// assert_eq!(parsed.body(), &[1, 2, 3]);
+    /// // Untagged legacy SZ bytes ("Z2" magic) still route:
+    /// let legacy = TaggedStream::from_bytes(vec![0x5A, 0x32, 0x02]).unwrap();
+    /// assert_eq!(legacy.codec_id(), CodecId::SZ);
+    /// assert_eq!(legacy.body().len(), 3);
+    /// assert!(TaggedStream::from_bytes(vec![0, 1]).is_err());
+    /// ```
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<TaggedStream> {
+        if bytes.len() < 2 {
+            return Err(corrupt("stream too short for any magic"));
+        }
+        if bytes[0..2] == MAGIC {
+            if bytes.len() < 3 {
+                return Err(corrupt("tagged stream missing codec id"));
+            }
+            let id = CodecId(bytes[2]);
+            if id.0 == 0 {
+                return Err(corrupt("codec id 0 is reserved"));
+            }
+            return Ok(TaggedStream {
+                bytes,
+                codec_id: id,
+                body_off: 3,
+            });
+        }
+        // Legacy sniff: historical backend magics, body offset 0.
+        let codec_id = match [bytes[0], bytes[1]] {
+            [0x5A, 0x31] | [0x5A, 0x32] => CodecId::SZ, // "Z1"/"Z2"
+            [0x4C, 0x31] => CodecId::LOSSLESS,          // "L1"
+            [0x46, 0x31] => CodecId::ZFP_LIKE,          // "F1"
+            [0x42, 0x31] => CodecId::BYTEPLANE,         // "B1"
+            _ => return Err(corrupt("unrecognized stream magic")),
+        };
+        Ok(TaggedStream {
+            bytes,
+            codec_id,
+            body_off: 0,
+        })
+    }
+
+    /// The codec this stream routes to.
+    pub fn codec_id(&self) -> CodecId {
+        self.codec_id
+    }
+
+    /// The backend's own byte stream (container tag stripped).
+    pub fn body(&self) -> &[u8] {
+        &self.bytes[self.body_off..]
+    }
+
+    /// Full wire bytes (tag included) — for persistence or transport.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wire size in bytes (what memory/communication accountants charge).
+    pub fn compressed_byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_and_parse_roundtrip() {
+        let s = TaggedStream::tag(CodecId(9), vec![7; 40]);
+        assert_eq!(s.compressed_byte_len(), 43);
+        let p = TaggedStream::from_bytes(s.as_bytes().to_vec()).unwrap();
+        assert_eq!(p.codec_id(), CodecId(9));
+        assert_eq!(p.body(), &[7u8; 40][..]);
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn legacy_magics_sniff_to_their_codec() {
+        for (magic, id) in [
+            ([0x5A, 0x31], CodecId::SZ),
+            ([0x5A, 0x32], CodecId::SZ),
+            ([0x4C, 0x31], CodecId::LOSSLESS),
+            ([0x46, 0x31], CodecId::ZFP_LIKE),
+            ([0x42, 0x31], CodecId::BYTEPLANE),
+        ] {
+            let mut bytes = magic.to_vec();
+            bytes.extend_from_slice(&[1, 2, 3]);
+            let s = TaggedStream::from_bytes(bytes.clone()).unwrap();
+            assert_eq!(s.codec_id(), id);
+            assert_eq!(s.body(), &bytes[..], "legacy body keeps its magic");
+        }
+    }
+
+    #[test]
+    fn junk_and_reserved_ids_rejected() {
+        assert!(TaggedStream::from_bytes(vec![]).is_err());
+        assert!(TaggedStream::from_bytes(vec![0x00]).is_err());
+        assert!(TaggedStream::from_bytes(vec![0x00, 0x01, 0x02]).is_err());
+        assert!(TaggedStream::from_bytes(vec![0xEB]).is_err());
+        assert!(TaggedStream::from_bytes(vec![0xEB, 0xC0]).is_err());
+        assert!(TaggedStream::from_bytes(vec![0xEB, 0xC0, 0x00]).is_err());
+    }
+}

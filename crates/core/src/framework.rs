@@ -17,8 +17,8 @@ use ebtrain_dnn::layers::SoftmaxCrossEntropy;
 use ebtrain_dnn::network::Network;
 use ebtrain_dnn::optimizer::{Sgd, SgdConfig};
 use ebtrain_dnn::store::{
-    ActivationStore, ArenaMetrics, BudgetConfig, BudgetedStore, CompressedStore, FarthestNextUse,
-    StoreMetrics,
+    ActivationStore, ArenaMetrics, BoundSpec, BudgetConfig, BudgetedStore, CodecId,
+    CompressedStore, FarthestNextUse, StoreMetrics, SzCodec,
 };
 use ebtrain_dnn::train::{budgeted_train_step_synced, evaluate, train_step_synced, GradSyncHook};
 use ebtrain_dnn::Result;
@@ -170,8 +170,10 @@ impl AdaptiveTrainer {
         cfg: FrameworkConfig,
         mut budget: BudgetConfig,
     ) -> AdaptiveTrainer {
-        budget.sz.error_bound = cfg.fallback_eb;
-        budget.sz.zero_filter = cfg.zero_filter;
+        let mut sz = SzConfig::with_error_bound(cfg.fallback_eb);
+        sz.zero_filter = cfg.zero_filter;
+        budget.codec = std::sync::Arc::new(SzCodec::new(sz));
+        budget.bound = BoundSpec::Abs(cfg.fallback_eb);
         AdaptiveTrainer {
             net,
             head: SoftmaxCrossEntropy::new(),
@@ -315,6 +317,15 @@ impl AdaptiveTrainer {
             self.plan.set(e.layer, e.error_bound);
         }
         self.plan_entries = entries;
+    }
+
+    /// Route one layer's saved activations through a specific codec
+    /// (e.g. [`CodecId::LOSSLESS`] for precision-sensitive layers while
+    /// conv activations keep the SZ default). The controller's per-
+    /// iteration bound refresh preserves this choice — `CompressionPlan`
+    /// updates bounds and codecs independently.
+    pub fn route_layer_codec(&mut self, layer: LayerId, codec: CodecId) {
+        self.plan.set_codec(layer, codec);
     }
 
     /// Evaluate on a batch: `(loss, correct)`.

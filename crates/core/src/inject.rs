@@ -204,6 +204,7 @@ mod tests {
             SaveHint {
                 compressible: true,
                 error_bound: None,
+                codec: None,
             },
         );
         store.save(SlotId(1, 0), Saved::F32(t.clone()), SaveHint::raw());

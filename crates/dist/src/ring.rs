@@ -18,16 +18,20 @@
 //!
 //! # Compressed transport
 //!
-//! [`CompressedRing`] ships every segment as a Z2 SZ stream
-//! (`ebtrain-sz`), with three twists:
+//! [`CompressedRing`] ships every segment as a self-describing
+//! [`TaggedStream`] of its configured [`Codec`] (SZ by default; any
+//! registered backend via [`CompressedRing::with_codec`]), with three
+//! twists:
 //!
-//! * **Hop 0 is frame-indexed.** The first scatter hop transmits raw
-//!   gradient values, so the sender compresses its *whole* gradient once
-//!   as a plane-chunked stream whose chunk geometry equals the ring
+//! * **Hop 0 is frame-indexed** when the codec supports it
+//!   ([`Codec::supports_frame_index`]). The first scatter hop transmits
+//!   raw gradient values, so the sender compresses its *whole* gradient
+//!   once as a chunked stream whose frame geometry equals the ring
 //!   segmentation, and the receiver decodes **only the frames covering
-//!   the sent segment** via [`CompressedBuffer::decompress_planes`]. The
-//!   wire cost counted is the shared header + codebook plus exactly
-//!   those frames.
+//!   the sent segment** via [`Codec::decompress_planes`]. The wire cost
+//!   counted ([`Codec::partial_wire_cost`]) is the shared overhead plus
+//!   exactly those frames. Codecs without a frame index ship hop 0 as
+//!   independent per-segment streams, like later hops.
 //! * **All-gather never re-compresses.** The segment owner compresses
 //!   its reduced segment once, *adopts its own decoded copy*, and every
 //!   later hop forwards the identical bytes — so each segment's final
@@ -46,7 +50,8 @@
 
 use crate::collective::{seg_planes, seg_ranges, Collective, CommStats};
 use crate::{DistError, Result};
-use ebtrain_sz::{compress, decompress, CompressedBuffer, DataLayout, SzConfig};
+use ebtrain_codec::{BoundSpec, Codec, SzCodec, TaggedStream};
+use ebtrain_sz::DataLayout;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -63,12 +68,12 @@ enum Payload {
     Empty,
     /// Raw f32 values (dense transport).
     Dense(Arc<Vec<f32>>),
-    /// Independent Z2 stream of one segment.
-    Stream(Arc<CompressedBuffer>),
-    /// Plane range of a shared whole-gradient stream (hop 0): the
-    /// receiver frame-decodes only `planes`.
+    /// Independent compressed stream of one segment.
+    Stream(Arc<TaggedStream>),
+    /// Plane range of a shared whole-gradient stream (hop 0, codecs with
+    /// a frame index): the receiver frame-decodes only `planes`.
     SharedStream {
-        stream: Arc<CompressedBuffer>,
+        stream: Arc<TaggedStream>,
         planes: Range<usize>,
     },
 }
@@ -432,12 +437,21 @@ struct Residual {
     values: Vec<f32>,
 }
 
-/// The compressed ring: segments travel as Z2 SZ streams under an
-/// absolute error bound, with optional per-rank error feedback. See the
-/// module docs for the schedule and the bit-identical-replicas argument.
+/// The compressed ring: segments travel as self-describing codec
+/// streams under an absolute error bound, with optional per-rank error
+/// feedback. See the module docs for the schedule and the
+/// bit-identical-replicas argument (which holds for **any** codec:
+/// all-gather forwards owner-encoded bytes verbatim, so replicas decode
+/// identical streams regardless of backend).
+///
+/// Codecs with a frame index ([`Codec::supports_frame_index`]) get the
+/// frame-indexed hop 0 (one shared whole-gradient stream, receivers
+/// decode only their segment's frames); others fall back to independent
+/// per-segment streams on every hop.
 pub struct CompressedRing {
     core: RingCore,
-    cfg: Mutex<SzConfig>,
+    codec: Arc<dyn Codec>,
+    eb: Mutex<f32>,
     error_feedback: bool,
     residuals: Vec<Mutex<Residual>>,
 }
@@ -447,10 +461,22 @@ impl CompressedRing {
     /// (vanilla SZ contract: every decoded value within ±eb), with or
     /// without error feedback.
     pub fn new(world: usize, eb: f32, error_feedback: bool) -> CompressedRing {
+        Self::with_codec(world, Arc::new(SzCodec::vanilla()), eb, error_feedback)
+    }
+
+    /// Compressed ring over any backend. The bound is resolved as
+    /// `BoundSpec::Abs(eb)` per segment; lossless backends ignore it.
+    pub fn with_codec(
+        world: usize,
+        codec: Arc<dyn Codec>,
+        eb: f32,
+        error_feedback: bool,
+    ) -> CompressedRing {
         let world = world.max(1);
         CompressedRing {
             core: RingCore::new(world),
-            cfg: Mutex::new(SzConfig::vanilla(eb)),
+            codec,
+            eb: Mutex::new(eb),
             error_feedback,
             residuals: (0..world)
                 .map(|_| Mutex::new(Residual { values: Vec::new() }))
@@ -463,8 +489,13 @@ impl CompressedRing {
         self.error_feedback
     }
 
-    fn snapshot_cfg(&self) -> SzConfig {
-        *self.cfg.lock().expect("cfg poisoned")
+    /// The transport's codec.
+    pub fn codec_name(&self) -> &'static str {
+        self.codec.name()
+    }
+
+    fn snapshot_bound(&self) -> BoundSpec {
+        BoundSpec::Abs(*self.eb.lock().expect("eb poisoned"))
     }
 
     fn codec<T>(&self, r: ebtrain_sz::Result<T>) -> Result<T> {
@@ -474,19 +505,18 @@ impl CompressedRing {
         })
     }
 
-    /// Compress `vals` (one segment, or the whole gradient when
-    /// `chunk_planes` is set) and, under error feedback, fold the
+    /// Compress `vals` (one segment) and, under error feedback, fold the
     /// residual bookkeeping: `vals` must already include the residual;
     /// `res[range]` receives `vals − decode(stream)`.
     fn encode_segment(
         &self,
         vals: &[f32],
-        cfg: &SzConfig,
+        bound: &BoundSpec,
         res: Option<&mut [f32]>,
-    ) -> Result<Arc<CompressedBuffer>> {
-        let stream = self.codec(compress(vals, DataLayout::D1(vals.len()), cfg))?;
+    ) -> Result<Arc<TaggedStream>> {
+        let stream = self.codec(self.codec.compress(vals, DataLayout::D1(vals.len()), bound))?;
         if let Some(res) = res {
-            let decoded = self.codec(decompress(&stream))?;
+            let decoded = self.codec(self.codec.decompress(&stream))?;
             for ((r, &v), &d) in res.iter_mut().zip(vals).zip(decoded.iter()) {
                 *r = v - d;
             }
@@ -523,7 +553,7 @@ impl Collective for CompressedRing {
         let segs = seg_ranges(len, n);
         let per = seg_planes(len, n);
         let n_planes = len.div_ceil(crate::SEG_ALIGN);
-        let base_cfg = self.snapshot_cfg();
+        let bound = self.snapshot_bound();
         let mut res = self.residuals[rank].lock().expect("residual poisoned");
         if self.error_feedback && res.values.len() != len {
             res.values = vec![0.0; len];
@@ -539,13 +569,13 @@ impl Collective for CompressedRing {
                     wire_bytes: 0,
                     dense_bytes: 0,
                 }
-            } else if t == 0 {
-                // Hop 0: raw gradient values — compress the whole vector
-                // once, plane-chunked so chunk frames == ring segments,
-                // and ship (logically) only this segment's frames; the
-                // receiver decodes just those via the frame index.
-                let mut cfg = base_cfg;
-                cfg.chunk_planes = Some(per);
+            } else if t == 0 && self.codec.supports_frame_index() {
+                // Hop 0, frame-indexed codecs: raw gradient values —
+                // compress the whole vector once, chunked so frames ==
+                // ring segments, and ship (logically) only this
+                // segment's frames; the receiver decodes just those via
+                // the frame index. Codecs without this capability take
+                // the independent-segment branch below instead.
                 let mut tmp = buf.to_vec();
                 if self.error_feedback {
                     for (v, e) in tmp[r.clone()].iter_mut().zip(&res.values[r.clone()]) {
@@ -553,10 +583,18 @@ impl Collective for CompressedRing {
                     }
                 }
                 let plane_range = (s_send * per).min(n_planes)..((s_send + 1) * per).min(n_planes);
-                let stream = self.codec(compress(&tmp, DataLayout::D1(len), &cfg))?;
-                let stream = Arc::new(stream);
+                let stream = Arc::new(self.codec(self.codec.compress_chunked(
+                    &tmp,
+                    DataLayout::D1(len),
+                    &bound,
+                    per,
+                ))?);
                 if self.error_feedback {
-                    let decoded = self.codec(stream.decompress_planes(plane_range.clone()))?;
+                    let (decoded, _) = self.codec(self.codec.decompress_planes(
+                        &stream,
+                        DataLayout::D1(len),
+                        plane_range.clone(),
+                    ))?;
                     for ((e, &v), &d) in res.values[r.clone()]
                         .iter_mut()
                         .zip(&tmp[r.clone()])
@@ -565,24 +603,25 @@ impl Collective for CompressedRing {
                         *e = v - d;
                     }
                 }
-                // Wire cost: shared header + codebook, plus only the
-                // frames covering this segment.
-                let idx = self.codec(stream.frame_index())?;
-                let covered = idx.frames_covering(&plane_range);
-                let frame_bytes: usize = idx.entries()[covered].iter().map(|e| e.bytes.len()).sum();
-                let overhead = stream.compressed_byte_len() - idx.frame_bytes_total();
+                // Wire cost: shared overhead (tag, header, codebook)
+                // plus only the frames covering this segment.
+                let wire_bytes = self
+                    .codec
+                    .partial_wire_cost(&stream, &plane_range)
+                    .unwrap_or_else(|| stream.compressed_byte_len());
                 Message {
                     seg: s_send,
                     payload: Payload::SharedStream {
                         stream,
                         planes: plane_range,
                     },
-                    wire_bytes: overhead + frame_bytes,
+                    wire_bytes,
                     dense_bytes: r.len() * 4,
                 }
             } else {
-                // Later hops carry partial sums: an independent Z2
-                // stream per segment.
+                // Later hops carry partial sums (and hop 0 of
+                // non-frame-indexed codecs carries raw values): an
+                // independent stream per segment.
                 let mut vals = buf[r.clone()].to_vec();
                 if self.error_feedback {
                     for (v, e) in vals.iter_mut().zip(&res.values[r.clone()]) {
@@ -594,7 +633,7 @@ impl Collective for CompressedRing {
                 } else {
                     None
                 };
-                let stream = self.encode_segment(&vals, &base_cfg, res_slice)?;
+                let stream = self.encode_segment(&vals, &bound, res_slice)?;
                 Message {
                     seg: s_send,
                     wire_bytes: stream.compressed_byte_len(),
@@ -612,9 +651,14 @@ impl Collective for CompressedRing {
             let vals = match received.payload {
                 Payload::Empty => Vec::new(),
                 Payload::SharedStream { stream, planes } => {
-                    self.codec(stream.decompress_planes(planes))?
+                    let (vals, _) = self.codec(self.codec.decompress_planes(
+                        &stream,
+                        DataLayout::D1(len),
+                        planes,
+                    ))?;
+                    vals
                 }
-                Payload::Stream(stream) => self.codec(decompress(&stream))?,
+                Payload::Stream(stream) => self.codec(self.codec.decompress(&stream))?,
                 Payload::Dense(_) => {
                     self.core.poison();
                     return Err(DistError::Aborted("unexpected dense payload".into()));
@@ -638,7 +682,7 @@ impl Collective for CompressedRing {
             return Ok(());
         }
         let segs = seg_ranges(buf.len(), n);
-        let base_cfg = self.snapshot_cfg();
+        let bound = self.snapshot_bound();
         let mut forward: Option<Message> = None;
         for t in 0..n - 1 {
             let s_send = (rank + 1 + n - t) % n;
@@ -673,8 +717,8 @@ impl Collective for CompressedRing {
                         } else {
                             None
                         };
-                        let stream = self.encode_segment(&vals, &base_cfg, res_slice)?;
-                        let decoded = self.codec(decompress(&stream))?;
+                        let stream = self.encode_segment(&vals, &bound, res_slice)?;
+                        let decoded = self.codec(self.codec.decompress(&stream))?;
                         buf[r.clone()].copy_from_slice(&decoded);
                         Message {
                             seg: owned,
@@ -696,7 +740,7 @@ impl Collective for CompressedRing {
             match &received.payload {
                 Payload::Empty => {}
                 Payload::Stream(stream) => {
-                    let decoded = self.codec(decompress(stream))?;
+                    let decoded = self.codec(self.codec.decompress(stream))?;
                     if decoded.len() != dst.len() {
                         self.core.poison();
                         return Err(DistError::Aborted("segment length mismatch".into()));
@@ -725,11 +769,11 @@ impl Collective for CompressedRing {
     }
 
     fn set_error_bound(&self, eb: f32) {
-        self.cfg.lock().expect("cfg poisoned").error_bound = eb;
+        *self.eb.lock().expect("eb poisoned") = eb;
     }
 
     fn error_bound(&self) -> Option<f32> {
-        Some(self.cfg.lock().expect("cfg poisoned").error_bound)
+        Some(*self.eb.lock().expect("eb poisoned"))
     }
 
     fn abort(&self) {
@@ -960,28 +1004,64 @@ mod tests {
 
     #[test]
     fn hop0_wire_bytes_exclude_other_segments_frames() {
-        // One rank's hop-0 message must cost (header+codebook) plus only
-        // its own segment's frames — substantially less than the whole
-        // stream when the gradient spans many segments.
+        // One rank's hop-0 message must cost (tag+header+codebook) plus
+        // only its own segment's frames — substantially less than the
+        // whole stream when the gradient spans many segments.
         let world = 4;
         let len = crate::SEG_ALIGN * 8;
         let vals: Vec<f32> = (0..len).map(|i| (i as f32 * 0.001).sin()).collect();
-        let mut cfg = SzConfig::vanilla(1e-3);
-        cfg.chunk_planes = Some(seg_planes(len, world));
-        let stream = compress(&vals, DataLayout::D1(len), &cfg).unwrap();
-        let idx = stream.frame_index().unwrap();
+        let codec = SzCodec::vanilla();
         let per = seg_planes(len, world);
-        let covered = idx.frames_covering(&(0..per));
-        let seg_bytes: usize = idx.entries()[covered].iter().map(|e| e.bytes.len()).sum();
-        let overhead = stream.compressed_byte_len() - idx.frame_bytes_total();
+        let stream = codec
+            .compress_chunked(&vals, DataLayout::D1(len), &BoundSpec::Abs(1e-3), per)
+            .unwrap();
+        let wire = codec.partial_wire_cost(&stream, &(0..per)).unwrap();
         assert!(
-            overhead + seg_bytes < stream.compressed_byte_len(),
+            wire < stream.compressed_byte_len(),
             "hop-0 accounting should not charge the whole stream"
         );
         // And the frame-indexed decode of that segment matches the slice
         // of a full decode (the receiver-side path).
-        let full = decompress(&stream).unwrap();
-        let part = stream.decompress_planes(0..per).unwrap();
+        let full = codec.decompress(&stream).unwrap();
+        let (part, stats) = codec
+            .decompress_planes(&stream, DataLayout::D1(len), 0..per)
+            .unwrap();
         assert_eq!(part, full[..per * crate::SEG_ALIGN]);
+        assert!(stats.partial, "receiver must not pay a whole decode");
+    }
+
+    #[test]
+    fn lossless_codec_ring_matches_dense_exactly() {
+        // The transport is codec-agnostic: with a bit-exact backend the
+        // compressed ring must reproduce the dense ring's result to the
+        // bit (same association order, zero injected error) — and the
+        // hop-0 shared-stream path degrades to per-segment streams since
+        // byteplane has no frame index.
+        use ebtrain_codec::ByteplaneCodec;
+        let world = 3;
+        let len = crate::SEG_ALIGN * world + 321;
+        let mut dense_bufs = make_bufs(world, len, 1.0);
+        let mut exact_bufs = dense_bufs.clone();
+        let dense = Arc::new(DenseRing::new(world));
+        for r in run_ranks(&dense, &mut dense_bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        let coll = Arc::new(CompressedRing::with_codec(
+            world,
+            Arc::new(ByteplaneCodec),
+            1e-3, // ignored by a lossless backend
+            false,
+        ));
+        assert_eq!(coll.codec_name(), "byteplane");
+        for r in run_ranks(&coll, &mut exact_bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        for (rank, (a, b)) in dense_bufs.iter().zip(&exact_bufs).enumerate() {
+            assert_eq!(a, b, "rank {rank} diverged from the dense result");
+        }
+        // Lossless f32 payloads cannot beat dense by much, but the
+        // accounting must still be self-consistent.
+        let st = coll.stats();
+        assert!(st.payload_bytes > 0 && st.dense_equiv_bytes > 0);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::store::ActivationStore;
 use crate::Result;
+use ebtrain_codec::CodecId;
 use ebtrain_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -24,6 +25,9 @@ pub struct SaveHint {
     /// Absolute error bound chosen by the adaptive controller for this
     /// layer this iteration; `None` falls back to the store default.
     pub error_bound: Option<f32>,
+    /// Codec the plan routes this layer through; `None` falls back to
+    /// the store's default backend.
+    pub codec: Option<CodecId>,
 }
 
 impl SaveHint {
@@ -32,6 +36,16 @@ impl SaveHint {
         SaveHint {
             compressible: false,
             error_bound: None,
+            codec: None,
+        }
+    }
+
+    /// Compressible hint with an explicit bound and default codec.
+    pub fn compressible(error_bound: Option<f32>) -> SaveHint {
+        SaveHint {
+            compressible: true,
+            error_bound,
+            codec: None,
         }
     }
 }
@@ -96,14 +110,32 @@ pub fn get_bit(words: &[u64], i: usize) -> bool {
     words[i / 64] >> (i % 64) & 1 == 1
 }
 
-/// Per-layer error bounds chosen by the adaptive controller (paper §4.3).
+/// One layer's storage policy: the controller's error bound and,
+/// optionally, a codec routing choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LayerPolicy {
+    /// Absolute error bound (re-picked every collection iteration).
+    pub error_bound: Option<f32>,
+    /// Compression backend for this layer (`None` = store default). Set
+    /// once by whoever configures the run — e.g. route precision-
+    /// sensitive layers to [`CodecId::LOSSLESS`] while conv activations
+    /// keep the SZ default — and preserved across the controller's bound
+    /// refreshes.
+    pub codec: Option<CodecId>,
+}
+
+/// Per-layer storage policies chosen by the adaptive controller (paper
+/// §4.3) plus static codec routing.
 ///
 /// An empty plan means "store default for every layer" — which for the
-/// compressed store is its fixed fallback bound, and for the raw store is
-/// irrelevant.
+/// compressed store is its fixed fallback bound and default backend, and
+/// for the raw store is irrelevant. [`set`](CompressionPlan::set)
+/// (the controller's per-iteration bound refresh) and
+/// [`set_codec`](CompressionPlan::set_codec) (static routing) update
+/// their own half of a layer's policy without clobbering the other.
 #[derive(Debug, Clone, Default)]
 pub struct CompressionPlan {
-    per_layer: HashMap<LayerId, f32>,
+    per_layer: HashMap<LayerId, LayerPolicy>,
 }
 
 impl CompressionPlan {
@@ -112,22 +144,39 @@ impl CompressionPlan {
         Self::default()
     }
 
-    /// Set the absolute error bound for one layer.
+    /// Set the absolute error bound for one layer (codec choice, if any,
+    /// is preserved).
     pub fn set(&mut self, layer: LayerId, eb: f32) {
-        self.per_layer.insert(layer, eb);
+        self.per_layer.entry(layer).or_default().error_bound = Some(eb);
+    }
+
+    /// Route one layer through a specific codec (bound, if any, is
+    /// preserved).
+    pub fn set_codec(&mut self, layer: LayerId, codec: CodecId) {
+        self.per_layer.entry(layer).or_default().codec = Some(codec);
     }
 
     /// Bound for `layer`, if the controller chose one.
     pub fn get(&self, layer: LayerId) -> Option<f32> {
-        self.per_layer.get(&layer).copied()
+        self.per_layer.get(&layer).and_then(|p| p.error_bound)
     }
 
-    /// Number of layers with explicit bounds.
+    /// Codec routing for `layer`, if one was chosen.
+    pub fn codec_for(&self, layer: LayerId) -> Option<CodecId> {
+        self.per_layer.get(&layer).and_then(|p| p.codec)
+    }
+
+    /// Full policy for `layer` (defaults when unset).
+    pub fn policy(&self, layer: LayerId) -> LayerPolicy {
+        self.per_layer.get(&layer).copied().unwrap_or_default()
+    }
+
+    /// Number of layers with an explicit policy.
     pub fn len(&self) -> usize {
         self.per_layer.len()
     }
 
-    /// True when no explicit bounds are set.
+    /// True when no explicit policies are set.
     pub fn is_empty(&self) -> bool {
         self.per_layer.is_empty()
     }
@@ -332,6 +381,26 @@ mod tests {
         assert_eq!(plan.get(7), Some(5e-4));
         assert_eq!(plan.get(4), None);
         assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn compression_plan_bound_and_codec_update_independently() {
+        // The controller refreshes bounds every collection iteration;
+        // the static codec routing must survive those refreshes (and
+        // vice versa).
+        let mut plan = CompressionPlan::new();
+        plan.set_codec(3, CodecId::LOSSLESS);
+        plan.set(3, 1e-3);
+        plan.set(3, 5e-4); // controller refresh
+        assert_eq!(plan.codec_for(3), Some(CodecId::LOSSLESS));
+        assert_eq!(plan.get(3), Some(5e-4));
+        plan.set_codec(3, CodecId::SZ);
+        assert_eq!(plan.get(3), Some(5e-4), "codec change kept the bound");
+        assert_eq!(plan.codec_for(4), None);
+        let p = plan.policy(3);
+        assert_eq!(p.error_bound, Some(5e-4));
+        assert_eq!(p.codec, Some(CodecId::SZ));
+        assert_eq!(plan.policy(9), LayerPolicy::default());
     }
 
     #[test]

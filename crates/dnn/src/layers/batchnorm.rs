@@ -129,6 +129,7 @@ impl Layer for BatchNorm2d {
                 SaveHint {
                     compressible: self.compress_input,
                     error_bound: eb,
+                    codec: ctx.plan.codec_for(self.id),
                 },
             );
         }

@@ -170,6 +170,7 @@ impl Layer for Conv2d {
                 SaveHint {
                     compressible: true,
                     error_bound: eb,
+                    codec: ctx.plan.codec_for(self.id),
                 },
             );
         }

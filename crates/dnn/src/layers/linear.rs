@@ -115,6 +115,7 @@ impl Layer for Linear {
                 SaveHint {
                     compressible: self.compress_input,
                     error_bound: eb,
+                    codec: ctx.plan.codec_for(self.id),
                 },
             );
         }

@@ -396,7 +396,7 @@ mod tests {
         let mut cfg = BudgetConfig::with_budget(raw_peak - raw_peak / 8);
         cfg.cold = ColdPolicy::DropForRecompute;
         // Keep entries raw-or-dead so the drop path actually triggers.
-        cfg.sz.error_bound = f32::NAN; // codec rejects -> no warm tier
+        cfg.bound = crate::store::BoundSpec::Abs(f32::NAN); // codec rejects -> no warm tier
         let mut store = BudgetedStore::new(cfg, Box::new(FarthestNextUse));
         let mut net = toy_net(5);
         let mut opt = Sgd::new(SgdConfig::default());

@@ -2,12 +2,14 @@
 
 use crate::policy::{Candidate, EvictionPolicy};
 use crate::{MembudgetError, Result};
+use ebtrain_codec::{BoundSpec, Codec, SzCodec, TaggedStream};
 use ebtrain_pool::{TaskHandle, WorkerPool};
-use ebtrain_sz::{CompressedBuffer, DataLayout, SzConfig};
+use ebtrain_sz::DataLayout;
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What happens to payloads that cannot stay on-device even compressed.
@@ -25,14 +27,16 @@ pub enum ColdPolicy {
 }
 
 /// Arena configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BudgetConfig {
     /// Hard cap on device-resident bytes. The arena never exceeds it —
     /// not between calls and not transiently inside one.
     pub budget_bytes: usize,
-    /// Codec configuration for hot → warm demotion (`error_bound` is the
-    /// fallback; per-entry bounds override it).
-    pub sz: SzConfig,
+    /// Codec for hot → warm demotion. Per-entry codecs (from the
+    /// per-layer routing plan) override it.
+    pub codec: Arc<dyn Codec>,
+    /// Fallback demotion bound; per-entry bounds override it.
+    pub bound: BoundSpec,
     /// Cold-tier behaviour.
     pub cold: ColdPolicy,
     /// How many scheduled entries ahead of the cursor to decode on
@@ -44,16 +48,31 @@ pub struct BudgetConfig {
 }
 
 impl BudgetConfig {
-    /// Config with paper-ish defaults: given budget, 1e-3 bound,
-    /// host migration, prefetch depth 2, PCIe3-class link.
+    /// Config with paper-ish defaults: given budget, SZ paper-mode codec
+    /// at a 1e-3 absolute bound, host migration, prefetch depth 2,
+    /// PCIe3-class link.
     pub fn with_budget(budget_bytes: usize) -> BudgetConfig {
         BudgetConfig {
             budget_bytes,
-            sz: SzConfig::with_error_bound(1e-3),
+            codec: Arc::new(SzCodec::classic()),
+            bound: BoundSpec::Abs(1e-3),
             cold: ColdPolicy::HostMigrate,
             prefetch_depth: 2,
             host_bandwidth_bps: 12.0e9,
         }
+    }
+}
+
+impl Debug for BudgetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetConfig")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("codec", &self.codec.name())
+            .field("bound", &self.bound)
+            .field("cold", &self.cold)
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("host_bandwidth_bps", &self.host_bandwidth_bps)
+            .finish()
     }
 }
 
@@ -137,9 +156,9 @@ struct DecodeJob {
 }
 
 impl DecodeJob {
-    fn spawn(buf: CompressedBuffer) -> DecodeJob {
+    fn spawn(codec: Arc<dyn Codec>, stream: TaggedStream) -> DecodeJob {
         DecodeJob {
-            handle: WorkerPool::global().submit(move || ebtrain_sz::decompress(&buf)),
+            handle: WorkerPool::global().submit(move || codec.decompress(&stream)),
         }
     }
 
@@ -155,12 +174,12 @@ impl DecodeJob {
 enum Repr {
     HotF32(Vec<f32>),
     HotBytes(Vec<u8>),
-    Warm(CompressedBuffer),
+    Warm(TaggedStream),
     /// Prefetch in progress; charged conservatively for *both* the
     /// compressed source and the raw result while in flight.
     InFlight(DecodeJob),
     HostF32(Vec<f32>),
-    HostWarm(CompressedBuffer),
+    HostWarm(TaggedStream),
     HostBytes(Vec<u8>),
     Dropped,
 }
@@ -169,8 +188,11 @@ struct Entry {
     repr: Repr,
     /// Layout under which an f32 payload compresses.
     layout: DataLayout,
-    /// Error bound for demotion (entry-specific override of the config).
-    eb: f32,
+    /// Demotion bound (entry-specific override of the config).
+    bound: BoundSpec,
+    /// Codec this entry demotes through (per-layer routing override of
+    /// the config codec).
+    codec: Arc<dyn Codec>,
     raw_bytes: usize,
     /// Device bytes currently charged for this entry.
     resident: usize,
@@ -359,22 +381,22 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         self.policy.victim(&cands).map(|i| keys[i])
     }
 
-    /// Compress an f32 payload under the entry's bound; `None` when the
-    /// codec rejects the configuration (degenerate bound).
+    /// Compress an f32 payload through the entry's codec under its
+    /// bound; `None` when the codec rejects the request (degenerate
+    /// bound, unsupported spec).
     fn compress_payload(
         &mut self,
         data: &[f32],
         layout: DataLayout,
-        eb: f32,
-    ) -> Option<CompressedBuffer> {
-        let mut cfg = self.cfg.sz;
-        cfg.error_bound = eb;
+        bound: &BoundSpec,
+        codec: &Arc<dyn Codec>,
+    ) -> Option<TaggedStream> {
         let t0 = Instant::now();
-        let out = ebtrain_sz::compress(data, layout, &cfg).ok();
+        let out = codec.compress(data, layout, bound).ok();
         self.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
-        if let Some(buf) = &out {
+        if let Some(stream) = &out {
             self.metrics.bytes_compressed_raw += (data.len() * 4) as u64;
-            self.metrics.bytes_compressed_out += buf.compressed_byte_len() as u64;
+            self.metrics.bytes_compressed_out += stream.compressed_byte_len() as u64;
         }
         out
     }
@@ -386,7 +408,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         };
         match std::mem::replace(&mut e.repr, Repr::Dropped) {
             Repr::HotF32(data) => {
-                let compressed = self.compress_payload(&data, e.layout, e.eb);
+                let compressed = self.compress_payload(&data, e.layout, &e.bound, &e.codec);
                 match compressed {
                     // Compression must actually help; an inflating stream
                     // goes straight to the cold tier instead.
@@ -498,15 +520,31 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         layout: DataLayout,
         eb: Option<f32>,
     ) -> Tier {
+        self.insert_f32_with(key, data, layout, eb.map(BoundSpec::Abs), None)
+    }
+
+    /// [`insert_f32`](Self::insert_f32) with full routing control: an
+    /// explicit [`BoundSpec`] and/or a per-entry codec override (the
+    /// per-layer plan's choice) instead of the config defaults.
+    pub fn insert_f32_with(
+        &mut self,
+        key: K,
+        data: Vec<f32>,
+        layout: DataLayout,
+        bound: Option<BoundSpec>,
+        codec: Option<Arc<dyn Codec>>,
+    ) -> Tier {
         self.remove(key);
         self.metrics.inserts += 1;
         let raw = data.len() * 4;
-        let eb = eb.unwrap_or(self.cfg.sz.error_bound);
+        let bound = bound.unwrap_or(self.cfg.bound);
+        let codec = codec.unwrap_or_else(|| Arc::clone(&self.cfg.codec));
         let touch = self.tick();
         let mut entry = Entry {
             repr: Repr::Dropped,
             layout,
-            eb,
+            bound,
+            codec,
             raw_bytes: raw,
             resident: 0,
             last_touch: touch,
@@ -523,7 +561,11 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         }
 
         // Hot does not fit: compress and try the warm tier.
-        let tier = match self.compress_payload(&data, layout, eb) {
+        let compressed = {
+            let (bound, codec) = (entry.bound, Arc::clone(&entry.codec));
+            self.compress_payload(&data, layout, &bound, &codec)
+        };
+        let tier = match compressed {
             Some(buf) => {
                 let cb = buf.compressed_byte_len();
                 self.make_room(cb, Some(key));
@@ -575,7 +617,8 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         let mut entry = Entry {
             repr: Repr::Dropped,
             layout: DataLayout::D1(0),
-            eb: self.cfg.sz.error_bound,
+            bound: self.cfg.bound,
+            codec: Arc::clone(&self.cfg.codec),
             raw_bytes: raw,
             resident: 0,
             last_touch: touch,
@@ -630,9 +673,12 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
                 self.metrics.hot_hits += 1;
                 Ok(Fetched::Bytes(bytes))
             }
-            Repr::Warm(buf) => {
+            Repr::Warm(stream) => {
                 let t0 = Instant::now();
-                let out = ebtrain_sz::decompress(&buf).map_err(MembudgetError::Codec);
+                let out = entry
+                    .codec
+                    .decompress(&stream)
+                    .map_err(MembudgetError::Codec);
                 self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
                 self.metrics.warm_hits += 1;
                 out.map(Fetched::F32)
@@ -646,11 +692,14 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
                 self.metrics.host_hits += 1;
                 Ok(Fetched::F32(data))
             }
-            Repr::HostWarm(buf) => {
-                self.charge_transfer(buf.compressed_byte_len());
+            Repr::HostWarm(stream) => {
+                self.charge_transfer(stream.compressed_byte_len());
                 self.metrics.host_hits += 1;
                 let t0 = Instant::now();
-                let out = ebtrain_sz::decompress(&buf).map_err(MembudgetError::Codec);
+                let out = entry
+                    .codec
+                    .decompress(&stream)
+                    .map_err(MembudgetError::Codec);
                 self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
                 out.map(Fetched::F32)
             }
@@ -670,13 +719,14 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
     /// need a slice (plane units are the stream's leading-dimension
     /// slices; see [`ebtrain_sz::DataLayout::plane_elems`]).
     ///
-    /// Warm and host-warm entries are served by the frame-indexed range
-    /// decoder ([`CompressedBuffer::decompress_planes`]): only the frames
-    /// covering the range are decoded (and, for host entries, only those
-    /// bytes pay transfer), which is the whole point — the
-    /// `partial_bytes_decoded` / `partial_bytes_total` metrics prove the
-    /// fetch touched less than the full stream. Hot entries return a
-    /// plain slice copy. An in-flight prefetch is joined and kept hot.
+    /// Warm and host-warm entries are served by the entry codec's
+    /// [`Codec::decompress_planes`]: frame-capable codecs decode only
+    /// the frames covering the range (and, for host entries, only those
+    /// bytes pay transfer) — the `partial_bytes_decoded` /
+    /// `partial_bytes_total` metrics prove what the fetch touched, and
+    /// for codecs without a frame index they honestly report the
+    /// documented whole-decode fallback. Hot entries return a plain
+    /// slice copy. An in-flight prefetch is joined and kept hot.
     pub fn fetch_planes(&mut self, key: K, planes: Range<usize>) -> Result<Vec<f32>> {
         let touch = self.tick();
         if !self.entries.contains_key(&key) {
@@ -733,24 +783,28 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
                 self.metrics.hot_hits += 1;
                 Ok(data[lo..hi].to_vec())
             }
-            Repr::Warm(buf) | Repr::HostWarm(buf) => {
+            Repr::Warm(stream) | Repr::HostWarm(stream) => {
                 let host = matches!(entry.repr, Repr::HostWarm(_));
                 let t0 = Instant::now();
-                let decoded = buf
-                    .decompress_planes_with_stats(planes)
+                // Codecs with a frame index decode only the covering
+                // frames; others pay the documented whole-decode
+                // fallback (and the byte counters say so honestly).
+                let decoded = entry
+                    .codec
+                    .decompress_planes(stream, entry.layout, planes)
                     .map_err(MembudgetError::Codec);
                 self.metrics.decompress_nanos += t0.elapsed().as_nanos() as u64;
                 let (vals, stats) = decoded?;
                 if host {
                     self.metrics.transfer_nanos +=
-                        (stats.frame_bytes_decoded as f64 / bandwidth * 1e9) as u64;
+                        (stats.bytes_decoded as f64 / bandwidth * 1e9) as u64;
                     self.metrics.host_hits += 1;
                 } else {
                     self.metrics.warm_hits += 1;
                 }
                 self.metrics.partial_fetches += 1;
-                self.metrics.partial_bytes_decoded += stats.frame_bytes_decoded as u64;
-                self.metrics.partial_bytes_total += stats.frame_bytes_total as u64;
+                self.metrics.partial_bytes_decoded += stats.bytes_decoded as u64;
+                self.metrics.partial_bytes_total += stats.bytes_total as u64;
                 Ok(vals)
             }
             Repr::HostF32(data) => {
@@ -796,8 +850,8 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
                 continue; // would over-commit; serve this one inline later
             }
             let e = self.entries.get_mut(&key).expect("checked above");
-            if let Repr::Warm(buf) = std::mem::replace(&mut e.repr, Repr::Dropped) {
-                e.repr = Repr::InFlight(DecodeJob::spawn(buf));
+            if let Repr::Warm(stream) = std::mem::replace(&mut e.repr, Repr::Dropped) {
+                e.repr = Repr::InFlight(DecodeJob::spawn(Arc::clone(&e.codec), stream));
                 e.resident += extra;
                 self.charge(extra);
                 self.metrics.prefetch_issued += 1;
@@ -974,7 +1028,11 @@ mod tests {
         // Budget below the raw size but above the compressed size: the
         // insert lands warm.
         let mut cfg = BudgetConfig::with_budget(n); // raw is n*4
-        cfg.sz.chunk_planes = Some(4);
+        cfg.codec = Arc::new(SzCodec::new({
+            let mut sz = ebtrain_sz::SzConfig::with_error_bound(1e-3);
+            sz.chunk_planes = Some(4);
+            sz
+        }));
         let mut a: BudgetedArena<u32> = BudgetedArena::new(cfg, Box::new(Lru));
         let tier = a.insert_f32(1, data.clone(), DataLayout::D3(planes, pw, pw), Some(1e-3));
         assert_eq!(tier, Tier::Warm);

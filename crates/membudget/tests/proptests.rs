@@ -3,6 +3,7 @@
 //! call sequence — regardless of payload mix, policy, cold tier, budget
 //! tightness or schedule.
 
+use ebtrain_codec::BoundSpec;
 use ebtrain_membudget::{
     BudgetConfig, BudgetedArena, ColdPolicy, FarthestNextUse, Fetched, Lru, MembudgetError,
 };
@@ -26,7 +27,7 @@ fn run_step(
     } else {
         ColdPolicy::HostMigrate
     };
-    cfg.sz.error_bound = 1e-2;
+    cfg.bound = BoundSpec::Abs(1e-2);
     let mut arena: BudgetedArena<usize> = if lru {
         BudgetedArena::new(cfg, Box::new(Lru))
     } else {
@@ -123,7 +124,7 @@ proptest! {
         // Checkpointed-training shape: several small save/load rounds
         // reusing slot ids against one arena.
         let mut cfg = BudgetConfig::with_budget(budget_kib << 10);
-        cfg.sz.error_bound = 1e-2;
+        cfg.bound = BoundSpec::Abs(1e-2);
         let mut arena: BudgetedArena<usize> = BudgetedArena::new(cfg, Box::new(Lru));
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _round in 0..4 {

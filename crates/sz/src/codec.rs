@@ -14,7 +14,7 @@
 //! old and new, is documented in `DESIGN.md` §3.
 
 use crate::blocks::{auto_block_planes, chunk_count, chunk_layouts};
-use crate::predictor::{predict, predict_i64, Predictor};
+use crate::predictor::Predictor;
 use crate::{DataLayout, QuantMode, Result, SzConfig, SzError};
 use ebtrain_encoding::{huffman, lz, varint};
 use rayon::prelude::*;
@@ -79,6 +79,12 @@ impl CompressedBuffer {
     /// Raw stream access (for persistence or the migration simulator).
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// Consume the buffer, returning the raw stream without copying
+    /// (the path container formats use to wrap the body).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
     }
 
     /// Rebuild from a raw stream, validating the full header (both the
@@ -233,80 +239,10 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
     })
 }
 
-/// Predict + quantize one chunk into `(quantization codes, outliers)`.
-fn quantize_chunk(
-    data: &[f32],
-    layout: DataLayout,
-    predictor: Predictor,
-    config: &SzConfig,
-) -> (Vec<u32>, Vec<u32>) {
-    let n = data.len();
-    let eb = config.error_bound;
-    let two_eb = 2.0 * eb;
-    let radius = config.radius as i64;
-
-    let mut codes: Vec<u32> = Vec::with_capacity(n);
-    let mut outliers: Vec<u32> = Vec::new();
-
-    match config.quant_mode {
-        QuantMode::Classic => {
-            let mut recon = vec![0.0f32; n];
-            for idx in 0..n {
-                let x = data[idx];
-                let pred = predict(predictor, &layout, &recon, idx);
-                let diff = x - pred;
-                let qf = (diff / two_eb).round();
-                let mut emitted = false;
-                if x.is_finite() && qf.is_finite() && qf.abs() < radius as f32 {
-                    let q = qf as i64;
-                    let rec = pred + q as f32 * two_eb;
-                    // Float rounding can push the reconstruction past the
-                    // bound; classic SZ demotes such points to outliers.
-                    if (x - rec).abs() <= eb {
-                        codes.push((q + radius) as u32);
-                        recon[idx] = rec;
-                        emitted = true;
-                    }
-                }
-                if !emitted {
-                    codes.push(0); // escape: next outlier
-                    outliers.push(x.to_bits());
-                    recon[idx] = x;
-                }
-            }
-        }
-        QuantMode::DualQuant => {
-            // Pre-quantize to the integer grid, Lorenzo on exact integers.
-            let mut grid = vec![0i64; n];
-            for idx in 0..n {
-                let x = data[idx];
-                let pred = predict_i64(predictor, &layout, &grid, idx);
-                match grid_of(x, two_eb) {
-                    Some(q) => {
-                        let delta = q - pred;
-                        // f32 rounding of q·2eb can break the bound for
-                        // large |x|/eb ratios; such points go bit-exact.
-                        let rec = (q as f64 * two_eb as f64) as f32;
-                        if delta.unsigned_abs() < radius as u64 && (x - rec).abs() <= eb {
-                            codes.push((delta + radius) as u32);
-                        } else {
-                            codes.push(0);
-                            outliers.push(x.to_bits());
-                        }
-                        grid[idx] = q;
-                    }
-                    None => {
-                        codes.push(0);
-                        outliers.push(x.to_bits());
-                        grid[idx] = 0; // sentinel, mirrored by the decoder
-                    }
-                }
-            }
-        }
-    }
-
-    (codes, outliers)
-}
+// Phase-1 kernel: the specialized per-(predictor, layout) quantize
+// loops live in `quantize.rs` (bit-equivalent to the generic
+// per-element `predict()` path, pinned by test).
+use crate::quantize::quantize_chunk;
 
 /// Entropy-code one quantized chunk against the shared codebook into a
 /// self-contained frame body:
@@ -640,6 +576,7 @@ fn decompress_impl(bytes: &[u8], parallel: bool) -> Result<Vec<f32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predictor::{predict, predict_i64};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -121,52 +121,7 @@ impl CompressedBuffer {
     /// by walking length prefixes only (no entropy decode, no codebook
     /// expansion).
     pub fn frame_index(&self) -> Result<FrameIndex> {
-        let bytes = self.as_bytes();
-        let header = parse_header(bytes)?;
-        let pe = plane_elems(header.layout);
-        let np = plane_count(header.layout);
-        if header.legacy {
-            return Ok(FrameIndex {
-                layout: header.layout,
-                plane_elems: pe,
-                n_planes: np,
-                entries: vec![FrameEntry {
-                    planes: 0..np,
-                    elems: 0..header.n,
-                    bytes: header.body_off..bytes.len(),
-                }],
-            });
-        }
-        let mut pos = header.body_off;
-        // Skip the shared codebook without building decode tables.
-        huffman::skip_serialized_codebook(bytes, &mut pos)
-            .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
-        let metas = blocks::chunk_layouts(header.layout, header.block_planes);
-        let mut entries = Vec::with_capacity(metas.len());
-        let bp = header.block_planes;
-        for (ci, &(off, cl)) in metas.iter().enumerate() {
-            let frame_len = rd_usize(bytes, &mut pos)?;
-            if frame_len > bytes.len() - pos {
-                return Err(corrupt("truncated chunk frame"));
-            }
-            let p0 = ci * bp;
-            let p1 = (p0 + bp).min(np);
-            entries.push(FrameEntry {
-                planes: p0..p1,
-                elems: off..off + cl.len(),
-                bytes: pos..pos + frame_len,
-            });
-            pos += frame_len;
-        }
-        if pos != bytes.len() {
-            return Err(corrupt("trailing bytes after chunk frames"));
-        }
-        Ok(FrameIndex {
-            layout: header.layout,
-            plane_elems: pe,
-            n_planes: np,
-            entries,
-        })
+        frame_index_of(self.as_bytes())
     }
 
     /// Decode only the leading-dimension planes in `planes`, reading
@@ -201,74 +156,154 @@ impl CompressedBuffer {
         &self,
         planes: Range<usize>,
     ) -> Result<(Vec<f32>, RangeDecodeStats)> {
-        let bytes = self.as_bytes();
-        let header = parse_header(bytes)?;
-        let pe = plane_elems(header.layout);
-        let np = plane_count(header.layout);
-        if planes.start > planes.end || planes.end > np {
-            return Err(corrupt("plane range out of bounds"));
-        }
-        // Requested flat element window. Both ends clamp to `n`: the
-        // final D1 plane may be partial, so an empty range at the tail
-        // (`n_planes..n_planes`) would otherwise put `start` past `end`.
-        let start_e = (planes.start * pe).min(header.n);
-        let end_e = (planes.end * pe).min(header.n);
-        let mut out = Vec::with_capacity(end_e - start_e);
+        decompress_planes_bytes(self.as_bytes(), planes)
+    }
+}
 
-        if header.legacy {
-            // Z1 has one monolithic body: no random access, decode it all.
-            let body = &bytes[header.body_off..];
-            let full = decode_chunk(body, header.layout, &header, None, false)?;
-            out.extend_from_slice(&full[start_e..end_e]);
-            let stats = RangeDecodeStats {
-                frames_total: 1,
-                frames_decoded: 1,
-                frame_bytes_total: body.len(),
-                frame_bytes_decoded: body.len(),
-            };
-            return Ok((out, stats));
+/// [`CompressedBuffer::frame_index`] over a borrowed raw stream — the
+/// zero-copy entry point for container formats that hold the stream as
+/// a body slice.
+pub fn frame_index_of(bytes: &[u8]) -> Result<FrameIndex> {
+    let header = parse_header(bytes)?;
+    let pe = plane_elems(header.layout);
+    let np = plane_count(header.layout);
+    if header.legacy {
+        return Ok(FrameIndex {
+            layout: header.layout,
+            plane_elems: pe,
+            n_planes: np,
+            entries: vec![FrameEntry {
+                planes: 0..np,
+                elems: 0..header.n,
+                bytes: header.body_off..bytes.len(),
+            }],
+        });
+    }
+    let mut pos = header.body_off;
+    // Skip the shared codebook without building decode tables.
+    huffman::skip_serialized_codebook(bytes, &mut pos)
+        .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
+    let metas = blocks::chunk_layouts(header.layout, header.block_planes);
+    let mut entries = Vec::with_capacity(metas.len());
+    let bp = header.block_planes;
+    for (ci, &(off, cl)) in metas.iter().enumerate() {
+        let frame_len = rd_usize(bytes, &mut pos)?;
+        if frame_len > bytes.len() - pos {
+            return Err(corrupt("truncated chunk frame"));
         }
+        let p0 = ci * bp;
+        let p1 = (p0 + bp).min(np);
+        entries.push(FrameEntry {
+            planes: p0..p1,
+            elems: off..off + cl.len(),
+            bytes: pos..pos + frame_len,
+        });
+        pos += frame_len;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after chunk frames"));
+    }
+    Ok(FrameIndex {
+        layout: header.layout,
+        plane_elems: pe,
+        n_planes: np,
+        entries,
+    })
+}
 
-        let mut pos = header.body_off;
-        let decoder = huffman::Decoder::deserialize(bytes, &mut pos)
-            .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
-        let metas = blocks::chunk_layouts(header.layout, header.block_planes);
-        let mut stats = RangeDecodeStats {
-            frames_total: metas.len(),
-            ..RangeDecodeStats::default()
+/// [`CompressedBuffer::decompress_planes_with_stats`] over a borrowed
+/// raw stream (zero-copy twin of [`frame_index_of`]).
+pub fn decompress_planes_bytes(
+    bytes: &[u8],
+    planes: Range<usize>,
+) -> Result<(Vec<f32>, RangeDecodeStats)> {
+    let header = parse_header(bytes)?;
+    let pe = plane_elems(header.layout);
+    let np = plane_count(header.layout);
+    if planes.start > planes.end || planes.end > np {
+        return Err(corrupt("plane range out of bounds"));
+    }
+    // Requested flat element window. Both ends clamp to `n`: the
+    // final D1 plane may be partial, so an empty range at the tail
+    // (`n_planes..n_planes`) would otherwise put `start` past `end`.
+    let start_e = (planes.start * pe).min(header.n);
+    let end_e = (planes.end * pe).min(header.n);
+    let mut out = Vec::with_capacity(end_e - start_e);
+
+    if header.legacy {
+        // Z1 has one monolithic body: no random access, decode it all.
+        let body = &bytes[header.body_off..];
+        let full = decode_chunk(body, header.layout, &header, None, false)?;
+        out.extend_from_slice(&full[start_e..end_e]);
+        let stats = RangeDecodeStats {
+            frames_total: 1,
+            frames_decoded: 1,
+            frame_bytes_total: body.len(),
+            frame_bytes_decoded: body.len(),
         };
-        for &(off, cl) in &metas {
-            let frame_len = rd_usize(bytes, &mut pos)?;
-            if frame_len > bytes.len() - pos {
-                return Err(corrupt("truncated chunk frame"));
-            }
-            stats.frame_bytes_total += frame_len;
-            let chunk_e = off..off + cl.len();
-            if start_e < end_e && chunk_e.start < end_e && chunk_e.end > start_e {
-                let part = decode_chunk(
-                    &bytes[pos..pos + frame_len],
-                    cl,
-                    &header,
-                    Some(&decoder),
-                    true,
-                )?;
-                stats.frames_decoded += 1;
-                stats.frame_bytes_decoded += frame_len;
-                // Chunks restart prediction, so a frame must decode whole;
-                // slice out the requested overlap.
-                let lo = start_e.max(chunk_e.start) - chunk_e.start;
-                let hi = end_e.min(chunk_e.end) - chunk_e.start;
-                out.extend_from_slice(&part[lo..hi]);
-            }
-            pos += frame_len;
+        return Ok((out, stats));
+    }
+
+    let mut pos = header.body_off;
+    let decoder = huffman::Decoder::deserialize(bytes, &mut pos)
+        .map_err(|e| crate::SzError::Corrupt(e.to_string()))?;
+    let metas = blocks::chunk_layouts(header.layout, header.block_planes);
+    let mut stats = RangeDecodeStats {
+        frames_total: metas.len(),
+        ..RangeDecodeStats::default()
+    };
+    for &(off, cl) in &metas {
+        let frame_len = rd_usize(bytes, &mut pos)?;
+        if frame_len > bytes.len() - pos {
+            return Err(corrupt("truncated chunk frame"));
         }
-        if pos != bytes.len() {
-            return Err(corrupt("trailing bytes after chunk frames"));
+        stats.frame_bytes_total += frame_len;
+        let chunk_e = off..off + cl.len();
+        if start_e < end_e && chunk_e.start < end_e && chunk_e.end > start_e {
+            let part = decode_chunk(
+                &bytes[pos..pos + frame_len],
+                cl,
+                &header,
+                Some(&decoder),
+                true,
+            )?;
+            stats.frames_decoded += 1;
+            stats.frame_bytes_decoded += frame_len;
+            // Chunks restart prediction, so a frame must decode whole;
+            // slice out the requested overlap.
+            let lo = start_e.max(chunk_e.start) - chunk_e.start;
+            let hi = end_e.min(chunk_e.end) - chunk_e.start;
+            out.extend_from_slice(&part[lo..hi]);
         }
-        if out.len() != end_e - start_e {
-            return Err(corrupt("plane range length mismatch"));
-        }
-        Ok((out, stats))
+        pos += frame_len;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after chunk frames"));
+    }
+    if out.len() != end_e - start_e {
+        return Err(corrupt("plane range length mismatch"));
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod borrow_tests {
+    use super::*;
+    use crate::{compress, SzConfig};
+
+    #[test]
+    fn borrowed_entry_points_match_owned_methods() {
+        let data: Vec<f32> = (0..12 * 64).map(|i| (i as f32 * 0.01).sin()).collect();
+        let mut cfg = SzConfig::with_error_bound(1e-3);
+        cfg.chunk_planes = Some(4);
+        let buf = compress(&data, crate::DataLayout::D3(12, 8, 8), &cfg).unwrap();
+        let idx_owned = buf.frame_index().unwrap();
+        let idx_borrowed = frame_index_of(buf.as_bytes()).unwrap();
+        assert_eq!(idx_owned.entries(), idx_borrowed.entries());
+        let (vo, so) = buf.decompress_planes_with_stats(3..9).unwrap();
+        let (vb, sb) = decompress_planes_bytes(buf.as_bytes(), 3..9).unwrap();
+        assert_eq!(vo, vb);
+        assert_eq!(so, sb);
     }
 }
 

@@ -49,13 +49,16 @@ mod codec;
 mod frames;
 pub mod lossless;
 mod predictor;
+mod quantize;
 mod reconstruct;
 pub mod zfp_like;
 
 pub use codec::{
     compress, compress_serial, decompress, decompress_bytes, decompress_serial, CompressedBuffer,
 };
-pub use frames::{FrameEntry, FrameIndex, RangeDecodeStats};
+pub use frames::{
+    decompress_planes_bytes, frame_index_of, FrameEntry, FrameIndex, RangeDecodeStats,
+};
 pub use predictor::Predictor;
 
 /// Errors from compression/decompression.
@@ -72,6 +75,9 @@ pub enum SzError {
     },
     /// The compressed stream is structurally invalid.
     Corrupt(String),
+    /// The requested operation is outside this codec's capabilities
+    /// (e.g. a lossless bound asked of a lossy backend).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for SzError {
@@ -82,6 +88,7 @@ impl std::fmt::Display for SzError {
                 write!(f, "layout implies {layout} elements, data has {data}")
             }
             SzError::Corrupt(msg) => write!(f, "corrupt sz stream: {msg}"),
+            SzError::Unsupported(msg) => write!(f, "unsupported codec operation: {msg}"),
         }
     }
 }

@@ -55,6 +55,10 @@ impl Predictor {
 /// clamp (2^40), so the stencil never wraps on valid data — but the
 /// decoder also runs this over grids reconstructed from *corrupt*
 /// streams, which must produce garbage values, not overflow panics.
+/// Retained as the reference implementation for the bit-equivalence
+/// tests of the specialized loops (`quantize.rs`, `reconstruct.rs`); the
+/// hot paths no longer dispatch through it.
+#[cfg(test)]
 #[inline]
 pub(crate) fn predict_i64(
     predictor: Predictor,
@@ -113,6 +117,8 @@ pub(crate) fn predict_i64(
 
 /// Stateless prediction for element `idx` of the flat `recon` buffer,
 /// interpreted under `layout`. Out-of-range neighbours contribute 0.
+/// Test-only reference, like [`predict_i64`].
+#[cfg(test)]
 #[inline]
 pub(crate) fn predict(predictor: Predictor, layout: &DataLayout, recon: &[f32], idx: usize) -> f32 {
     match predictor {

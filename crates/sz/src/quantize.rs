@@ -1,0 +1,444 @@
+//! Specialized Lorenzo **quantize** loops for the encoder hot path — the
+//! compress-side twin of `reconstruct.rs`.
+//!
+//! The generic encoder called [`predict`](crate::predictor) /
+//! [`predict_i64`](crate::predictor) per element, paying `idx / w`,
+//! `idx % w` (and the 3-D plane decomposition) plus a predictor dispatch
+//! for every value. This module lowers each `(predictor, layout)`
+//! combination to the same dedicated nested loops the decoder uses
+//! ([`Geometry`]): indices are carried by the loops, border handling is
+//! hoisted to loop-invariant flags, and the dispatch happens once per
+//! chunk.
+//!
+//! The arithmetic — operand order included — replays the generic
+//! per-element loop exactly, so the emitted `(codes, outliers)` are
+//! **bit-identical** to the generic path's;
+//! `tests::specialized_quantize_matches_generic` pins that equivalence
+//! for every predictor × layout × quantization-mode combination,
+//! including forced mismatches (e.g. Lorenzo3 over a 2-D layout).
+
+use crate::codec::grid_of;
+use crate::predictor::Predictor;
+use crate::reconstruct::{geometry, Geometry};
+use crate::{DataLayout, QuantMode, SzConfig};
+
+/// Predict + quantize one chunk into `(quantization codes, outliers)` —
+/// the phase-1 kernel of [`crate::compress`].
+pub(crate) fn quantize_chunk(
+    data: &[f32],
+    layout: DataLayout,
+    predictor: Predictor,
+    config: &SzConfig,
+) -> (Vec<u32>, Vec<u32>) {
+    match config.quant_mode {
+        QuantMode::Classic => quantize_classic(data, layout, predictor, config),
+        QuantMode::DualQuant => quantize_dual(data, layout, predictor, config),
+    }
+}
+
+/// Classic mode: Lorenzo over *reconstructed floats*, residual
+/// quantization, out-of-bound points demoted to bit-exact outliers.
+fn quantize_classic(
+    data: &[f32],
+    layout: DataLayout,
+    predictor: Predictor,
+    config: &SzConfig,
+) -> (Vec<u32>, Vec<u32>) {
+    let n = data.len();
+    let eb = config.error_bound;
+    let two_eb = 2.0 * eb;
+    let radius = config.radius as i64;
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut outliers: Vec<u32> = Vec::new();
+    if n == 0 {
+        return (codes, outliers);
+    }
+    let mut recon = vec![0.0f32; n];
+
+    // One element, exactly as the generic loop computed it: quantize the
+    // residual against the prediction, verify the reconstruction honours
+    // the bound, escape to a bit-exact outlier otherwise.
+    macro_rules! emit {
+        ($idx:expr, $pred:expr) => {{
+            let idx = $idx;
+            let x = data[idx];
+            let pred: f32 = $pred;
+            let diff = x - pred;
+            let qf = (diff / two_eb).round();
+            let mut emitted = false;
+            if x.is_finite() && qf.is_finite() && qf.abs() < radius as f32 {
+                let q = qf as i64;
+                let rec = pred + q as f32 * two_eb;
+                // Float rounding can push the reconstruction past the
+                // bound; classic SZ demotes such points to outliers.
+                if (x - rec).abs() <= eb {
+                    codes.push((q + radius) as u32);
+                    recon[idx] = rec;
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                codes.push(0); // escape: next outlier
+                outliers.push(x.to_bits());
+                recon[idx] = x;
+            }
+        }};
+    }
+
+    match geometry(predictor, layout, n) {
+        Geometry::Scan => {
+            emit!(0, 0.0f32);
+            for idx in 1..n {
+                emit!(idx, recon[idx - 1]);
+            }
+        }
+        Geometry::Grid2 { rows, w } => {
+            emit!(0, 0.0f32);
+            for j in 1..w {
+                emit!(j, recon[j - 1]);
+            }
+            for i in 1..rows {
+                let base = i * w;
+                emit!(base, recon[base - w]);
+                for j in 1..w {
+                    let idx = base + j;
+                    emit!(idx, recon[idx - w] + recon[idx - 1] - recon[idx - w - 1]);
+                }
+            }
+        }
+        Geometry::Grid3 { d0, d1, d2 } => {
+            let plane = d1 * d2;
+            for i in 0..d0 {
+                let has_b = i > 0;
+                for j in 0..d1 {
+                    let has_u = j > 0;
+                    let row = i * plane + j * d2;
+                    {
+                        let u = if has_u { recon[row - d2] } else { 0.0 };
+                        let b = if has_b { recon[row - plane] } else { 0.0 };
+                        let bu = if has_b && has_u {
+                            recon[row - plane - d2]
+                        } else {
+                            0.0
+                        };
+                        emit!(row, u + b - bu);
+                    }
+                    for k in 1..d2 {
+                        let idx = row + k;
+                        let l = recon[idx - 1];
+                        let (u, ul) = if has_u {
+                            (recon[idx - d2], recon[idx - d2 - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        let (b, bl) = if has_b {
+                            (recon[idx - plane], recon[idx - plane - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        let (bu, bul) = if has_b && has_u {
+                            (recon[idx - plane - d2], recon[idx - plane - d2 - 1])
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        // Inclusion–exclusion in the generic stencil's
+                        // operand order.
+                        emit!(idx, l + u + b - ul - bl - bu + bul);
+                    }
+                }
+            }
+        }
+    }
+    (codes, outliers)
+}
+
+/// Dual-quantization: Lorenzo over the exact integer grid. Wrapping
+/// sums mirror the generic path (unreachable on encoder-side data, whose
+/// grid values are clamped; kept identical for bit-equivalence).
+fn quantize_dual(
+    data: &[f32],
+    layout: DataLayout,
+    predictor: Predictor,
+    config: &SzConfig,
+) -> (Vec<u32>, Vec<u32>) {
+    let n = data.len();
+    let eb = config.error_bound;
+    let two_eb = 2.0 * eb;
+    let radius = config.radius as i64;
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut outliers: Vec<u32> = Vec::new();
+    if n == 0 {
+        return (codes, outliers);
+    }
+    let mut grid = vec![0i64; n];
+
+    macro_rules! emit {
+        ($idx:expr, $pred:expr) => {{
+            let idx = $idx;
+            let x = data[idx];
+            let pred: i64 = $pred;
+            match grid_of(x, two_eb) {
+                Some(q) => {
+                    let delta = q - pred;
+                    // f32 rounding of q·2eb can break the bound for
+                    // large |x|/eb ratios; such points go bit-exact.
+                    let rec = (q as f64 * two_eb as f64) as f32;
+                    if delta.unsigned_abs() < radius as u64 && (x - rec).abs() <= eb {
+                        codes.push((delta + radius) as u32);
+                    } else {
+                        codes.push(0);
+                        outliers.push(x.to_bits());
+                    }
+                    grid[idx] = q;
+                }
+                None => {
+                    codes.push(0);
+                    outliers.push(x.to_bits());
+                    grid[idx] = 0; // sentinel, mirrored by the decoder
+                }
+            }
+        }};
+    }
+
+    match geometry(predictor, layout, n) {
+        Geometry::Scan => {
+            emit!(0, 0i64);
+            for idx in 1..n {
+                emit!(idx, grid[idx - 1]);
+            }
+        }
+        Geometry::Grid2 { rows, w } => {
+            emit!(0, 0i64);
+            for j in 1..w {
+                emit!(j, grid[j - 1]);
+            }
+            for i in 1..rows {
+                let base = i * w;
+                emit!(base, grid[base - w]);
+                for j in 1..w {
+                    let idx = base + j;
+                    emit!(
+                        idx,
+                        grid[idx - w]
+                            .wrapping_add(grid[idx - 1])
+                            .wrapping_sub(grid[idx - w - 1])
+                    );
+                }
+            }
+        }
+        Geometry::Grid3 { d0, d1, d2 } => {
+            let plane = d1 * d2;
+            for i in 0..d0 {
+                let has_b = i > 0;
+                for j in 0..d1 {
+                    let has_u = j > 0;
+                    let row = i * plane + j * d2;
+                    {
+                        let u = if has_u { grid[row - d2] } else { 0 };
+                        let b = if has_b { grid[row - plane] } else { 0 };
+                        let bu = if has_b && has_u {
+                            grid[row - plane - d2]
+                        } else {
+                            0
+                        };
+                        emit!(row, u.wrapping_add(b).wrapping_sub(bu));
+                    }
+                    for k in 1..d2 {
+                        let idx = row + k;
+                        let l = grid[idx - 1];
+                        let (u, ul) = if has_u {
+                            (grid[idx - d2], grid[idx - d2 - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        let (b, bl) = if has_b {
+                            (grid[idx - plane], grid[idx - plane - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        let (bu, bul) = if has_b && has_u {
+                            (grid[idx - plane - d2], grid[idx - plane - d2 - 1])
+                        } else {
+                            (0, 0)
+                        };
+                        emit!(
+                            idx,
+                            l.wrapping_add(u)
+                                .wrapping_add(b)
+                                .wrapping_sub(ul)
+                                .wrapping_sub(bl)
+                                .wrapping_sub(bu)
+                                .wrapping_add(bul)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (codes, outliers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{predict, predict_i64};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The pre-specialization encoder: per-element `predict()` /
+    /// `predict_i64()` over the flat index — the reference the
+    /// specialized loops must replay bit-for-bit.
+    fn quantize_generic(
+        data: &[f32],
+        layout: DataLayout,
+        predictor: Predictor,
+        config: &SzConfig,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let n = data.len();
+        let eb = config.error_bound;
+        let two_eb = 2.0 * eb;
+        let radius = config.radius as i64;
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut outliers: Vec<u32> = Vec::new();
+        match config.quant_mode {
+            QuantMode::Classic => {
+                let mut recon = vec![0.0f32; n];
+                for idx in 0..n {
+                    let x = data[idx];
+                    let pred = predict(predictor, &layout, &recon, idx);
+                    let diff = x - pred;
+                    let qf = (diff / two_eb).round();
+                    let mut emitted = false;
+                    if x.is_finite() && qf.is_finite() && qf.abs() < radius as f32 {
+                        let q = qf as i64;
+                        let rec = pred + q as f32 * two_eb;
+                        if (x - rec).abs() <= eb {
+                            codes.push((q + radius) as u32);
+                            recon[idx] = rec;
+                            emitted = true;
+                        }
+                    }
+                    if !emitted {
+                        codes.push(0);
+                        outliers.push(x.to_bits());
+                        recon[idx] = x;
+                    }
+                }
+            }
+            QuantMode::DualQuant => {
+                let mut grid = vec![0i64; n];
+                for idx in 0..n {
+                    let x = data[idx];
+                    let pred = predict_i64(predictor, &layout, &grid, idx);
+                    match grid_of(x, two_eb) {
+                        Some(q) => {
+                            let delta = q - pred;
+                            let rec = (q as f64 * two_eb as f64) as f32;
+                            if delta.unsigned_abs() < radius as u64 && (x - rec).abs() <= eb {
+                                codes.push((delta + radius) as u32);
+                            } else {
+                                codes.push(0);
+                                outliers.push(x.to_bits());
+                            }
+                            grid[idx] = q;
+                        }
+                        None => {
+                            codes.push(0);
+                            outliers.push(x.to_bits());
+                            grid[idx] = 0;
+                        }
+                    }
+                }
+            }
+        }
+        (codes, outliers)
+    }
+
+    #[test]
+    fn specialized_quantize_matches_generic() {
+        // Every predictor × layout × mode combination — including forced
+        // mismatches where the generic decomposition degenerates — plus
+        // payloads with zeros, outliers and non-finite values.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let layouts = [
+            DataLayout::D1(513),
+            DataLayout::D2(21, 17),
+            DataLayout::D3(5, 9, 11),
+        ];
+        for layout in layouts {
+            for predictor in [
+                Predictor::Lorenzo1,
+                Predictor::Lorenzo2,
+                Predictor::Lorenzo3,
+            ] {
+                for quant_mode in [QuantMode::Classic, QuantMode::DualQuant] {
+                    let n = layout.len();
+                    let data: Vec<f32> = (0..n)
+                        .map(|i| {
+                            if i == 37 {
+                                f32::NAN
+                            } else if i == 99 {
+                                4.0e19
+                            } else if rng.gen_bool(0.3) {
+                                0.0
+                            } else {
+                                rng.gen_range(-4.0f32..4.0)
+                            }
+                        })
+                        .collect();
+                    let mut cfg = SzConfig::vanilla(1e-3);
+                    cfg.predictor = Some(predictor);
+                    cfg.quant_mode = quant_mode;
+                    let (gc, go) = quantize_generic(&data, layout, predictor, &cfg);
+                    let (sc, so) = quantize_chunk(&data, layout, predictor, &cfg);
+                    assert_eq!(gc, sc, "{layout:?}/{predictor:?}/{quant_mode:?} codes");
+                    assert_eq!(go, so, "{layout:?}/{predictor:?}/{quant_mode:?} outliers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "manual micro-benchmark: cargo test -p ebtrain-sz --release quantize_kernel_speed -- --ignored --nocapture"]
+    fn quantize_kernel_speed() {
+        use std::time::Instant;
+        let layout = DataLayout::D3(64, 64, 64);
+        let n = layout.len();
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let v = (i as f32 * 0.013).sin() + 0.2;
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        for quant_mode in [QuantMode::Classic, QuantMode::DualQuant] {
+            let mut cfg = SzConfig::vanilla(1e-3);
+            cfg.quant_mode = quant_mode;
+            let p = Predictor::Lorenzo3;
+            let time = |f: &dyn Fn() -> (Vec<u32>, Vec<u32>)| {
+                let mut best = f64::INFINITY;
+                for _ in 0..9 {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                (n * 4) as f64 / best / (1 << 20) as f64
+            };
+            let generic = time(&|| quantize_generic(&data, layout, p, &cfg));
+            let specialized = time(&|| quantize_chunk(&data, layout, p, &cfg));
+            println!(
+                "{quant_mode:?}: generic {generic:.1} MiB/s, specialized {specialized:.1} MiB/s"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chunk_is_empty() {
+        let cfg = SzConfig::vanilla(1e-3);
+        let (c, o) = quantize_chunk(&[], DataLayout::D1(0), Predictor::Lorenzo1, &cfg);
+        assert!(c.is_empty() && o.is_empty());
+    }
+}

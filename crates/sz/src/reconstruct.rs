@@ -30,13 +30,16 @@ fn corrupt(msg: &str) -> SzError {
 /// scan under any layout; Lorenzo2 sees the volume as `rows x w` rows
 /// (its `i = idx / w` decomposition); Lorenzo3 over a 2-D/1-D layout
 /// degenerates (the plane index is constant zero) to the 2-D/1-D stencil.
-enum Geometry {
+///
+/// Shared with the encoder-side specialization (`quantize.rs`), which
+/// lowers the same pairs to the same shapes.
+pub(crate) enum Geometry {
     Scan,
     Grid2 { rows: usize, w: usize },
     Grid3 { d0: usize, d1: usize, d2: usize },
 }
 
-fn geometry(predictor: Predictor, layout: DataLayout, n: usize) -> Geometry {
+pub(crate) fn geometry(predictor: Predictor, layout: DataLayout, n: usize) -> Geometry {
     match predictor {
         Predictor::Lorenzo1 => Geometry::Scan,
         Predictor::Lorenzo2 => {

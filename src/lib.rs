@@ -16,6 +16,7 @@
 //! | [`tensor`] | `ebtrain-tensor` | dense f32 tensors, GEMM, im2col |
 //! | [`encoding`] | `ebtrain-encoding` | bit IO, Huffman, LZ, byte-plane |
 //! | [`sz`] | `ebtrain-sz` | error-bounded lossy compressor |
+//! | [`codec`] | `ebtrain-codec` | backend-agnostic codec trait, tagged streams, registry |
 //! | [`imgcomp`] | `ebtrain-imgcomp` | JPEG-style baseline compressor |
 //! | [`data`] | `ebtrain-data` | deterministic synthetic datasets |
 //! | [`dnn`] | `ebtrain-dnn` | layers, networks, compressed store |
@@ -24,6 +25,7 @@
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
+pub use ebtrain_codec as codec;
 pub use ebtrain_core as core;
 pub use ebtrain_data as data;
 pub use ebtrain_dist as dist;

@@ -1,0 +1,258 @@
+//! Generic conformance suite, run over **every** registered codec via
+//! the registry — the contract that makes backend-agnostic consumers
+//! safe to route anywhere:
+//!
+//! * roundtrip honours the codec's declared [`ErrorContract`] for every
+//!   [`BoundSpec`] it supports;
+//! * truncated streams are rejected with errors, never panics;
+//! * corrupted streams never panic (garbage or error are both
+//!   acceptable — integrity is the container's job, memory safety the
+//!   codec's);
+//! * tagged ↔ legacy stream back-compat: historical untagged streams
+//!   (byte-frozen golden fixtures included) decode through
+//!   [`TaggedStream::from_bytes`] + the registry.
+
+use ebtrain_codec::{
+    BoundSpec, Codec, CodecId, CodecRegistry, ErrorContract, SzCodec, TaggedStream,
+};
+use ebtrain_sz::DataLayout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Every backend the suite exercises: the standard registry's four plus
+/// the dual-quantization SZ configuration (same wire id, different
+/// encoder).
+fn all_codecs() -> Vec<Arc<dyn Codec>> {
+    let mut codecs: Vec<Arc<dyn Codec>> = CodecRegistry::standard().codecs().to_vec();
+    codecs.push(Arc::new(SzCodec::dual_quant()));
+    codecs.push(Arc::new(SzCodec::vanilla()));
+    codecs
+}
+
+/// Activation-shaped payload: smooth positives, zero runs, one spike.
+fn payload(n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut data: Vec<f32> = (0..n)
+        .map(|i| {
+            let v = (i as f32 * 0.017).sin() + 0.2;
+            if v < 0.0 || rng.gen_bool(0.2) {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    data[n / 2] = 37.5;
+    data
+}
+
+fn bounds_for(codec: &dyn Codec) -> Vec<BoundSpec> {
+    [
+        BoundSpec::Abs(1e-2),
+        BoundSpec::Abs(1e-3),
+        BoundSpec::Rel(1e-3),
+        BoundSpec::Lossless,
+    ]
+    .into_iter()
+    .filter(|b| codec.supports(b))
+    .collect()
+}
+
+#[test]
+fn every_codec_roundtrips_within_its_contract() {
+    let registry = CodecRegistry::standard();
+    let layout = DataLayout::D3(8, 16, 16);
+    let data = payload(layout.len());
+    for codec in all_codecs() {
+        for bound in bounds_for(codec.as_ref()) {
+            let stream = codec
+                .compress(&data, layout, &bound)
+                .unwrap_or_else(|e| panic!("{} failed on {bound:?}: {e}", codec.name()));
+            // Decode through the registry router (id-based), not the
+            // instance, to prove the wire id alone is enough.
+            let (out, id) = registry.decompress_any(stream.as_bytes()).unwrap();
+            assert_eq!(id, codec.id(), "{}", codec.name());
+            assert_eq!(out.len(), data.len(), "{}", codec.name());
+            let eb = bound.resolve_abs(&data);
+            match codec.contract() {
+                ErrorContract::Exact => {
+                    for (a, b) in data.iter().zip(&out) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{}", codec.name());
+                    }
+                }
+                ErrorContract::Absolute => {
+                    let eb = eb.expect("lossy codec got a lossless bound");
+                    for (i, (a, b)) in data.iter().zip(&out).enumerate() {
+                        assert!(
+                            (a - b).abs() <= eb,
+                            "{} [{bound:?}] elem {i}: |{a} - {b}| > {eb}",
+                            codec.name()
+                        );
+                    }
+                }
+                ErrorContract::AbsoluteZeroSnap => {
+                    let eb = eb.expect("lossy codec got a lossless bound");
+                    for (i, (a, b)) in data.iter().zip(&out).enumerate() {
+                        if *a == 0.0 {
+                            assert_eq!(*b, 0.0, "{} elem {i}: zero perturbed", codec.name());
+                        } else if a.abs() > 2.0 * eb {
+                            assert!(
+                                (a - b).abs() <= eb,
+                                "{} elem {i}: |{a} - {b}| > {eb}",
+                                codec.name()
+                            );
+                        } else {
+                            assert!(
+                                (a - b).abs() <= 2.0 * eb,
+                                "{} elem {i}: small value drifted past 2eb",
+                                codec.name()
+                            );
+                        }
+                    }
+                }
+                // No absolute promise (the paper's §2.2 point about
+                // fixed-rate coding); shape and determinism only.
+                ErrorContract::BlockRelative => {
+                    let again = codec.compress(&data, layout, &bound).unwrap();
+                    assert_eq!(stream.as_bytes(), again.as_bytes(), "{}", codec.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_codec_rejects_truncations_without_panicking() {
+    let registry = CodecRegistry::standard();
+    let layout = DataLayout::D2(32, 32);
+    let data = payload(layout.len());
+    for codec in all_codecs() {
+        let bound = bounds_for(codec.as_ref())[0];
+        let stream = codec.compress(&data, layout, &bound).unwrap();
+        let bytes = stream.as_bytes();
+        for cut in 0..bytes.len() {
+            let r = registry.decompress_any(&bytes[..cut]);
+            match r {
+                Err(_) => {}
+                // A prefix that still decodes must at least not decode
+                // to the full payload silently (no codec here frames
+                // trailing garbage, so this is unreachable in practice;
+                // the assert keeps it honest if a backend regresses).
+                Ok((out, _)) => assert!(
+                    out.len() < data.len(),
+                    "{}: {cut}-byte prefix decoded the full payload",
+                    codec.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_codec_survives_corruption_without_panicking() {
+    let registry = CodecRegistry::standard();
+    let layout = DataLayout::D2(24, 24);
+    let data = payload(layout.len());
+    for codec in all_codecs() {
+        let bound = bounds_for(codec.as_ref())[0];
+        let stream = codec.compress(&data, layout, &bound).unwrap();
+        for pos in (0..stream.as_bytes().len()).step_by(7) {
+            let mut evil = stream.as_bytes().to_vec();
+            evil[pos] ^= 0xA5;
+            // Error or garbage both acceptable; panic/abort is not.
+            let _ = registry.decompress_any(&evil);
+        }
+    }
+}
+
+/// Golden Z1 stream from the format-1 encoder (byte-frozen in
+/// `ebtrain-sz` since PR 2): sin ramp, D2(4, 6), eb = 1e-2.
+const GOLDEN_Z1: &[u8] = &[
+    0x5a, 0x31, 0x18, 0x0a, 0xd7, 0x23, 0x3c, 0x02, 0x02, 0x04, 0x06, 0x80, 0x80, 0x02, 0x01, 0x00,
+    0x00, 0x52, 0x4f, 0xf0, 0x40, 0x18, 0x10, 0xf8, 0xff, 0x01, 0x03, 0xfa, 0xff, 0x01, 0x03, 0x87,
+    0x80, 0x02, 0x03, 0xff, 0xff, 0x01, 0x04, 0x80, 0x80, 0x02, 0x04, 0x81, 0x80, 0x02, 0x04, 0x82,
+    0x80, 0x02, 0x04, 0x88, 0x80, 0x02, 0x04, 0x89, 0x80, 0x02, 0x04, 0xab, 0x80, 0x02, 0x04, 0xd7,
+    0xff, 0x01, 0x05, 0xf7, 0xff, 0x01, 0x05, 0xf9, 0xff, 0x01, 0x05, 0xfb, 0xff, 0x01, 0x05, 0xfc,
+    0xff, 0x01, 0x05, 0xfd, 0xff, 0x01, 0x05, 0x0c, 0x7a, 0xb4, 0x96, 0x74, 0x9e, 0x6e, 0x40, 0x00,
+    0xeb, 0xfe, 0x68, 0x80,
+];
+
+#[test]
+fn legacy_untagged_streams_decode_through_tagged_container() {
+    let registry = CodecRegistry::standard();
+
+    // 1. The byte-frozen legacy Z1 golden fixture routes and decodes.
+    let stream = TaggedStream::from_bytes(GOLDEN_Z1.to_vec()).unwrap();
+    assert_eq!(stream.codec_id(), CodecId::SZ);
+    let (out, id) = registry.decompress_any(GOLDEN_Z1).unwrap();
+    assert_eq!(id, CodecId::SZ);
+    let expect: Vec<f32> = (0..24).map(|i| (i as f32 * 0.17).sin()).collect();
+    assert_eq!(out.len(), expect.len());
+    for (x, y) in expect.iter().zip(&out) {
+        assert!((x - y).abs() <= 1e-2, "|{x} - {y}| > 1e-2");
+    }
+
+    // 2. Current untagged Z2 bytes (written by `ebtrain_sz::compress`
+    // directly, bypassing the container) still route and decode to the
+    // same values as the native decoder.
+    let data = payload(512);
+    let buf = ebtrain_sz::compress(
+        &data,
+        DataLayout::D1(512),
+        &ebtrain_sz::SzConfig::with_error_bound(1e-3),
+    )
+    .unwrap();
+    let native = ebtrain_sz::decompress(&buf).unwrap();
+    let (routed, id) = registry.decompress_any(buf.as_bytes()).unwrap();
+    assert_eq!(id, CodecId::SZ);
+    assert_eq!(native, routed);
+
+    // 3. Untagged lossless ("L1") bytes route too.
+    let l1 = ebtrain_sz::lossless::compress(&data);
+    let (out, id) = registry.decompress_any(&l1).unwrap();
+    assert_eq!(id, CodecId::LOSSLESS);
+    assert_eq!(out, data);
+
+    // 4. And a tagged stream survives a byte-level persist/reparse.
+    let codec = SzCodec::classic();
+    let tagged = codec
+        .compress(&data, DataLayout::D1(512), &BoundSpec::Abs(1e-3))
+        .unwrap();
+    let reparsed = TaggedStream::from_bytes(tagged.as_bytes().to_vec()).unwrap();
+    assert_eq!(
+        codec.decompress(&reparsed).unwrap(),
+        codec.decompress(&tagged).unwrap()
+    );
+}
+
+#[test]
+fn frame_capable_codecs_serve_partial_ranges_and_others_fall_back() {
+    // 64 leading planes of 256 elements: the SZ auto-chunking yields 4
+    // frames, so a 5-plane range must touch only one of them.
+    let layout = DataLayout::D3(64, 16, 16);
+    let data = payload(layout.len());
+    for codec in all_codecs() {
+        let bound = bounds_for(codec.as_ref())[0];
+        let stream = codec.compress(&data, layout, &bound).unwrap();
+        let full = codec.decompress(&stream).unwrap();
+        let (part, stats) = codec.decompress_planes(&stream, layout, 4..9).unwrap();
+        assert_eq!(part, full[4 * 256..9 * 256], "{}", codec.name());
+        if codec.supports_frame_index() {
+            assert!(
+                stats.bytes_decoded < stats.bytes_total,
+                "{}: frame index did not skip anything",
+                codec.name()
+            );
+        } else {
+            assert_eq!(
+                stats.bytes_decoded,
+                stats.bytes_total,
+                "{}: fallback must account a whole decode",
+                codec.name()
+            );
+        }
+        // Out-of-bounds ranges are rejected everywhere.
+        assert!(codec.decompress_planes(&stream, layout, 9..65).is_err());
+    }
+}

@@ -355,6 +355,47 @@ pub fn write_json_summary() {
 /// `BENCH_<name>.json`) — for experiment binaries whose target name is
 /// not the series name they maintain.
 pub fn write_json_summary_named(name: &str) {
+    write_summary_impl(name, false);
+}
+
+/// Like [`write_json_summary_named`], but **merges** with the existing
+/// `BENCH_<name>.json` instead of replacing it: rows from previous runs
+/// whose label was *not* re-recorded this run are retained, so a series
+/// accumulates a trajectory across runs that each sweep only a subset
+/// of its rows (e.g. one codec of the codec matrix).
+pub fn write_json_summary_merged(name: &str) {
+    write_summary_impl(name, true);
+}
+
+/// Render one record as a single JSON object line (no trailing comma).
+fn render_sample(r: &SampleRecord) -> String {
+    let mibs = r
+        .bytes_per_iter
+        .map(|b| b as f64 / (r.median_ns * 1e-9) / (1 << 20) as f64);
+    format!(
+        "{{\"label\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}{}{}{}}}",
+        json_escape(&r.label),
+        r.median_ns,
+        r.best_ns,
+        r.bytes_per_iter
+            .map(|b| format!(", \"bytes_per_iter\": {b}"))
+            .unwrap_or_default(),
+        r.elems_per_iter
+            .map(|e| format!(", \"elems_per_iter\": {e}"))
+            .unwrap_or_default(),
+        mibs.map(|m| format!(", \"mib_per_s\": {m:.1}"))
+            .unwrap_or_default(),
+    )
+}
+
+/// Extract the label of a rendered sample line (the writer's own
+/// line-oriented format: one object per line, label first).
+fn sample_line_label(line: &str) -> Option<&str> {
+    let rest = line.trim().strip_prefix("{\"label\": \"")?;
+    rest.split('"').next()
+}
+
+fn write_summary_impl(name: &str, merge: bool) {
     let records = std::mem::take(&mut *RESULTS.lock().expect("results poisoned"));
     if records.is_empty() {
         return;
@@ -362,30 +403,33 @@ pub fn write_json_summary_named(name: &str) {
     let path = std::env::var("EBTRAIN_BENCH_JSON")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| workspace_root().join(format!("BENCH_{name}.json")));
+    let mut lines: Vec<String> = Vec::new();
+    if merge {
+        if let Ok(prev) = std::fs::read_to_string(&path) {
+            let fresh: std::collections::HashSet<&str> =
+                records.iter().map(|r| r.label.as_str()).collect();
+            for line in prev.lines() {
+                if let Some(label) = sample_line_label(line) {
+                    if !fresh.contains(label) {
+                        lines.push(line.trim().trim_end_matches(',').to_string());
+                    }
+                }
+            }
+        }
+    }
+    lines.extend(records.iter().map(render_sample));
     let mut out = String::new();
     out.push_str(&format!(
         "{{\n  \"bench\": \"{}\",\n  \"samples\": [\n",
         json_escape(name)
     ));
-    for (i, r) in records.iter().enumerate() {
-        let mibs = r
-            .bytes_per_iter
-            .map(|b| b as f64 / (r.median_ns * 1e-9) / (1 << 20) as f64);
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}{}{}{}}}{}\n",
-            json_escape(&r.label),
-            r.median_ns,
-            r.best_ns,
-            r.bytes_per_iter
-                .map(|b| format!(", \"bytes_per_iter\": {b}"))
-                .unwrap_or_default(),
-            r.elems_per_iter
-                .map(|e| format!(", \"elems_per_iter\": {e}"))
-                .unwrap_or_default(),
-            mibs.map(|m| format!(", \"mib_per_s\": {m:.1}"))
-                .unwrap_or_default(),
-            if i + 1 < records.len() { "," } else { "" },
-        ));
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
     }
     out.push_str("  ]\n}\n");
     match std::fs::write(&path, out) {
@@ -470,5 +514,27 @@ mod tests {
         assert!(human_time(5e-5).contains("µs"));
         assert!(human_time(5e-2).contains("ms"));
         assert!(human_bytes(2048.0).contains("KiB"));
+    }
+
+    #[test]
+    fn sample_lines_roundtrip_through_the_merge_parser() {
+        // The merging writer re-reads its own line format; the label
+        // parser must survive indentation, trailing commas, and ignore
+        // non-sample lines.
+        let r = SampleRecord {
+            label: "fields/sz/eb=1e-2/compress".into(),
+            median_ns: 1234.5,
+            best_ns: 1000.0,
+            bytes_per_iter: Some(1 << 20),
+            elems_per_iter: None,
+        };
+        let line = render_sample(&r);
+        assert_eq!(sample_line_label(&line), Some(r.label.as_str()));
+        assert_eq!(
+            sample_line_label(&format!("    {line},")),
+            Some(r.label.as_str())
+        );
+        assert_eq!(sample_line_label("  \"bench\": \"codec_matrix\","), None);
+        assert_eq!(sample_line_label("  ]"), None);
     }
 }
