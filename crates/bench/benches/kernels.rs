@@ -82,6 +82,7 @@ fn bench_conv_layer(c: &mut Criterion) {
             let mut bctx = BackwardContext {
                 store: &mut store,
                 collect: false,
+                grad_ready: None,
             };
             conv.backward(dy, &mut bctx).unwrap()
         })

@@ -46,6 +46,7 @@ fn conv_grads(
         let mut bctx = BackwardContext {
             store,
             collect: true,
+            grad_ready: None,
         };
         net.backward(dlogits, &mut bctx).expect("backward");
     }

@@ -50,6 +50,7 @@ fn run(
         let mut bctx = BackwardContext {
             store,
             collect: true,
+            grad_ready: None,
         };
         net.backward(dlogits, &mut bctx).expect("backward");
     }

@@ -39,6 +39,7 @@ pub fn noisy_train_step(
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         net.backward(dlogits, &mut bctx)?;
     }

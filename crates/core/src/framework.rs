@@ -20,7 +20,7 @@ use ebtrain_dnn::store::{
     ActivationStore, ArenaMetrics, BoundSpec, BudgetConfig, BudgetedStore, CodecId,
     CompressedStore, FarthestNextUse, StoreMetrics, SzCodec,
 };
-use ebtrain_dnn::train::{budgeted_train_step_synced, evaluate, train_step_synced, GradSyncHook};
+use ebtrain_dnn::train::{budgeted_train_step_synced, evaluate, train_step_synced, GradSync};
 use ebtrain_dnn::Result;
 use ebtrain_sz::SzConfig;
 use ebtrain_tensor::Tensor;
@@ -196,18 +196,19 @@ impl AdaptiveTrainer {
         self.step_synced(x, labels, None)
     }
 
-    /// One adaptive training iteration with an optional gradient
-    /// synchronization hook, invoked between backward and the optimizer
-    /// step. This is the seam a data-parallel runner (`ebtrain-dist`)
-    /// threads its collective through: every replica owns a full
-    /// `AdaptiveTrainer` (its own store — budgeted or not — its own
-    /// controller state), and only the flat gradient crosses replica
-    /// boundaries.
+    /// One adaptive training iteration with an optional [`GradSync`]
+    /// driver observing backward. This is the seam a data-parallel
+    /// runner (`ebtrain-dist`) threads its collective through: every
+    /// replica owns a full `AdaptiveTrainer` (its own store — budgeted
+    /// or not — its own controller state), and only gradient buckets
+    /// (or, for a sharded optimizer, updated parameter shards) cross
+    /// replica boundaries. Plain closures still work as whole-tensor
+    /// post-backward hooks.
     pub fn step_synced(
         &mut self,
         x: Tensor,
         labels: &[usize],
-        sync: Option<&mut GradSyncHook>,
+        sync: Option<&mut dyn GradSync>,
     ) -> Result<IterationRecord> {
         let iter = self.opt.iteration();
         let collect = iter.is_multiple_of(self.cfg.w_interval.max(1));
@@ -362,6 +363,32 @@ impl AdaptiveTrainer {
             TrainerStore::Compressed(_) => None,
             TrainerStore::Budgeted(s) => Some(s.budget_bytes()),
         }
+    }
+
+    /// Report bytes this worker holds *outside* the activation store
+    /// (e.g. a sharded optimizer's per-rank momentum shard). Recorded on
+    /// the budgeted store for capacity reporting — never charged against
+    /// the activation budget. No-op for the unbudgeted store.
+    pub fn note_external_store_bytes(&mut self, bytes: usize) {
+        if let TrainerStore::Budgeted(s) = &mut self.store {
+            s.note_external_bytes(bytes);
+        }
+    }
+
+    /// Bytes recorded via
+    /// [`note_external_store_bytes`](Self::note_external_store_bytes),
+    /// when budgeted.
+    pub fn external_store_bytes(&self) -> Option<usize> {
+        match &self.store {
+            TrainerStore::Compressed(_) => None,
+            TrainerStore::Budgeted(s) => Some(s.external_bytes()),
+        }
+    }
+
+    /// The optimizer's hyper-parameters — a ZeRO-style sharded optimizer
+    /// replicates this exact update rule over its owned shard.
+    pub fn sgd_config(&self) -> &SgdConfig {
+        self.opt.config()
     }
 
     /// Full iteration history.

@@ -34,7 +34,8 @@ pub mod stats;
 
 pub use framework::{AdaptiveTrainer, FrameworkConfig, IterationRecord, LayerPlanEntry, ModelForm};
 pub use model::{
-    comm_error_bound_for_sigma, error_bound_for_sigma, error_bound_for_sigma_exact, predict_sigma,
-    predict_sigma_exact, target_sigma, PAPER_A, PAPER_SIGMA_FRACTION,
+    comm_error_bound_for_sigma, error_bound_for_sigma, error_bound_for_sigma_exact,
+    per_bucket_comm_bounds, predict_sigma, predict_sigma_exact, target_sigma, PAPER_A,
+    PAPER_SIGMA_FRACTION,
 };
 pub use stats::{summarize_gradient, GradSummary};

@@ -126,6 +126,26 @@ pub fn comm_error_bound_for_sigma(sigma: f64, grad_rms: f64, error_feedback: boo
     Some((3f64.sqrt() * sigma / k).min(grad_rms))
 }
 
+/// Per-bucket form of
+/// [`comm_error_bound_for_sigma`]: one σ target (Eq. 8, from the mean
+/// momentum), one bound per gradient **bucket**, each clamped to that
+/// bucket's own RMS. Early layers' small-magnitude gradients therefore
+/// get proportionally tighter bounds than the whole-tensor clamp would
+/// give them — the σ-model's bound selection at the granularity the
+/// bucketed collectives actually ship. A degenerate bucket (all-zero
+/// gradient) yields `None` in its slot; callers keep that bucket's
+/// previous bound.
+pub fn per_bucket_comm_bounds(
+    sigma: f64,
+    bucket_rms: &[f64],
+    error_feedback: bool,
+) -> Vec<Option<f64>> {
+    bucket_rms
+        .iter()
+        .map(|&rms| comm_error_bound_for_sigma(sigma, rms, error_feedback))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +245,24 @@ mod tests {
         assert!(comm_error_bound_for_sigma(1e-3, 0.0, true).is_none());
         assert!(comm_error_bound_for_sigma(f64::NAN, 1.0, true).is_none());
         assert!(comm_error_bound_for_sigma(1e-3, f64::INFINITY, true).is_none());
+    }
+
+    #[test]
+    fn per_bucket_bounds_clamp_each_bucket_to_its_own_scale() {
+        let sigma = 1e-2;
+        let rms = [1.0, 1e-3, 0.0]; // big bucket, tiny bucket, dead bucket
+        let bounds = per_bucket_comm_bounds(sigma, &rms, true);
+        assert_eq!(bounds.len(), 3);
+        // Bucket 0: σ-driven (well under its RMS).
+        assert!((bounds[0].unwrap() - 3f64.sqrt() * sigma).abs() < 1e-15);
+        // Bucket 1: clamped to its own (much smaller) RMS.
+        assert_eq!(bounds[1].unwrap(), 1e-3);
+        // Bucket 2: degenerate — caller keeps its previous bound.
+        assert!(bounds[2].is_none());
+        // And each slot agrees with the scalar form.
+        for (b, &r) in bounds.iter().zip(&rms) {
+            assert_eq!(*b, comm_error_bound_for_sigma(sigma, r, true));
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::Result;
 use std::ops::Range;
+use std::time::Duration;
 
 /// Ring segments are aligned to this many elements — exactly one `D1`
 /// plane of the Z2 stream format ([`ebtrain_sz::DataLayout::plane_elems`]),
@@ -42,6 +43,32 @@ pub fn seg_planes(len: usize, world: usize) -> usize {
     len.div_ceil(SEG_ALIGN).div_ceil(world.max(1)).max(1)
 }
 
+/// Segmentation for a **window** `[start, start + len)` of a larger
+/// `total`-element flat tensor: the global segments of the whole tensor
+/// ([`seg_ranges`]`(total, world)`), intersected with the window and
+/// shifted to window-local coordinates.
+///
+/// This is how bucket collectives stay **bit-identical to the legacy
+/// whole-tensor sync**: a ring reduce folds segment `s`'s values in a
+/// fixed rank order that *starts at rank `s`*, so re-segmenting a
+/// bucket locally would change each element's f32 association order.
+/// By inheriting the whole-tensor segment map, every element keeps the
+/// association order it would have had in one whole-tensor reduce, no
+/// matter how the flat view is bucketed. (Segments that miss the window
+/// come back empty; the ring schedule ships them as empty payloads.)
+pub fn seg_ranges_at(start: usize, len: usize, total: usize, world: usize) -> Vec<Range<usize>> {
+    debug_assert!(start + len <= total, "window exceeds the flat tensor");
+    let end = start + len;
+    seg_ranges(total, world)
+        .into_iter()
+        .map(|g| {
+            let lo = g.start.clamp(start, end);
+            let hi = g.end.clamp(start, end).max(lo);
+            lo - start..hi - start
+        })
+        .collect()
+}
+
 /// Cumulative communication counters of a collective.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -59,6 +86,20 @@ pub struct CommStats {
     /// Completed reduce-scatter/all-gather phases (an `all_reduce` is
     /// one of each).
     pub phases: u64,
+    /// Nanoseconds spent encoding payloads (compressed transports).
+    pub encode_nanos: u64,
+    /// Nanoseconds spent decoding payloads (compressed transports).
+    pub decode_nanos: u64,
+    /// Modeled interconnect nanoseconds: when a wire bandwidth is set
+    /// ([`Collective::set_wire_mibps`]) every send sleeps
+    /// `bytes / bandwidth` before delivery and accounts it here. Zero
+    /// when the model is off (the default — payloads then move at
+    /// memcpy speed).
+    pub wire_nanos: u64,
+    /// Nanoseconds callers reported blocked on in-flight bucket
+    /// collectives after backward finished
+    /// ([`Collective::note_wait_nanos`]) — the non-overlapped tail.
+    pub wait_nanos: u64,
 }
 
 impl CommStats {
@@ -80,6 +121,10 @@ impl CommStats {
             dense_equiv_bytes: self.dense_equiv_bytes - earlier.dense_equiv_bytes,
             broadcasts: self.broadcasts - earlier.broadcasts,
             phases: self.phases - earlier.phases,
+            encode_nanos: self.encode_nanos - earlier.encode_nanos,
+            decode_nanos: self.decode_nanos - earlier.decode_nanos,
+            wire_nanos: self.wire_nanos - earlier.wire_nanos,
+            wait_nanos: self.wait_nanos - earlier.wait_nanos,
         }
     }
 }
@@ -133,6 +178,121 @@ pub trait Collective: Send + Sync {
         Ok(())
     }
 
+    /// Tagged reduce-scatter: identical semantics to
+    /// [`reduce_scatter`](Collective::reduce_scatter), but all messages
+    /// travel under `tag`, so **several tagged collectives may be in
+    /// flight concurrently** on the same group (one per gradient
+    /// bucket). Every rank must launch the same set of tags.
+    fn reduce_scatter_tagged(&self, rank: usize, buf: &mut [f32], _tag: u64) -> Result<usize> {
+        self.reduce_scatter(rank, buf)
+    }
+
+    /// Tagged all-gather — see
+    /// [`reduce_scatter_tagged`](Collective::reduce_scatter_tagged).
+    fn all_gather_tagged(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        _tag: u64,
+    ) -> Result<()> {
+        self.all_gather(rank, owned, buf)
+    }
+
+    /// Tagged averaging all-reduce: the bucket-granular form of
+    /// [`all_reduce`](Collective::all_reduce), usable concurrently for
+    /// distinct tags.
+    fn all_reduce_tagged(&self, rank: usize, buf: &mut [f32], tag: u64) -> Result<()> {
+        if self.world_size() <= 1 || buf.is_empty() {
+            return Ok(());
+        }
+        let owned = self.reduce_scatter_tagged(rank, buf, tag)?;
+        self.all_gather_tagged(rank, owned, buf, tag)?;
+        let inv = 1.0 / self.world_size() as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
+    }
+
+    /// **Exact** (dense f32) tagged all-gather, even on lossy
+    /// transports: the ZeRO-style parameter gather — updated parameters
+    /// are shipped once, losslessly, like the startup broadcast. The
+    /// default is correct for exact transports.
+    fn all_gather_exact(&self, rank: usize, owned: usize, buf: &mut [f32], tag: u64) -> Result<()> {
+        self.all_gather_tagged(rank, owned, buf, tag)
+    }
+
+    /// Tagged reduce-scatter of a **window** of a larger flat tensor:
+    /// `buf` holds elements `[start, start + buf.len())` of a
+    /// `total`-element flat view, and segmentation follows
+    /// [`seg_ranges_at`] — so bucket-granular sync keeps each element's
+    /// reduction association order identical to one whole-tensor sync
+    /// (the bit-identity invariant the bucket proptests pin). The
+    /// default ignores the alignment, which is correct for any transport
+    /// whose reduction order is segmentation-independent.
+    fn reduce_scatter_aligned(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        _start: usize,
+        _total: usize,
+    ) -> Result<usize> {
+        self.reduce_scatter_tagged(rank, buf, tag)
+    }
+
+    /// Window form of [`all_gather_tagged`](Collective::all_gather_tagged)
+    /// — see [`reduce_scatter_aligned`](Collective::reduce_scatter_aligned).
+    fn all_gather_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        _start: usize,
+        _total: usize,
+    ) -> Result<()> {
+        self.all_gather_tagged(rank, owned, buf, tag)
+    }
+
+    /// Window form of [`all_reduce_tagged`](Collective::all_reduce_tagged):
+    /// averaging all-reduce of one bucket, bit-identical to the same
+    /// elements inside a whole-tensor `all_reduce`.
+    fn all_reduce_aligned(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<()> {
+        if self.world_size() <= 1 || buf.is_empty() {
+            return Ok(());
+        }
+        let owned = self.reduce_scatter_aligned(rank, buf, tag, start, total)?;
+        self.all_gather_aligned(rank, owned, buf, tag, start, total)?;
+        let inv = 1.0 / self.world_size() as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
+    }
+
+    /// Window form of [`all_gather_exact`](Collective::all_gather_exact)
+    /// (the ZeRO parameter gather).
+    fn all_gather_exact_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        _start: usize,
+        _total: usize,
+    ) -> Result<()> {
+        self.all_gather_exact(rank, owned, buf, tag)
+    }
+
     /// Cumulative communication counters.
     fn stats(&self) -> CommStats;
 
@@ -147,6 +307,31 @@ pub trait Collective: Send + Sync {
     fn error_bound(&self) -> Option<f32> {
         None
     }
+
+    /// Per-bucket error-bound override: tagged operations under `tag`
+    /// use `eb` instead of the global bound (σ-model refinement from
+    /// each bucket's own gradient statistics). `None` clears the
+    /// override. No-op for lossless transports.
+    fn set_bucket_error_bound(&self, _tag: u64, _eb: Option<f32>) {}
+
+    /// Report nanoseconds a caller spent blocked on in-flight tagged
+    /// collectives after its compute finished (accounted as
+    /// [`CommStats::wait_nanos`]).
+    fn note_wait_nanos(&self, _nanos: u64) {}
+
+    /// Bounded-staleness straggler deadline: a rank blocked in `recv`
+    /// longer than this poisons the collective and every peer returns a
+    /// clean `Aborted` instead of waiting forever. `None` (default)
+    /// waits indefinitely.
+    fn set_straggler_timeout(&self, _timeout: Option<Duration>) {}
+
+    /// Enable the modeled interconnect: every send sleeps
+    /// `bytes / (mibps MiB/s)` before delivery and accounts the time as
+    /// [`CommStats::wire_nanos`]. `None` (default) disables the model —
+    /// in-memory payload handoff is then effectively free, which hides
+    /// the byte savings of compressed transports from wall-clock
+    /// numbers.
+    fn set_wire_mibps(&self, _mibps: Option<f64>) {}
 
     /// Poison the collective: every rank blocked in (or later entering)
     /// any operation returns [`DistError::Aborted`](crate::DistError::Aborted).
@@ -197,6 +382,39 @@ mod tests {
     }
 
     #[test]
+    fn window_segments_are_global_intersections() {
+        let total = SEG_ALIGN * 9 + 100;
+        let world = 4;
+        let global = seg_ranges(total, world);
+        // A whole-tensor window reproduces the global map.
+        assert_eq!(seg_ranges_at(0, total, total, world), global);
+        for (start, len) in [
+            (0usize, SEG_ALIGN / 2),
+            (17, SEG_ALIGN * 3),
+            (SEG_ALIGN * 2 + 5, SEG_ALIGN * 5),
+            (total - 1, 1),
+            (SEG_ALIGN, 0),
+        ] {
+            let segs = seg_ranges_at(start, len, total, world);
+            assert_eq!(segs.len(), world);
+            let mut cursor = 0usize;
+            for (i, s) in segs.iter().enumerate() {
+                assert_eq!(s.start, cursor, "window ({start},{len}) seg {i}");
+                assert!(s.end >= s.start);
+                // Each piece is exactly the global segment clipped to
+                // the window.
+                let g = &global[i];
+                let lo = g.start.clamp(start, start + len);
+                let hi = g.end.clamp(start, start + len).max(lo);
+                assert_eq!(s.start + start, lo);
+                assert_eq!(s.end + start, hi);
+                cursor = s.end;
+            }
+            assert_eq!(cursor, len, "pieces must tile the window");
+        }
+    }
+
+    #[test]
     fn stats_ratio_and_delta() {
         let a = CommStats {
             messages: 2,
@@ -204,6 +422,10 @@ mod tests {
             dense_equiv_bytes: 800,
             broadcasts: 0,
             phases: 1,
+            encode_nanos: 10,
+            decode_nanos: 20,
+            wire_nanos: 30,
+            wait_nanos: 40,
         };
         assert!((a.reduction_ratio() - 8.0).abs() < 1e-12);
         assert_eq!(CommStats::default().reduction_ratio(), 1.0);
@@ -213,6 +435,10 @@ mod tests {
             dense_equiv_bytes: 1000,
             broadcasts: 1,
             phases: 2,
+            encode_nanos: 110,
+            decode_nanos: 220,
+            wire_nanos: 330,
+            wait_nanos: 440,
         };
         let d = later.delta_since(&a);
         assert_eq!(d.messages, 3);
@@ -220,5 +446,9 @@ mod tests {
         assert_eq!(d.dense_equiv_bytes, 200);
         assert_eq!(d.broadcasts, 1);
         assert_eq!(d.phases, 1);
+        assert_eq!(d.encode_nanos, 100);
+        assert_eq!(d.decode_nanos, 200);
+        assert_eq!(d.wire_nanos, 300);
+        assert_eq!(d.wait_nanos, 400);
     }
 }

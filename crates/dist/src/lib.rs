@@ -24,12 +24,18 @@
 //!   `reduce_scatter`, `all_gather`, `all_reduce`), communication-byte
 //!   accounting, and the ring segment geometry (plane-aligned so ring
 //!   segments coincide with Z2 chunk frames);
-//! * [`ring`] — the mailbox/barrier machinery and the two
+//! * [`ring`] — the tag-keyed mailbox/barrier machinery and the two
 //!   implementations: [`ring::DenseRing`] (exact f32 baseline) and
-//!   [`ring::CompressedRing`] (SZ-compressed segments + error feedback;
-//!   the first scatter hop ships one plane-chunked stream of the whole
-//!   gradient and receivers decode *only their segment's frames* via the
-//!   Z2 frame index);
+//!   [`ring::CompressedRing`] (SZ-compressed segments + per-bucket
+//!   error feedback; **segment-only encode** — each rank compresses
+//!   exactly the segments it forwards);
+//! * [`bucketed`] — [`bucketed::BucketedGradSync`]: the per-rank
+//!   driver that partitions the flat gradient into layer-aligned
+//!   buckets ([`ebtrain_dnn::BucketPlan`]), launches one tagged
+//!   collective per bucket as backward retires it (overlapping ring
+//!   communication with the rest of backward), and optionally runs the
+//!   ZeRO-style sharded optimizer (`reduce_scatter` + owned-shard SGD +
+//!   exact parameter all-gather);
 //! * [`trainer`] — [`trainer::DistributedTrainer`]: one
 //!   [`AdaptiveTrainer`](ebtrain_core::AdaptiveTrainer) per replica
 //!   (each with its own activation store — optionally a budgeted one, so
@@ -39,10 +45,12 @@
 //! Design notes and the error-feedback math live in `DESIGN.md` §7; the
 //! scaling experiment is `fig12_dist_scaling` in `ebtrain-bench`.
 
+pub mod bucketed;
 pub mod collective;
 pub mod ring;
 pub mod trainer;
 
+pub use bucketed::{BucketedGradSync, SyncConfig};
 pub use collective::{seg_ranges, Collective, CommStats, SEG_ALIGN};
 pub use ring::{CompressedRing, DenseRing};
 pub use trainer::{CommMode, DistConfig, DistStepRecord, DistributedTrainer};

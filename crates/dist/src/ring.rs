@@ -16,6 +16,26 @@
 //!   and installs the received segment `(r − t) mod N`. Received
 //!   messages are **forwarded verbatim** on the next hop.
 //!
+//! # Tagged, bucket-granular operation
+//!
+//! Every point-to-point message carries a **tag** (the gradient bucket
+//! index), and each rank's mailbox is a tag-keyed map — so several
+//! tagged collectives may be **in flight concurrently** on one group
+//! (one per bucket, launched as backward retires buckets) without their
+//! messages interleaving. The untagged [`Collective`] entry points are
+//! the `tag = 0` special case.
+//!
+//! Bucket collectives use the **aligned** entry points
+//! (`*_aligned`, segmentation by [`seg_ranges_at`]): a bucket's
+//! segments are the whole-tensor segments clipped to the bucket's flat
+//! window, so every element keeps the reduction association order it
+//! would have had in one whole-tensor sync — which makes bucket-wise
+//! dense sync **bit-identical** to the legacy whole-tensor sync, not
+//! merely close (f32 addition is commutative but not associative; only
+//! an inherited segment map preserves the exact fold). It also gives
+//! ZeRO sharding a clean shape: across all buckets, rank `r`'s owned
+//! pieces tile exactly the whole-tensor segment `(r + 1) mod N`.
+//!
 //! # Compressed transport
 //!
 //! [`CompressedRing`] ships every segment as a self-describing
@@ -23,39 +43,52 @@
 //! registered backend via [`CompressedRing::with_codec`]), with three
 //! twists:
 //!
-//! * **Hop 0 is frame-indexed** when the codec supports it
-//!   ([`Codec::supports_frame_index`]). The first scatter hop transmits
-//!   raw gradient values, so the sender compresses its *whole* gradient
-//!   once as a chunked stream whose frame geometry equals the ring
-//!   segmentation, and the receiver decodes **only the frames covering
-//!   the sent segment** via [`Codec::decompress_planes`]. The wire cost
-//!   counted ([`Codec::partial_wire_cost`]) is the shared overhead plus
-//!   exactly those frames. Codecs without a frame index ship hop 0 as
-//!   independent per-segment streams, like later hops.
+//! * **Segment-only encode.** Each rank compresses exactly the segment
+//!   it forwards on each hop — never the whole gradient. Segments are
+//!   plane-aligned ([`seg_ranges`]), so the per-segment streams keep
+//!   the same chunk geometry a whole-gradient frame-indexed stream
+//!   would have, at `~1/N` of the old hop-0 encode work per rank.
 //! * **All-gather never re-compresses.** The segment owner compresses
 //!   its reduced segment once, *adopts its own decoded copy*, and every
 //!   later hop forwards the identical bytes — so each segment's final
 //!   value decodes from one stream and **all replicas finish
 //!   bit-identical**, the property replica-lockstep SGD needs.
-//! * **Error feedback.** Each rank keeps a residual vector `e`; before
-//!   compressing values `v` for a coordinate range it sends `v + e`, and
-//!   afterwards stores `e ← (v + e) − decode(encode(v + e))`. The
-//!   quantization error a step rounds away is re-injected the next step,
-//!   which keeps the *time-averaged* injected gradient error unbiased
-//!   (EF-SGD). One `all_reduce` touches every coordinate exactly once
-//!   across both phases, so the residual is well-defined.
+//! * **Error feedback.** Each rank keeps a residual vector `e` **per
+//!   tag**; before compressing values `v` for a coordinate range it
+//!   sends `v + e`, and afterwards stores
+//!   `e ← (v + e) − decode(encode(v + e))`. The quantization error a
+//!   step rounds away is re-injected the next step, which keeps the
+//!   *time-averaged* injected gradient error unbiased (EF-SGD). One
+//!   tagged `all_reduce` touches every coordinate of its bucket exactly
+//!   once across both phases, so each residual is well-defined.
+//!
+//! # Failure and straggler handling
 //!
 //! Any rank failing mid-operation poisons the collective and releases
 //! every blocked peer with `Aborted` — no deadlock on worker failure.
+//! With a **straggler deadline** set ([`Collective::set_straggler_timeout`])
+//! a rank blocked in `recv` past the deadline poisons the group itself,
+//! turning an indefinitely-delayed peer into the same clean abort.
+//!
+//! # Modeled interconnect
+//!
+//! In-memory message handoff is effectively free, which would hide the
+//! wall-clock value of sending fewer bytes. With a wire bandwidth set
+//! ([`Collective::set_wire_mibps`]) every send **sleeps**
+//! `bytes / bandwidth` before delivery (accounted as
+//! [`CommStats::wire_nanos`]); sleeping releases the core, so
+//! overlapped bucket collectives genuinely hide modeled wire time the
+//! way comm/compute overlap hides real wire time. Off by default.
 
-use crate::collective::{seg_planes, seg_ranges, Collective, CommStats};
+use crate::collective::{seg_ranges, seg_ranges_at, Collective, CommStats};
 use crate::{DistError, Result};
 use ebtrain_codec::{BoundSpec, Codec, SzCodec, TaggedStream};
 use ebtrain_sz::DataLayout;
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Wait-loop tick: every blocked wait re-checks the poison flag at least
 /// this often, so an abort can never be lost to a missed wakeup.
@@ -70,12 +103,6 @@ enum Payload {
     Dense(Arc<Vec<f32>>),
     /// Independent compressed stream of one segment.
     Stream(Arc<TaggedStream>),
-    /// Plane range of a shared whole-gradient stream (hop 0, codecs with
-    /// a frame index): the receiver frame-decodes only `planes`.
-    SharedStream {
-        stream: Arc<TaggedStream>,
-        planes: Range<usize>,
-    },
 }
 
 /// One point-to-point message.
@@ -89,8 +116,11 @@ struct Message {
     dense_bytes: usize,
 }
 
+/// One rank's mailbox: tag-keyed, capacity 1 **per tag** — concurrent
+/// tagged collectives never see each other's messages, while within a
+/// tag the ring's hop-by-hop flow control is preserved.
 struct Slot {
-    cell: Mutex<Option<Message>>,
+    cell: Mutex<HashMap<u64, Message>>,
     cv: Condvar,
 }
 
@@ -117,6 +147,10 @@ struct RingCore {
     bcast: Mutex<Option<BcastPayload>>,
     bcast_cv: Condvar,
     stats: Mutex<CommStats>,
+    /// Straggler deadline for `recv` (None = wait indefinitely).
+    straggler: Mutex<Option<Duration>>,
+    /// Modeled wire bandwidth in MiB/s (None = no wire model).
+    wire_mibps: Mutex<Option<f64>>,
 }
 
 fn aborted() -> DistError {
@@ -129,7 +163,7 @@ impl RingCore {
             world,
             slots: (0..world)
                 .map(|_| Slot {
-                    cell: Mutex::new(None),
+                    cell: Mutex::new(HashMap::new()),
                     cv: Condvar::new(),
                 })
                 .collect(),
@@ -139,7 +173,14 @@ impl RingCore {
             bcast: Mutex::new(None),
             bcast_cv: Condvar::new(),
             stats: Mutex::new(CommStats::default()),
+            straggler: Mutex::new(None),
+            wire_mibps: Mutex::new(None),
         }
+    }
+
+    /// Mutate the shared counters under the lock.
+    fn stat(&self, f: impl FnOnce(&mut CommStats)) {
+        f(&mut self.stats.lock().expect("stats poisoned"));
     }
 
     fn check(&self) -> Result<()> {
@@ -159,37 +200,63 @@ impl RingCore {
         self.bcast_cv.notify_all();
     }
 
-    /// Deliver `msg` into `to`'s mailbox (capacity 1: waits until the
-    /// previous message was consumed) and account its bytes.
-    fn send(&self, to: usize, msg: Message) -> Result<()> {
-        {
-            let mut st = self.stats.lock().expect("stats poisoned");
+    /// Deliver `msg` into `to`'s mailbox under `tag` (capacity 1 per
+    /// tag: waits until the previous same-tag message was consumed),
+    /// account its bytes, and — with the wire model on — sleep the
+    /// modeled transmission time first.
+    fn send(&self, to: usize, tag: u64, msg: Message) -> Result<()> {
+        self.stat(|st| {
             st.messages += 1;
             st.payload_bytes += msg.wire_bytes as u64;
             st.dense_equiv_bytes += msg.dense_bytes as u64;
+        });
+        let bw = *self.wire_mibps.lock().expect("wire poisoned");
+        if let Some(mibps) = bw {
+            if mibps > 0.0 && msg.wire_bytes > 0 {
+                let nanos = (msg.wire_bytes as f64 / (mibps * 1024.0 * 1024.0) * 1e9) as u64;
+                std::thread::sleep(Duration::from_nanos(nanos));
+                self.stat(|st| st.wire_nanos += nanos);
+            }
         }
         let slot = &self.slots[to];
         let mut cell = slot.cell.lock().expect("slot poisoned");
-        while cell.is_some() {
+        while cell.contains_key(&tag) {
             self.check()?;
             cell = slot.cv.wait_timeout(cell, POISON_TICK).expect("slot").0;
         }
         self.check()?;
-        *cell = Some(msg);
+        cell.insert(tag, msg);
         slot.cv.notify_all();
         Ok(())
     }
 
-    /// Take the message addressed to `rank`.
-    fn recv(&self, rank: usize) -> Result<Message> {
+    /// Take the message addressed to `rank` under `tag`. With a
+    /// straggler deadline set, waiting past it poisons the group and
+    /// returns a clean `Aborted` — a delayed peer can never hold the
+    /// ring hostage.
+    fn recv(&self, rank: usize, tag: u64) -> Result<Message> {
+        let deadline = self
+            .straggler
+            .lock()
+            .expect("straggler poisoned")
+            .map(|t| Instant::now() + t);
         let slot = &self.slots[rank];
         let mut cell = slot.cell.lock().expect("slot poisoned");
         loop {
-            if let Some(msg) = cell.take() {
+            if let Some(msg) = cell.remove(&tag) {
                 slot.cv.notify_all();
                 return Ok(msg);
             }
             self.check()?;
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    drop(cell);
+                    self.poison();
+                    return Err(DistError::Aborted(
+                        "straggler deadline exceeded waiting for a peer's message".into(),
+                    ));
+                }
+            }
             cell = slot.cv.wait_timeout(cell, POISON_TICK).expect("slot").0;
         }
     }
@@ -287,6 +354,124 @@ impl RingCore {
         }
         Ok(())
     }
+
+    /// Exact (dense f32) ring reduce-scatter under `tag`, over an
+    /// explicit segment map (`segs` must tile `[0, buf.len())` in
+    /// order; see [`seg_ranges`] / [`seg_ranges_at`]).
+    fn dense_reduce_scatter(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        segs: &[Range<usize>],
+    ) -> Result<usize> {
+        let n = self.world;
+        if n <= 1 {
+            return Ok(0);
+        }
+        for t in 0..n - 1 {
+            let s_send = (rank + n - t) % n;
+            let s_recv = (rank + 2 * n - t - 1) % n;
+            let r = segs[s_send].clone();
+            let payload = if r.is_empty() {
+                Payload::Empty
+            } else {
+                Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
+            };
+            self.send(
+                (rank + 1) % n,
+                tag,
+                Message {
+                    seg: s_send,
+                    payload,
+                    wire_bytes: r.len() * 4,
+                    dense_bytes: r.len() * 4,
+                },
+            )?;
+            let msg = self.recv(rank, tag)?;
+            if msg.seg != s_recv {
+                self.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match msg.payload {
+                Payload::Empty => {}
+                Payload::Dense(vals) if vals.len() == dst.len() => {
+                    for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
+                        *b += v;
+                    }
+                }
+                _ => {
+                    self.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+        }
+        self.count_phase(rank);
+        Ok((rank + 1) % n)
+    }
+
+    /// Exact (dense f32) ring all-gather under `tag` — also the
+    /// ZeRO-style parameter gather of lossy transports
+    /// ([`Collective::all_gather_exact`]).
+    fn dense_all_gather(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        segs: &[Range<usize>],
+    ) -> Result<()> {
+        let n = self.world;
+        if n <= 1 {
+            return Ok(());
+        }
+        let mut forward: Option<Message> = None;
+        for t in 0..n - 1 {
+            let s_send = (rank + 1 + n - t) % n;
+            let msg = match forward.take() {
+                Some(m) => m,
+                None => {
+                    debug_assert_eq!(s_send, owned);
+                    let r = segs[owned].clone();
+                    let payload = if r.is_empty() {
+                        Payload::Empty
+                    } else {
+                        Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
+                    };
+                    Message {
+                        seg: owned,
+                        payload,
+                        wire_bytes: r.len() * 4,
+                        dense_bytes: r.len() * 4,
+                    }
+                }
+            };
+            self.send((rank + 1) % n, tag, msg)?;
+            let received = self.recv(rank, tag)?;
+            let s_recv = (rank + n - t) % n;
+            if received.seg != s_recv {
+                self.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match &received.payload {
+                Payload::Empty => {}
+                Payload::Dense(vals) if vals.len() == dst.len() => {
+                    buf[dst].copy_from_slice(vals);
+                }
+                _ => {
+                    self.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+            if t + 1 < n - 1 {
+                forward = Some(received);
+            }
+        }
+        self.count_phase(rank);
+        Ok(())
+    }
 }
 
 /// The exact dense-f32 ring — the communication baseline Fig 12 compares
@@ -320,103 +505,66 @@ impl Collective for DenseRing {
     }
 
     fn reduce_scatter(&self, rank: usize, buf: &mut [f32]) -> Result<usize> {
-        let n = self.core.world;
-        if n <= 1 {
-            return Ok(0);
-        }
-        let segs = seg_ranges(buf.len(), n);
-        for t in 0..n - 1 {
-            let s_send = (rank + n - t) % n;
-            let s_recv = (rank + 2 * n - t - 1) % n;
-            let r = segs[s_send].clone();
-            let payload = if r.is_empty() {
-                Payload::Empty
-            } else {
-                Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
-            };
-            self.core.send(
-                (rank + 1) % n,
-                Message {
-                    seg: s_send,
-                    payload,
-                    wire_bytes: r.len() * 4,
-                    dense_bytes: r.len() * 4,
-                },
-            )?;
-            let msg = self.core.recv(rank)?;
-            if msg.seg != s_recv {
-                self.core.poison();
-                return Err(DistError::Aborted("ring schedule mismatch".into()));
-            }
-            let dst = segs[s_recv].clone();
-            match msg.payload {
-                Payload::Empty => {}
-                Payload::Dense(vals) if vals.len() == dst.len() => {
-                    for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
-                        *b += v;
-                    }
-                }
-                _ => {
-                    self.core.poison();
-                    return Err(DistError::Aborted("unexpected payload".into()));
-                }
-            }
-        }
-        self.core.count_phase(rank);
-        Ok((rank + 1) % n)
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.core.dense_reduce_scatter(rank, buf, 0, &segs)
     }
 
     fn all_gather(&self, rank: usize, owned: usize, buf: &mut [f32]) -> Result<()> {
-        let n = self.core.world;
-        if n <= 1 {
-            return Ok(());
-        }
-        let segs = seg_ranges(buf.len(), n);
-        let mut forward: Option<Message> = None;
-        for t in 0..n - 1 {
-            let s_send = (rank + 1 + n - t) % n;
-            let msg = match forward.take() {
-                Some(m) => m,
-                None => {
-                    debug_assert_eq!(s_send, owned);
-                    let r = segs[owned].clone();
-                    let payload = if r.is_empty() {
-                        Payload::Empty
-                    } else {
-                        Payload::Dense(Arc::new(buf[r.clone()].to_vec()))
-                    };
-                    Message {
-                        seg: owned,
-                        payload,
-                        wire_bytes: r.len() * 4,
-                        dense_bytes: r.len() * 4,
-                    }
-                }
-            };
-            self.core.send((rank + 1) % n, msg)?;
-            let received = self.core.recv(rank)?;
-            let s_recv = (rank + n - t) % n;
-            if received.seg != s_recv {
-                self.core.poison();
-                return Err(DistError::Aborted("ring schedule mismatch".into()));
-            }
-            let dst = segs[s_recv].clone();
-            match &received.payload {
-                Payload::Empty => {}
-                Payload::Dense(vals) if vals.len() == dst.len() => {
-                    buf[dst].copy_from_slice(vals);
-                }
-                _ => {
-                    self.core.poison();
-                    return Err(DistError::Aborted("unexpected payload".into()));
-                }
-            }
-            if t + 1 < n - 1 {
-                forward = Some(received);
-            }
-        }
-        self.core.count_phase(rank);
-        Ok(())
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.core.dense_all_gather(rank, owned, buf, 0, &segs)
+    }
+
+    fn reduce_scatter_tagged(&self, rank: usize, buf: &mut [f32], tag: u64) -> Result<usize> {
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.core.dense_reduce_scatter(rank, buf, tag, &segs)
+    }
+
+    fn all_gather_tagged(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+    ) -> Result<()> {
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.core.dense_all_gather(rank, owned, buf, tag, &segs)
+    }
+
+    fn reduce_scatter_aligned(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<usize> {
+        let segs = seg_ranges_at(start, buf.len(), total, self.core.world);
+        self.core.dense_reduce_scatter(rank, buf, tag, &segs)
+    }
+
+    fn all_gather_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<()> {
+        let segs = seg_ranges_at(start, buf.len(), total, self.core.world);
+        self.core.dense_all_gather(rank, owned, buf, tag, &segs)
+    }
+
+    fn all_gather_exact_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<()> {
+        self.all_gather_aligned(rank, owned, buf, tag, start, total)
     }
 
     fn stats(&self) -> CommStats {
@@ -427,33 +575,42 @@ impl Collective for DenseRing {
         *self.core.stats.lock().expect("stats poisoned") = CommStats::default();
     }
 
+    fn note_wait_nanos(&self, nanos: u64) {
+        self.core.stat(|st| st.wait_nanos += nanos);
+    }
+
+    fn set_straggler_timeout(&self, timeout: Option<Duration>) {
+        *self.core.straggler.lock().expect("straggler poisoned") = timeout;
+    }
+
+    fn set_wire_mibps(&self, mibps: Option<f64>) {
+        *self.core.wire_mibps.lock().expect("wire poisoned") = mibps;
+    }
+
     fn abort(&self) {
         self.core.poison();
     }
 }
 
-/// Per-rank error-feedback state.
-struct Residual {
-    values: Vec<f32>,
-}
-
 /// The compressed ring: segments travel as self-describing codec
-/// streams under an absolute error bound, with optional per-rank error
-/// feedback. See the module docs for the schedule and the
+/// streams under an absolute error bound, with optional per-rank,
+/// per-tag error feedback. See the module docs for the schedule and the
 /// bit-identical-replicas argument (which holds for **any** codec:
 /// all-gather forwards owner-encoded bytes verbatim, so replicas decode
 /// identical streams regardless of backend).
 ///
-/// Codecs with a frame index ([`Codec::supports_frame_index`]) get the
-/// frame-indexed hop 0 (one shared whole-gradient stream, receivers
-/// decode only their segment's frames); others fall back to independent
-/// per-segment streams on every hop.
+/// Encode work is **segment-only**: each rank compresses exactly the
+/// segments it forwards, `~1/N` of the gradient per hop, instead of the
+/// whole gradient on hop 0.
 pub struct CompressedRing {
     core: RingCore,
     codec: Arc<dyn Codec>,
     eb: Mutex<f32>,
+    /// Per-bucket bound overrides, keyed by tag (σ-model refinement).
+    bucket_ebs: Mutex<HashMap<u64, f32>>,
     error_feedback: bool,
-    residuals: Vec<Mutex<Residual>>,
+    /// `residuals[rank][tag]` — one EF residual per rank per bucket.
+    residuals: Vec<Mutex<HashMap<u64, Vec<f32>>>>,
 }
 
 impl CompressedRing {
@@ -477,10 +634,9 @@ impl CompressedRing {
             core: RingCore::new(world),
             codec,
             eb: Mutex::new(eb),
+            bucket_ebs: Mutex::new(HashMap::new()),
             error_feedback,
-            residuals: (0..world)
-                .map(|_| Mutex::new(Residual { values: Vec::new() }))
-                .collect(),
+            residuals: (0..world).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
@@ -494,8 +650,36 @@ impl CompressedRing {
         self.codec.name()
     }
 
-    fn snapshot_bound(&self) -> BoundSpec {
-        BoundSpec::Abs(*self.eb.lock().expect("eb poisoned"))
+    /// The bound for `tag`: the per-bucket override if set, else the
+    /// global bound.
+    fn snapshot_bound(&self, tag: u64) -> BoundSpec {
+        let eb = self
+            .bucket_ebs
+            .lock()
+            .expect("bucket eb poisoned")
+            .get(&tag)
+            .copied()
+            .unwrap_or_else(|| *self.eb.lock().expect("eb poisoned"));
+        BoundSpec::Abs(eb)
+    }
+
+    /// Take the EF residual for `(rank, tag)`, zero-initialized (or
+    /// reset) to `len` elements. Taken out of the map so concurrent
+    /// tags on one rank don't serialize on each other's residuals.
+    fn take_residual(&self, rank: usize, tag: u64, len: usize) -> Vec<f32> {
+        let mut map = self.residuals[rank].lock().expect("residual poisoned");
+        let mut v = map.remove(&tag).unwrap_or_default();
+        if v.len() != len {
+            v = vec![0.0; len];
+        }
+        v
+    }
+
+    fn put_residual(&self, rank: usize, tag: u64, v: Vec<f32>) {
+        self.residuals[rank]
+            .lock()
+            .expect("residual poisoned")
+            .insert(tag, v);
     }
 
     fn codec<T>(&self, r: ebtrain_sz::Result<T>) -> Result<T> {
@@ -503,6 +687,191 @@ impl CompressedRing {
             self.core.poison();
             DistError::Sz(e)
         })
+    }
+
+    /// Compressed ring reduce-scatter over an explicit segment map.
+    fn rs_segs(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        segs: &[Range<usize>],
+    ) -> Result<usize> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(0);
+        }
+        let len = buf.len();
+        let bound = self.snapshot_bound(tag);
+        let mut res = if self.error_feedback {
+            Some(self.take_residual(rank, tag, len))
+        } else {
+            None
+        };
+        for t in 0..n - 1 {
+            let s_send = (rank + n - t) % n;
+            let s_recv = (rank + 2 * n - t - 1) % n;
+            let r = segs[s_send].clone();
+            let msg = if r.is_empty() {
+                Message {
+                    seg: s_send,
+                    payload: Payload::Empty,
+                    wire_bytes: 0,
+                    dense_bytes: 0,
+                }
+            } else {
+                // Segment-only encode: one independent stream for
+                // exactly the segment this hop forwards (hop 0 carries
+                // raw values, later hops partial sums — same path).
+                let enc0 = Instant::now();
+                let mut vals = buf[r.clone()].to_vec();
+                if let Some(res) = res.as_ref() {
+                    for (v, e) in vals.iter_mut().zip(&res[r.clone()]) {
+                        *v += *e;
+                    }
+                }
+                let res_slice = res.as_mut().map(|res| &mut res[r.clone()]);
+                let stream = self.encode_segment(&vals, &bound, res_slice)?;
+                self.core
+                    .stat(|st| st.encode_nanos += enc0.elapsed().as_nanos() as u64);
+                Message {
+                    seg: s_send,
+                    wire_bytes: stream.compressed_byte_len(),
+                    dense_bytes: r.len() * 4,
+                    payload: Payload::Stream(stream),
+                }
+            };
+            self.core.send((rank + 1) % n, tag, msg)?;
+            let received = self.core.recv(rank, tag)?;
+            if received.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            let vals = match received.payload {
+                Payload::Empty => Vec::new(),
+                Payload::Stream(stream) => {
+                    let dec0 = Instant::now();
+                    let vals = self.codec(self.codec.decompress(&stream))?;
+                    self.core
+                        .stat(|st| st.decode_nanos += dec0.elapsed().as_nanos() as u64);
+                    vals
+                }
+                Payload::Dense(_) => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected dense payload".into()));
+                }
+            };
+            if vals.len() != dst.len() {
+                self.core.poison();
+                return Err(DistError::Aborted("segment length mismatch".into()));
+            }
+            for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
+                *b += v;
+            }
+        }
+        if let Some(res) = res {
+            self.put_residual(rank, tag, res);
+        }
+        self.core.count_phase(rank);
+        Ok((rank + 1) % n)
+    }
+
+    /// Compressed ring all-gather over an explicit segment map.
+    fn ag_segs(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        segs: &[Range<usize>],
+    ) -> Result<()> {
+        let n = self.core.world;
+        if n <= 1 {
+            return Ok(());
+        }
+        let bound = self.snapshot_bound(tag);
+        let mut forward: Option<Message> = None;
+        for t in 0..n - 1 {
+            let s_send = (rank + 1 + n - t) % n;
+            let msg = match forward.take() {
+                Some(m) => m,
+                None => {
+                    debug_assert_eq!(s_send, owned);
+                    let r = segs[owned].clone();
+                    if r.is_empty() {
+                        Message {
+                            seg: owned,
+                            payload: Payload::Empty,
+                            wire_bytes: 0,
+                            dense_bytes: 0,
+                        }
+                    } else {
+                        // Compress the reduced segment once; adopt the
+                        // decoded copy locally so this rank holds exactly
+                        // what every peer will decode.
+                        let enc0 = Instant::now();
+                        let mut vals = buf[r.clone()].to_vec();
+                        let mut res = if self.error_feedback {
+                            Some(self.take_residual(rank, tag, buf.len()))
+                        } else {
+                            None
+                        };
+                        if let Some(res) = res.as_ref() {
+                            for (v, e) in vals.iter_mut().zip(&res[r.clone()]) {
+                                *v += *e;
+                            }
+                        }
+                        let res_slice = res.as_mut().map(|res| &mut res[r.clone()]);
+                        let stream = self.encode_segment(&vals, &bound, res_slice)?;
+                        if let Some(res) = res {
+                            self.put_residual(rank, tag, res);
+                        }
+                        let decoded = self.codec(self.codec.decompress(&stream))?;
+                        buf[r.clone()].copy_from_slice(&decoded);
+                        self.core
+                            .stat(|st| st.encode_nanos += enc0.elapsed().as_nanos() as u64);
+                        Message {
+                            seg: owned,
+                            wire_bytes: stream.compressed_byte_len(),
+                            dense_bytes: r.len() * 4,
+                            payload: Payload::Stream(stream),
+                        }
+                    }
+                }
+            };
+            self.core.send((rank + 1) % n, tag, msg)?;
+            let received = self.core.recv(rank, tag)?;
+            let s_recv = (rank + n - t) % n;
+            if received.seg != s_recv {
+                self.core.poison();
+                return Err(DistError::Aborted("ring schedule mismatch".into()));
+            }
+            let dst = segs[s_recv].clone();
+            match &received.payload {
+                Payload::Empty => {}
+                Payload::Stream(stream) => {
+                    let dec0 = Instant::now();
+                    let decoded = self.codec(self.codec.decompress(stream))?;
+                    self.core
+                        .stat(|st| st.decode_nanos += dec0.elapsed().as_nanos() as u64);
+                    if decoded.len() != dst.len() {
+                        self.core.poison();
+                        return Err(DistError::Aborted("segment length mismatch".into()));
+                    }
+                    buf[dst].copy_from_slice(&decoded);
+                }
+                _ => {
+                    self.core.poison();
+                    return Err(DistError::Aborted("unexpected payload".into()));
+                }
+            }
+            if t + 1 < n - 1 {
+                forward = Some(received);
+            }
+        }
+        self.core.count_phase(rank);
+        Ok(())
     }
 
     /// Compress `vals` (one segment) and, under error feedback, fold the
@@ -545,219 +914,73 @@ impl Collective for CompressedRing {
     }
 
     fn reduce_scatter(&self, rank: usize, buf: &mut [f32]) -> Result<usize> {
-        let n = self.core.world;
-        if n <= 1 {
-            return Ok(0);
-        }
-        let len = buf.len();
-        let segs = seg_ranges(len, n);
-        let per = seg_planes(len, n);
-        let n_planes = len.div_ceil(crate::SEG_ALIGN);
-        let bound = self.snapshot_bound();
-        let mut res = self.residuals[rank].lock().expect("residual poisoned");
-        if self.error_feedback && res.values.len() != len {
-            res.values = vec![0.0; len];
-        }
-        for t in 0..n - 1 {
-            let s_send = (rank + n - t) % n;
-            let s_recv = (rank + 2 * n - t - 1) % n;
-            let r = segs[s_send].clone();
-            let msg = if r.is_empty() {
-                Message {
-                    seg: s_send,
-                    payload: Payload::Empty,
-                    wire_bytes: 0,
-                    dense_bytes: 0,
-                }
-            } else if t == 0 && self.codec.supports_frame_index() {
-                // Hop 0, frame-indexed codecs: raw gradient values —
-                // compress the whole vector once, chunked so frames ==
-                // ring segments, and ship (logically) only this
-                // segment's frames; the receiver decodes just those via
-                // the frame index. Codecs without this capability take
-                // the independent-segment branch below instead.
-                let mut tmp = buf.to_vec();
-                if self.error_feedback {
-                    for (v, e) in tmp[r.clone()].iter_mut().zip(&res.values[r.clone()]) {
-                        *v += *e;
-                    }
-                }
-                let plane_range = (s_send * per).min(n_planes)..((s_send + 1) * per).min(n_planes);
-                let stream = Arc::new(self.codec(self.codec.compress_chunked(
-                    &tmp,
-                    DataLayout::D1(len),
-                    &bound,
-                    per,
-                ))?);
-                if self.error_feedback {
-                    let (decoded, _) = self.codec(self.codec.decompress_planes(
-                        &stream,
-                        DataLayout::D1(len),
-                        plane_range.clone(),
-                    ))?;
-                    for ((e, &v), &d) in res.values[r.clone()]
-                        .iter_mut()
-                        .zip(&tmp[r.clone()])
-                        .zip(decoded.iter())
-                    {
-                        *e = v - d;
-                    }
-                }
-                // Wire cost: shared overhead (tag, header, codebook)
-                // plus only the frames covering this segment.
-                let wire_bytes = self
-                    .codec
-                    .partial_wire_cost(&stream, &plane_range)
-                    .unwrap_or_else(|| stream.compressed_byte_len());
-                Message {
-                    seg: s_send,
-                    payload: Payload::SharedStream {
-                        stream,
-                        planes: plane_range,
-                    },
-                    wire_bytes,
-                    dense_bytes: r.len() * 4,
-                }
-            } else {
-                // Later hops carry partial sums (and hop 0 of
-                // non-frame-indexed codecs carries raw values): an
-                // independent stream per segment.
-                let mut vals = buf[r.clone()].to_vec();
-                if self.error_feedback {
-                    for (v, e) in vals.iter_mut().zip(&res.values[r.clone()]) {
-                        *v += *e;
-                    }
-                }
-                let res_slice: Option<&mut [f32]> = if self.error_feedback {
-                    Some(&mut res.values[r.clone()])
-                } else {
-                    None
-                };
-                let stream = self.encode_segment(&vals, &bound, res_slice)?;
-                Message {
-                    seg: s_send,
-                    wire_bytes: stream.compressed_byte_len(),
-                    dense_bytes: r.len() * 4,
-                    payload: Payload::Stream(stream),
-                }
-            };
-            self.core.send((rank + 1) % n, msg)?;
-            let received = self.core.recv(rank)?;
-            if received.seg != s_recv {
-                self.core.poison();
-                return Err(DistError::Aborted("ring schedule mismatch".into()));
-            }
-            let dst = segs[s_recv].clone();
-            let vals = match received.payload {
-                Payload::Empty => Vec::new(),
-                Payload::SharedStream { stream, planes } => {
-                    let (vals, _) = self.codec(self.codec.decompress_planes(
-                        &stream,
-                        DataLayout::D1(len),
-                        planes,
-                    ))?;
-                    vals
-                }
-                Payload::Stream(stream) => self.codec(self.codec.decompress(&stream))?,
-                Payload::Dense(_) => {
-                    self.core.poison();
-                    return Err(DistError::Aborted("unexpected dense payload".into()));
-                }
-            };
-            if vals.len() != dst.len() {
-                self.core.poison();
-                return Err(DistError::Aborted("segment length mismatch".into()));
-            }
-            for (b, v) in buf[dst].iter_mut().zip(vals.iter()) {
-                *b += v;
-            }
-        }
-        self.core.count_phase(rank);
-        Ok((rank + 1) % n)
+        self.reduce_scatter_tagged(rank, buf, 0)
     }
 
     fn all_gather(&self, rank: usize, owned: usize, buf: &mut [f32]) -> Result<()> {
-        let n = self.core.world;
-        if n <= 1 {
-            return Ok(());
-        }
-        let segs = seg_ranges(buf.len(), n);
-        let bound = self.snapshot_bound();
-        let mut forward: Option<Message> = None;
-        for t in 0..n - 1 {
-            let s_send = (rank + 1 + n - t) % n;
-            let msg = match forward.take() {
-                Some(m) => m,
-                None => {
-                    debug_assert_eq!(s_send, owned);
-                    let r = segs[owned].clone();
-                    if r.is_empty() {
-                        Message {
-                            seg: owned,
-                            payload: Payload::Empty,
-                            wire_bytes: 0,
-                            dense_bytes: 0,
-                        }
-                    } else {
-                        // Compress the reduced segment once; adopt the
-                        // decoded copy locally so this rank holds exactly
-                        // what every peer will decode.
-                        let mut res = self.residuals[rank].lock().expect("residual");
-                        let mut vals = buf[r.clone()].to_vec();
-                        if self.error_feedback {
-                            if res.values.len() != buf.len() {
-                                res.values = vec![0.0; buf.len()];
-                            }
-                            for (v, e) in vals.iter_mut().zip(&res.values[r.clone()]) {
-                                *v += *e;
-                            }
-                        }
-                        let res_slice: Option<&mut [f32]> = if self.error_feedback {
-                            Some(&mut res.values[r.clone()])
-                        } else {
-                            None
-                        };
-                        let stream = self.encode_segment(&vals, &bound, res_slice)?;
-                        let decoded = self.codec(self.codec.decompress(&stream))?;
-                        buf[r.clone()].copy_from_slice(&decoded);
-                        Message {
-                            seg: owned,
-                            wire_bytes: stream.compressed_byte_len(),
-                            dense_bytes: r.len() * 4,
-                            payload: Payload::Stream(stream),
-                        }
-                    }
-                }
-            };
-            self.core.send((rank + 1) % n, msg)?;
-            let received = self.core.recv(rank)?;
-            let s_recv = (rank + n - t) % n;
-            if received.seg != s_recv {
-                self.core.poison();
-                return Err(DistError::Aborted("ring schedule mismatch".into()));
-            }
-            let dst = segs[s_recv].clone();
-            match &received.payload {
-                Payload::Empty => {}
-                Payload::Stream(stream) => {
-                    let decoded = self.codec(self.codec.decompress(stream))?;
-                    if decoded.len() != dst.len() {
-                        self.core.poison();
-                        return Err(DistError::Aborted("segment length mismatch".into()));
-                    }
-                    buf[dst].copy_from_slice(&decoded);
-                }
-                _ => {
-                    self.core.poison();
-                    return Err(DistError::Aborted("unexpected payload".into()));
-                }
-            }
-            if t + 1 < n - 1 {
-                forward = Some(received);
-            }
-        }
-        self.core.count_phase(rank);
-        Ok(())
+        self.all_gather_tagged(rank, owned, buf, 0)
+    }
+
+    fn reduce_scatter_tagged(&self, rank: usize, buf: &mut [f32], tag: u64) -> Result<usize> {
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.rs_segs(rank, buf, tag, &segs)
+    }
+
+    fn all_gather_tagged(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+    ) -> Result<()> {
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.ag_segs(rank, owned, buf, tag, &segs)
+    }
+
+    fn reduce_scatter_aligned(
+        &self,
+        rank: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<usize> {
+        let segs = seg_ranges_at(start, buf.len(), total, self.core.world);
+        self.rs_segs(rank, buf, tag, &segs)
+    }
+
+    fn all_gather_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<()> {
+        let segs = seg_ranges_at(start, buf.len(), total, self.core.world);
+        self.ag_segs(rank, owned, buf, tag, &segs)
+    }
+
+    /// ZeRO-style parameter gather: dense f32 payloads even on this
+    /// lossy transport — updated parameters ship once, exactly, like
+    /// the startup broadcast.
+    fn all_gather_exact(&self, rank: usize, owned: usize, buf: &mut [f32], tag: u64) -> Result<()> {
+        let segs = seg_ranges(buf.len(), self.core.world);
+        self.core.dense_all_gather(rank, owned, buf, tag, &segs)
+    }
+
+    fn all_gather_exact_aligned(
+        &self,
+        rank: usize,
+        owned: usize,
+        buf: &mut [f32],
+        tag: u64,
+        start: usize,
+        total: usize,
+    ) -> Result<()> {
+        let segs = seg_ranges_at(start, buf.len(), total, self.core.world);
+        self.core.dense_all_gather(rank, owned, buf, tag, &segs)
     }
 
     fn stats(&self) -> CommStats {
@@ -774,6 +997,30 @@ impl Collective for CompressedRing {
 
     fn error_bound(&self) -> Option<f32> {
         Some(*self.eb.lock().expect("eb poisoned"))
+    }
+
+    fn set_bucket_error_bound(&self, tag: u64, eb: Option<f32>) {
+        let mut map = self.bucket_ebs.lock().expect("bucket eb poisoned");
+        match eb {
+            Some(eb) => {
+                map.insert(tag, eb);
+            }
+            None => {
+                map.remove(&tag);
+            }
+        }
+    }
+
+    fn note_wait_nanos(&self, nanos: u64) {
+        self.core.stat(|st| st.wait_nanos += nanos);
+    }
+
+    fn set_straggler_timeout(&self, timeout: Option<Duration>) {
+        *self.core.straggler.lock().expect("straggler poisoned") = timeout;
+    }
+
+    fn set_wire_mibps(&self, mibps: Option<f64>) {
+        *self.core.wire_mibps.lock().expect("wire poisoned") = mibps;
     }
 
     fn abort(&self) {
@@ -1003,10 +1250,14 @@ mod tests {
     }
 
     #[test]
-    fn hop0_wire_bytes_exclude_other_segments_frames() {
-        // One rank's hop-0 message must cost (tag+header+codebook) plus
-        // only its own segment's frames — substantially less than the
-        // whole stream when the gradient spans many segments.
+    fn frame_indexed_streams_still_decode_single_segments() {
+        // The ring now encodes segment-only streams, but the codec's
+        // frame index remains the contract that lets other consumers
+        // (the budgeted store's frame-indexed decode) bill and decode a
+        // single segment of a chunked stream without touching its
+        // neighbours — keep the property pinned here where the segment
+        // geometry lives.
+        use crate::collective::seg_planes;
         let world = 4;
         let len = crate::SEG_ALIGN * 8;
         let vals: Vec<f32> = (0..len).map(|i| (i as f32 * 0.001).sin()).collect();
@@ -1063,5 +1314,161 @@ mod tests {
         // accounting must still be self-consistent.
         let st = coll.stats();
         assert!(st.payload_bytes > 0 && st.dense_equiv_bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_tagged_all_reduces_do_not_interleave() {
+        // Two buckets in flight at once on every rank: each (rank, tag)
+        // pair runs on its own thread, so hops of different tags race
+        // through the same mailboxes. Tag-keyed cells must keep the
+        // streams separate and both reductions exact.
+        let world = 3;
+        let len = crate::SEG_ALIGN + 11;
+        let tags = [7u64, 40];
+        let mut bufs: Vec<Vec<Vec<f32>>> = tags
+            .iter()
+            .map(|&tg| make_bufs(world, len, 1.0 + tg as f32))
+            .collect();
+        let expect: Vec<Vec<f32>> = bufs.iter().map(|b| exact_mean(b)).collect();
+        let coll = Arc::new(DenseRing::new(world));
+        let pool = WorkerPool::new(world * tags.len());
+        pool.scope(|s| {
+            for (ti, per_tag) in bufs.iter_mut().enumerate() {
+                let tag = tags[ti];
+                for (rank, buf) in per_tag.iter_mut().enumerate() {
+                    let coll = Arc::clone(&coll);
+                    s.spawn(move || coll.all_reduce_tagged(rank, buf, tag).unwrap());
+                }
+            }
+        });
+        for (ti, per_tag) in bufs.iter().enumerate() {
+            for (rank, b) in per_tag.iter().enumerate() {
+                for (i, (x, y)) in b.iter().zip(&expect[ti]).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-5 * y.abs().max(1.0),
+                        "tag {} rank {rank} elem {i}: {x} vs {y}",
+                        tags[ti]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_deadline_turns_a_delayed_rank_into_a_clean_abort() {
+        // Rank 2 never shows up within the deadline: the waiting ranks
+        // must poison the group and return Aborted — not hang.
+        let world = 3;
+        let coll = Arc::new(DenseRing::new(world));
+        coll.set_straggler_timeout(Some(Duration::from_millis(60)));
+        let pool = WorkerPool::new(world);
+        let mut outcomes: Vec<Option<Result<()>>> = (0..world).map(|_| None).collect();
+        pool.scope(|s| {
+            for (rank, out) in outcomes.iter_mut().enumerate() {
+                let coll = Arc::clone(&coll);
+                s.spawn(move || {
+                    if rank == 2 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    let mut buf = vec![1.0f32; 9000];
+                    *out = Some(coll.all_reduce(rank, &mut buf));
+                });
+            }
+        });
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert!(
+                matches!(o, Some(Err(DistError::Aborted(_)))),
+                "rank {rank} should have aborted cleanly: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_bucket_bound_overrides_the_global_bound() {
+        // The same data reduced under tag 1 (coarse override) must ship
+        // fewer payload bytes than under tag 0 (tight global bound).
+        let world = 2;
+        let len = crate::SEG_ALIGN * 2;
+        let coll = Arc::new(CompressedRing::new(world, 1e-5, false));
+        coll.set_bucket_error_bound(1, Some(1e-1));
+        let mut tight = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut tight, |c, r, b| c.all_reduce_tagged(r, b, 0)) {
+            r.unwrap();
+        }
+        let after_tight = coll.stats();
+        let mut coarse = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut coarse, |c, r, b| c.all_reduce_tagged(r, b, 1)) {
+            r.unwrap();
+        }
+        let coarse_delta = coll.stats().delta_since(&after_tight);
+        assert!(
+            coarse_delta.payload_bytes < after_tight.payload_bytes,
+            "coarse bucket bound should compress harder: {} vs {}",
+            coarse_delta.payload_bytes,
+            after_tight.payload_bytes
+        );
+        // Clearing the override falls back to the global bound.
+        coll.set_bucket_error_bound(1, None);
+        let before = coll.stats();
+        let mut again = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut again, |c, r, b| c.all_reduce_tagged(r, b, 1)) {
+            r.unwrap();
+        }
+        let d = coll.stats().delta_since(&before);
+        assert_eq!(d.payload_bytes, after_tight.payload_bytes);
+    }
+
+    #[test]
+    fn exact_all_gather_preserves_owned_segments_bitwise() {
+        // The ZeRO parameter gather: owners' values must arrive at every
+        // peer bit-exactly even on the lossy transport.
+        let world = 3;
+        let len = crate::SEG_ALIGN * world;
+        let coll = Arc::new(CompressedRing::new(world, 1e-2, false));
+        let mut bufs = make_bufs(world, len, 1.0);
+        let segs = seg_ranges(len, world);
+        // Pretend each rank already owns segment (rank + 1) % world with
+        // final values; gather must replicate them exactly.
+        let owned_vals: Vec<Vec<f32>> = (0..world)
+            .map(|r| bufs[r][segs[(r + 1) % world].clone()].to_vec())
+            .collect();
+        let results = run_ranks(&coll, &mut bufs, |c, r, b| {
+            c.all_gather_exact(r, (r + 1) % world, b, 9)
+        });
+        for r in results {
+            r.unwrap();
+        }
+        for (rank, b) in bufs.iter().enumerate() {
+            for (owner, vals) in owned_vals.iter().enumerate() {
+                let seg = (owner + 1) % world;
+                assert_eq!(
+                    &b[segs[seg].clone()],
+                    vals.as_slice(),
+                    "rank {rank} segment {seg} must match owner {owner} bit-exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_model_accounts_modeled_nanos() {
+        let world = 2;
+        let len = crate::SEG_ALIGN * 2;
+        let coll = Arc::new(DenseRing::new(world));
+        // Very fast modeled wire: sleeps stay in the microseconds.
+        coll.set_wire_mibps(Some(50_000.0));
+        let mut bufs = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        let st = coll.stats();
+        assert!(st.wire_nanos > 0, "wire model must account sleep time");
+        coll.set_wire_mibps(None);
+        coll.reset_stats();
+        let mut bufs = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        assert_eq!(coll.stats().wire_nanos, 0, "model off: no wire time");
     }
 }

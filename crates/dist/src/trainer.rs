@@ -9,29 +9,39 @@
 //! data parallelism: every worker's activation set independently honours
 //! the device budget). A step shards the global batch, runs all replicas
 //! concurrently on a dedicated persistent pool (one thread per rank),
-//! and synchronizes through the
-//! [`GradSyncHook`](ebtrain_dnn::train::GradSyncHook) seam: flatten
-//! gradients → `all_reduce` → unflatten. Because `all_reduce` returns
-//! bit-identical buffers on every rank and each replica applies the same
-//! SGD update, **parameters stay in lock-step** — quantization noise
-//! included.
+//! and synchronizes through the [`GradSync`] seam with a per-rank
+//! [`BucketedGradSync`]: the flat gradient is
+//! partitioned into layer-aligned buckets and each bucket's tagged
+//! collective launches **as backward retires it**, overlapping ring
+//! communication with the remainder of backward. Because every
+//! collective returns bit-identical buffers on every rank and each
+//! replica applies the same update, **parameters stay in lock-step** —
+//! quantization noise included. In ZeRO mode
+//! ([`SyncConfig::zero_shard`]) each rank instead owns 1/N of the
+//! optimizer state, updates its parameter shard, and the group
+//! all-gathers updated parameters exactly.
 //!
 //! The σ-model hook: on every collection iteration (the framework's `W`
 //! cadence) the trainer reads mean |momentum| (`M̄`, Eq. 8) off the
 //! chief replica, the observed gradient RMS off the reduced gradient,
 //! and re-picks the *communication* error bound via
-//! [`comm_error_bound_for_sigma`]
-//! — the same collect → assess → re-bound loop the paper runs for
-//! activations, now steering the collective.
+//! [`comm_error_bound_for_sigma`] — globally from the full-gradient
+//! RMS, then refined **per bucket** from each bucket's own RMS
+//! ([`per_bucket_comm_bounds`]) — the same collect → assess → re-bound
+//! loop the paper runs for activations, now steering the collective.
 
+use crate::bucketed::{BucketedGradSync, SyncConfig};
 use crate::collective::{Collective, CommStats};
 use crate::ring::{CompressedRing, DenseRing};
 use crate::{DistError, Result};
 use ebtrain_core::framework::{FrameworkConfig, IterationRecord};
-use ebtrain_core::{comm_error_bound_for_sigma, summarize_gradient, target_sigma, AdaptiveTrainer};
+use ebtrain_core::{
+    comm_error_bound_for_sigma, per_bucket_comm_bounds, target_sigma, AdaptiveTrainer,
+};
 use ebtrain_dnn::network::Network;
 use ebtrain_dnn::optimizer::SgdConfig;
 use ebtrain_dnn::store::BudgetConfig;
+use ebtrain_dnn::train::GradSync;
 use ebtrain_dnn::DnnError;
 use ebtrain_pool::WorkerPool;
 use ebtrain_tensor::Tensor;
@@ -83,11 +93,14 @@ pub struct DistConfig {
     /// When set, every replica stores activations in its own budgeted
     /// arena under this configuration (PR-3 composition).
     pub budget: Option<BudgetConfig>,
+    /// Bucketed-sync knobs: bucket size, backward overlap, ZeRO
+    /// sharding, straggler deadline, modeled wire.
+    pub sync: SyncConfig,
 }
 
 impl DistConfig {
     /// Config with `world` workers, the given transport, and framework /
-    /// SGD defaults.
+    /// SGD / sync defaults.
     pub fn new(world: usize, comm: CommMode) -> DistConfig {
         DistConfig {
             world,
@@ -95,6 +108,7 @@ impl DistConfig {
             framework: FrameworkConfig::default(),
             sgd: SgdConfig::default(),
             budget: None,
+            sync: SyncConfig::default(),
         }
     }
 }
@@ -118,12 +132,17 @@ pub struct DistStepRecord {
     pub comm_error_bound: Option<f32>,
     /// Whether this was a collection iteration.
     pub collected: bool,
+    /// Largest per-rank sharded optimizer state (0 outside ZeRO mode).
+    pub optimizer_shard_bytes: usize,
 }
 
 /// Synchronous data-parallel trainer; see the module docs.
 pub struct DistributedTrainer {
     replicas: Vec<AdaptiveTrainer>,
+    /// One bucketed synchronizer per rank (zipped with `replicas`).
+    syncs: Vec<BucketedGradSync>,
     collective: Arc<dyn Collective>,
+    /// Per-rank threads the replicas step on.
     pool: WorkerPool,
     world: usize,
     adaptive_comm: bool,
@@ -175,6 +194,19 @@ impl DistributedTrainer {
                     error_feedback,
                 ),
             };
+        if cfg.sync.zero_shard && adaptive_comm {
+            // With sharded optimizer state no rank holds the full
+            // momentum vector, so the global M̄ statistic Eq. 8 needs is
+            // simply not observable — reject instead of silently
+            // steering the bound from an all-zeros momentum.
+            return Err(DistError::Config(
+                "ZeRO sharded optimizer is incompatible with the σ-adaptive comm bound \
+                 (momentum lives in shards; pin the bound with adaptive: false)"
+                    .into(),
+            ));
+        }
+        collective.set_straggler_timeout(cfg.sync.straggler_timeout);
+        collective.set_wire_mibps(cfg.sync.wire_mibps);
         let mut replicas = Vec::with_capacity(world);
         let mut param_count = None;
         for rank in 0..world {
@@ -204,8 +236,30 @@ impl DistributedTrainer {
                 None => AdaptiveTrainer::new(net, cfg.sgd.clone(), cfg.framework.clone()),
             });
         }
+        // The comm pool carries the in-flight bucket collectives. Its
+        // threads mostly sleep in ring waits (or the modeled wire), so
+        // over-provisioning beyond the core count is cheap and buys
+        // overlap; joins inline-run queued tasks, so even a saturated
+        // pool cannot deadlock (see `bucketed` module docs).
+        let comm_pool = Arc::new(WorkerPool::new((world * 2).max(2)));
+        let syncs = replicas
+            .iter()
+            .enumerate()
+            .map(|(rank, t)| {
+                BucketedGradSync::new(
+                    rank,
+                    Arc::clone(&collective),
+                    Arc::clone(&comm_pool),
+                    t.network(),
+                    &cfg.sync,
+                    cfg.sync.zero_shard.then(|| cfg.sgd.clone()),
+                    rank == 0 && !cfg.sync.zero_shard,
+                )
+            })
+            .collect::<Vec<_>>();
         let mut trainer = DistributedTrainer {
             replicas,
+            syncs,
             collective,
             pool: WorkerPool::new(world),
             world,
@@ -213,6 +267,12 @@ impl DistributedTrainer {
             error_feedback,
             history: Vec::new(),
         };
+        // Sharded optimizer state is real per-rank memory: tell each
+        // budgeted store about it for reporting — pinned elsewhere to
+        // never charge the *activation* budget.
+        for (t, s) in trainer.replicas.iter_mut().zip(&trainer.syncs) {
+            t.note_external_store_bytes(s.optimizer_shard_bytes());
+        }
         trainer.broadcast_params(0)?;
         Ok(trainer)
     }
@@ -298,43 +358,24 @@ impl DistributedTrainer {
 
         let stats_before = self.collective.stats();
         let collective = Arc::clone(&self.collective);
-        type Outcome = std::result::Result<
-            (IterationRecord, usize, Option<ebtrain_core::GradSummary>),
-            DnnError,
-        >;
+        type Outcome = std::result::Result<(IterationRecord, usize), DnnError>;
         let mut outcomes: Vec<Option<Outcome>> = (0..self.world).map(|_| None).collect();
         self.pool.scope(|s| {
-            for (rank, ((trainer, out), shard_slot)) in self
+            for (((trainer, sync), out), shard_slot) in self
                 .replicas
                 .iter_mut()
+                .zip(self.syncs.iter_mut())
                 .zip(outcomes.iter_mut())
                 .zip(shards.iter_mut())
-                .enumerate()
             {
                 let coll = Arc::clone(&collective);
                 let (sx, slabels) = shard_slot.take().expect("shard built above");
                 s.spawn(move || {
-                    let coll_for_run = Arc::clone(&coll);
                     let run = move || -> Outcome {
-                        let coll = coll_for_run;
-                        let mut flat: Vec<f32> = Vec::new();
-                        let mut summary = None;
-                        let want_summary = rank == 0;
-                        let record = {
-                            let mut sync = |net: &mut Network| -> ebtrain_dnn::Result<()> {
-                                net.flatten_grads_into(&mut flat);
-                                coll.all_reduce(rank, &mut flat).map_err(|e| {
-                                    DnnError::State(format!("gradient all-reduce failed: {e}"))
-                                })?;
-                                if want_summary {
-                                    summary = Some(summarize_gradient(&flat));
-                                }
-                                net.unflatten_grads(&flat)
-                            };
-                            trainer.step_synced(sx, &slabels, Some(&mut sync))?
-                        };
+                        let record =
+                            trainer.step_synced(sx, &slabels, Some(sync as &mut dyn GradSync))?;
                         let batch = slabels.len();
-                        Ok((record, batch, summary))
+                        Ok((record, batch))
                     };
                     match catch_unwind(AssertUnwindSafe(run)) {
                         Ok(r) => {
@@ -360,36 +401,47 @@ impl DistributedTrainer {
         let mut peak = 0usize;
         let mut iter = 0usize;
         let mut collected = false;
-        let mut chief_summary = None;
         for (rank, o) in outcomes.into_iter().enumerate() {
-            let (record, _batch, summary) = o.expect("rank ran").map_err(DistError::Dnn)?;
+            let (record, _batch) = o.expect("rank ran").map_err(DistError::Dnn)?;
             loss_sum += record.loss as f64;
             acc_sum += record.accuracy;
             peak = peak.max(record.peak_store_bytes);
             if rank == 0 {
                 iter = record.iter;
                 collected = record.collected;
-                chief_summary = summary;
             }
         }
         let comm = self.collective.stats().delta_since(&stats_before);
-        // The bound the just-completed all_reduce actually encoded with —
-        // captured before the σ-hook re-picks it for the *next* step.
+        // The bound the just-completed collectives actually encoded with
+        // — captured before the σ-hook re-picks it for the *next* step.
         let used_eb = self.collective.error_bound();
 
         // The σ-model hook: on collection iterations, re-pick the
         // communication bound from M̄ (Eq. 8's σ target) and the observed
-        // gradient RMS — unless the transport is dense or pinned.
+        // gradient RMS — globally, then refined per bucket from each
+        // bucket's own RMS. (Unreachable in ZeRO mode: adaptive + ZeRO
+        // is rejected at construction and the chief computes no summary.)
         if self.adaptive_comm && collected {
-            if let Some(summary) = chief_summary {
+            if let Some(summary) = self.syncs[0].last_summary() {
                 let m_avg = momentum_abs_mean(self.replicas[0].network());
                 let fw = self.replicas[0].config();
+                let (min_eb, max_eb) = (fw.min_eb, fw.max_eb);
                 let sigma = target_sigma(m_avg, fw.sigma_fraction);
                 if let Some(eb) =
                     comm_error_bound_for_sigma(sigma, summary.rms, self.error_feedback)
                 {
-                    let eb = (eb as f32).clamp(fw.min_eb, fw.max_eb);
+                    let eb = (eb as f32).clamp(min_eb, max_eb);
                     self.collective.set_error_bound(eb);
+                }
+                let bucket_rms = self.syncs[0].last_bucket_rms();
+                for (b, bound) in per_bucket_comm_bounds(sigma, bucket_rms, self.error_feedback)
+                    .into_iter()
+                    .enumerate()
+                {
+                    self.collective.set_bucket_error_bound(
+                        b as u64,
+                        bound.map(|e| (e as f32).clamp(min_eb, max_eb)),
+                    );
                 }
             }
         }
@@ -402,6 +454,12 @@ impl DistributedTrainer {
             comm,
             comm_error_bound: used_eb,
             collected,
+            optimizer_shard_bytes: self
+                .syncs
+                .iter()
+                .map(|s| s.optimizer_shard_bytes())
+                .max()
+                .unwrap_or(0),
         };
         self.history.push(record);
         Ok(record)
@@ -445,6 +503,18 @@ impl DistributedTrainer {
     /// Transport name (reporting).
     pub fn comm_name(&self) -> &'static str {
         self.collective.name()
+    }
+
+    /// Number of gradient buckets each step synchronizes (identical on
+    /// every rank).
+    pub fn num_buckets(&self) -> usize {
+        self.syncs[0].plan().num_buckets()
+    }
+
+    /// The chief rank's bucketed synchronizer (plan, shard bytes,
+    /// last-step statistics).
+    pub fn chief_sync(&self) -> &BucketedGradSync {
+        &self.syncs[0]
     }
 
     /// Per-step records so far.

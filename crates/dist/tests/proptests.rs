@@ -13,6 +13,7 @@
 //! `2·eb` while the time average is unbiased.
 
 use ebtrain_dist::{seg_ranges, Collective, CompressedRing, DenseRing};
+use ebtrain_dnn::BucketPlan;
 use ebtrain_pool::WorkerPool;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -137,5 +138,93 @@ proptest! {
             cursor = s.end;
         }
         prop_assert_eq!(cursor, len);
+    }
+
+    #[test]
+    fn bucket_plan_covers_every_flat_element_exactly_once(
+        sizes in prop::collection::vec(1usize..5000, 1..12),
+        target_bytes in prop_oneof![Just(0usize), 1usize..40_000],
+    ) {
+        let spans: Vec<(usize, usize)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &elems)| (id * 3 + 1, elems)) // sparse, non-contiguous ids
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let plan = BucketPlan::from_spans(&spans, target_bytes);
+        prop_assert_eq!(plan.total_len(), total);
+
+        // Bucket ranges tile [0, total) in order: no gaps, no overlap,
+        // no empty buckets.
+        let mut cursor = 0usize;
+        for b in plan.buckets() {
+            prop_assert_eq!(b.range.start, cursor);
+            prop_assert!(b.range.end > b.range.start, "empty bucket");
+            prop_assert!(!b.layers.is_empty());
+            cursor = b.range.end;
+        }
+        prop_assert_eq!(cursor, total);
+
+        // Every layer appears in exactly one bucket, wholly inside it,
+        // and the slots tile each bucket exactly.
+        let mut seen = 0usize;
+        let mut off = 0usize;
+        for &(id, elems) in &spans {
+            let slot = plan.slot(id).expect("layer has a slot");
+            prop_assert_eq!(slot.flat_offset, off);
+            prop_assert_eq!(slot.len, elems);
+            let r = plan.bucket_range(slot.bucket);
+            prop_assert!(r.start <= off && off + elems <= r.end);
+            prop_assert!(plan.buckets()[slot.bucket].layers.contains(&id));
+            seen += 1;
+            off += elems;
+        }
+        prop_assert_eq!(seen, spans.len());
+        let listed: usize = plan.buckets().iter().map(|b| b.layers.len()).sum();
+        prop_assert_eq!(listed, spans.len(), "a layer listed twice");
+    }
+
+    #[test]
+    fn bucketed_dense_sync_is_bit_identical_to_whole_tensor(
+        world in 2usize..5,
+        sizes in prop::collection::vec(
+            prop_oneof![1usize..300, 2000usize..30_000], 1..8),
+        target_bytes in prop_oneof![Just(0usize), 16usize..100_000],
+        seed in any::<u64>(),
+    ) {
+        // Bucket segmentation inherits the whole-tensor segment map
+        // (`seg_ranges_at`), so each element's f32 reduction association
+        // order is independent of bucketing — the results must match the
+        // legacy whole-tensor sync to the bit, for any geometry.
+        let spans: Vec<(usize, usize)> = sizes.iter().copied().enumerate().collect();
+        let total: usize = sizes.iter().sum();
+        let plan = BucketPlan::from_spans(&spans, target_bytes);
+        let bufs = random_bufs(world, total, seed, 1.0);
+
+        let whole = all_reduce_group(Arc::new(DenseRing::new(world)), bufs.clone());
+
+        let coll: Arc<dyn Collective> = Arc::new(DenseRing::new(world));
+        let mut bucketed = bufs;
+        let pool = WorkerPool::new(world);
+        pool.scope(|s| {
+            for (rank, flat) in bucketed.iter_mut().enumerate() {
+                let coll = Arc::clone(&coll);
+                let plan = &plan;
+                s.spawn(move || {
+                    for b in 0..plan.num_buckets() {
+                        let r = plan.bucket_range(b);
+                        let start = r.start;
+                        coll.all_reduce_aligned(rank, &mut flat[r], b as u64, start, total)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+
+        for (rank, (bw, ww)) in bucketed.iter().zip(&whole).enumerate() {
+            let a: Vec<u32> = bw.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = ww.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b, "rank {} diverged from whole-tensor sync", rank);
+        }
     }
 }

@@ -1,0 +1,208 @@
+//! Layer-aligned gradient buckets for overlapped data-parallel sync.
+//!
+//! A [`BucketPlan`] partitions the **flat gradient layout** (the
+//! depth-first parameter order of
+//! [`Network::flatten_grads_into`](crate::network::Network::flatten_grads_into))
+//! into contiguous, size-targeted buckets whose boundaries never split a
+//! layer. Backward retires layers in reverse flatten order, so a
+//! bucketed sync driver (see `ebtrain-dist`) can launch one collective
+//! per bucket as soon as every layer inside it has produced its
+//! gradients — overlapping ring communication with the rest of
+//! backward instead of waiting for the full flat tensor.
+//!
+//! Invariant (property-tested in `ebtrain-dist`): the bucket ranges
+//! cover `[0, total_len)` exactly once, in order, with no gaps and no
+//! overlap.
+
+use crate::layer::LayerId;
+use crate::network::Network;
+
+/// One bucket: a contiguous range of the flat gradient layout plus the
+/// layers whose parameters live inside it.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Flat element range `[start, end)`.
+    pub range: std::ops::Range<usize>,
+    /// Ids of the layers whose parameters fall in this bucket (forward
+    /// order). A sync driver counts these down as backward retires them.
+    pub layers: Vec<LayerId>,
+}
+
+/// Where one layer's parameters sit in the plan.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSlot {
+    /// Index of the bucket holding this layer.
+    pub bucket: usize,
+    /// Flat offset of the layer's first parameter element.
+    pub flat_offset: usize,
+    /// Total parameter elements of the layer.
+    pub len: usize,
+}
+
+/// A size-targeted, layer-aligned partition of the flat gradient view.
+#[derive(Debug, Clone)]
+pub struct BucketPlan {
+    buckets: Vec<Bucket>,
+    /// `layer id -> slot`, dense over the ids that own parameters.
+    slots: Vec<(LayerId, LayerSlot)>,
+    total: usize,
+}
+
+impl BucketPlan {
+    /// Plan for `net`, aiming at `target_bytes` of f32 gradients per
+    /// bucket (`0` = one bucket for the whole network, i.e. the legacy
+    /// whole-tensor sync). A single layer larger than the target gets a
+    /// bucket of its own — buckets are layer-aligned, never split.
+    pub fn build(net: &Network, target_bytes: usize) -> BucketPlan {
+        let mut spans: Vec<(LayerId, usize)> = Vec::new();
+        net.visit_layers(&mut |layer| {
+            let elems: usize = layer.params().iter().map(|p| p.value.len()).sum();
+            if elems > 0 {
+                spans.push((layer.id(), elems));
+            }
+        });
+        BucketPlan::from_spans(&spans, target_bytes)
+    }
+
+    /// Plan from explicit `(layer id, parameter elements)` spans in flat
+    /// order — the constructor property tests drive with random layer
+    /// geometries.
+    pub fn from_spans(spans: &[(LayerId, usize)], target_bytes: usize) -> BucketPlan {
+        let target_elems = if target_bytes == 0 {
+            usize::MAX
+        } else {
+            (target_bytes / std::mem::size_of::<f32>()).max(1)
+        };
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut slots = Vec::with_capacity(spans.len());
+        let mut off = 0usize;
+        for &(id, elems) in spans {
+            let start_new = match buckets.last() {
+                None => true,
+                Some(b) => b.range.end - b.range.start + elems > target_elems,
+            };
+            if start_new {
+                buckets.push(Bucket {
+                    range: off..off,
+                    layers: Vec::new(),
+                });
+            }
+            let b = buckets.last_mut().expect("bucket exists");
+            b.range.end += elems;
+            b.layers.push(id);
+            slots.push((
+                id,
+                LayerSlot {
+                    bucket: buckets.len() - 1,
+                    flat_offset: off,
+                    len: elems,
+                },
+            ));
+            off += elems;
+        }
+        BucketPlan {
+            buckets,
+            slots,
+            total: off,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The buckets, in flat order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Flat element range of bucket `b`.
+    pub fn bucket_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.buckets[b].range.clone()
+    }
+
+    /// Total flat elements covered (== the network's parameter count).
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Slot of layer `id`, if it owns parameters.
+    pub fn slot(&self, id: LayerId) -> Option<LayerSlot> {
+        self.slots
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn assert_exact_cover(plan: &BucketPlan) {
+        let mut expect = 0usize;
+        for b in plan.buckets() {
+            assert_eq!(b.range.start, expect, "gap or overlap at bucket start");
+            assert!(b.range.end >= b.range.start);
+            assert!(!b.layers.is_empty(), "empty bucket");
+            expect = b.range.end;
+        }
+        assert_eq!(expect, plan.total_len());
+    }
+
+    #[test]
+    fn zero_target_is_single_bucket() {
+        let net = zoo::tiny_vgg(4, 3);
+        let plan = BucketPlan::build(&net, 0);
+        assert_eq!(plan.num_buckets(), 1);
+        assert_eq!(plan.total_len(), net.param_count());
+        assert_exact_cover(&plan);
+    }
+
+    #[test]
+    fn size_target_splits_layer_aligned() {
+        let net = zoo::tiny_vgg(4, 3);
+        let total = net.param_count();
+        let plan = BucketPlan::build(&net, total); // ~1/4 of bytes each
+        assert!(plan.num_buckets() > 1, "expected multiple buckets");
+        assert_eq!(plan.total_len(), total);
+        assert_exact_cover(&plan);
+        // Every layer sits wholly inside its bucket.
+        for &(_, slot) in &plan.slots {
+            let r = plan.bucket_range(slot.bucket);
+            assert!(r.start <= slot.flat_offset && slot.flat_offset + slot.len <= r.end);
+        }
+    }
+
+    #[test]
+    fn oversized_layer_gets_own_bucket() {
+        let spans = [(0usize, 10usize), (1, 1000), (2, 10)];
+        let plan = BucketPlan::from_spans(&spans, 64); // 16 elems target
+        assert_eq!(plan.num_buckets(), 3);
+        assert_eq!(plan.bucket_range(1).len(), 1000);
+        assert_exact_cover(&plan);
+    }
+
+    #[test]
+    fn slots_match_flat_layout_offsets() {
+        let net = zoo::tiny_alexnet(4, 3);
+        let plan = BucketPlan::build(&net, 128 * 1024);
+        assert_exact_cover(&plan);
+        // Recompute offsets by walking layers and compare.
+        let mut off = 0usize;
+        net.visit_layers(&mut |layer| {
+            let elems: usize = layer.params().iter().map(|p| p.value.len()).sum();
+            if elems > 0 {
+                let slot = plan.slot(layer.id()).expect("layer has a slot");
+                assert_eq!(slot.flat_offset, off);
+                assert_eq!(slot.len, elems);
+                off += elems;
+            } else {
+                assert!(plan.slot(layer.id()).is_none());
+            }
+        });
+        assert_eq!(off, plan.total_len());
+    }
+}

@@ -195,6 +195,10 @@ pub struct ForwardContext<'a> {
     pub plan: &'a CompressionPlan,
 }
 
+/// Callback fired as backward retires each layer's gradients (see
+/// [`BackwardContext::grad_ready`]).
+pub type GradReadyFn<'a> = dyn FnMut(&dyn Layer) -> Result<()> + 'a;
+
 /// Context threaded through the backward pass.
 pub struct BackwardContext<'a> {
     /// Store to load saved activations from.
@@ -202,6 +206,12 @@ pub struct BackwardContext<'a> {
     /// True on parameter-collection iterations: conv layers refresh their
     /// upstream-loss statistics (`L̄` of Eq. 6).
     pub collect: bool,
+    /// Invoked right after each layer's `backward` returns, i.e. the
+    /// moment that layer's parameter gradients are final for this step.
+    /// A bucketed gradient-sync driver (see `ebtrain-dist`) uses this to
+    /// launch per-bucket collectives while the rest of backward is still
+    /// running; `None` means no one is listening.
+    pub grad_ready: Option<&'a mut GradReadyFn<'a>>,
 }
 
 /// A trainable parameter (weight or bias) with its gradient and momentum.

@@ -280,6 +280,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = bn.backward(dy, &mut bctx).unwrap();
 

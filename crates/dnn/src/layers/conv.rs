@@ -266,6 +266,7 @@ mod tests {
         let mut ctx = BackwardContext {
             store,
             collect: true,
+            grad_ready: None,
         };
         conv.backward(dy, &mut ctx).unwrap()
     }

@@ -155,6 +155,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = d.backward(Tensor::full(&[256], 1.0), &mut bctx).unwrap();
         // gradient flows exactly where activations flowed
@@ -180,6 +181,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = d.backward(Tensor::full(&[8], 1.0), &mut bctx).unwrap();
         assert_eq!(dx.data(), &[1.0; 8]);

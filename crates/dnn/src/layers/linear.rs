@@ -204,6 +204,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = fc.backward(dy, &mut bctx).unwrap();
         let eps = 1e-2f32;

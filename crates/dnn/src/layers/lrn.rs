@@ -198,6 +198,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = lrn.backward(dy, &mut bctx).unwrap();
         let eps = 1e-2f32;

@@ -330,6 +330,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = pool
             .backward(Tensor::full(&[1, 1, 1, 1], 2.5), &mut bctx)
@@ -357,6 +358,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = pool
             .backward(Tensor::full(&[1, 1, 1, 1], 4.0), &mut bctx)

@@ -103,6 +103,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = relu.backward(dy, &mut bctx).unwrap();
         assert_eq!(dx.data(), &[1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
@@ -143,6 +144,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = relu.backward(Tensor::full(&[4], 5.0), &mut bctx).unwrap();
         assert!(dx.data().iter().all(|&v| v == 0.0));

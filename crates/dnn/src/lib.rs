@@ -29,6 +29,7 @@
 //! [`memsim`] adds the device-memory capacity / interconnect model used
 //! by the batch-size-scaling experiments (paper Fig 11).
 
+pub mod bucket;
 pub mod layer;
 pub mod layers;
 pub mod memsim;
@@ -41,17 +42,18 @@ pub mod store;
 pub mod train;
 pub mod zoo;
 
+pub use bucket::{Bucket, BucketPlan, LayerSlot};
 pub use layer::{
     BackwardContext, CompressionPlan, ConvLayerStats, ForwardContext, Layer, LayerId, LayerKind,
     Param, SaveHint, Saved, SlotId,
 };
 pub use network::{Network, Node};
-pub use optimizer::{LrSchedule, Sgd, SgdConfig};
+pub use optimizer::{flat_sgd_update, LrSchedule, Sgd, SgdConfig};
 pub use store::{
     ActivationStore, CompressedStore, HybridStore, LosslessStore, MigratedStore, NullStore,
     RawStore, StoreMetrics,
 };
-pub use train::{evaluate, train_step, train_step_synced, GradSyncHook, StepResult};
+pub use train::{evaluate, train_step, train_step_synced, GradSync, StepResult, SyncAction};
 
 /// Errors from network construction and execution.
 #[derive(Debug)]

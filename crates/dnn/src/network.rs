@@ -52,7 +52,15 @@ fn forward_nodes(nodes: &mut [Node], mut x: Tensor, ctx: &mut ForwardContext) ->
 fn backward_nodes(nodes: &mut [Node], mut dy: Tensor, ctx: &mut BackwardContext) -> Result<Tensor> {
     for node in nodes.iter_mut().rev() {
         dy = match node {
-            Node::Layer(layer) => layer.backward(dy, ctx)?,
+            Node::Layer(layer) => {
+                let dx = layer.backward(dy, ctx)?;
+                // This layer's parameter gradients are final for the step:
+                // notify any bucketed-sync listener before moving upstream.
+                if let Some(cb) = ctx.grad_ready.as_mut() {
+                    cb(layer.as_ref())?;
+                }
+                dx
+            }
             Node::Residual { body, shortcut } => {
                 let d_skip = if shortcut.is_empty() {
                     dy.clone()
@@ -539,6 +547,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = net.backward(dy, &mut bctx).unwrap();
         assert_eq!(dx.shape(), &[2, 3, 8, 8]);
@@ -577,6 +586,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = net
             .backward(Tensor::full(&[1, 2, 4, 4], 1.0), &mut bctx)
@@ -622,6 +632,7 @@ mod tests {
         let mut bctx = BackwardContext {
             store: &mut store,
             collect: false,
+            grad_ready: None,
         };
         let dx = net
             .backward(Tensor::full(&[1, 1, 2, 2], 1.0), &mut bctx)

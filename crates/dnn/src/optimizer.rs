@@ -54,6 +54,47 @@ impl Default for SgdConfig {
     }
 }
 
+impl SgdConfig {
+    /// Learning rate at iteration `iter` under the schedule.
+    pub fn lr_at(&self, iter: usize) -> f32 {
+        match &self.schedule {
+            LrSchedule::Constant => self.lr,
+            LrSchedule::Step { every, gamma } => {
+                let k = if *every == 0 { 0 } else { iter / every };
+                self.lr * gamma.powi(k as i32)
+            }
+            LrSchedule::MultiStep { milestones, gamma } => {
+                let k = milestones.iter().filter(|&&m| iter >= m).count();
+                self.lr * gamma.powi(k as i32)
+            }
+        }
+    }
+}
+
+/// The Caffe update rule over **flat slices** — the exact per-element
+/// math of [`Sgd::step`], exposed so a ZeRO-style sharded optimizer
+/// (`ebtrain-dist`) can update its owned 1/N parameter shard with its
+/// own flat momentum buffer and stay bit-identical to a local step.
+/// `decay[i]` says whether weight decay applies to element `i` (true
+/// for weights, false for biases).
+pub fn flat_sgd_update(
+    cfg: &SgdConfig,
+    iter: usize,
+    values: &mut [f32],
+    grads: &[f32],
+    momentum: &mut [f32],
+    decay: &[bool],
+) {
+    let lr = cfg.lr_at(iter);
+    let mu = cfg.momentum;
+    for i in 0..values.len() {
+        let wd = if decay[i] { cfg.weight_decay } else { 0.0 };
+        let g = grads[i] + wd * values[i];
+        momentum[i] = mu * momentum[i] + lr * g;
+        values[i] -= momentum[i];
+    }
+}
+
 /// The optimizer: holds config and the iteration counter.
 #[derive(Debug, Clone)]
 pub struct Sgd {
@@ -69,17 +110,7 @@ impl Sgd {
 
     /// Current learning rate under the schedule.
     pub fn current_lr(&self) -> f32 {
-        match &self.cfg.schedule {
-            LrSchedule::Constant => self.cfg.lr,
-            LrSchedule::Step { every, gamma } => {
-                let k = if *every == 0 { 0 } else { self.iter / every };
-                self.cfg.lr * gamma.powi(k as i32)
-            }
-            LrSchedule::MultiStep { milestones, gamma } => {
-                let k = milestones.iter().filter(|&&m| self.iter >= m).count();
-                self.cfg.lr * gamma.powi(k as i32)
-            }
-        }
+        self.cfg.lr_at(self.iter)
     }
 
     /// Completed iterations.
@@ -226,6 +257,36 @@ mod tests {
             opt.step(vec![&mut p]);
         }
         assert!((opt.current_lr() - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn flat_update_is_bit_identical_to_param_update() {
+        let cfg = SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            schedule: LrSchedule::Step {
+                every: 2,
+                gamma: 0.5,
+            },
+        };
+        let mut opt = Sgd::new(cfg.clone());
+        let mut w = param(0.7, 0.3, true);
+        let mut b = param(-0.2, 0.1, false);
+        let mut values = vec![0.7f32, -0.2];
+        let grads = vec![0.3f32, 0.1];
+        let mut mom = vec![0.0f32, 0.0];
+        let decay = vec![true, false];
+        for it in 0..5 {
+            flat_sgd_update(&cfg, it, &mut values, &grads, &mut mom, &decay);
+            w.grad.data_mut()[0] = grads[0];
+            b.grad.data_mut()[0] = grads[1];
+            opt.step(vec![&mut w, &mut b]);
+            assert_eq!(values[0].to_bits(), w.value.data()[0].to_bits());
+            assert_eq!(values[1].to_bits(), b.value.data()[0].to_bits());
+            assert_eq!(mom[0].to_bits(), w.momentum.data()[0].to_bits());
+            assert_eq!(mom[1].to_bits(), b.momentum.data()[0].to_bits());
+        }
     }
 
     #[test]

@@ -114,6 +114,7 @@ impl DataParallelGroup {
                 let mut bctx = BackwardContext {
                     store: *store,
                     collect,
+                    grad_ready: None,
                 };
                 replica.backward(dlogits, &mut bctx)?;
             }

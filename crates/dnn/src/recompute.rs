@@ -86,8 +86,11 @@ pub fn checkpointed_train_step_with(
 }
 
 /// [`checkpointed_train_step_with`] plus an optional
-/// [`GradSyncHook`](crate::train::GradSyncHook) between the last
-/// segment's backward and the optimizer step (see `train_step_synced`).
+/// [`GradSync`](crate::train::GradSync) driver. The driver observes the
+/// segmented backward exactly like the plain path — `begin` before the
+/// first segment's backward, `grad_ready` as each layer retires inside
+/// its segment, `finish` after the last segment — so bucketed
+/// collectives overlap with recomputation too.
 #[allow(clippy::too_many_arguments)]
 pub fn checkpointed_train_step_synced(
     net: &mut Network,
@@ -99,7 +102,7 @@ pub fn checkpointed_train_step_synced(
     labels: &[usize],
     n_segments: usize,
     collect: bool,
-    sync: Option<&mut crate::train::GradSyncHook>,
+    mut sync: Option<&mut dyn crate::train::GradSync>,
 ) -> Result<StepResult> {
     let n_nodes = net.num_top_nodes();
     if n_nodes == 0 {
@@ -131,6 +134,9 @@ pub fn checkpointed_train_step_synced(
 
     // Phase 2: per segment (reverse order): re-forward with real storage,
     // then backward through it. The store drains fully each segment.
+    if let Some(s) = sync.as_deref_mut() {
+        s.begin(net)?;
+    }
     let mut max_segment_peak = 0usize;
     for (seg, ckpt) in segments.iter().zip(&checkpoints).rev() {
         store.reset_peak();
@@ -144,15 +150,28 @@ pub fn checkpointed_train_step_synced(
             net.forward_range(seg.clone(), ckpt.clone(), &mut fctx)?;
         }
         max_segment_peak = max_segment_peak.max(store.peak_bytes());
-        let mut bctx = BackwardContext { store, collect };
-        dy = net.backward_range(seg.clone(), dy, &mut bctx)?;
+        {
+            let sync_ref = &mut sync;
+            let mut on_ready = |layer: &dyn crate::layer::Layer| -> Result<()> {
+                match sync_ref.as_deref_mut() {
+                    Some(s) => s.grad_ready(layer),
+                    None => Ok(()),
+                }
+            };
+            let mut bctx = BackwardContext {
+                store,
+                collect,
+                grad_ready: Some(&mut on_ready),
+            };
+            dy = net.backward_range(seg.clone(), dy, &mut bctx)?;
+        }
     }
 
-    if let Some(sync) = sync {
-        sync(net)?;
-    }
-    opt.step(net.params_mut());
-    net.zero_grads();
+    let action = match sync {
+        Some(s) => s.finish(net)?,
+        None => crate::train::SyncAction::LocalStep,
+    };
+    crate::train::apply_sync_action(net, opt, action);
     Ok(StepResult {
         loss,
         correct,

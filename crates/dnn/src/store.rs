@@ -694,6 +694,13 @@ pub struct BudgetedStore {
     metrics: StoreMetrics,
     /// Resolves per-layer codec routing ids from save hints.
     registry: CodecRegistry,
+    /// Bytes a caller holds *outside* the activation arena on this
+    /// worker's behalf (e.g. a sharded optimizer's per-rank momentum
+    /// shard). Reported for capacity planning but **never** charged
+    /// against the activation budget — optimizer state is not an
+    /// activation, and double-counting it would shrink the usable
+    /// activation budget by the shard size.
+    external_bytes: usize,
     /// Save-time `(stored, raw)` bytes of still-live compressible slots. The
     /// arena demotes/evicts entries *after* their save was recorded, so
     /// the stored-byte metrics are retro-updated against each slot's
@@ -715,6 +722,7 @@ impl BudgetedStore {
             drops_at_step_start: 0,
             metrics: StoreMetrics::default(),
             registry: CodecRegistry::standard(),
+            external_bytes: 0,
             live_stored: HashMap::new(),
         }
     }
@@ -741,6 +749,22 @@ impl BudgetedStore {
     /// Active eviction policy name.
     pub fn policy_name(&self) -> &'static str {
         self.arena.policy_name()
+    }
+
+    /// Record `bytes` of per-worker state held outside the activation
+    /// arena (sharded optimizer momentum, for instance). Overwrites the
+    /// previous figure — callers report their current holding, not a
+    /// delta. Deliberately *not* part of the budget: see
+    /// [`external_bytes`](Self::external_bytes).
+    pub fn note_external_bytes(&mut self, bytes: usize) {
+        self.external_bytes = bytes;
+    }
+
+    /// Bytes recorded via [`note_external_bytes`](Self::note_external_bytes).
+    /// These never count against [`budget_bytes`](Self::budget_bytes)
+    /// or the enforced activation peak.
+    pub fn external_bytes(&self) -> usize {
+        self.external_bytes
     }
 
     /// Mark the start of a fresh training step: clears the
@@ -1236,6 +1260,36 @@ mod tests {
         let am = s.arena_metrics();
         assert_eq!(am.over_budget_events, 0);
         assert!(am.demotions + am.evictions_host > 0, "no pressure response");
+    }
+
+    #[test]
+    fn external_bytes_never_charge_the_activation_budget() {
+        // ZeRO composition pin: a sharded optimizer's per-rank momentum
+        // shard is *reported* via note_external_bytes but must not eat
+        // into the activation budget — saves behave identically with and
+        // without a huge recorded shard.
+        let t = act_tensor();
+        let raw = t.byte_size();
+        let budget = raw + raw / 2;
+        let mut plain = BudgetedStore::with_budget(budget);
+        let mut noted = BudgetedStore::with_budget(budget);
+        noted.note_external_bytes(budget * 16); // way over budget on its own
+        for s in [&mut plain, &mut noted] {
+            s.save(SlotId(0, 0), Saved::F32(t.clone()), compressible());
+            s.save(SlotId(1, 0), Saved::F32(t.clone()), compressible());
+        }
+        assert_eq!(noted.external_bytes(), budget * 16);
+        assert_eq!(plain.external_bytes(), 0);
+        // Identical arena behavior: same peak, same pressure response.
+        assert_eq!(plain.peak_bytes(), noted.peak_bytes());
+        assert_eq!(plain.current_bytes(), noted.current_bytes());
+        assert_eq!(
+            plain.arena_metrics().demotions,
+            noted.arena_metrics().demotions
+        );
+        assert!(noted.peak_bytes() <= budget);
+        // And the budget itself is unchanged by the note.
+        assert_eq!(noted.budget_bytes(), budget);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Single-iteration training/eval helpers shared by examples, benches and
 //! the adaptive framework in `ebtrain-core`.
 
-use crate::layer::{BackwardContext, CompressionPlan, ForwardContext};
+use crate::layer::{BackwardContext, CompressionPlan, ForwardContext, Layer};
 use crate::layers::SoftmaxCrossEntropy;
 use crate::network::Network;
 use crate::optimizer::Sgd;
@@ -9,13 +9,106 @@ use crate::store::{ActivationStore, NullStore};
 use crate::Result;
 use ebtrain_tensor::Tensor;
 
-/// Synchronization hook a data-parallel runner injects **between
-/// backward and the optimizer step** — the point where every worker's
-/// local gradients exist but no update has been applied yet. A gradient
-/// collective (see `ebtrain-dist`) flattens the gradients here,
-/// all-reduces them across replicas, and scatters the averaged result
-/// back, so the subsequent local SGD step is identical on every worker.
-pub type GradSyncHook<'a> = dyn FnMut(&mut Network) -> Result<()> + 'a;
+/// What the training step must do after a [`GradSync`] driver finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncAction {
+    /// Gradients were averaged in place; run the local optimizer step as
+    /// usual.
+    LocalStep,
+    /// The driver already applied the parameter update (e.g. a sharded
+    /// optimizer that all-gathers updated params); skip the local
+    /// optimizer step but still advance the iteration counter.
+    StepApplied,
+}
+
+/// Gradient-synchronization driver a data-parallel runner injects into a
+/// training step. It observes backward at **layer granularity**:
+///
+/// * [`begin`](GradSync::begin) fires before backward starts (reset
+///   per-step bucket state);
+/// * [`grad_ready`](GradSync::grad_ready) fires as each layer's
+///   parameter gradients become final — a bucketed collective (see
+///   `ebtrain-dist`) copies them out and launches per-bucket ring ops
+///   that overlap with the remainder of backward;
+/// * [`finish`](GradSync::finish) fires after backward completes, joins
+///   whatever is still in flight, writes the reduced gradients (or
+///   already-updated parameters) back, and tells the step how to
+///   proceed via [`SyncAction`].
+///
+/// Plain closures `FnMut(&mut Network) -> Result<()>` implement this
+/// trait with the legacy whole-tensor semantics (everything happens in
+/// `finish`, between backward and the optimizer step).
+pub trait GradSync {
+    /// Called before backward starts; reset per-step state.
+    fn begin(&mut self, _net: &mut Network) -> Result<()> {
+        Ok(())
+    }
+    /// Called as each layer's gradients are finalized by backward.
+    fn grad_ready(&mut self, _layer: &dyn Layer) -> Result<()> {
+        Ok(())
+    }
+    /// Called after backward; must leave the network ready for the
+    /// returned [`SyncAction`].
+    fn finish(&mut self, net: &mut Network) -> Result<SyncAction>;
+}
+
+impl<F> GradSync for F
+where
+    F: FnMut(&mut Network) -> Result<()>,
+{
+    fn finish(&mut self, net: &mut Network) -> Result<SyncAction> {
+        self(net)?;
+        Ok(SyncAction::LocalStep)
+    }
+}
+
+/// Run backward with an optional [`GradSync`] driver wired into the
+/// context, then let the driver finish; returns the [`SyncAction`] the
+/// optimizer step must honor. Shared by the plain, budgeted and
+/// checkpointed step paths.
+pub(crate) fn backward_synced(
+    net: &mut Network,
+    dlogits: Tensor,
+    store: &mut dyn ActivationStore,
+    collect: bool,
+    sync: Option<&mut dyn GradSync>,
+) -> Result<SyncAction> {
+    match sync {
+        Some(sync) => {
+            sync.begin(net)?;
+            {
+                let mut on_ready = |layer: &dyn Layer| sync.grad_ready(layer);
+                let mut bctx = BackwardContext {
+                    store,
+                    collect,
+                    grad_ready: Some(&mut on_ready),
+                };
+                net.backward(dlogits, &mut bctx)?;
+            }
+            sync.finish(net)
+        }
+        None => {
+            let mut bctx = BackwardContext {
+                store,
+                collect,
+                grad_ready: None,
+            };
+            net.backward(dlogits, &mut bctx)?;
+            Ok(SyncAction::LocalStep)
+        }
+    }
+}
+
+/// Apply the post-sync optimizer action: either the local SGD step or —
+/// when the driver already updated parameters — just the counter
+/// advance. Always clears gradients.
+pub(crate) fn apply_sync_action(net: &mut Network, opt: &mut Sgd, action: SyncAction) {
+    match action {
+        SyncAction::LocalStep => opt.step(net.params_mut()),
+        SyncAction::StepApplied => opt.advance(),
+    }
+    net.zero_grads();
+}
 
 /// Outcome of one training step.
 #[derive(Debug, Clone, Copy)]
@@ -49,8 +142,9 @@ pub fn train_step(
     train_step_synced(net, head, opt, store, plan, x, labels, collect, None)
 }
 
-/// [`train_step`] with an optional [`GradSyncHook`] invoked after
-/// backward and before the optimizer step.
+/// [`train_step`] with an optional [`GradSync`] driver observing
+/// backward at layer granularity (bucketed collectives) and finishing
+/// before the optimizer step.
 #[allow(clippy::too_many_arguments)]
 pub fn train_step_synced(
     net: &mut Network,
@@ -61,7 +155,7 @@ pub fn train_step_synced(
     x: Tensor,
     labels: &[usize],
     collect: bool,
-    sync: Option<&mut GradSyncHook>,
+    sync: Option<&mut dyn GradSync>,
 ) -> Result<StepResult> {
     let batch = x.shape()[0];
     store.reset_peak();
@@ -76,16 +170,9 @@ pub fn train_step_synced(
     };
     let (loss, dlogits) = head.loss(&logits, labels)?;
     let correct = head.correct(&logits, labels);
-    {
-        let mut bctx = BackwardContext { store, collect };
-        net.backward(dlogits, &mut bctx)?;
-    }
+    let action = backward_synced(net, dlogits, store, collect, sync)?;
     let peak = store.peak_bytes();
-    if let Some(sync) = sync {
-        sync(net)?;
-    }
-    opt.step(net.params_mut());
-    net.zero_grads();
+    apply_sync_action(net, opt, action);
     Ok(StepResult {
         loss,
         correct,
@@ -139,8 +226,9 @@ pub fn budgeted_train_step(
     )
 }
 
-/// [`budgeted_train_step`] with an optional [`GradSyncHook`]; the hook
-/// also fires exactly once on the recompute-fallback path, so a
+/// [`budgeted_train_step`] with an optional [`GradSync`] driver; the
+/// driver also runs exactly once on the recompute-fallback path
+/// (buckets then retire during the segmented re-backward), so a
 /// data-parallel worker participates in its collective regardless of
 /// which execution path its memory pressure forced.
 #[allow(clippy::too_many_arguments)]
@@ -154,7 +242,7 @@ pub fn budgeted_train_step_synced(
     labels: &[usize],
     collect: bool,
     fallback_segments: Option<usize>,
-    sync: Option<&mut GradSyncHook>,
+    sync: Option<&mut dyn GradSync>,
 ) -> Result<StepResult> {
     let batch = x.shape()[0];
     store.reset_peak();
@@ -184,16 +272,9 @@ pub fn budgeted_train_step_synced(
     }
     let (loss, dlogits) = head.loss(&logits, labels)?;
     let correct = head.correct(&logits, labels);
-    {
-        let mut bctx = BackwardContext { store, collect };
-        net.backward(dlogits, &mut bctx)?;
-    }
+    let action = backward_synced(net, dlogits, store, collect, sync)?;
     let peak = store.peak_bytes();
-    if let Some(sync) = sync {
-        sync(net)?;
-    }
-    opt.step(net.params_mut());
-    net.zero_grads();
+    apply_sync_action(net, opt, action);
     Ok(StepResult {
         loss,
         correct,

@@ -20,6 +20,7 @@
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dist::{CommMode, DistConfig, DistributedTrainer};
+use ebtrain_dnn::network::Network;
 use ebtrain_dnn::optimizer::SgdConfig;
 use ebtrain_dnn::zoo;
 
@@ -138,6 +139,110 @@ fn n4_compressed_ring_with_error_feedback_matches_single_worker() {
         single_late < single_early - 0.05,
         "single worker did not learn: {single_early:.4} -> {single_late:.4}"
     );
+}
+
+/// Flatten a network's parameters read-only (depth-first layer order —
+/// the same layout as `flatten_params_into`).
+fn flat_params(net: &Network) -> Vec<f32> {
+    let mut out = Vec::new();
+    net.visit_layers(&mut |l| {
+        for p in l.params() {
+            out.extend_from_slice(p.value.data());
+        }
+    });
+    out
+}
+
+fn assert_bitwise_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: parameter count mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: parameter {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn replicas_stay_bit_identical_in_every_lockstep_mode() {
+    // The bucketed-sync acceptance matrix: after *every* step, all
+    // replicas must hold bit-identical parameters — for the dense
+    // bucketed ring, the compressed ring with error feedback (pinned
+    // bound), and the ZeRO sharded-optimizer mode (whose exact
+    // parameter all-gather is what makes this hold on a lossy
+    // transport).
+    let fixed = CommMode::Compressed {
+        error_bound: 1e-3,
+        error_feedback: true,
+        adaptive: false,
+    };
+    for (name, comm, zero) in [
+        ("dense", CommMode::Dense, false),
+        ("compressed+EF", fixed, false),
+        ("zero/dense", CommMode::Dense, true),
+        ("zero/compressed", fixed, true),
+    ] {
+        let data = dataset();
+        let mut cfg = DistConfig::new(4, comm);
+        cfg.framework = fw();
+        cfg.sgd = SgdConfig::default();
+        cfg.sync.zero_shard = zero;
+        let mut group =
+            DistributedTrainer::new(cfg, |_| zoo::tiny_alexnet(CLASSES, NET_SEED)).unwrap();
+        for i in 0..6u64 {
+            let (x, labels) = data.batch(i * GLOBAL_BATCH as u64, GLOBAL_BATCH);
+            group.step(x, &labels).unwrap();
+            let reference = flat_params(group.replica(0).network());
+            for rank in 1..group.world_size() {
+                assert_bitwise_eq(
+                    &reference,
+                    &flat_params(group.replica(rank).network()),
+                    &format!("{name}: step {i}, rank {rank} vs chief"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_sharded_optimizer_matches_dense_local_sgd_bitwise() {
+    // On the dense transport, the ZeRO mode must reproduce the classic
+    // all-reduce + local-SGD trajectory *to the bit*: the owned-segment
+    // sum has the same association order (aligned bucket segmentation),
+    // the owner's `× 1/N` matches the all-reduce averaging, and
+    // `flat_sgd_update` is pinned bit-identical to the per-parameter
+    // optimizer. The activation bound is pinned (min = max = fallback)
+    // because the σ controller reads *local* momentum — all zeros under
+    // sharding — so adaptive bounds would legitimately differ between
+    // the two groups; pinning isolates the sync + optimizer arithmetic.
+    let mut fw_long = fw();
+    fw_long.min_eb = fw_long.fallback_eb;
+    fw_long.max_eb = fw_long.fallback_eb;
+    let data = dataset();
+    let mut groups: Vec<DistributedTrainer> = [false, true]
+        .into_iter()
+        .map(|zero| {
+            let mut cfg = DistConfig::new(2, CommMode::Dense);
+            cfg.framework = fw_long.clone();
+            cfg.sgd = SgdConfig::default();
+            cfg.sync.zero_shard = zero;
+            DistributedTrainer::new(cfg, |_| zoo::tiny_alexnet(CLASSES, NET_SEED)).unwrap()
+        })
+        .collect();
+    for i in 0..5u64 {
+        let (x, labels) = data.batch(i * GLOBAL_BATCH as u64, GLOBAL_BATCH);
+        let mut params = Vec::new();
+        for group in groups.iter_mut() {
+            group.step(x.clone(), &labels).unwrap();
+            params.push(flat_params(group.replica(0).network()));
+        }
+        assert_bitwise_eq(
+            &params[0],
+            &params[1],
+            &format!("step {i}: zero-sharded vs local SGD"),
+        );
+    }
 }
 
 #[test]
