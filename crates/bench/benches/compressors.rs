@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ebtrain_imgcomp::JpegActConfig;
-use ebtrain_sz::{compress, compress_serial, decompress, decompress_serial, DataLayout, SzConfig};
+use ebtrain_sz::{
+    compress, compress_serial, decompress, decompress_serial, DataLayout, EntropyBackend, SzConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,6 +64,42 @@ fn bench_sz(c: &mut Criterion) {
             &buf,
             |b, buf| b.iter(|| decompress(buf).unwrap()),
         );
+    }
+    group.finish();
+}
+
+/// Entropy-backend axis of the Z2 frame body: the cost-model Auto
+/// default against each stage forced via `SzConfig::entropy_backend`.
+/// At eb = 1e-2 the wide histogram routes to the shared-codebook
+/// Huffman stage (throughput case); at eb = 1e-4 the skewed histogram
+/// routes to the codebook-free range coder (ratio case). Auto should
+/// track the better forced row at each bound.
+fn bench_sz_entropy(c: &mut Criterion) {
+    let data = activation_volume(16, 32, 1);
+    let bytes = (data.len() * 4) as u64;
+    let layout = DataLayout::D3(16, 32, 32);
+    let mut group = c.benchmark_group("sz_entropy");
+    group.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2f32, 1e-4] {
+        for (name, backend) in [
+            ("auto", EntropyBackend::Auto),
+            ("huffman", EntropyBackend::Huffman),
+            ("range", EntropyBackend::Range),
+        ] {
+            let mut cfg = SzConfig::dual_quant(eb);
+            cfg.entropy_backend = backend;
+            group.bench_with_input(
+                BenchmarkId::new(format!("compress_{name}"), format!("eb={eb:.0e}")),
+                &cfg,
+                |b, cfg| b.iter(|| compress(&data, layout, cfg).unwrap()),
+            );
+            let buf = compress(&data, layout, &cfg).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("decompress_{name}"), format!("eb={eb:.0e}")),
+                &buf,
+                |b, buf| b.iter(|| decompress(buf).unwrap()),
+            );
+        }
     }
     group.finish();
 }
@@ -144,7 +182,10 @@ fn bench_zfp_like(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sz, bench_sz_parallel, bench_lossless, bench_jpeg_act, bench_zfp_like
+    // Noise on a shared single-core box is one-sided (interruptions only
+    // add time), so a larger sample pulls the median toward the true
+    // cost; 60 keeps the whole target under a minute of measurement.
+    config = Criterion::default().sample_size(60);
+    targets = bench_sz, bench_sz_entropy, bench_sz_parallel, bench_lossless, bench_jpeg_act, bench_zfp_like
 }
 criterion_main!(benches);

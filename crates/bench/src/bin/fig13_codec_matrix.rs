@@ -130,14 +130,28 @@ fn main() {
         if smoke { " (smoke)" } else { "" },
     );
 
+    // The entropy-backend axis: dual-quant with each Z2 frame entropy
+    // stage forced, next to the cost-model Auto default. The tight
+    // eb=1e-4 bound is where the codebook-free range coder pays off
+    // (deep Huffman codebooks get charged against every chunk).
+    let mut range_cfg = ebtrain_sz::SzConfig::dual_quant(1e-3);
+    range_cfg.entropy_backend = ebtrain_sz::EntropyBackend::Range;
+    let mut huffman_cfg = ebtrain_sz::SzConfig::dual_quant(1e-3);
+    huffman_cfg.entropy_backend = ebtrain_sz::EntropyBackend::Huffman;
     let codecs: Vec<Arc<dyn Codec>> = vec![
         Arc::new(SzCodec::classic()),
         Arc::new(SzCodec::dual_quant()),
+        Arc::new(SzCodec::new(huffman_cfg)),
+        Arc::new(SzCodec::new(range_cfg)),
         Arc::new(ZfpLikeCodec),
         Arc::new(LosslessCodec),
         Arc::new(ByteplaneCodec),
     ];
-    let lossy_bounds = [BoundSpec::Abs(1e-2), BoundSpec::Abs(1e-3)];
+    let lossy_bounds = [
+        BoundSpec::Abs(1e-2),
+        BoundSpec::Abs(1e-3),
+        BoundSpec::Abs(1e-4),
+    ];
 
     let mut table = Table::new(&[
         "class",
@@ -151,6 +165,9 @@ fn main() {
     ]);
     let mut codec_names = std::collections::BTreeSet::new();
     let mut eb_values = std::collections::BTreeSet::new();
+    // (class, codec, eb bits) -> compression ratio, for the entropy-axis
+    // acceptance check below (sizes are deterministic, so this is exact).
+    let mut ratios = std::collections::BTreeMap::new();
 
     for class in &classes {
         for codec in &codecs {
@@ -204,6 +221,7 @@ fn main() {
                 codec_names.insert(codec.name());
                 if let BoundSpec::Abs(eb) = bound {
                     eb_values.insert(eb.to_bits());
+                    ratios.insert((class.name, codec.name(), eb.to_bits()), ratio);
                 }
                 // The tensor size is part of the label so the CI smoke
                 // run (8 KiB tensors) and full runs (512 KiB) keep
@@ -239,6 +257,18 @@ fn main() {
         "matrix must cover >=3 codecs, got {codec_names:?}"
     );
     assert!(eb_values.len() >= 2, "matrix must cover >=2 error bounds");
+    // Entropy-axis gate: at the tight bound, the cost-model Auto default
+    // must never compress worse than the Huffman-only stage it replaces.
+    let tight = 1e-4f32.to_bits();
+    for class in &classes {
+        let auto = ratios[&(class.name, "sz-dualquant", tight)];
+        let huff = ratios[&(class.name, "sz-dualquant-huffman", tight)];
+        assert!(
+            auto >= huff,
+            "{}: auto entropy selection ({auto:.2}x) worse than huffman-only ({huff:.2}x) at eb=1e-4",
+            class.name
+        );
+    }
     println!(
         "matrix: {} codecs x {} bounds x {} classes",
         codec_names.len(),

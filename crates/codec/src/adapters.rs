@@ -3,7 +3,7 @@
 use crate::stream::TaggedStream;
 use crate::{corrupt, BoundSpec, Codec, CodecId, ErrorContract, PlaneDecodeStats, Result};
 use ebtrain_encoding::{byteplane, lz, varint};
-use ebtrain_sz::{zfp_like, DataLayout, QuantMode, SzConfig, SzError};
+use ebtrain_sz::{zfp_like, DataLayout, EntropyBackend, QuantMode, SzConfig, SzError};
 use std::ops::Range;
 
 /// The SZ-style prediction + quantization backend (`ebtrain-sz`).
@@ -63,10 +63,20 @@ impl Codec for SzCodec {
     }
 
     fn name(&self) -> &'static str {
-        match (self.base.quant_mode, self.base.zero_filter) {
-            (QuantMode::DualQuant, _) => "sz-dualquant",
-            (QuantMode::Classic, true) => "sz",
-            (QuantMode::Classic, false) => "sz-vanilla",
+        // A forced entropy stage gets its own name so bench/matrix rows
+        // for the forced axes never collide with the Auto default.
+        match (
+            self.base.quant_mode,
+            self.base.zero_filter,
+            self.base.entropy_backend,
+        ) {
+            (QuantMode::DualQuant, _, EntropyBackend::Auto) => "sz-dualquant",
+            (QuantMode::DualQuant, _, EntropyBackend::Huffman) => "sz-dualquant-huffman",
+            (QuantMode::DualQuant, _, EntropyBackend::Range) => "sz-dualquant-range",
+            (QuantMode::Classic, true, EntropyBackend::Auto) => "sz",
+            (QuantMode::Classic, true, EntropyBackend::Huffman) => "sz-huffman",
+            (QuantMode::Classic, true, EntropyBackend::Range) => "sz-range",
+            (QuantMode::Classic, false, _) => "sz-vanilla",
         }
     }
 

@@ -31,7 +31,10 @@
 //!   recognizes the historical `Z1`/`Z2` (SZ), `L1` (lossless), `F1`
 //!   (ZFP-like) and `B1` (byte-plane) magics and wraps them with the
 //!   right id, so every byte stream ever written by this workspace keeps
-//!   decoding.
+//!   decoding. This covers stream *revisions* too: the `Z2` magic spans
+//!   format versions 2 and 3 (version 3 added a per-frame entropy-stage
+//!   tag — shared-codebook Huffman or the codebook-free range coder —
+//!   see DESIGN.md §3), and the id names the decoder for all of them.
 //!
 //! Errors are [`ebtrain_sz::SzError`] across all backends (the ZFP-like
 //! and lossless backends already used it), so consumers keep their error
@@ -68,7 +71,9 @@ pub(crate) fn corrupt(msg: &str) -> SzError {
 pub struct CodecId(pub u8);
 
 impl CodecId {
-    /// SZ-style prediction + quantization (`ebtrain-sz`, any config).
+    /// SZ-style prediction + quantization (`ebtrain-sz`, any config —
+    /// including any per-frame entropy stage: the Z2 v3 frame tag is
+    /// read by the SZ decoder, not routed on here).
     pub const SZ: CodecId = CodecId(1);
     /// ZFP-style fixed-rate transform coding (`ebtrain_sz::zfp_like`).
     pub const ZFP_LIKE: CodecId = CodecId(2);

@@ -621,7 +621,7 @@ mod tests {
         let data = dataset();
         let mut first = None;
         let mut last = 0.0f32;
-        for i in 0..30u64 {
+        for i in 0..10u64 {
             let (x, labels) = data.batch(i * 16, 16);
             let r = trainer.step(x, &labels).unwrap();
             if first.is_none() {

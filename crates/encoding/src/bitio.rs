@@ -6,9 +6,10 @@ use crate::{CodecError, Result};
 #[derive(Debug, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits staged in `acc`, always < 8.
+    /// Bits staged in the low end of `acc`, always < 8 between calls.
+    /// Bits above `nbits` are stale; every extraction truncates them.
     nbits: u32,
-    acc: u32,
+    acc: u64,
 }
 
 impl BitWriter {
@@ -18,31 +19,25 @@ impl BitWriter {
     }
 
     /// Append the low `n` bits of `value` (MSB of those bits first). `n ≤ 57`
-    /// keeps the intermediate shift in range; codes here never exceed 32.
+    /// keeps the shifted accumulator in range; codes here never exceed 32.
+    #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 57);
         debug_assert!(n == 64 || value < (1u64 << n));
-        let mut left = n;
-        while left > 0 {
-            let take = (8 - self.nbits).min(left);
-            let shift = left - take;
-            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u32;
-            self.acc = (self.acc << take) | chunk;
-            self.nbits += take;
-            left -= take;
-            if self.nbits == 8 {
-                self.bytes.push(self.acc as u8);
-                self.acc = 0;
-                self.nbits = 0;
-            }
+        // `nbits < 8` on entry, so `nbits + n ≤ 64` and one shift stages
+        // everything; whole bytes then drain from just below `nbits`.
+        self.acc = (self.acc << n) | value;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
         }
     }
 
     /// Pad with zero bits to a byte boundary and return the buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.acc <<= 8 - self.nbits;
-            self.bytes.push(self.acc as u8);
+            self.bytes.push((self.acc << (8 - self.nbits)) as u8);
         }
         self.bytes
     }

@@ -118,11 +118,38 @@ fn canonical_codes(lengths: &[(u32, u8)]) -> Vec<(u32, u64, u8)> {
 
 /// Count symbol frequencies, returned sorted by symbol.
 ///
-/// Sort-and-run-length counting: cache-friendly and free of per-symbol
-/// hashing, and the result is exactly the order [`Codebook::from_freqs`]
-/// expects. Histograms from independently-processed blocks can be
-/// combined with [`merge_freqs`] before building one shared codebook.
+/// Quantization codes cluster around the quantizer's zero point, so the
+/// common case is a narrow symbol span: one min/max pass, then a dense
+/// counting array emitted in index order. Wide or tiny inputs fall back
+/// to sort-and-run-length counting; both paths produce the identical
+/// symbol-sorted histogram [`Codebook::from_freqs`] expects. Histograms
+/// from independently-processed blocks can be combined with
+/// [`merge_freqs`] before building one shared codebook.
 pub fn count_freqs(symbols: &[u32]) -> Vec<(u32, u64)> {
+    if symbols.is_empty() {
+        return Vec::new();
+    }
+    let (mut min, mut max) = (u32::MAX, 0u32);
+    for &s in symbols {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    let span = (max - min) as usize + 1;
+    // Cap the counting array at ~4× the input length (or one page of
+    // u64s for small blocks) so sparse alphabets don't zero-fill far
+    // more memory than the sort would touch.
+    if span <= symbols.len().saturating_mul(4).max(512) {
+        let mut counts = vec![0u64; span];
+        for &s in symbols {
+            counts[(s - min) as usize] += 1;
+        }
+        return counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (min + i as u32, c))
+            .collect();
+    }
     let mut sorted = symbols.to_vec();
     sorted.sort_unstable();
     let mut freqs: Vec<(u32, u64)> = Vec::new();

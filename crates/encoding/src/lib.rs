@@ -12,6 +12,12 @@
 //!   lossless stage (SZ applies a general-purpose lossless pass after
 //!   Huffman; cuSZ relies on Huffman + run collapsing — both are modelled
 //!   by Huffman→LZ here).
+//! * [`range`] — codebook-free adaptive binary range coder (bit
+//!   predictor + carry-less renormalization), the second entropy backend
+//!   for chunk-framed streams.
+//! * [`entropy`] — the entropy-stage seam over [`huffman`] and [`range`]:
+//!   the per-frame tag byte, encode/decode backend handles, and the
+//!   histogram-entropy estimate that drives per-chunk selection.
 //! * [`varint`] — LEB128 unsigned varints for headers and run lengths.
 //! * [`byteplane`] — byte-plane (de)shuffle of `f32` buffers, the classic
 //!   transform that makes IEEE-754 streams compressible losslessly.
@@ -21,8 +27,10 @@
 
 pub mod bitio;
 pub mod byteplane;
+pub mod entropy;
 pub mod huffman;
 pub mod lz;
+pub mod range;
 pub mod varint;
 
 /// Errors surfaced while decoding a corrupt or truncated stream.

@@ -1,0 +1,434 @@
+//! Codebook-free adaptive **binary range coder** — the second entropy
+//! backend selectable per chunk frame (see [`crate::entropy`]).
+//!
+//! The coder keeps a 32-bit `[low, high]` interval and splits it at every
+//! step by a 12-bit adaptive probability (carry-less renormalization: a
+//! byte is emitted whenever the top bytes of `low` and `high` agree, as in
+//! lpaq-family coders). No table is ever serialized: the probability
+//! models start from 1/2 on both sides and adapt symmetrically, so the
+//! decoder reconstructs the exact model trajectory from the bits alone.
+//!
+//! On top of the bit coder sits a symbol layer tuned to quantization
+//! codes: values are folded (zigzag) around a caller-supplied *center*
+//! (the quantizer's zero point, where Lorenzo-residual histograms peak)
+//! and coded as a run-context "hit" flag plus an adaptive Elias-gamma
+//! magnitude. Skewed histograms cost ~a saturated bit per element —
+//! denser *and* cheaper than a 1-bit-minimum Huffman code — while wide
+//! histograms (tight bounds) avoid deep-codebook and table-serialization
+//! overhead entirely.
+
+use crate::{CodecError, Result};
+
+/// Probability precision: models hold `P(bit = 1)` scaled to 12 bits.
+const PROB_BITS: u32 = 12;
+const PROB_ONE: u32 = 1 << PROB_BITS;
+/// Adaptation rate: each update moves the estimate 1/32 toward the
+/// observed bit. Fast enough to saturate within a chunk, slow enough not
+/// to thrash on noisy symbols.
+const ADAPT_SHIFT: u32 = 5;
+
+/// Longest magnitude-class unary prefix: zigzagged u32 deltas span
+/// `[0, 2^33)`, so the gamma bit-length never exceeds 33. Anything longer
+/// in a stream is corruption.
+const MAX_GAMMA_BITS: usize = 33;
+
+/// Mantissa bits modeled adaptively, counted down from the leading one.
+/// Deeper bits of a Laplacian residual are close to uniform, so they are
+/// coded as raw (p = 1/2, model-free) splits — about half the per-bit
+/// cost, which dominates encode time on deep alphabets (tight bounds).
+const MODELED_MANT_BITS: usize = 2;
+
+/// One adaptive binary probability (12-bit, 1/32 update rate).
+#[derive(Clone, Copy, Debug)]
+pub struct BitModel {
+    p: u16,
+}
+
+impl BitModel {
+    /// Fresh model: both bits equally likely.
+    pub fn new() -> BitModel {
+        BitModel {
+            p: (PROB_ONE / 2) as u16,
+        }
+    }
+
+    #[inline(always)]
+    fn update(&mut self, bit: u32) {
+        if bit == 1 {
+            self.p += ((PROB_ONE - self.p as u32) >> ADAPT_SHIFT) as u16;
+        } else {
+            self.p -= self.p >> ADAPT_SHIFT;
+        }
+    }
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel::new()
+    }
+}
+
+/// Encoder half of the bit coder.
+pub struct RangeEncoder {
+    low: u32,
+    high: u32,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    pub fn new() -> RangeEncoder {
+        RangeEncoder {
+            low: 0,
+            high: u32::MAX,
+            out: Vec::new(),
+        }
+    }
+
+    /// Code one bit under `model`, then adapt the model.
+    #[inline(always)]
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: u32) {
+        let range = self.high - self.low;
+        let mid = self.low
+            + (range >> PROB_BITS) * model.p as u32
+            + (((range & (PROB_ONE - 1)) * model.p as u32) >> PROB_BITS);
+        if bit == 1 {
+            self.high = mid;
+        } else {
+            self.low = mid + 1;
+        }
+        model.update(bit);
+        while (self.low ^ self.high) & 0xFF00_0000 == 0 {
+            self.out.push((self.high >> 24) as u8);
+            self.low <<= 8;
+            self.high = (self.high << 8) | 0xFF;
+        }
+    }
+
+    /// Code one bit at a fixed 1/2 split — no model load or update.
+    #[inline(always)]
+    pub fn encode_raw_bit(&mut self, bit: u32) {
+        let mid = self.low + ((self.high - self.low) >> 1);
+        if bit == 1 {
+            self.high = mid;
+        } else {
+            self.low = mid + 1;
+        }
+        while (self.low ^ self.high) & 0xFF00_0000 == 0 {
+            self.out.push((self.high >> 24) as u8);
+            self.low <<= 8;
+            self.high = (self.high << 8) | 0xFF;
+        }
+    }
+
+    /// Flush: emit a full codeword inside `[low, high]` so the decoder
+    /// lands in the final interval regardless of zero padding.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.out.extend_from_slice(&self.high.to_be_bytes());
+        self.out
+    }
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        RangeEncoder::new()
+    }
+}
+
+/// Decoder half: mirrors the encoder's interval arithmetic exactly.
+/// Reads past the end of the input yield zero bytes — framing above this
+/// layer bounds the symbol count, so truncation surfaces as garbage
+/// symbols caught by the caller's structural checks, never as a panic.
+pub struct RangeDecoder<'a> {
+    low: u32,
+    high: u32,
+    code: u32,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    pub fn new(bytes: &'a [u8]) -> RangeDecoder<'a> {
+        let mut d = RangeDecoder {
+            low: 0,
+            high: u32::MAX,
+            code: 0,
+            bytes,
+            pos: 0,
+        };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline(always)]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit under `model`, then adapt the model.
+    #[inline(always)]
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> u32 {
+        let range = self.high - self.low;
+        let mid = self.low
+            + (range >> PROB_BITS) * model.p as u32
+            + (((range & (PROB_ONE - 1)) * model.p as u32) >> PROB_BITS);
+        let bit = (self.code <= mid) as u32;
+        if bit == 1 {
+            self.high = mid;
+        } else {
+            self.low = mid + 1;
+        }
+        model.update(bit);
+        while (self.low ^ self.high) & 0xFF00_0000 == 0 {
+            self.low <<= 8;
+            self.high = (self.high << 8) | 0xFF;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+
+    /// Decode one bit coded by [`RangeEncoder::encode_raw_bit`].
+    #[inline(always)]
+    pub fn decode_raw_bit(&mut self) -> u32 {
+        let mid = self.low + ((self.high - self.low) >> 1);
+        let bit = (self.code <= mid) as u32;
+        if bit == 1 {
+            self.high = mid;
+        } else {
+            self.low = mid + 1;
+        }
+        while (self.low ^ self.high) & 0xFF00_0000 == 0 {
+            self.low <<= 8;
+            self.high = (self.high << 8) | 0xFF;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+}
+
+/// Adaptive model for center-folded quantization codes: a run-context hit
+/// flag (was the previous symbol also the center?) plus an adaptive
+/// Elias-gamma magnitude (unary length class, then mantissa bits, every
+/// bit under its own adaptive probability).
+pub struct SymbolModel {
+    hit: [BitModel; 2],
+    len: [BitModel; MAX_GAMMA_BITS + 1],
+    mant: [BitModel; MAX_GAMMA_BITS],
+    prev_hit: usize,
+}
+
+impl SymbolModel {
+    pub fn new() -> SymbolModel {
+        SymbolModel {
+            hit: [BitModel::new(); 2],
+            len: [BitModel::new(); MAX_GAMMA_BITS + 1],
+            mant: [BitModel::new(); MAX_GAMMA_BITS],
+            prev_hit: 1,
+        }
+    }
+}
+
+impl Default for SymbolModel {
+    fn default() -> Self {
+        SymbolModel::new()
+    }
+}
+
+/// Fold `v` around `center`: 0 for the center itself, then alternating
+/// above/below distances (the Laplacian-friendly zigzag).
+#[inline(always)]
+fn fold(v: u32, center: u32) -> u64 {
+    if v >= center {
+        2 * (v as u64 - center as u64)
+    } else {
+        2 * (center as u64 - v as u64) - 1
+    }
+}
+
+/// Inverse of [`fold`]; errors when the stream names a value outside u32.
+#[inline(always)]
+fn unfold(m: u64, center: u32) -> Result<u32> {
+    if m.is_multiple_of(2) {
+        let v = center as u64 + m / 2;
+        u32::try_from(v).map_err(|_| CodecError::Corrupt("range symbol above u32"))
+    } else {
+        let d = m / 2 + 1;
+        if d > center as u64 {
+            return Err(CodecError::Corrupt("range symbol below zero"));
+        }
+        Ok(center - d as u32)
+    }
+}
+
+/// Entropy-code a block of symbols around `center`. The symbol count is
+/// *not* stored — framing above this layer carries it (the chunk layout
+/// fixes it), exactly as the Huffman block stores only what the decoder
+/// cannot derive.
+pub fn encode_block(codes: &[u32], center: u32) -> Vec<u8> {
+    let mut enc = RangeEncoder::new();
+    let mut model = SymbolModel::new();
+    for &v in codes {
+        let m = fold(v, center);
+        if m == 0 {
+            enc.encode_bit(&mut model.hit[model.prev_hit], 1);
+            model.prev_hit = 1;
+        } else {
+            enc.encode_bit(&mut model.hit[model.prev_hit], 0);
+            model.prev_hit = 0;
+            // Gamma: k = floor(log2(m)) as an adaptive unary class, then
+            // the k mantissa bits below the leading one.
+            let k = (63 - m.leading_zeros()) as usize;
+            for i in 0..k {
+                enc.encode_bit(&mut model.len[i], 1);
+            }
+            enc.encode_bit(&mut model.len[k], 0);
+            // Top mantissa bits carry residual structure and stay
+            // modeled; the rest are near-uniform and go as raw splits.
+            let raw_below = k.saturating_sub(MODELED_MANT_BITS);
+            for i in (raw_below..k).rev() {
+                enc.encode_bit(&mut model.mant[i], ((m >> i) & 1) as u32);
+            }
+            for i in (0..raw_below).rev() {
+                enc.encode_raw_bit(((m >> i) & 1) as u32);
+            }
+        }
+    }
+    enc.finish()
+}
+
+/// Decode exactly `n` symbols coded by [`encode_block`] with the same
+/// `center`. Output allocation is bounded by `n`, which the caller
+/// derives from validated framing — a corrupt payload can produce wrong
+/// symbols (caught structurally upstream) but never oversized output.
+pub fn decode_block(bytes: &[u8], n: usize, center: u32) -> Result<Vec<u32>> {
+    let mut dec = RangeDecoder::new(bytes);
+    let mut model = SymbolModel::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if dec.decode_bit(&mut model.hit[model.prev_hit]) == 1 {
+            model.prev_hit = 1;
+            out.push(center);
+            continue;
+        }
+        model.prev_hit = 0;
+        let mut k = 0usize;
+        while dec.decode_bit(&mut model.len[k]) == 1 {
+            k += 1;
+            if k > MAX_GAMMA_BITS {
+                return Err(CodecError::Corrupt("range gamma class overflow"));
+            }
+        }
+        let mut m = 1u64;
+        let raw_below = k.saturating_sub(MODELED_MANT_BITS);
+        for i in (raw_below..k).rev() {
+            m = (m << 1) | dec.decode_bit(&mut model.mant[i]) as u64;
+        }
+        for _ in 0..raw_below {
+            m = (m << 1) | dec.decode_raw_bit() as u64;
+        }
+        out.push(unfold(m, center)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_skewed_and_alternating() {
+        let patterns: Vec<Vec<u32>> = vec![
+            vec![1; 4000],
+            vec![0; 4000],
+            (0..4000).map(|i| (i % 2) as u32).collect(),
+            (0..4000).map(|i| ((i * 7) % 5 == 0) as u32).collect(),
+        ];
+        for bits in patterns {
+            let mut enc = RangeEncoder::new();
+            let mut m = BitModel::new();
+            for &b in &bits {
+                enc.encode_bit(&mut m, b);
+            }
+            let bytes = enc.finish();
+            let mut dec = RangeDecoder::new(&bytes);
+            let mut m = BitModel::new();
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(dec.decode_bit(&mut m), b, "bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_bits_compress_far_below_raw() {
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for i in 0..32_768 {
+            enc.encode_bit(&mut m, (i % 100 == 0) as u32);
+        }
+        let bytes = enc.finish();
+        // 32768 bits at ~1% ones: an adaptive coder needs ~0.08 bpb.
+        assert!(bytes.len() < 800, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn symbol_block_roundtrip_extremes() {
+        let center = 32_768u32;
+        let blocks: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![center],
+            vec![0],
+            vec![u32::MAX],
+            vec![center; 5000],
+            (0..5000u32).collect(),
+            (0..5000)
+                .map(|i| center.wrapping_add((i % 11) as u32) - 5)
+                .collect(),
+            vec![0, u32::MAX, center, center - 1, center + 1],
+        ];
+        for codes in blocks {
+            let bytes = encode_block(&codes, center);
+            let back = decode_block(&bytes, codes.len(), center).unwrap();
+            assert_eq!(back, codes);
+        }
+    }
+
+    #[test]
+    fn center_zero_and_center_max_roundtrip() {
+        for center in [0u32, 1, u32::MAX] {
+            let codes: Vec<u32> = (0..200)
+                .map(|i| center.wrapping_add(i).wrapping_sub(100))
+                .collect();
+            let bytes = encode_block(&codes, center);
+            assert_eq!(decode_block(&bytes, codes.len(), center).unwrap(), codes);
+        }
+    }
+
+    #[test]
+    fn skewed_symbols_beat_one_bit_per_symbol() {
+        let center = 32_768u32;
+        let codes: Vec<u32> = (0..16_384)
+            .map(|i| if i % 50 == 0 { center + 3 } else { center })
+            .collect();
+        let bytes = encode_block(&codes, center);
+        assert!(
+            bytes.len() * 8 < codes.len() / 2,
+            "{} bytes for {} near-constant symbols",
+            bytes.len(),
+            codes.len()
+        );
+    }
+
+    #[test]
+    fn truncated_payload_never_panics() {
+        let center = 100u32;
+        let codes: Vec<u32> = (0..500).map(|i| 90 + (i % 20) as u32).collect();
+        let bytes = encode_block(&codes, center);
+        for cut in 0..bytes.len() {
+            // Must return (possibly wrong symbols or Err), never panic.
+            let _ = decode_block(&bytes[..cut], codes.len(), center);
+        }
+    }
+}

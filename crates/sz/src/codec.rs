@@ -10,12 +10,24 @@
 //! [`decompress`] fan chunks out across threads without paying a
 //! per-chunk table. Chunk boundaries depend only on the layout and
 //! configuration, never on thread count, so parallel and serial encodes
-//! are bit-identical (see [`compress_serial`]). The full byte layout,
-//! old and new, is documented in `DESIGN.md` §3.
+//! are bit-identical (see [`compress_serial`]).
+//!
+//! Format version 3 makes the entropy stage **pluggable per frame**: each
+//! frame body opens with a one-byte entropy-stage tag selecting between
+//! the shared-codebook Huffman block (tag 0) and the codebook-free
+//! adaptive binary range coder (tag 1, see [`ebtrain_encoding::range`]).
+//! Version 3 also drops the format-2 LZ pass around Huffman blocks:
+//! entropy-coded bytes are near-incompressible on the chunks Huffman
+//! wins, and run-heavy chunks route to the range coder. The encoder
+//! picks per chunk from the symbol histogram ([`select_backend`]);
+//! version-2 streams (no tag; implicit Huffman, LZ-wrapped) decode
+//! unchanged. The full byte layout, old and new, is documented in
+//! `DESIGN.md` §3.
 
 use crate::blocks::{auto_block_planes, chunk_count, chunk_layouts};
 use crate::predictor::Predictor;
-use crate::{DataLayout, QuantMode, Result, SzConfig, SzError};
+use crate::{DataLayout, EntropyBackend, QuantMode, Result, SzConfig, SzError};
+use ebtrain_encoding::entropy::{self, EntropyDecoder, EntropyEncoder, EntropyStageTag};
 use ebtrain_encoding::{huffman, lz, varint};
 use rayon::prelude::*;
 
@@ -23,14 +35,18 @@ use rayon::prelude::*;
 /// terms) far from i64 overflow while covering any realistic value/eb
 /// ratio. Values beyond the clamp become sentinel-0 grid points and are
 /// stored as outliers.
-const GRID_CLAMP: f64 = (1u64 << 40) as f64;
+pub(crate) const GRID_CLAMP: f64 = (1u64 << 40) as f64;
 
 /// Legacy (format 1) stream magic: "Z1" — a single monolithic body.
 const MAGIC_V1: [u8; 2] = [0x5A, 0x31];
 /// Chunk-framed stream magic: "Z2", followed by a format-version byte.
 const MAGIC_V2: [u8; 2] = [0x5A, 0x32];
-/// Current format version written after [`MAGIC_V2`].
-const FORMAT_VERSION: u8 = 2;
+/// Current format version written after [`MAGIC_V2`]: version 3 adds the
+/// per-frame entropy-stage tag byte. Version-2 streams (no tag; implicit
+/// Huffman) still decode.
+const FORMAT_VERSION: u8 = 3;
+/// Oldest chunk-framed version the decoder accepts.
+const MIN_FORMAT_VERSION: u8 = 2;
 
 /// An owned, self-describing compressed tensor.
 ///
@@ -127,6 +143,9 @@ pub(crate) struct Header {
     /// Byte offset of the first frame (legacy: of the single body).
     pub(crate) body_off: usize,
     pub(crate) legacy: bool,
+    /// Format ≥ 3: every frame body opens with an entropy-stage tag byte.
+    /// Format-2 and legacy bodies are implicitly Huffman-coded.
+    pub(crate) entropy_tags: bool,
 }
 
 pub(crate) fn corrupt(msg: &str) -> SzError {
@@ -148,12 +167,14 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
         _ => return Err(corrupt("bad magic")),
     };
     let mut pos = 2usize;
+    let mut entropy_tags = false;
     if !legacy {
         let version = *bytes.get(pos).ok_or_else(|| corrupt("eof"))?;
         pos += 1;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(corrupt("unsupported format version"));
         }
+        entropy_tags = version >= 3;
     }
     let n = rd_usize(bytes, &mut pos)?;
     if pos + 4 > bytes.len() {
@@ -236,6 +257,7 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
         n_chunks,
         body_off: pos,
         legacy,
+        entropy_tags,
     })
 }
 
@@ -244,16 +266,17 @@ pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
 // per-element `predict()` path, pinned by test).
 use crate::quantize::quantize_chunk;
 
-/// Entropy-code one quantized chunk against the shared codebook into a
-/// self-contained frame body:
-/// `varint n_outliers · u32le outlier bits · varint payload_len · payload`,
-/// where the payload is the LZ pass over the chunk's Huffman block.
-fn encode_frame(codes: &[u32], outliers: &[u32], codebook: &huffman::Codebook) -> Vec<u8> {
-    let mut block = Vec::new();
-    codebook.encode_block(codes, &mut block);
-    let payload = lz::compress(&block);
+/// Entropy-code one quantized chunk into a self-contained frame body:
+/// `tag(1B) · varint n_outliers · u32le outlier bits · varint payload_len
+/// · payload`, where the payload is `backend.encode_block(codes)` (tag 0:
+/// the chunk's table-less shared-codebook Huffman block; tag 1: adaptive
+/// range-coder bytes). Format-2 frames are this layout minus the tag,
+/// with an LZ pass wrapped around the Huffman block.
+fn encode_frame(codes: &[u32], outliers: &[u32], backend: &EntropyEncoder<'_>) -> Vec<u8> {
+    let payload = backend.encode_block(codes);
 
-    let mut frame = Vec::with_capacity(payload.len() + outliers.len() * 4 + 16);
+    let mut frame = Vec::with_capacity(payload.len() + outliers.len() * 4 + 17);
+    frame.push(backend.tag().as_u8());
     varint::write_usize(&mut frame, outliers.len());
     for o in outliers {
         frame.extend_from_slice(&o.to_le_bytes());
@@ -261,6 +284,40 @@ fn encode_frame(codes: &[u32], outliers: &[u32], codebook: &huffman::Codebook) -
     varint::write_usize(&mut frame, payload.len());
     frame.extend_from_slice(&payload);
     frame
+}
+
+/// Per-chunk entropy-backend selection from the symbol histogram — a
+/// pure function of the chunk's codes, so serial and parallel encodes
+/// (and bucket-wise re-encodes of the same chunk) always agree.
+///
+/// Cost model: both backends land near the histogram's Shannon entropy
+/// `H`, so the decision rides on their overheads. Huffman pays its
+/// length-limit/integer-bit loss (~0.3 bit/symbol) plus ~3 bytes per
+/// codebook entry; the adaptive range coder pays only its model warm-up
+/// (~0.1 bit/symbol). The shared codebook is charged to every chunk —
+/// a deliberate bias toward the codebook-free backend as alphabets grow
+/// deep (eb → 0), which is exactly where Huffman tables blow up. The
+/// range coder only takes the frame when it is clearly denser (< 0.85×)
+/// or the histogram is skewed (dominant symbol ≥ 1/2: its run-context
+/// hit bit codes those runs below a bit, and Huffman can't go under one
+/// bit per symbol).
+fn select_backend(freqs: &[(u32, u64)], n: usize) -> EntropyStageTag {
+    if n == 0 {
+        return EntropyStageTag::Huffman;
+    }
+    let n_f = n as f64;
+    let p_max = freqs.iter().map(|&(_, c)| c).max().unwrap_or(0) as f64 / n_f;
+    if p_max >= 0.5 {
+        return EntropyStageTag::Range;
+    }
+    let h = entropy::histogram_entropy(freqs);
+    let est_range_bits = n_f * (h + 0.1);
+    let est_huffman_bits = n_f * (h + 0.3) + freqs.len() as f64 * 24.0;
+    if est_range_bits < 0.85 * est_huffman_bits {
+        EntropyStageTag::Range
+    } else {
+        EntropyStageTag::Huffman
+    }
 }
 
 /// Decode one frame body back into `layout.len()` f32 values. With a
@@ -277,6 +334,17 @@ pub(crate) fn decode_chunk(
 ) -> Result<Vec<f32>> {
     let n = layout.len();
     let mut pos = 0usize;
+    // Format ≥ 3: the frame opens with its entropy-stage tag. Older
+    // bodies carry no tag and are implicitly Huffman-coded.
+    let tag = if header.entropy_tags {
+        let b = *frame
+            .get(pos)
+            .ok_or_else(|| corrupt("missing entropy tag"))?;
+        pos += 1;
+        EntropyStageTag::from_u8(b).map_err(|e| SzError::Corrupt(e.to_string()))?
+    } else {
+        EntropyStageTag::Huffman
+    };
     let n_outliers = rd_usize(frame, &mut pos)?;
     // Divide rather than multiply: a huge claimed count must not wrap
     // the bounds arithmetic (and must fail before any reservation).
@@ -301,20 +369,36 @@ pub(crate) fn decode_chunk(
     if strict && payload_len != frame.len() - pos {
         return Err(corrupt("trailing bytes in chunk frame"));
     }
-    let block = lz::decompress(&frame[pos..pos + payload_len])
-        .map_err(|e| SzError::Corrupt(e.to_string()))?;
-    let codes = match decoder {
-        Some(decoder) => {
-            let mut bpos = 0usize;
-            let codes = decoder
-                .decode_block(&block, &mut bpos)
-                .map_err(|e| SzError::Corrupt(e.to_string()))?;
-            if bpos != block.len() {
-                return Err(corrupt("trailing bytes in huffman block"));
+    let payload = &frame[pos..pos + payload_len];
+    let codes = match (tag, decoder) {
+        (EntropyStageTag::Range, _) => {
+            // The fold center is the quantizer's zero point; the header
+            // already validated `radius <= u32::MAX`.
+            EntropyDecoder::Range {
+                center: header.radius as u32,
             }
-            codes
+            .decode_block(payload, n)
+            .map_err(|e| SzError::Corrupt(e.to_string()))?
         }
-        None => huffman::decode(&block).map_err(|e| SzError::Corrupt(e.to_string()))?,
+        (EntropyStageTag::Huffman, Some(decoder)) => {
+            // Format-2 bodies wrap the Huffman block in an LZ pass;
+            // format-3 tag-0 payloads are the bare block.
+            let legacy_block;
+            let block = if header.entropy_tags {
+                payload
+            } else {
+                legacy_block =
+                    lz::decompress(payload).map_err(|e| SzError::Corrupt(e.to_string()))?;
+                &legacy_block[..]
+            };
+            EntropyDecoder::Huffman(decoder)
+                .decode_block(block, n)
+                .map_err(|e| SzError::Corrupt(e.to_string()))?
+        }
+        (EntropyStageTag::Huffman, None) => {
+            let block = lz::decompress(payload).map_err(|e| SzError::Corrupt(e.to_string()))?;
+            huffman::decode(&block).map_err(|e| SzError::Corrupt(e.to_string()))?
+        }
     };
     if codes.len() != n {
         return Err(corrupt("code count mismatch"));
@@ -362,12 +446,14 @@ pub(crate) fn grid_of(x: f32, two_eb: f32) -> Option<i64> {
     }
 }
 
-/// Per-chunk phase-1 output: quantization codes, bit-exact outliers, and
-/// the chunk's symbol histogram (merged into the shared codebook).
+/// Per-chunk phase-1 output: quantization codes, bit-exact outliers, the
+/// chunk's symbol histogram (merged into the shared codebook when the
+/// chunk routes to Huffman), and the selected entropy backend.
 struct QuantizedChunk {
     codes: Vec<u32>,
     outliers: Vec<u32>,
     freqs: Vec<(u32, u64)>,
+    tag: EntropyStageTag,
 }
 
 fn compress_impl(
@@ -393,15 +479,22 @@ fn compress_impl(
         .max(1);
     let chunks = chunk_layouts(layout, block_planes);
 
-    // Phase 1 (parallel): predict + quantize each chunk and histogram
-    // its codes.
+    // Phase 1 (parallel): predict + quantize each chunk, histogram its
+    // codes, and select its entropy backend — a pure function of the
+    // chunk's codes, so thread count never changes the choice.
     let quantize_one = |&(off, cl): &(usize, DataLayout)| {
         let (codes, outliers) = quantize_chunk(&data[off..off + cl.len()], cl, predictor, config);
         let freqs = huffman::count_freqs(&codes);
+        let tag = match config.entropy_backend {
+            EntropyBackend::Huffman => EntropyStageTag::Huffman,
+            EntropyBackend::Range => EntropyStageTag::Range,
+            EntropyBackend::Auto => select_backend(&freqs, codes.len()),
+        };
         QuantizedChunk {
             codes,
             outliers,
             freqs,
+            tag,
         }
     };
     let quantized: Vec<QuantizedChunk> = if parallel && chunks.len() > 1 {
@@ -410,17 +503,32 @@ fn compress_impl(
         chunks.iter().map(quantize_one).collect()
     };
 
-    // Phase 2 (serial, cheap): merge histograms and build the single
-    // shared codebook, exactly as cuSZ builds one codebook per tensor.
+    // Phase 2 (serial, cheap): merge the histograms of Huffman-routed
+    // chunks and build the single shared codebook, exactly as cuSZ
+    // builds one codebook per tensor. Range-routed chunks are
+    // codebook-free; when every chunk routes to range the serialized
+    // table is empty.
     let mut freqs: Vec<(u32, u64)> = Vec::new();
     for q in &quantized {
-        huffman::merge_freqs(&mut freqs, &q.freqs);
+        if q.tag == EntropyStageTag::Huffman {
+            huffman::merge_freqs(&mut freqs, &q.freqs);
+        }
     }
     let codebook = huffman::Codebook::from_freqs(&freqs);
+    let range_center = config.radius;
 
-    // Phase 3 (parallel): emit each chunk's bitstream against the shared
-    // codebook and run the per-chunk LZ pass.
-    let emit_one = |q: &QuantizedChunk| encode_frame(&q.codes, &q.outliers, &codebook);
+    // Phase 3 (parallel): emit each chunk's payload under its selected
+    // backend (Huffman: bare shared-codebook bitstream; range: adaptive
+    // coder). Neither gets an LZ pass since format version 3.
+    let emit_one = |q: &QuantizedChunk| {
+        let backend = match q.tag {
+            EntropyStageTag::Huffman => EntropyEncoder::Huffman(&codebook),
+            EntropyStageTag::Range => EntropyEncoder::Range {
+                center: range_center,
+            },
+        };
+        encode_frame(&q.codes, &q.outliers, &backend)
+    };
     let frames: Vec<Vec<u8>> = if parallel && quantized.len() > 1 {
         quantized.par_iter().map(emit_one).collect()
     } else {

@@ -212,6 +212,27 @@ impl QuantMode {
     }
 }
 
+/// Entropy-stage backend policy for chunk frames (the format-3
+/// per-frame tag byte; see `DESIGN.md` §3).
+///
+/// Selection is an *encoder* policy: any setting decodes any stream,
+/// because each frame carries its own tag, and both backends are
+/// lossless over the quantized symbols — the choice never changes
+/// decoded values, only the bytes in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyBackend {
+    /// Pick per chunk from the symbol histogram: skewed or very wide
+    /// histograms go to the adaptive range coder (faster on skew,
+    /// denser where deep Huffman codebooks hurt); mid-entropy
+    /// small-alphabet chunks keep shared-codebook Huffman + LZ.
+    #[default]
+    Auto,
+    /// Force shared-codebook canonical Huffman + LZ for every chunk.
+    Huffman,
+    /// Force the codebook-free adaptive binary range coder.
+    Range,
+}
+
 /// Compressor configuration (absolute-error-bound mode).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SzConfig {
@@ -233,6 +254,8 @@ pub struct SzConfig {
     /// of the stream, but the decoder reads it from the header — any
     /// setting decodes any stream.
     pub chunk_planes: Option<usize>,
+    /// Per-chunk entropy-stage policy (see [`EntropyBackend`]).
+    pub entropy_backend: EntropyBackend,
 }
 
 impl SzConfig {
@@ -246,6 +269,7 @@ impl SzConfig {
             predictor: None,
             quant_mode: QuantMode::Classic,
             chunk_planes: None,
+            entropy_backend: EntropyBackend::Auto,
         }
     }
 

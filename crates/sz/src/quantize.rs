@@ -172,12 +172,34 @@ fn quantize_dual(
     }
     let mut grid = vec![0i64; n];
 
+    // The f64 divide + round of `grid_of` dominates the encoder and is
+    // purely elementwise, so it is hoisted out of the stencil loops into
+    // this pass, where LLVM can use SIMD divides instead of serializing
+    // one `divsd` per stencil step. IEEE division and rounding are
+    // exactly rounded, so the results are bit-identical to calling
+    // `grid_of` in place (the debug assert in `emit!` pins that).
+    let mut rounded = vec![0.0f64; n];
+    for (dst, &x) in rounded.iter_mut().zip(data) {
+        *dst = (x as f64 / two_eb as f64).round();
+    }
+
+    // Evaluates to the grid value written at `idx`, so the loops below
+    // can carry left-hand stencil operands in registers instead of
+    // re-loading them from `grid` next iteration.
     macro_rules! emit {
         ($idx:expr, $pred:expr) => {{
             let idx = $idx;
             let x = data[idx];
             let pred: i64 = $pred;
-            match grid_of(x, two_eb) {
+            // Mirrors `grid_of(x, two_eb)` against the hoisted pass.
+            let qf = rounded[idx];
+            let mapped = if x.is_finite() && qf.is_finite() && qf.abs() < crate::codec::GRID_CLAMP {
+                Some(qf as i64)
+            } else {
+                None
+            };
+            debug_assert_eq!(mapped, grid_of(x, two_eb));
+            let q = match mapped {
                 Some(q) => {
                     let delta = q - pred;
                     // f32 rounding of q·2eb can break the bound for
@@ -189,40 +211,41 @@ fn quantize_dual(
                         codes.push(0);
                         outliers.push(x.to_bits());
                     }
-                    grid[idx] = q;
+                    q
                 }
                 None => {
                     codes.push(0);
                     outliers.push(x.to_bits());
-                    grid[idx] = 0; // sentinel, mirrored by the decoder
+                    0 // sentinel, mirrored by the decoder
                 }
-            }
+            };
+            grid[idx] = q;
+            q
         }};
     }
 
     match geometry(predictor, layout, n) {
         Geometry::Scan => {
-            emit!(0, 0i64);
+            let mut prev = emit!(0, 0i64);
             for idx in 1..n {
-                emit!(idx, grid[idx - 1]);
+                prev = emit!(idx, prev);
             }
         }
         Geometry::Grid2 { rows, w } => {
-            emit!(0, 0i64);
+            let mut prev = emit!(0, 0i64);
             for j in 1..w {
-                emit!(j, grid[j - 1]);
+                prev = emit!(j, prev);
             }
             for i in 1..rows {
                 let base = i * w;
-                emit!(base, grid[base - w]);
+                // `ul` carries the up-neighbor of the previous column.
+                let mut ul = grid[base - w];
+                let mut prev = emit!(base, ul);
                 for j in 1..w {
                     let idx = base + j;
-                    emit!(
-                        idx,
-                        grid[idx - w]
-                            .wrapping_add(grid[idx - 1])
-                            .wrapping_sub(grid[idx - w - 1])
-                    );
+                    let u = grid[idx - w];
+                    prev = emit!(idx, u.wrapping_add(prev).wrapping_sub(ul));
+                    ul = u;
                 }
             }
         }
@@ -233,35 +256,28 @@ fn quantize_dual(
                 for j in 0..d1 {
                     let has_u = j > 0;
                     let row = i * plane + j * d2;
-                    {
-                        let u = if has_u { grid[row - d2] } else { 0 };
-                        let b = if has_b { grid[row - plane] } else { 0 };
+                    let u0 = if has_u { grid[row - d2] } else { 0 };
+                    let b0 = if has_b { grid[row - plane] } else { 0 };
+                    let bu0 = if has_b && has_u {
+                        grid[row - plane - d2]
+                    } else {
+                        0
+                    };
+                    // The left-hand stencil operands (l, ul, bl, bul) of
+                    // column k are column k-1's (q, u, b, bu) — carried
+                    // forward instead of re-loaded.
+                    let mut l = emit!(row, u0.wrapping_add(b0).wrapping_sub(bu0));
+                    let (mut ul, mut bl, mut bul) = (u0, b0, bu0);
+                    for k in 1..d2 {
+                        let idx = row + k;
+                        let u = if has_u { grid[idx - d2] } else { 0 };
+                        let b = if has_b { grid[idx - plane] } else { 0 };
                         let bu = if has_b && has_u {
-                            grid[row - plane - d2]
+                            grid[idx - plane - d2]
                         } else {
                             0
                         };
-                        emit!(row, u.wrapping_add(b).wrapping_sub(bu));
-                    }
-                    for k in 1..d2 {
-                        let idx = row + k;
-                        let l = grid[idx - 1];
-                        let (u, ul) = if has_u {
-                            (grid[idx - d2], grid[idx - d2 - 1])
-                        } else {
-                            (0, 0)
-                        };
-                        let (b, bl) = if has_b {
-                            (grid[idx - plane], grid[idx - plane - 1])
-                        } else {
-                            (0, 0)
-                        };
-                        let (bu, bul) = if has_b && has_u {
-                            (grid[idx - plane - d2], grid[idx - plane - d2 - 1])
-                        } else {
-                            (0, 0)
-                        };
-                        emit!(
+                        let q = emit!(
                             idx,
                             l.wrapping_add(u)
                                 .wrapping_add(b)
@@ -270,6 +286,10 @@ fn quantize_dual(
                                 .wrapping_sub(bu)
                                 .wrapping_add(bul)
                         );
+                        l = q;
+                        ul = u;
+                        bl = b;
+                        bul = bu;
                     }
                 }
             }

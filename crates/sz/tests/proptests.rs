@@ -2,8 +2,19 @@
 //! invariant in the whole system: the framework's accuracy argument (paper
 //! §3) is built entirely on `|x − x'| ≤ eb`.
 
-use ebtrain_sz::{compress, decompress, DataLayout, SzConfig};
+use ebtrain_sz::{compress, decompress, DataLayout, EntropyBackend, SzConfig};
 use proptest::prelude::*;
+
+/// The per-chunk entropy-backend axis: Auto selection plus both forced
+/// backends, so every property covering the stream format also covers
+/// huffman-tagged, range-tagged, and mixed frames.
+fn backend_of(sel: u8) -> EntropyBackend {
+    match sel % 3 {
+        0 => EntropyBackend::Auto,
+        1 => EntropyBackend::Huffman,
+        _ => EntropyBackend::Range,
+    }
+}
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
@@ -119,23 +130,68 @@ proptest! {
         data in prop::collection::vec(finite_f32(), 0..20_000),
         chunk_planes in 1usize..6,
         dual in any::<bool>(),
+        backend_sel in 0u8..3,
+        eb_sel in 0u8..3,
+        shape_sel in 0u8..3,
+        w in 1usize..48,
+        h in 1usize..8,
     ) {
-        // Chunk geometry is a pure function of layout + config, so thread
-        // fan-out must never show up in the bytes.
+        // Chunk geometry is a pure function of layout + config, and
+        // per-chunk backend selection is a pure function of the chunk's
+        // histogram — so thread fan-out must never show up in the bytes,
+        // whatever the shape, bound, or entropy backend.
+        let eb = [1e-2f32, 1e-3, 1e-4][eb_sel as usize];
         let mut cfg = if dual {
-            SzConfig::dual_quant(1e-3)
+            SzConfig::dual_quant(eb)
         } else {
-            SzConfig::with_error_bound(1e-3)
+            SzConfig::with_error_bound(eb)
         };
+        cfg.entropy_backend = backend_of(backend_sel);
         cfg.chunk_planes = Some(chunk_planes); // deliberately tiny chunks
-        let layout = DataLayout::D1(data.len());
-        let par = compress(&data, layout, &cfg).unwrap();
-        let ser = ebtrain_sz::compress_serial(&data, layout, &cfg).unwrap();
+        let (layout, n) = match shape_sel {
+            1 if data.len() >= w => (DataLayout::D2(data.len() / w, w), (data.len() / w) * w),
+            2 if data.len() >= w * h => {
+                let planes = data.len() / (w * h);
+                (DataLayout::D3(planes, h, w), planes * h * w)
+            }
+            _ => (DataLayout::D1(data.len()), data.len()),
+        };
+        let data = &data[..n];
+        let par = compress(data, layout, &cfg).unwrap();
+        let ser = ebtrain_sz::compress_serial(data, layout, &cfg).unwrap();
         prop_assert_eq!(par.as_bytes(), ser.as_bytes());
         prop_assert_eq!(
             decompress(&par).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             ebtrain_sz::decompress_serial(&ser).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn entropy_backend_never_changes_decoded_values(
+        data in prop::collection::vec(finite_f32(), 1..8_000),
+        chunk_planes in 1usize..5,
+        dual in any::<bool>(),
+        eb_sel in 0u8..3,
+    ) {
+        // Both entropy backends are lossless over the quantized symbols,
+        // so Auto's per-chunk choice — and either forced override — must
+        // reconstruct the identical values from the identical codes.
+        let eb = [1e-2f32, 1e-3, 1e-4][eb_sel as usize];
+        let layout = DataLayout::D1(data.len());
+        let decode_bits = |backend: EntropyBackend| {
+            let mut cfg = if dual {
+                SzConfig::dual_quant(eb)
+            } else {
+                SzConfig::with_error_bound(eb)
+            };
+            cfg.entropy_backend = backend;
+            cfg.chunk_planes = Some(chunk_planes);
+            let buf = compress(&data, layout, &cfg).unwrap();
+            decompress(&buf).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let auto = decode_bits(EntropyBackend::Auto);
+        prop_assert_eq!(&auto, &decode_bits(EntropyBackend::Huffman));
+        prop_assert_eq!(&auto, &decode_bits(EntropyBackend::Range));
     }
 
     #[test]

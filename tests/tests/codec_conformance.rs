@@ -15,18 +15,26 @@
 use ebtrain_codec::{
     BoundSpec, Codec, CodecId, CodecRegistry, ErrorContract, SzCodec, TaggedStream,
 };
-use ebtrain_sz::DataLayout;
+use ebtrain_sz::{DataLayout, EntropyBackend, SzConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// Every backend the suite exercises: the standard registry's four plus
-/// the dual-quantization SZ configuration (same wire id, different
-/// encoder).
+/// Every backend the suite exercises: the standard registry's four, the
+/// dual-quantization SZ configuration (same wire id, different encoder),
+/// and the entropy-backend axis — SZ with each forced entropy stage, so
+/// truncation/corruption/partial-decode runs cover range-tagged and
+/// huffman-tagged frames regardless of what Auto would pick.
 fn all_codecs() -> Vec<Arc<dyn Codec>> {
     let mut codecs: Vec<Arc<dyn Codec>> = CodecRegistry::standard().codecs().to_vec();
     codecs.push(Arc::new(SzCodec::dual_quant()));
     codecs.push(Arc::new(SzCodec::vanilla()));
+    let mut forced_range = SzConfig::dual_quant(1e-3);
+    forced_range.entropy_backend = EntropyBackend::Range;
+    codecs.push(Arc::new(SzCodec::new(forced_range)));
+    let mut forced_huffman = SzConfig::with_error_bound(1e-3);
+    forced_huffman.entropy_backend = EntropyBackend::Huffman;
+    codecs.push(Arc::new(SzCodec::new(forced_huffman)));
     codecs
 }
 

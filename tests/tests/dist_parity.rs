@@ -47,13 +47,17 @@ fn fw() -> FrameworkConfig {
 
 /// Train a distributed group; returns (per-iter losses, eval loss).
 fn run_group(world: usize, comm: CommMode) -> (Vec<f32>, f32) {
+    run_group_iters(world, comm, ITERS)
+}
+
+fn run_group_iters(world: usize, comm: CommMode, iters: usize) -> (Vec<f32>, f32) {
     let data = dataset();
     let mut cfg = DistConfig::new(world, comm);
     cfg.framework = fw();
     cfg.sgd = SgdConfig::default();
     let mut group = DistributedTrainer::new(cfg, |_| zoo::tiny_alexnet(CLASSES, NET_SEED)).unwrap();
-    let mut losses = Vec::with_capacity(ITERS);
-    for i in 0..ITERS {
+    let mut losses = Vec::with_capacity(iters);
+    for i in 0..iters {
         let (x, labels) = data.batch((i * GLOBAL_BATCH) as u64, GLOBAL_BATCH);
         losses.push(group.step(x, &labels).unwrap().loss);
     }
@@ -92,7 +96,30 @@ fn mean_abs_diff(a: &[f32], b: &[f32]) -> f64 {
         / a.len().min(b.len()).max(1) as f64
 }
 
+/// Short twin of
+/// [`n4_compressed_ring_with_error_feedback_matches_single_worker`]:
+/// the compressed-vs-dense comparison is mask-for-mask identical, so
+/// the tight compression-parity bound holds from the first step and a
+/// few iterations pin it. The single-worker trajectory comparison needs
+/// real training and stays in the full (ignored) test.
 #[test]
+fn n4_compressed_ring_matches_dense_smoke() {
+    let (comp, comp_eval) = run_group_iters(4, CommMode::compressed_default(), 4);
+    let (dense, dense_eval) = run_group_iters(4, CommMode::Dense, 4);
+    let compression_gap = mean_abs_diff(&comp, &dense);
+    assert!(
+        compression_gap < 0.05,
+        "σ-bounded gradient compression changed the N=4 trajectory: \
+         mean |Δloss| = {compression_gap:.4}\ncompressed: {comp:?}\ndense: {dense:?}"
+    );
+    assert!(
+        (comp_eval - dense_eval).abs() < 0.05,
+        "eval loss gap vs dense-N4: {comp_eval} vs {dense_eval}"
+    );
+}
+
+#[test]
+#[ignore = "long trajectory (3 x 24-iter runs); CI runs it under EBTRAIN_FULL_E2E=1 via --ignored"]
 fn n4_compressed_ring_with_error_feedback_matches_single_worker() {
     // σ-adaptive bound with error feedback: the subsystem's operating
     // point (the bound tracks 1% of mean momentum, Eq. 8).
@@ -190,7 +217,9 @@ fn replicas_stay_bit_identical_in_every_lockstep_mode() {
         cfg.sync.zero_shard = zero;
         let mut group =
             DistributedTrainer::new(cfg, |_| zoo::tiny_alexnet(CLASSES, NET_SEED)).unwrap();
-        for i in 0..6u64 {
+        // Bit-identity must hold after every step from the first; four
+        // steps still cross the w_interval=4 collection boundary.
+        for i in 0..4u64 {
             let (x, labels) = data.batch(i * GLOBAL_BATCH as u64, GLOBAL_BATCH);
             group.step(x, &labels).unwrap();
             let reference = flat_params(group.replica(0).network());

@@ -1,5 +1,13 @@
 //! Cross-crate integration tests: the full training pipeline under every
 //! storage policy, determinism, and the compression/accuracy contract.
+//!
+//! The long training trajectories (tens of iterations to a competence /
+//! accuracy-parity bar) are `#[ignore]`d so the default suite stays
+//! fast; CI runs them in a dedicated job with `EBTRAIN_FULL_E2E=1` via
+//! `cargo test -- --ignored`. Each long test has a short smoke twin in
+//! the default suite that pins the same invariants that can be checked
+//! cheaply (bit-identity across exact policies, loss decrease,
+//! compression ratio) without training to convergence.
 
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig, ModelForm};
 use ebtrain_data::{SynthConfig, SynthImageNet};
@@ -22,8 +30,9 @@ fn dataset() -> SynthImageNet {
     })
 }
 
-/// Train `iters` iterations under a given store; return final val correct.
-fn train_under(store: &mut dyn ActivationStore, iters: usize, seed: u64) -> usize {
+/// Train `iters` iterations under a given store; return the per-step
+/// loss trajectory and the final val correct count.
+fn train_under(store: &mut dyn ActivationStore, iters: usize, seed: u64) -> (Vec<f32>, usize) {
     let data = dataset();
     let mut net = zoo::tiny_vgg(4, seed);
     let head = SoftmaxCrossEntropy::new();
@@ -32,9 +41,10 @@ fn train_under(store: &mut dyn ActivationStore, iters: usize, seed: u64) -> usiz
         ..SgdConfig::default()
     });
     let plan = CompressionPlan::new();
+    let mut losses = Vec::with_capacity(iters);
     for i in 0..iters {
         let (x, labels) = data.batch((i * 16) as u64, 16);
-        train_step(
+        let r = train_step(
             &mut net,
             &head,
             &mut opt,
@@ -45,19 +55,53 @@ fn train_under(store: &mut dyn ActivationStore, iters: usize, seed: u64) -> usiz
             i % 8 == 0,
         )
         .expect("train step");
+        losses.push(r.loss);
     }
     let (vx, vl) = data.val_batch(0, 128);
     let (_, correct) = evaluate(&mut net, &head, vx, &vl).expect("eval");
-    correct
+    (losses, correct)
+}
+
+/// Short twin of [`every_storage_policy_trains_to_competence`]: too few
+/// iterations to demand competence, but the exact-policy bit-identity
+/// and loss-decrease invariants hold from step one.
+#[test]
+fn every_storage_policy_smoke() {
+    let iters = 6;
+    let (base_losses, base) = train_under(&mut RawStore::new(), iters, 3);
+    let (lossless_losses, lossless) = train_under(&mut LosslessStore::new(), iters, 3);
+    let (migrated_losses, migrated) = train_under(&mut MigratedStore::pcie3(), iters, 3);
+    let (compressed_losses, _) = train_under(
+        &mut CompressedStore::new(SzConfig::with_error_bound(1e-3)),
+        iters,
+        3,
+    );
+    assert_eq!(base, lossless, "lossless must be bit-identical to raw");
+    assert_eq!(base, migrated, "migration must be bit-identical to raw");
+    assert_eq!(
+        base_losses, lossless_losses,
+        "lossless loss trajectory diverged"
+    );
+    assert_eq!(
+        base_losses, migrated_losses,
+        "migrated loss trajectory diverged"
+    );
+    for (name, losses) in [("raw", &base_losses), ("compressed", &compressed_losses)] {
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{name}: loss did not fall over {iters} steps: {losses:?}"
+        );
+    }
 }
 
 #[test]
+#[ignore = "long trajectory (~40s); CI runs it under EBTRAIN_FULL_E2E=1 via --ignored"]
 fn every_storage_policy_trains_to_competence() {
     let iters = 40;
-    let base = train_under(&mut RawStore::new(), iters, 3);
-    let lossless = train_under(&mut LosslessStore::new(), iters, 3);
-    let migrated = train_under(&mut MigratedStore::pcie3(), iters, 3);
-    let compressed = train_under(
+    let (_, base) = train_under(&mut RawStore::new(), iters, 3);
+    let (_, lossless) = train_under(&mut LosslessStore::new(), iters, 3);
+    let (_, migrated) = train_under(&mut MigratedStore::pcie3(), iters, 3);
+    let (_, compressed) = train_under(
         &mut CompressedStore::new(SzConfig::with_error_bound(1e-3)),
         iters,
         3,
@@ -79,11 +123,50 @@ fn every_storage_policy_trains_to_competence() {
     assert_eq!(base, migrated, "migration must be bit-identical to raw");
 }
 
+/// Short twin of
+/// [`adaptive_framework_matches_baseline_accuracy_with_large_ratio`]:
+/// enough steps to cross one `w_interval` boundary, pinning that the
+/// framework trains (loss falls) and compresses conv activations well,
+/// without the 50-iteration accuracy-parity run.
 #[test]
+fn adaptive_framework_smoke() {
+    let data = dataset();
+    let net = zoo::tiny_vgg(4, 7);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig {
+            lr: 0.01,
+            ..SgdConfig::default()
+        },
+        FrameworkConfig {
+            w_interval: 8,
+            ..FrameworkConfig::default()
+        },
+    );
+    let mut first = None;
+    let mut last = 0.0;
+    for i in 0..10 {
+        let (x, labels) = data.batch((i * 16) as u64, 16);
+        let r = trainer.step(x, &labels).expect("step");
+        if first.is_none() {
+            first = Some(r.loss);
+        }
+        last = r.loss;
+    }
+    assert!(
+        last < first.unwrap(),
+        "framework loss did not fall: {first:?} -> {last}"
+    );
+    let ratio = trainer.store_metrics().compressible_ratio();
+    assert!(ratio > 2.0, "conv activation ratio only {ratio:.2}x");
+}
+
+#[test]
+#[ignore = "long trajectory (~25s); CI runs it under EBTRAIN_FULL_E2E=1 via --ignored"]
 fn adaptive_framework_matches_baseline_accuracy_with_large_ratio() {
     let data = dataset();
     let iters = 50;
-    let base = train_under(&mut RawStore::new(), iters, 7);
+    let (_, base) = train_under(&mut RawStore::new(), iters, 7);
 
     let net = zoo::tiny_vgg(4, 7);
     let mut trainer = AdaptiveTrainer::new(
@@ -114,7 +197,40 @@ fn adaptive_framework_matches_baseline_accuracy_with_large_ratio() {
     assert!(ratio > 2.0, "conv activation ratio only {ratio:.2}x");
 }
 
+/// Short twin of [`exact_clt_form_also_trains`]: a handful of steps is
+/// enough to pin that the exact-CLT bound form wires up and compresses.
 #[test]
+fn exact_clt_form_smoke() {
+    let data = dataset();
+    let net = zoo::tiny_resnet(4, 5);
+    let mut trainer = AdaptiveTrainer::new(
+        net,
+        SgdConfig::default(),
+        FrameworkConfig {
+            w_interval: 4,
+            model_form: ModelForm::ExactClt,
+            ..FrameworkConfig::default()
+        },
+    );
+    let mut first = None;
+    let mut last = 0.0;
+    for i in 0..5 {
+        let (x, labels) = data.batch((i * 16) as u64, 16);
+        let r = trainer.step(x, &labels).expect("step");
+        if first.is_none() {
+            first = Some(r.loss);
+        }
+        last = r.loss;
+    }
+    assert!(
+        last < first.unwrap(),
+        "loss must fall under exact-CLT bounds"
+    );
+    assert!(trainer.store_metrics().compressible_ratio() > 1.0);
+}
+
+#[test]
+#[ignore = "long trajectory (~35s); CI runs it under EBTRAIN_FULL_E2E=1 via --ignored"]
 fn exact_clt_form_also_trains() {
     let data = dataset();
     let net = zoo::tiny_resnet(4, 5);

@@ -105,7 +105,7 @@ fn hybrid_store_trains_with_zero_device_residency_for_convs() {
     let plan = CompressionPlan::new();
     let mut last = f32::INFINITY;
     let mut first = None;
-    for i in 0..25 {
+    for i in 0..8 {
         let (x, labels) = data.batch((i * 16) as u64, 16);
         let r = train_step(
             &mut net, &head, &mut opt, &mut store, &plan, x, &labels, false,

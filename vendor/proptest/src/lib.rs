@@ -7,10 +7,12 @@
 //! `ProptestConfig::with_cases` — generating inputs from a deterministic
 //! seeded RNG.
 //!
-//! Differences from upstream: no shrinking (a failing case panics with the
-//! generated inputs in the assertion message instead of a minimized one)
-//! and a fixed deterministic seed per test function (override with the
-//! `PROPTEST_SEED` env var to explore different streams).
+//! Differences from upstream: shrinking is a minimal bounded bisection
+//! (vectors halve, scalars move toward zero — see [`shrink::Shrinkable`])
+//! rather than upstream's full shrink trees, and seeding is deterministic
+//! per `(test function, case index)`. `PROPTEST_SEED` re-seeds every
+//! stream; a failure report prints the failing case's own seed, which
+//! `PROPTEST_REPLAY` re-runs as a single case for fast reproduction.
 
 pub mod strategy {
     //! Value-generation strategies (no shrinking).
@@ -205,10 +207,301 @@ pub mod test_runner {
 /// Seed for a property test's RNG stream (deterministic; `PROPTEST_SEED`
 /// overrides).
 pub fn resolve_seed() -> u64 {
-    std::env::var("PROPTEST_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0xEB7_7E57_5EED)
+    parse_seed_env("PROPTEST_SEED").unwrap_or(0xEB7_7E57_5EED)
+}
+
+/// Parse a decimal or `0x`-prefixed hex u64 from an env var.
+fn parse_seed_env(var: &str) -> Option<u64> {
+    let s = std::env::var(var).ok()?;
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+pub mod shrink {
+    //! Minimal bisection shrinking over generated **values**.
+    //!
+    //! Upstream proptest shrinks through strategy-specific trees; this
+    //! shim shrinks the values themselves: vectors halve (and each
+    //! element may step toward zero), scalars move toward zero, tuples
+    //! shrink one component at a time. Candidates never include the
+    //! value itself, so the runner's greedy descent terminates.
+
+    /// A value that can propose strictly-smaller candidates of itself.
+    pub trait Shrinkable: Sized {
+        /// Simpler candidate values, most aggressive first. Must never
+        /// yield a candidate equal to `self`.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_shrink_uint {
+        ($($t:ty),*) => {$(
+            impl Shrinkable for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let x = *self;
+                    if x == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0];
+                    if x / 2 != 0 {
+                        out.push(x / 2);
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_shrink_int {
+        ($($t:ty),*) => {$(
+            impl Shrinkable for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let x = *self;
+                    if x == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0];
+                    if x / 2 != 0 {
+                        out.push(x / 2);
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_shrink_float {
+        ($($t:ty),*) => {$(
+            impl Shrinkable for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let x = *self;
+                    if x.is_nan() {
+                        return vec![0.0];
+                    }
+                    if x == 0.0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0.0];
+                    let half = x / 2.0;
+                    if half.is_finite() && half != 0.0 && half.to_bits() != x.to_bits() {
+                        out.push(half);
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_float!(f32, f64);
+
+    impl Shrinkable for bool {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    impl<T: Shrinkable + Clone> Shrinkable for Vec<T> {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let n = self.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            // Bisection first: either half may reproduce the failure at
+            // half the size. Then per-element scalar shrinks.
+            let mut out = Vec::new();
+            if n >= 1 {
+                out.push(self[..n / 2].to_vec());
+            }
+            if n >= 2 {
+                out.push(self[n / 2..].to_vec());
+            }
+            for i in 0..n {
+                for cand in self[i].shrink_candidates() {
+                    let mut v = self.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+
+    macro_rules! impl_shrink_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Shrinkable + Clone),+> Shrinkable for ($($name,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink_candidates() {
+                            let mut t = self.clone();
+                            t.$idx = cand;
+                            out.push(t);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+    impl_shrink_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    }
+}
+
+pub mod runner {
+    //! The case loop behind `proptest!`: per-case seeding, failure
+    //! capture, bounded greedy shrinking, and replayable reports.
+
+    use crate::shrink::Shrinkable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Candidate-evaluation budget per failure: bounds shrink time on
+    /// pathological cases while comfortably minimizing typical inputs.
+    const SHRINK_BUDGET: usize = 512;
+
+    /// Per-case seed: mixes the base stream seed with the case index so
+    /// any single case re-generates without replaying its predecessors.
+    fn case_seed(base: u64, case: u32) -> u64 {
+        (base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x5EED)
+    }
+
+    /// Silences the global panic hook while candidate shrink runs panic
+    /// on purpose; restores the original hook on drop. Nesting-safe
+    /// across threads via a depth counter.
+    struct QuietPanics;
+
+    type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+    static HOOK_DEPTH: std::sync::Mutex<(usize, Option<Hook>)> = std::sync::Mutex::new((0, None));
+
+    impl QuietPanics {
+        fn engage() -> QuietPanics {
+            let mut guard = HOOK_DEPTH.lock().unwrap();
+            if guard.0 == 0 {
+                guard.1 = Some(std::panic::take_hook());
+                std::panic::set_hook(Box::new(|_| {}));
+            }
+            guard.0 += 1;
+            QuietPanics
+        }
+    }
+
+    impl Drop for QuietPanics {
+        fn drop(&mut self) {
+            let mut guard = HOOK_DEPTH.lock().unwrap();
+            guard.0 -= 1;
+            if guard.0 == 0 {
+                if let Some(hook) = guard.1.take() {
+                    std::panic::set_hook(hook);
+                }
+            }
+        }
+    }
+
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    }
+
+    /// Greedy descent: repeatedly adopt the first failing candidate
+    /// until no candidate fails or the budget runs out. Returns the
+    /// minimal failing value, its panic payload, and the step count.
+    fn shrink_failure<V, F>(
+        run: &F,
+        mut value: V,
+        mut payload: Box<dyn std::any::Any + Send>,
+    ) -> (V, Box<dyn std::any::Any + Send>, usize)
+    where
+        V: Clone + Shrinkable,
+        F: Fn(V),
+    {
+        let _quiet = QuietPanics::engage();
+        let mut budget = SHRINK_BUDGET;
+        let mut steps = 0usize;
+        'outer: loop {
+            for cand in value.shrink_candidates() {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| run(cand.clone()))) {
+                    value = cand;
+                    payload = p;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, payload, steps)
+    }
+
+    /// Drive one property: generate `cases` inputs (or replay a single
+    /// seed from `PROPTEST_REPLAY`), and on failure shrink before
+    /// reporting. Called by the `proptest!` expansion — not public API
+    /// in upstream, so keep user code off it.
+    pub fn run_property<V, G, F>(name: &str, cases: u32, gen: G, run: F)
+    where
+        V: Clone + std::fmt::Debug + Shrinkable,
+        G: Fn(&mut StdRng) -> V,
+        F: Fn(V),
+    {
+        // FNV-1a over the test name: each property gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let base = crate::resolve_seed() ^ h;
+
+        if let Some(replay) = crate::parse_seed_env("PROPTEST_REPLAY") {
+            run_one(name, replay, u32::MAX, &gen, &run);
+            return;
+        }
+        for case in 0..cases {
+            run_one(name, case_seed(base, case), case, &gen, &run);
+        }
+    }
+
+    fn run_one<V, G, F>(name: &str, seed: u64, case: u32, gen: &G, run: &F)
+    where
+        V: Clone + std::fmt::Debug + Shrinkable,
+        G: Fn(&mut StdRng) -> V,
+        F: Fn(V),
+    {
+        let value = gen(&mut StdRng::seed_from_u64(seed));
+        let original = value.clone();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(value))) {
+            let (minimal, payload, steps) = shrink_failure(run, original, payload);
+            panic!(
+                "property '{name}' failed (case {case}); minimal failing input after \
+                 {steps} shrink step(s): {minimal:?}; panic: {}; replay with \
+                 PROPTEST_REPLAY={seed} (stream seed: PROPTEST_SEED={})",
+                payload_message(payload.as_ref()),
+                crate::resolve_seed(),
+            );
+        }
+    }
 }
 
 /// Glob-import surface matching `use proptest::prelude::*`.
@@ -283,21 +576,13 @@ macro_rules! __proptest_body {
     )*) => {$(
         $(#[$meta])+
         fn $name() {
-            use $crate::__rand::SeedableRng as _;
             let __config: $crate::test_runner::Config = $config;
-            // FNV-1a over the test name: each property gets its own stream.
-            let mut __h: u64 = 0xcbf2_9ce4_8422_2325;
-            for __b in stringify!($name).as_bytes() {
-                __h = (__h ^ *__b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            let mut __rng =
-                $crate::__rand::rngs::StdRng::seed_from_u64($crate::resolve_seed() ^ __h);
-            for __case in 0..__config.cases {
-                $(
-                    let $pat = $crate::strategy::Strategy::gen_value(&($strategy), &mut __rng);
-                )+
-                $body
-            }
+            $crate::runner::run_property(
+                stringify!($name),
+                __config.cases,
+                |__rng| ($( $crate::strategy::Strategy::gen_value(&($strategy), __rng), )+),
+                |($($pat,)+)| { $body },
+            );
         }
     )*};
 }
@@ -349,5 +634,105 @@ mod tests {
             .map(|_| crate::strategy::Strategy::gen_value(&s, &mut rng))
             .sum();
         assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+
+    #[test]
+    fn scalar_shrink_moves_toward_zero() {
+        use crate::shrink::Shrinkable;
+        assert_eq!(800u32.shrink_candidates(), vec![0, 400]);
+        assert_eq!(1u32.shrink_candidates(), vec![0]);
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!((-8i32).shrink_candidates(), vec![0, -4]);
+        assert_eq!(4.0f32.shrink_candidates(), vec![0.0, 2.0]);
+        assert!(0.0f64.shrink_candidates().is_empty());
+        assert_eq!(f32::NAN.shrink_candidates(), vec![0.0]);
+        // Infinity halves to itself: only zero may be proposed, or the
+        // greedy descent would loop on an unchanged candidate.
+        assert_eq!(f64::INFINITY.shrink_candidates(), vec![0.0]);
+    }
+
+    #[test]
+    fn vector_shrink_bisects_and_shrinks_elements() {
+        use crate::shrink::Shrinkable;
+        let cands = vec![8u32, 6].shrink_candidates();
+        assert!(cands.contains(&vec![8]), "first half missing: {cands:?}");
+        assert!(cands.contains(&vec![6]), "second half missing: {cands:?}");
+        assert!(
+            cands.contains(&vec![0, 6]),
+            "element shrink missing: {cands:?}"
+        );
+        assert!(Vec::<u32>::new().shrink_candidates().is_empty());
+    }
+
+    /// The satellite contract: a seeded failing case must come back
+    /// minimized, with a replayable per-case seed in the report.
+    #[test]
+    fn seeded_failure_shrinks_to_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::runner::run_property(
+                "shrink_probe",
+                64,
+                |rng| {
+                    (crate::strategy::Strategy::gen_value(
+                        &prop::collection::vec(0u32..1000, 4..40),
+                        rng,
+                    ),)
+                },
+                |(v,)| assert!(v.iter().all(|&x| x < 500), "element out of range"),
+            );
+        });
+        let payload = result.expect_err("property with ~half-failing elements must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("shrunk report is a formatted string")
+            .clone();
+        assert!(
+            msg.contains("minimal failing input"),
+            "report should carry the minimized case: {msg}"
+        );
+        assert!(
+            msg.contains("PROPTEST_REPLAY="),
+            "report should carry a replay seed: {msg}"
+        );
+        // The minimal counterexample to `all < 500` is a single element
+        // in [500, 1000): bisection must get the vector down to length 1
+        // (its element only shrinks to values < 500, which pass).
+        let inner = msg
+            .split_once('[')
+            .and_then(|(_, rest)| rest.split_once(']'))
+            .map(|(inner, _)| inner)
+            .expect("report contains a debug-printed vector");
+        assert!(
+            !inner.contains(',') && inner.trim().parse::<u32>().expect("one element") >= 500,
+            "expected a single >=500 element, got [{inner}] in: {msg}"
+        );
+    }
+
+    /// `PROPTEST_REPLAY` runs exactly one case, generated from the given
+    /// seed. (Sets a process-global env var: if another property in this
+    /// binary reads it concurrently it replays one passing case — never
+    /// a spurious failure.)
+    #[test]
+    fn replay_env_var_reruns_a_single_case() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let runs = AtomicUsize::new(0);
+        std::env::set_var("PROPTEST_REPLAY", "12345");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runner::run_property(
+                "replay_probe",
+                64,
+                |rng| (crate::strategy::Strategy::gen_value(&(0u32..10), rng),),
+                |(_x,)| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }));
+        std::env::remove_var("PROPTEST_REPLAY");
+        result.expect("replayed passing case must pass");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "replay must run exactly one case"
+        );
     }
 }
