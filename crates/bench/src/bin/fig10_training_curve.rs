@@ -10,9 +10,15 @@
 //!
 //! Substitution note: scaled AlexNet on SynthImageNet (see DESIGN.md §2);
 //! W scaled from 1000 to 25 to match the shorter run.
+//!
+//! `--smoke` (also `EBTRAIN_SMOKE=1`) shrinks the run to a dozen
+//! iterations for CI, which invokes it with `EBTRAIN_TRACE` set and
+//! validates the resulting chrome-trace with `trace_check`. The last
+//! framework step's obs-registry delta (span times, entropy routing)
+//! is printed at the end either way.
 
-use ebtrain_bench::env_usize;
 use ebtrain_bench::table::Table;
+use ebtrain_bench::{env_flag, env_usize};
 use ebtrain_core::{AdaptiveTrainer, FrameworkConfig};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dnn::layer::CompressionPlan;
@@ -23,12 +29,21 @@ use ebtrain_dnn::train::{evaluate, train_step};
 use ebtrain_dnn::zoo;
 
 fn main() {
-    let batch = env_usize("EBTRAIN_BATCH", 16);
-    let iters = env_usize("EBTRAIN_ITERS", 240);
-    let eval_every = env_usize("EBTRAIN_EVAL_EVERY", 24);
-    let w = env_usize("EBTRAIN_W", 25);
-    let eval_n = 128usize;
-    println!("fig10_training_curve: tiny-alexnet batch={batch} iters={iters} W={w}");
+    let smoke = std::env::args().any(|a| a == "--smoke") || env_flag("EBTRAIN_SMOKE");
+    let (def_batch, def_iters, def_eval, def_w) = if smoke {
+        (8, 12, 6, 4)
+    } else {
+        (16, 240, 24, 25)
+    };
+    let batch = env_usize("EBTRAIN_BATCH", def_batch);
+    let iters = env_usize("EBTRAIN_ITERS", def_iters);
+    let eval_every = env_usize("EBTRAIN_EVAL_EVERY", def_eval);
+    let w = env_usize("EBTRAIN_W", def_w);
+    let eval_n = if smoke { 32usize } else { 128usize };
+    println!(
+        "fig10_training_curve{}: tiny-alexnet batch={batch} iters={iters} W={w}",
+        if smoke { " [smoke]" } else { "" }
+    );
 
     let data = SynthImageNet::new(SynthConfig {
         classes: 10,
@@ -137,9 +152,16 @@ fn main() {
         ]);
     }
     plan_table.print("Fig 10 aux: adaptive per-layer error bounds");
+    if let Some(report) = trainer.step_report() {
+        println!(
+            "\nLast framework step, obs-registry delta:\n{}",
+            report.format_brief(&["core.", "sz.", "codec.", "encoding.", "membudget."])
+        );
+    }
     println!(
         "\nPaper shape to check: the two accuracy curves nearly coincide \
          while conv activations are stored ~10x smaller; ratio wobbles \
          early then stabilizes."
     );
+    ebtrain_obs::flush_trace();
 }

@@ -14,9 +14,20 @@
 //!
 //! measuring throughput (images/s), communication bytes per step (raw
 //! dense-equivalent vs transmitted, and the reduction ratio), **per-
-//! phase communication time** (encode / wire / decode / wait, from the
-//! collective's nanosecond counters), and loss-trajectory parity of
-//! N=4 compressed training vs a single worker on the same global batch.
+//! phase communication time** (encode / wire / decode / wait, read as
+//! deltas of the `ebtrain-obs` registry: the `dist.encode`/`dist.decode`
+//! spans and the `dist.wire.nanos`/`dist.wait.nanos` counters), and
+//! loss-trajectory parity of N=4 compressed training vs a single worker
+//! on the same global batch.
+//!
+//! Every replica stores activations in a budgeted arena sized to half
+//! its measured raw activation peak (one probe step), so tier
+//! demotions — and therefore `membudget.*` spans and residency gauges —
+//! engage in every arm; `EBTRAIN_BUDGET_MIB` overrides the size and
+//! `EBTRAIN_BUDGET_MIB=0` turns budgeting off. Set
+//! `EBTRAIN_TRACE=fig12.json` to get the whole run as a chrome-trace
+//! timeline (sz/codec/membudget/pool/dist spans; buckets of the
+//! overlapped collective show up as parallel `dist.collective` blocks).
 //!
 //! The interconnect is modeled (`EBTRAIN_WIRE_MIBPS`, default
 //! 1.5 MiB/s in the full run, off in smoke — scaled to this box's
@@ -45,6 +56,7 @@ use ebtrain_bench::table::Table;
 use ebtrain_bench::{env_f64, env_flag, env_usize, fmt_bytes};
 use ebtrain_data::{SynthConfig, SynthImageNet};
 use ebtrain_dist::{CommMode, DistConfig, DistributedTrainer};
+use ebtrain_dnn::store::BudgetConfig;
 use ebtrain_dnn::zoo;
 use std::time::Instant;
 
@@ -54,7 +66,8 @@ struct RunResult {
     best_step_ns: f64,
     payload_bytes_per_step: u64,
     dense_bytes_per_step: u64,
-    /// Per-step phase nanos summed over ranks: (encode, wire, decode, wait).
+    /// Per-step phase nanos summed over ranks: (encode, wire, decode,
+    /// wait), read from the obs registry delta over the timed window.
     phase_ns_per_step: [f64; 4],
     losses: Vec<f32>,
 }
@@ -68,6 +81,8 @@ struct RunSpec<'a> {
     seed: u64,
     overlap: bool,
     wire_mibps: Option<f64>,
+    /// Per-replica activation-store budget in bytes; `None` = raw store.
+    budget_bytes: Option<usize>,
 }
 
 fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> RunResult {
@@ -76,6 +91,7 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
     cfg.sync.overlap = spec.overlap;
     cfg.sync.zero_shard = zero;
     cfg.sync.wire_mibps = spec.wire_mibps;
+    cfg.budget = spec.budget_bytes.map(BudgetConfig::with_budget);
     let classes = spec.classes;
     let seed = spec.seed;
     let mut trainer =
@@ -86,6 +102,7 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
     let (x, labels) = spec.data.batch(0, global);
     trainer.step(x, &labels).expect("warmup step");
     let comm_before = trainer.comm_stats();
+    let obs_before = ebtrain_obs::snapshot();
     let mut losses = Vec::with_capacity(spec.iters);
     let mut step_ns: Vec<f64> = Vec::with_capacity(spec.iters);
     let t_all = Instant::now();
@@ -98,6 +115,10 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
     }
     let elapsed = t_all.elapsed().as_secs_f64();
     let comm = trainer.comm_stats().delta_since(&comm_before);
+    // The per-phase times moved out of CommStats and into the obs
+    // registry (PR 8); the delta over the timed window is scoped to
+    // this run because arms execute sequentially.
+    let obs = ebtrain_obs::snapshot().delta_since(&obs_before);
     step_ns.sort_by(|a, b| a.total_cmp(b));
     let per_step = |n: u64| n as f64 / spec.iters as f64;
     RunResult {
@@ -107,10 +128,10 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
         payload_bytes_per_step: comm.payload_bytes / spec.iters as u64,
         dense_bytes_per_step: comm.dense_equiv_bytes / spec.iters as u64,
         phase_ns_per_step: [
-            per_step(comm.encode_nanos),
-            per_step(comm.wire_nanos),
-            per_step(comm.decode_nanos),
-            per_step(comm.wait_nanos),
+            per_step(obs.nanos("dist.encode")),
+            per_step(obs.counter("dist.wire.nanos")),
+            per_step(obs.nanos("dist.decode")),
+            per_step(obs.counter("dist.wait.nanos")),
         ],
         losses,
     }
@@ -144,13 +165,35 @@ fn main() {
     // Off in smoke so CI measures pure compute.
     let wire = env_f64("EBTRAIN_WIRE_MIBPS", if smoke { 0.0 } else { 1.5 });
     let wire_mibps = (wire > 0.0).then_some(wire);
+    let data = SynthImageNet::new(SynthConfig {
+        classes,
+        image_hw: 32,
+        noise: 0.2,
+        seed: 47,
+    });
+    // Size every replica's budgeted activation store to half its raw
+    // activation peak (one unbudgeted probe step measures it), so tier
+    // demotions engage in all arms identically and the membudget layer
+    // shows up in traces and reports. Applied uniformly, the store
+    // overhead cancels out of every cross-transport comparison below.
+    // EBTRAIN_BUDGET_MIB > 0 sets the size explicitly, = 0 disables.
+    let budget_env = env_f64("EBTRAIN_BUDGET_MIB", -1.0);
+    let budget_bytes = if budget_env == 0.0 {
+        None
+    } else if budget_env > 0.0 {
+        Some((budget_env * (1u64 << 20) as f64) as usize)
+    } else {
+        eprintln!("[fig12] probing raw activation peak to size the replica store budget ...");
+        let mut pcfg = DistConfig::new(1, CommMode::Dense);
+        pcfg.framework.w_interval = 4;
+        let mut probe =
+            DistributedTrainer::new(pcfg, |_| zoo::tiny_vgg(classes, 7)).expect("probe group");
+        let (x, labels) = data.batch(0, per_batch);
+        let r = probe.step(x, &labels).expect("probe step");
+        Some((r.peak_store_bytes / 2).max(1))
+    };
     let spec = RunSpec {
-        data: &SynthImageNet::new(SynthConfig {
-            classes,
-            image_hw: 32,
-            noise: 0.2,
-            seed: 47,
-        }),
+        data: &data,
         classes,
         per_batch,
         iters,
@@ -158,6 +201,7 @@ fn main() {
         seed: 7,
         overlap,
         wire_mibps,
+        budget_bytes,
     };
     let compressed_mode = CommMode::Compressed {
         error_bound: eb,
@@ -185,10 +229,11 @@ fn main() {
     };
     println!(
         "fig12_dist_scaling{}: tiny-vgg/32px, per-worker batch {per_batch}, {iters} iters, \
-         gradient eb {eb:.0e} (error feedback on), overlap {}, wire {}",
+         gradient eb {eb:.0e} (error feedback on), overlap {}, wire {}, store budget {}",
         if smoke { " [smoke]" } else { "" },
         if overlap { "on" } else { "off" },
         wire_mibps.map_or("off".into(), |w| format!("{w} MiB/s")),
+        budget_bytes.map_or("off".into(), |b| fmt_bytes(b as u64)),
     );
 
     let mut table = Table::new(&[
@@ -397,4 +442,5 @@ fn main() {
         );
     }
     criterion::write_json_summary_named("dist_scaling");
+    ebtrain_obs::flush_trace();
 }

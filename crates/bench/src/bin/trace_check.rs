@@ -1,0 +1,109 @@
+//! Validates a chrome-trace JSON file produced by `ebtrain-obs`
+//! (`EBTRAIN_TRACE=<path>`), for CI: after the smoke binaries run with
+//! tracing on, this asserts the export is actually loadable by a trace
+//! viewer and reflects a multi-crate run.
+//!
+//! Checks: the file parses as a JSON array; it is non-empty; every
+//! event carries the expected fields; per-tid `B`/`E` events pair up
+//! stack-style with matching names and non-decreasing timestamps; and
+//! the closed spans come from at least three crates (distinct
+//! `<crate>.` name prefixes).
+//!
+//! Usage: `trace_check <trace.json> [min_crates]` — exits 0 on success,
+//! 1 with a diagnostic on the first violation.
+
+use ebtrain_obs::json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn check(path: &str, min_crates: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let events = root.as_array().ok_or("top-level value is not an array")?;
+    if events.is_empty() {
+        return Err("trace is empty".into());
+    }
+
+    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut crates = BTreeSet::new();
+    let mut closed = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| ev.get(k).ok_or_else(|| format!("event {i}: missing {k:?}"));
+        let ph = field("ph")?
+            .as_str()
+            .ok_or(format!("event {i}: ph not a string"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("event {i}: name not a string"))?;
+        if ph == "M" {
+            continue; // thread_name metadata, no ts/stack semantics
+        }
+        let tid = field("tid")?
+            .as_f64()
+            .ok_or(format!("event {i}: tid not a number"))? as u64;
+        let ts = field("ts")?
+            .as_f64()
+            .ok_or(format!("event {i}: ts not a number"))?;
+        let prev = last_ts.entry(tid).or_insert(ts);
+        if ts < *prev {
+            return Err(format!("event {i}: ts went backwards on tid {tid}"));
+        }
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push((name.to_string(), ts)),
+            "E" => {
+                let (open, _) = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .ok_or(format!("event {i}: E with no open B on tid {tid}"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes B {open:?} on tid {tid}"
+                    ));
+                }
+                closed += 1;
+                if let Some((cr, _)) = name.split_once('.') {
+                    crates.insert(cr.to_string());
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    // Spans still open at exporter time are legal (the exporter may run
+    // mid-span), but a valid run must have closed plenty.
+    if closed == 0 {
+        return Err("no closed spans in trace".into());
+    }
+    if crates.len() < min_crates {
+        return Err(format!(
+            "spans from only {} crate(s) {:?}, need >= {min_crates}",
+            crates.len(),
+            crates
+        ));
+    }
+    println!(
+        "trace_check: {path} OK — {} events, {closed} closed spans, {} threads, crates {:?}",
+        events.len(),
+        last_ts.len(),
+        crates
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [min_crates]");
+        return ExitCode::FAILURE;
+    };
+    let min_crates = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    match check(&path, min_crates) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_check: {path} FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -98,6 +98,7 @@ impl Codec for SzCodec {
         layout: DataLayout,
         bound: &BoundSpec,
     ) -> Result<TaggedStream> {
+        let _span = ebtrain_obs::span!("codec.compress", bytes = data.len() * 4);
         let cfg = self.cfg_for(data, bound)?;
         let buf = ebtrain_sz::compress(data, layout, &cfg)?;
         Ok(TaggedStream::tag(CodecId::SZ, buf.into_bytes()))
@@ -110,6 +111,7 @@ impl Codec for SzCodec {
         bound: &BoundSpec,
         chunk_planes: usize,
     ) -> Result<TaggedStream> {
+        let _span = ebtrain_obs::span!("codec.compress", bytes = data.len() * 4);
         let mut cfg = self.cfg_for(data, bound)?;
         cfg.chunk_planes = Some(chunk_planes.max(1));
         let buf = ebtrain_sz::compress(data, layout, &cfg)?;
@@ -117,6 +119,7 @@ impl Codec for SzCodec {
     }
 
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
+        let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         ebtrain_sz::decompress_bytes(stream.body())
     }
 
@@ -134,6 +137,7 @@ impl Codec for SzCodec {
         _layout: DataLayout,
         planes: Range<usize>,
     ) -> Result<(Vec<f32>, PlaneDecodeStats)> {
+        let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         let (vals, st) = ebtrain_sz::decompress_planes_bytes(stream.body(), planes)?;
         Ok((
             vals,
@@ -230,6 +234,7 @@ impl Codec for ZfpLikeCodec {
         layout: DataLayout,
         bound: &BoundSpec,
     ) -> Result<TaggedStream> {
+        let _span = ebtrain_obs::span!("codec.compress", bytes = data.len() * 4);
         if data.is_empty() {
             return Err(corrupt("zfp-like cannot encode an empty tensor"));
         }
@@ -248,6 +253,7 @@ impl Codec for ZfpLikeCodec {
     }
 
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
+        let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         zfp_like::decompress(stream.body())
     }
 }
@@ -277,6 +283,7 @@ impl Codec for LosslessCodec {
         _layout: DataLayout,
         _bound: &BoundSpec,
     ) -> Result<TaggedStream> {
+        let _span = ebtrain_obs::span!("codec.compress", bytes = data.len() * 4);
         Ok(TaggedStream::tag(
             CodecId::LOSSLESS,
             ebtrain_sz::lossless::compress(data),
@@ -284,6 +291,7 @@ impl Codec for LosslessCodec {
     }
 
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
+        let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         ebtrain_sz::lossless::decompress(stream.body())
     }
 }
@@ -320,6 +328,7 @@ impl Codec for ByteplaneCodec {
         _layout: DataLayout,
         _bound: &BoundSpec,
     ) -> Result<TaggedStream> {
+        let _span = ebtrain_obs::span!("codec.compress", bytes = data.len() * 4);
         let payload = lz::compress(&byteplane::shuffle_f32(data));
         let mut body = Vec::with_capacity(payload.len() + 12);
         body.extend_from_slice(&MAGIC_B1);
@@ -329,6 +338,7 @@ impl Codec for ByteplaneCodec {
     }
 
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
+        let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         let body = stream.body();
         if body.len() < 2 || body[0..2] != MAGIC_B1 {
             return Err(corrupt("bad byteplane magic"));

@@ -136,6 +136,9 @@ pub struct AdaptiveTrainer {
     history: Vec<IterationRecord>,
     prev_raw: u64,
     prev_stored: u64,
+    /// Registry delta captured around the last step (see
+    /// [`step_report`](Self::step_report)).
+    last_report: Option<ebtrain_obs::StepReport>,
 }
 
 impl AdaptiveTrainer {
@@ -154,6 +157,7 @@ impl AdaptiveTrainer {
             history: Vec::new(),
             prev_raw: 0,
             prev_stored: 0,
+            last_report: None,
         }
     }
 
@@ -188,6 +192,7 @@ impl AdaptiveTrainer {
             history: Vec::new(),
             prev_raw: 0,
             prev_stored: 0,
+            last_report: None,
         }
     }
 
@@ -210,6 +215,8 @@ impl AdaptiveTrainer {
         labels: &[usize],
         sync: Option<&mut dyn GradSync>,
     ) -> Result<IterationRecord> {
+        let obs_before = ebtrain_obs::snapshot();
+        let step_span = ebtrain_obs::span!("core.step");
         let iter = self.opt.iteration();
         let collect = iter.is_multiple_of(self.cfg.w_interval.max(1));
         let r = match &mut self.store {
@@ -262,7 +269,17 @@ impl AdaptiveTrainer {
             collected: collect,
         };
         self.history.push(record);
+        drop(step_span);
+        self.last_report = Some(ebtrain_obs::StepReport::capture_since(&obs_before));
         Ok(record)
+    }
+
+    /// Registry delta of the last step: sz/codec span times, entropy
+    /// backend routing, membudget residency and hit counters — the
+    /// single source of truth the fig binaries print per-step numbers
+    /// from. `None` before the first step.
+    pub fn step_report(&self) -> Option<&ebtrain_obs::StepReport> {
+        self.last_report.as_ref()
     }
 
     /// Phase 2 + 3: recompute every conv layer's error bound from the

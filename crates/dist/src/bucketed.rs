@@ -14,8 +14,8 @@
 //!   still producing shallower layers' gradients;
 //! * [`finish`](GradSync::finish) launches any stragglers (non-overlap
 //!   mode launches everything here), joins the in-flight collectives in
-//!   launch order — reporting the blocked time as
-//!   [`CommStats::wait_nanos`](crate::collective::CommStats) — and
+//!   launch order — reporting the blocked time under the
+//!   `dist.wait.nanos` registry counter (and a `dist.wait` span) — and
 //!   either writes the averaged gradients back (classic all-reduce,
 //!   [`SyncAction::LocalStep`]) or runs the **ZeRO-style sharded
 //!   optimizer** and all-gathers updated parameters
@@ -252,6 +252,10 @@ impl BucketedGradSync {
         let scatter_only = self.zero.is_some();
         let tag = b as u64;
         let handle = self.pool.submit(move || -> BucketOutcome {
+            // Spanning the whole collective (hops included) puts one
+            // `dist.collective` block per bucket in the trace timeline —
+            // the overlap with backward is directly visible in Perfetto.
+            let _span = ebtrain_obs::span!("dist.collective", bytes = vals.len() * 4);
             if scatter_only {
                 let owned = coll.reduce_scatter_aligned(rank, &mut vals, tag, start, total)?;
                 Ok(BucketDone {
@@ -375,23 +379,26 @@ impl GradSync for BucketedGradSync {
             (0..self.plan.num_buckets()).map(|_| None).collect();
         let mut first_err: Option<DistError> = None;
         let mut waited = 0u64;
-        for b in order {
-            let handle = self.inflight[b].take().expect("launched above");
-            let t0 = Instant::now();
-            let out = handle.join();
-            waited += t0.elapsed().as_nanos() as u64;
-            match out {
-                Ok(done) => outcomes[b] = Some(done),
-                Err(e) => {
-                    // Make sure peers blocked on later buckets get out.
-                    self.coll.abort();
-                    if first_err.is_none() {
-                        first_err = Some(e);
+        {
+            let _wait_span = ebtrain_obs::span!("dist.wait");
+            for b in order {
+                let handle = self.inflight[b].take().expect("launched above");
+                let t0 = Instant::now();
+                let out = handle.join();
+                waited += t0.elapsed().as_nanos() as u64;
+                match out {
+                    Ok(done) => outcomes[b] = Some(done),
+                    Err(e) => {
+                        // Make sure peers blocked on later buckets get out.
+                        self.coll.abort();
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
             }
         }
-        self.coll.note_wait_nanos(waited);
+        ebtrain_obs::counter_add("dist.wait.nanos", waited);
         if let Some(e) = first_err {
             return Err(DnnError::State(format!(
                 "bucketed gradient sync failed: {e}"

@@ -86,20 +86,6 @@ pub struct CommStats {
     /// Completed reduce-scatter/all-gather phases (an `all_reduce` is
     /// one of each).
     pub phases: u64,
-    /// Nanoseconds spent encoding payloads (compressed transports).
-    pub encode_nanos: u64,
-    /// Nanoseconds spent decoding payloads (compressed transports).
-    pub decode_nanos: u64,
-    /// Modeled interconnect nanoseconds: when a wire bandwidth is set
-    /// ([`Collective::set_wire_mibps`]) every send sleeps
-    /// `bytes / bandwidth` before delivery and accounts it here. Zero
-    /// when the model is off (the default — payloads then move at
-    /// memcpy speed).
-    pub wire_nanos: u64,
-    /// Nanoseconds callers reported blocked on in-flight bucket
-    /// collectives after backward finished
-    /// ([`Collective::note_wait_nanos`]) — the non-overlapped tail.
-    pub wait_nanos: u64,
 }
 
 impl CommStats {
@@ -114,6 +100,12 @@ impl CommStats {
     }
 
     /// Element-wise difference (for per-step deltas).
+    ///
+    /// Per-phase *timings* (encode/decode/wire/wait) are not here: they
+    /// live in the `ebtrain-obs` registry as the `dist.encode` /
+    /// `dist.decode` spans and the `dist.wire.nanos` / `dist.wait.nanos`
+    /// counters, and are deltaed with
+    /// [`Snapshot::delta_since`](ebtrain_obs::Snapshot::delta_since).
     pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
         CommStats {
             messages: self.messages - earlier.messages,
@@ -121,10 +113,6 @@ impl CommStats {
             dense_equiv_bytes: self.dense_equiv_bytes - earlier.dense_equiv_bytes,
             broadcasts: self.broadcasts - earlier.broadcasts,
             phases: self.phases - earlier.phases,
-            encode_nanos: self.encode_nanos - earlier.encode_nanos,
-            decode_nanos: self.decode_nanos - earlier.decode_nanos,
-            wire_nanos: self.wire_nanos - earlier.wire_nanos,
-            wait_nanos: self.wait_nanos - earlier.wait_nanos,
         }
     }
 }
@@ -314,11 +302,6 @@ pub trait Collective: Send + Sync {
     /// override. No-op for lossless transports.
     fn set_bucket_error_bound(&self, _tag: u64, _eb: Option<f32>) {}
 
-    /// Report nanoseconds a caller spent blocked on in-flight tagged
-    /// collectives after its compute finished (accounted as
-    /// [`CommStats::wait_nanos`]).
-    fn note_wait_nanos(&self, _nanos: u64) {}
-
     /// Bounded-staleness straggler deadline: a rank blocked in `recv`
     /// longer than this poisons the collective and every peer returns a
     /// clean `Aborted` instead of waiting forever. `None` (default)
@@ -326,8 +309,9 @@ pub trait Collective: Send + Sync {
     fn set_straggler_timeout(&self, _timeout: Option<Duration>) {}
 
     /// Enable the modeled interconnect: every send sleeps
-    /// `bytes / (mibps MiB/s)` before delivery and accounts the time as
-    /// [`CommStats::wire_nanos`]. `None` (default) disables the model —
+    /// `bytes / (mibps MiB/s)` before delivery and accounts the time
+    /// under the `dist.wire.nanos` registry counter. `None` (default)
+    /// disables the model —
     /// in-memory payload handoff is then effectively free, which hides
     /// the byte savings of compressed transports from wall-clock
     /// numbers.
@@ -422,10 +406,6 @@ mod tests {
             dense_equiv_bytes: 800,
             broadcasts: 0,
             phases: 1,
-            encode_nanos: 10,
-            decode_nanos: 20,
-            wire_nanos: 30,
-            wait_nanos: 40,
         };
         assert!((a.reduction_ratio() - 8.0).abs() < 1e-12);
         assert_eq!(CommStats::default().reduction_ratio(), 1.0);
@@ -435,10 +415,6 @@ mod tests {
             dense_equiv_bytes: 1000,
             broadcasts: 1,
             phases: 2,
-            encode_nanos: 110,
-            decode_nanos: 220,
-            wire_nanos: 330,
-            wait_nanos: 440,
         };
         let d = later.delta_since(&a);
         assert_eq!(d.messages, 3);
@@ -446,9 +422,5 @@ mod tests {
         assert_eq!(d.dense_equiv_bytes, 200);
         assert_eq!(d.broadcasts, 1);
         assert_eq!(d.phases, 1);
-        assert_eq!(d.encode_nanos, 100);
-        assert_eq!(d.decode_nanos, 200);
-        assert_eq!(d.wire_nanos, 300);
-        assert_eq!(d.wait_nanos, 400);
     }
 }

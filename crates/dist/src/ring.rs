@@ -75,8 +75,8 @@
 //! In-memory message handoff is effectively free, which would hide the
 //! wall-clock value of sending fewer bytes. With a wire bandwidth set
 //! ([`Collective::set_wire_mibps`]) every send **sleeps**
-//! `bytes / bandwidth` before delivery (accounted as
-//! [`CommStats::wire_nanos`]); sleeping releases the core, so
+//! `bytes / bandwidth` before delivery (accounted under the
+//! `dist.wire.nanos` registry counter); sleeping releases the core, so
 //! overlapped bucket collectives genuinely hide modeled wire time the
 //! way comm/compute overlap hides real wire time. Off by default.
 
@@ -215,7 +215,9 @@ impl RingCore {
             if mibps > 0.0 && msg.wire_bytes > 0 {
                 let nanos = (msg.wire_bytes as f64 / (mibps * 1024.0 * 1024.0) * 1e9) as u64;
                 std::thread::sleep(Duration::from_nanos(nanos));
-                self.stat(|st| st.wire_nanos += nanos);
+                // The *modeled* transmission time (not the measured
+                // sleep, which oversleeps by scheduler jitter).
+                ebtrain_obs::counter_add("dist.wire.nanos", nanos);
             }
         }
         let slot = &self.slots[to];
@@ -575,10 +577,6 @@ impl Collective for DenseRing {
         *self.core.stats.lock().expect("stats poisoned") = CommStats::default();
     }
 
-    fn note_wait_nanos(&self, nanos: u64) {
-        self.core.stat(|st| st.wait_nanos += nanos);
-    }
-
     fn set_straggler_timeout(&self, timeout: Option<Duration>) {
         *self.core.straggler.lock().expect("straggler poisoned") = timeout;
     }
@@ -723,7 +721,7 @@ impl CompressedRing {
                 // Segment-only encode: one independent stream for
                 // exactly the segment this hop forwards (hop 0 carries
                 // raw values, later hops partial sums — same path).
-                let enc0 = Instant::now();
+                let enc_span = ebtrain_obs::span!("dist.encode", bytes = r.len() * 4);
                 let mut vals = buf[r.clone()].to_vec();
                 if let Some(res) = res.as_ref() {
                     for (v, e) in vals.iter_mut().zip(&res[r.clone()]) {
@@ -732,8 +730,7 @@ impl CompressedRing {
                 }
                 let res_slice = res.as_mut().map(|res| &mut res[r.clone()]);
                 let stream = self.encode_segment(&vals, &bound, res_slice)?;
-                self.core
-                    .stat(|st| st.encode_nanos += enc0.elapsed().as_nanos() as u64);
+                drop(enc_span);
                 Message {
                     seg: s_send,
                     wire_bytes: stream.compressed_byte_len(),
@@ -751,10 +748,10 @@ impl CompressedRing {
             let vals = match received.payload {
                 Payload::Empty => Vec::new(),
                 Payload::Stream(stream) => {
-                    let dec0 = Instant::now();
+                    let dec_span =
+                        ebtrain_obs::span!("dist.decode", bytes = stream.compressed_byte_len());
                     let vals = self.codec(self.codec.decompress(&stream))?;
-                    self.core
-                        .stat(|st| st.decode_nanos += dec0.elapsed().as_nanos() as u64);
+                    drop(dec_span);
                     vals
                 }
                 Payload::Dense(_) => {
@@ -810,7 +807,7 @@ impl CompressedRing {
                         // Compress the reduced segment once; adopt the
                         // decoded copy locally so this rank holds exactly
                         // what every peer will decode.
-                        let enc0 = Instant::now();
+                        let enc_span = ebtrain_obs::span!("dist.encode", bytes = r.len() * 4);
                         let mut vals = buf[r.clone()].to_vec();
                         let mut res = if self.error_feedback {
                             Some(self.take_residual(rank, tag, buf.len()))
@@ -829,8 +826,7 @@ impl CompressedRing {
                         }
                         let decoded = self.codec(self.codec.decompress(&stream))?;
                         buf[r.clone()].copy_from_slice(&decoded);
-                        self.core
-                            .stat(|st| st.encode_nanos += enc0.elapsed().as_nanos() as u64);
+                        drop(enc_span);
                         Message {
                             seg: owned,
                             wire_bytes: stream.compressed_byte_len(),
@@ -851,10 +847,10 @@ impl CompressedRing {
             match &received.payload {
                 Payload::Empty => {}
                 Payload::Stream(stream) => {
-                    let dec0 = Instant::now();
+                    let dec_span =
+                        ebtrain_obs::span!("dist.decode", bytes = stream.compressed_byte_len());
                     let decoded = self.codec(self.codec.decompress(stream))?;
-                    self.core
-                        .stat(|st| st.decode_nanos += dec0.elapsed().as_nanos() as u64);
+                    drop(dec_span);
                     if decoded.len() != dst.len() {
                         self.core.poison();
                         return Err(DistError::Aborted("segment length mismatch".into()));
@@ -1009,10 +1005,6 @@ impl Collective for CompressedRing {
                 map.remove(&tag);
             }
         }
-    }
-
-    fn note_wait_nanos(&self, nanos: u64) {
-        self.core.stat(|st| st.wait_nanos += nanos);
     }
 
     fn set_straggler_timeout(&self, timeout: Option<Duration>) {
@@ -1450,25 +1442,73 @@ mod tests {
         }
     }
 
+    /// `dist.wire.nanos` is a process-global registry counter; the two
+    /// wire-model tests serialize on this lock so their deltas never
+    /// include each other's sends.
+    static WIRE_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn wire_model_accounts_modeled_nanos() {
+        let _wire = WIRE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        ebtrain_obs::set_metrics_enabled(true);
         let world = 2;
         let len = crate::SEG_ALIGN * 2;
         let coll = Arc::new(DenseRing::new(world));
         // Very fast modeled wire: sleeps stay in the microseconds.
         coll.set_wire_mibps(Some(50_000.0));
+        let before = ebtrain_obs::snapshot();
         let mut bufs = make_bufs(world, len, 1.0);
         for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
             r.unwrap();
         }
-        let st = coll.stats();
-        assert!(st.wire_nanos > 0, "wire model must account sleep time");
+        let d = ebtrain_obs::snapshot().delta_since(&before);
+        assert!(
+            d.counter("dist.wire.nanos") > 0,
+            "wire model must account sleep time"
+        );
         coll.set_wire_mibps(None);
-        coll.reset_stats();
+        let before = ebtrain_obs::snapshot();
         let mut bufs = make_bufs(world, len, 1.0);
         for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
             r.unwrap();
         }
-        assert_eq!(coll.stats().wire_nanos, 0, "model off: no wire time");
+        let d = ebtrain_obs::snapshot().delta_since(&before);
+        assert_eq!(d.counter("dist.wire.nanos"), 0, "model off: no wire time");
+    }
+
+    /// Pins the counter migration: the registry's `dist.wire.nanos`
+    /// delta equals the *modeled* value computed from message count and
+    /// size — exactly what the retired `CommStats::wire_nanos` field
+    /// accumulated — not the (jittery) measured sleep.
+    #[test]
+    fn registry_wire_nanos_match_modeled_wire() {
+        let _wire = WIRE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        ebtrain_obs::set_metrics_enabled(true);
+        let world = 2;
+        // Two aligned segments of equal size: every message carries
+        // exactly SEG_ALIGN dense f32 values.
+        let len = crate::SEG_ALIGN * 2;
+        let mibps = 50_000.0;
+        let coll = Arc::new(DenseRing::new(world));
+        coll.set_wire_mibps(Some(mibps));
+        let stats_before = coll.stats();
+        let before = ebtrain_obs::snapshot();
+        let mut bufs = make_bufs(world, len, 1.0);
+        for r in run_ranks(&coll, &mut bufs, |c, r, b| c.all_reduce(r, b)) {
+            r.unwrap();
+        }
+        let comm = coll.stats().delta_since(&stats_before);
+        let d = ebtrain_obs::snapshot().delta_since(&before);
+        // world=2 all-reduce: each rank sends 1 reduce-scatter + 1
+        // all-gather message of one segment each.
+        assert_eq!(comm.messages, 4);
+        let per_msg_bytes = crate::SEG_ALIGN * 4;
+        assert_eq!(comm.payload_bytes, comm.messages * per_msg_bytes as u64);
+        let per_msg_nanos = (per_msg_bytes as f64 / (mibps * 1024.0 * 1024.0) * 1e9) as u64;
+        assert_eq!(
+            d.counter("dist.wire.nanos"),
+            comm.messages * per_msg_nanos,
+            "registry wire nanos must equal the modeled per-message value"
+        );
     }
 }

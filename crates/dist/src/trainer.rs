@@ -148,6 +148,9 @@ pub struct DistributedTrainer {
     adaptive_comm: bool,
     error_feedback: bool,
     history: Vec<DistStepRecord>,
+    /// Registry delta captured around the last [`step`](Self::step) —
+    /// the per-step phase breakdown the fig binaries print from.
+    last_report: Option<ebtrain_obs::StepReport>,
 }
 
 /// Mean |momentum| across all parameters of a network (the global `M̄`
@@ -266,6 +269,7 @@ impl DistributedTrainer {
             adaptive_comm,
             error_feedback,
             history: Vec::new(),
+            last_report: None,
         };
         // Sharded optimizer state is real per-rank memory: tell each
         // budgeted store about it for reporting — pinned elsewhere to
@@ -357,6 +361,7 @@ impl DistributedTrainer {
             .collect::<Result<_>>()?;
 
         let stats_before = self.collective.stats();
+        let obs_before = ebtrain_obs::snapshot();
         let collective = Arc::clone(&self.collective);
         type Outcome = std::result::Result<(IterationRecord, usize), DnnError>;
         let mut outcomes: Vec<Option<Outcome>> = (0..self.world).map(|_| None).collect();
@@ -412,6 +417,7 @@ impl DistributedTrainer {
             }
         }
         let comm = self.collective.stats().delta_since(&stats_before);
+        self.last_report = Some(ebtrain_obs::StepReport::capture_since(&obs_before));
         // The bound the just-completed collectives actually encoded with
         // — captured before the σ-hook re-picks it for the *next* step.
         let used_eb = self.collective.error_bound();
@@ -468,6 +474,15 @@ impl DistributedTrainer {
     /// Number of worker replicas.
     pub fn world_size(&self) -> usize {
         self.world
+    }
+
+    /// Registry delta of the last [`step`](Self::step): the
+    /// `dist.encode`/`dist.decode` span times, `dist.wire.nanos`/
+    /// `dist.wait.nanos` counters, codec activity, and (for budgeted
+    /// replicas) membudget residency — one source of truth for per-step
+    /// reporting. `None` before the first step.
+    pub fn step_report(&self) -> Option<&ebtrain_obs::StepReport> {
+        self.last_report.as_ref()
     }
 
     /// The chief replica (rank 0), e.g. for evaluation.

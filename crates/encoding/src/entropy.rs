@@ -63,15 +63,22 @@ impl EntropyEncoder<'_> {
         }
     }
 
-    /// Entropy-code one chunk's symbols into a frame payload.
+    /// Entropy-code one chunk's symbols into a frame payload. The
+    /// per-frame backend choice is counted in the metrics registry
+    /// (`encoding.entropy.huffman` / `encoding.entropy.range`), making
+    /// the auto-selector's routing observable per run.
     pub fn encode_block(&self, codes: &[u32]) -> Vec<u8> {
         match self {
             EntropyEncoder::Huffman(codebook) => {
+                ebtrain_obs::counter_add("encoding.entropy.huffman", 1);
                 let mut block = Vec::new();
                 codebook.encode_block(codes, &mut block);
                 block
             }
-            EntropyEncoder::Range { center } => range::encode_block(codes, *center),
+            EntropyEncoder::Range { center } => {
+                ebtrain_obs::counter_add("encoding.entropy.range", 1);
+                range::encode_block(codes, *center)
+            }
         }
     }
 }

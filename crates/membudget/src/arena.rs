@@ -225,11 +225,22 @@ pub struct BudgetedArena<K> {
     sched_pos: HashMap<K, usize>,
     cursor: usize,
     metrics: ArenaMetrics,
+    /// Metric values as of the last registry publish; the diff is what
+    /// [`publish_obs`](Self::publish_obs) mirrors into the process-wide
+    /// counters.
+    last_obs: ArenaMetrics,
+    /// Process-unique arena id; instance-keys this arena's gauges
+    /// (`membudget.resident.hot#<id>`) so concurrently-live arenas (e.g.
+    /// parallel tests, per-replica arenas) never mix their residency.
+    obs_id: u64,
+    /// Precomputed gauge keys: hot / warm / cold residency.
+    obs_keys: [String; 3],
 }
 
 impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
     /// Arena with the given configuration and eviction policy.
     pub fn new(cfg: BudgetConfig, policy: Box<dyn EvictionPolicy>) -> BudgetedArena<K> {
+        let obs_id = ebtrain_obs::next_instance_id();
         BudgetedArena {
             cfg,
             policy,
@@ -241,7 +252,71 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             sched_pos: HashMap::new(),
             cursor: 0,
             metrics: ArenaMetrics::default(),
+            last_obs: ArenaMetrics::default(),
+            obs_id,
+            obs_keys: [
+                format!("membudget.resident.hot#{obs_id}"),
+                format!("membudget.resident.warm#{obs_id}"),
+                format!("membudget.resident.cold#{obs_id}"),
+            ],
         }
+    }
+
+    /// This arena's instance id — the `#<id>` suffix of its registry
+    /// gauges (`membudget.resident.{hot,warm,cold}#<id>`).
+    pub fn obs_id(&self) -> u64 {
+        self.obs_id
+    }
+
+    /// Mirror the counter deltas since the last publish into the
+    /// process-wide registry and set the per-tier residency gauges.
+    /// Called after every public mutation, so the registry view lags a
+    /// public call at most.
+    fn publish_obs(&mut self) {
+        if !ebtrain_obs::metrics_enabled() {
+            return;
+        }
+        macro_rules! mirror {
+            ($name:literal, $field:ident) => {
+                ebtrain_obs::counter_add(
+                    $name,
+                    self.metrics.$field.saturating_sub(self.last_obs.$field),
+                );
+            };
+        }
+        mirror!("membudget.demotions", demotions);
+        mirror!("membudget.evictions_host", evictions_host);
+        mirror!("membudget.drops", drops);
+        mirror!("membudget.prefetch.issued", prefetch_issued);
+        mirror!("membudget.prefetch.hits", prefetch_hits);
+        mirror!("membudget.hits.hot", hot_hits);
+        mirror!("membudget.hits.warm", warm_hits);
+        mirror!("membudget.hits.host", host_hits);
+        mirror!("membudget.partial.bytes_decoded", partial_bytes_decoded);
+        mirror!("membudget.partial.bytes_total", partial_bytes_total);
+        self.last_obs = self.metrics.clone();
+        // Hot/warm gauges carry device-charged bytes (their sum can
+        // never exceed the budget — the proptests assert this from the
+        // registry side); cold carries the bytes actually held on host.
+        let (mut hot, mut warm, mut cold) = (0i64, 0i64, 0i64);
+        for e in self.entries.values() {
+            match e.tier() {
+                Tier::Hot => hot += e.resident as i64,
+                Tier::Warm => warm += e.resident as i64,
+                Tier::Cold => {
+                    cold += match &e.repr {
+                        Repr::HostF32(d) => (d.len() * 4) as i64,
+                        Repr::HostWarm(s) => s.compressed_byte_len() as i64,
+                        Repr::HostBytes(b) => b.len() as i64,
+                        _ => 0,
+                    }
+                }
+                Tier::Dropped => {}
+            }
+        }
+        ebtrain_obs::gauge_set(&self.obs_keys[0], hot);
+        ebtrain_obs::gauge_set(&self.obs_keys[1], warm);
+        ebtrain_obs::gauge_set(&self.obs_keys[2], cold);
     }
 
     /// The hard budget in bytes.
@@ -281,9 +356,12 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         self.metrics.clone()
     }
 
-    /// Zero the cumulative counters.
+    /// Zero the cumulative counters. The registry mirror's baseline
+    /// resets with them (registry counters are process-cumulative and
+    /// never rewind).
     pub fn reset_metrics(&mut self) {
         self.metrics = ArenaMetrics::default();
+        self.last_obs = ArenaMetrics::default();
     }
 
     /// Active eviction policy name (reporting).
@@ -324,6 +402,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         self.schedule.clear();
         self.sched_pos.clear();
         self.cursor = 0;
+        self.publish_obs();
     }
 
     fn charge(&mut self, bytes: usize) {
@@ -391,6 +470,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         bound: &BoundSpec,
         codec: &Arc<dyn Codec>,
     ) -> Option<TaggedStream> {
+        let _span = ebtrain_obs::span!("membudget.compress", bytes = data.len() * 4);
         let t0 = Instant::now();
         let out = codec.compress(data, layout, bound).ok();
         self.metrics.compress_nanos += t0.elapsed().as_nanos() as u64;
@@ -557,6 +637,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             self.charge(raw);
             let tier = Tier::Hot;
             self.entries.insert(key, entry);
+            self.publish_obs();
             return tier;
         }
 
@@ -603,6 +684,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             }
         };
         self.entries.insert(key, entry);
+        self.publish_obs();
         tier
     }
 
@@ -637,6 +719,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             }
         };
         self.entries.insert(key, entry);
+        self.publish_obs();
         tier
     }
 
@@ -647,6 +730,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             if let Repr::InFlight(job) = e.repr {
                 let _ = job.join();
             }
+            self.publish_obs();
         }
     }
 
@@ -674,6 +758,10 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
                 Ok(Fetched::Bytes(bytes))
             }
             Repr::Warm(stream) => {
+                let _span = ebtrain_obs::span!(
+                    "membudget.decompress",
+                    bytes = stream.compressed_byte_len()
+                );
                 let t0 = Instant::now();
                 let out = entry
                     .codec
@@ -695,6 +783,10 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             Repr::HostWarm(stream) => {
                 self.charge_transfer(stream.compressed_byte_len());
                 self.metrics.host_hits += 1;
+                let _span = ebtrain_obs::span!(
+                    "membudget.decompress",
+                    bytes = stream.compressed_byte_len()
+                );
                 let t0 = Instant::now();
                 let out = entry
                     .codec
@@ -711,6 +803,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             Repr::Dropped => Err(MembudgetError::Dropped),
         };
         self.prefetch_ahead();
+        self.publish_obs();
         fetched
     }
 
@@ -777,7 +870,7 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             // empty range at the tail (`plane_count..plane_count`).
             Ok(((planes.start * pe).min(n), (planes.end * pe).min(n)))
         };
-        match &entry.repr {
+        let result = match &entry.repr {
             Repr::HotF32(data) => {
                 let (lo, hi) = elems_of(entry.layout, &planes, data.len())?;
                 self.metrics.hot_hits += 1;
@@ -785,6 +878,10 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             }
             Repr::Warm(stream) | Repr::HostWarm(stream) => {
                 let host = matches!(entry.repr, Repr::HostWarm(_));
+                let _span = ebtrain_obs::span!(
+                    "membudget.decompress",
+                    bytes = stream.compressed_byte_len()
+                );
                 let t0 = Instant::now();
                 // Codecs with a frame index decode only the covering
                 // frames; others pay the documented whole-decode
@@ -818,7 +915,9 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
             )),
             Repr::Dropped => Err(MembudgetError::Dropped),
             Repr::InFlight(_) => unreachable!("in-flight joined above"),
-        }
+        };
+        self.publish_obs();
+        result
     }
 
     /// Issue background decodes for the next scheduled warm entries, up
@@ -867,6 +966,11 @@ impl<K> Drop for BudgetedArena<K> {
             if let Repr::InFlight(job) = e.repr {
                 let _ = job.join();
             }
+        }
+        // Retire this arena's instance-keyed gauges so snapshots only
+        // ever show live arenas.
+        for key in &self.obs_keys {
+            ebtrain_obs::gauge_remove(key);
         }
     }
 }

@@ -11,6 +11,14 @@ use ebtrain_sz::DataLayout;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
+/// Device-charged bytes the registry currently reports for one arena
+/// (its instance-keyed hot + warm residency gauges).
+fn obs_device_bytes(obs_id: u64) -> i64 {
+    let s = ebtrain_obs::snapshot();
+    s.gauge(&format!("membudget.resident.hot#{obs_id}"))
+        + s.gauge(&format!("membudget.resident.warm#{obs_id}"))
+}
+
 fn run_step(
     budget: usize,
     n_slots: usize,
@@ -20,6 +28,9 @@ fn run_step(
     drop_cold: bool,
     prefetch: usize,
 ) {
+    // The budget invariant is also asserted from the registry side, so
+    // metric recording must be on even if the environment disabled it.
+    ebtrain_obs::set_metrics_enabled(true);
     let mut cfg = BudgetConfig::with_budget(budget);
     cfg.prefetch_depth = prefetch;
     cfg.cold = if drop_cold {
@@ -61,6 +72,14 @@ fn run_step(
             arena.peak_resident_bytes(),
             arena.budget_bytes()
         );
+        // Same invariant as seen through the metrics registry: the
+        // hot+warm residency gauges never exceed the budget either.
+        let published = obs_device_bytes(arena.obs_id());
+        prop_assert!(
+            published <= arena.budget_bytes() as i64,
+            "registry hot+warm {published} > budget {} during forward (slot {slot})",
+            arena.budget_bytes()
+        );
     }
 
     // Backward phase: loads in reverse save order, schedule declared.
@@ -90,8 +109,15 @@ fn run_step(
             arena.peak_resident_bytes(),
             arena.budget_bytes()
         );
+        let published = obs_device_bytes(arena.obs_id());
+        prop_assert!(
+            published <= arena.budget_bytes() as i64,
+            "registry hot+warm {published} > budget {} during backward (slot {slot})",
+            arena.budget_bytes()
+        );
     }
     prop_assert!(arena.is_empty());
+    prop_assert_eq!(obs_device_bytes(arena.obs_id()), 0);
     prop_assert_eq!(arena.resident_bytes(), 0);
     prop_assert_eq!(arena.metrics().over_budget_events, 0);
     // Host tier never drops; drop tier only under pressure.

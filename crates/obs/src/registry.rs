@@ -1,0 +1,321 @@
+//! The sharded metrics registry.
+//!
+//! Counters and span statistics live in **per-thread shards**: the hot
+//! path locks only the calling thread's own mutex (uncontended except
+//! while a snapshot is being taken), so concurrent workers never fight
+//! over a shared line. [`snapshot`] merges every live shard plus the
+//! *retired* accumulator into which a dying thread folds its shard —
+//! the rayon shim's scoped threads live for one parallel loop, so
+//! retirement must be loss-free. Gauges are low-frequency (tier
+//! residency, queue depth) and live in one global map keyed by owned
+//! strings, which is what lets per-instance keys like
+//! `membudget.resident.hot#3` exist.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Aggregated timing statistics of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Completed span instances.
+    pub count: u64,
+    /// Summed durations in nanoseconds.
+    pub total_nanos: u64,
+    /// Shortest instance (0 when `count == 0`).
+    pub min_nanos: u64,
+    /// Longest instance.
+    pub max_nanos: u64,
+    /// Summed `bytes` attributes.
+    pub total_bytes: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn record(&mut self, nanos: u64, bytes: u64) {
+        self.min_nanos = if self.count == 0 {
+            nanos
+        } else {
+            self.min_nanos.min(nanos)
+        };
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+        self.total_bytes += bytes;
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        self.total_bytes += other.total_bytes;
+    }
+
+    /// Difference of the additive fields since `earlier`; `min`/`max`
+    /// keep the cumulative values (extrema don't subtract).
+    fn delta_since(&self, earlier: &SpanStats) -> SpanStats {
+        SpanStats {
+            count: self.count.saturating_sub(earlier.count),
+            total_nanos: self.total_nanos.saturating_sub(earlier.total_nanos),
+            min_nanos: self.min_nanos,
+            max_nanos: self.max_nanos,
+            total_bytes: self.total_bytes.saturating_sub(earlier.total_bytes),
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct ShardData {
+    counters: HashMap<&'static str, u64>,
+    spans: HashMap<&'static str, SpanStats>,
+}
+
+impl ShardData {
+    fn merge(&mut self, other: &ShardData) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, v) in &other.spans {
+            self.spans.entry(k).or_default().merge(v);
+        }
+    }
+}
+
+struct Global {
+    /// Live per-thread shards (registered on first use per thread).
+    shards: Mutex<Vec<Arc<Mutex<ShardData>>>>,
+    /// Merged shards of threads that have exited.
+    retired: Mutex<ShardData>,
+    gauges: Mutex<HashMap<String, i64>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoning panic can only originate outside our critical
+    // sections (they don't call user code); recover the data.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn global() -> &'static Global {
+    static G: OnceLock<Global> = OnceLock::new();
+    G.get_or_init(|| Global {
+        shards: Mutex::new(Vec::new()),
+        retired: Mutex::new(ShardData::default()),
+        gauges: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Owns this thread's shard registration; the `Drop` runs at thread
+/// exit and folds the shard into the retired accumulator so its counts
+/// survive the thread.
+struct ThreadShard {
+    data: Arc<Mutex<ShardData>>,
+}
+
+impl Drop for ThreadShard {
+    fn drop(&mut self) {
+        let g = global();
+        // Hold the shard list while merging so a concurrent snapshot
+        // sees the counts exactly once (still live, or already retired).
+        let mut shards = lock(&g.shards);
+        {
+            let data = lock(&self.data);
+            lock(&g.retired).merge(&data);
+        }
+        shards.retain(|s| !Arc::ptr_eq(s, &self.data));
+    }
+}
+
+thread_local! {
+    static SHARD: ThreadShard = {
+        let data = Arc::new(Mutex::new(ShardData::default()));
+        lock(&global().shards).push(Arc::clone(&data));
+        ThreadShard { data }
+    };
+}
+
+fn with_shard<F: FnOnce(&mut ShardData)>(f: F) {
+    match SHARD.try_with(|s| Arc::clone(&s.data)) {
+        Ok(data) => f(&mut lock(&data)),
+        // TLS already destroyed (thread teardown): write through the
+        // retired accumulator so nothing is lost.
+        Err(_) => f(&mut lock(&global().retired)),
+    }
+}
+
+pub(crate) fn record_span(name: &'static str, nanos: u64, bytes: u64) {
+    with_shard(|d| d.spans.entry(name).or_default().record(nanos, bytes));
+}
+
+/// Add `v` to the named monotonic counter (no-op when metrics are
+/// disabled). Keys are `&'static str` by design: hot paths pay one
+/// thread-local map update, no allocation.
+pub fn counter_add(name: &'static str, v: u64) {
+    if v == 0 || !crate::metrics_enabled() {
+        return;
+    }
+    with_shard(|d| *d.counters.entry(name).or_insert(0) += v);
+}
+
+/// Add a (possibly negative) delta to a gauge. Gauges are global —
+/// deltas from many owners sum naturally (e.g. resident bytes across
+/// several arenas).
+pub fn gauge_add(name: &str, delta: i64) {
+    if delta == 0 || !crate::metrics_enabled() {
+        return;
+    }
+    let mut g = lock(&global().gauges);
+    match g.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            g.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Set a gauge to an absolute value.
+pub fn gauge_set(name: &str, v: i64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let mut g = lock(&global().gauges);
+    match g.get_mut(name) {
+        Some(slot) => *slot = v,
+        None => {
+            g.insert(name.to_string(), v);
+        }
+    }
+}
+
+/// Remove a gauge (instance-keyed gauges call this from `Drop` so dead
+/// instances don't clutter snapshots).
+pub fn gauge_remove(name: &str) {
+    lock(&global().gauges).remove(name);
+}
+
+/// Process-unique id for instance-keyed gauge names
+/// (`membudget.resident.hot#<id>`).
+pub fn next_instance_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A merged, point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStats>,
+    gauges: BTreeMap<String, i64>,
+}
+
+impl Snapshot {
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregated statistics of a span name (zeroed when never opened).
+    pub fn span_stats(&self, name: &str) -> SpanStats {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// Total nanoseconds spent inside a span name.
+    pub fn nanos(&self, name: &str) -> u64 {
+        self.span_stats(name).total_nanos
+    }
+
+    /// Current value of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every gauge whose key starts with `prefix` — the
+    /// aggregate view over instance-keyed gauges.
+    pub fn gauge_prefix_sum(&self, prefix: &str) -> i64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate all counters (sorted by name).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate all span statistics (sorted by name).
+    pub fn spans(&self) -> impl Iterator<Item = (&str, SpanStats)> {
+        self.spans.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate all gauges (sorted by name).
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Monotonic difference since `earlier`: counters and span
+    /// count/total/bytes subtract; gauges keep this snapshot's values
+    /// (a gauge is a level, not a rate). Entries whose delta is zero
+    /// are dropped.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.counter(k));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.delta_since(&earlier.span_stats(k));
+                (d.count > 0 || d.total_nanos > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            spans,
+            gauges: self.gauges.clone(),
+        }
+    }
+}
+
+/// Merge every live shard, the retired accumulator, and the gauge map
+/// into one consistent [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let g = global();
+    let mut agg = ShardData::default();
+    {
+        let shards = lock(&g.shards);
+        agg.merge(&lock(&g.retired));
+        for s in shards.iter() {
+            agg.merge(&lock(s));
+        }
+    }
+    let gauges = lock(&g.gauges)
+        .iter()
+        .map(|(k, &v)| (k.clone(), v))
+        .collect();
+    Snapshot {
+        counters: agg
+            .counters
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        spans: agg
+            .spans
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        gauges,
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-step metric reports.
+
+use crate::registry::{snapshot, Snapshot, SpanStats};
+
+/// The registry delta captured around one training step — the single
+/// source of truth the fig binaries print from. Note the registry is
+/// process-global: in a multi-replica step the report covers **all**
+/// replicas' activity during the window (which is exactly what a
+/// per-step communication/codec breakdown wants).
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// Registry delta over the step (counters/spans are per-step,
+    /// gauges are end-of-step levels).
+    pub metrics: Snapshot,
+}
+
+impl StepReport {
+    /// Capture the delta between `before` and the registry's current
+    /// state.
+    pub fn capture_since(before: &Snapshot) -> StepReport {
+        StepReport {
+            metrics: snapshot().delta_since(before),
+        }
+    }
+
+    /// Nanoseconds spent inside a span name during the step.
+    pub fn nanos(&self, span: &str) -> u64 {
+        self.metrics.nanos(span)
+    }
+
+    /// A counter's per-step increment.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// A span's per-step statistics.
+    pub fn span_stats(&self, span: &str) -> SpanStats {
+        self.metrics.span_stats(span)
+    }
+
+    /// Compact human-readable lines for every span under the given
+    /// name prefixes (e.g. `["sz.", "dist."]`), for fig-binary output.
+    pub fn format_brief(&self, prefixes: &[&str]) -> String {
+        let mut out = String::new();
+        for (name, st) in self.metrics.spans() {
+            if !prefixes.iter().any(|p| name.starts_with(p)) {
+                continue;
+            }
+            out.push_str(&format!(
+                "{name}: {}x {:.3} ms{}\n",
+                st.count,
+                st.total_nanos as f64 * 1e-6,
+                if st.total_bytes > 0 {
+                    format!(" {} B", st.total_bytes)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        for (name, v) in self.metrics.counters() {
+            if !prefixes.iter().any(|p| name.starts_with(p)) {
+                continue;
+            }
+            out.push_str(&format!("{name}: {v}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,186 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) event collection and
+//! JSON export.
+//!
+//! Each thread records `B`/`E` events into its own buffer (an
+//! `Arc<Mutex<Vec<_>>>` the exporter can reach after the thread dies);
+//! push order within a buffer is real time order, so per-thread
+//! timestamps are monotonic and nesting is correct by construction.
+//! Timestamps are microseconds since a process-wide epoch taken at the
+//! first traced event.
+
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Per-buffer event cap: a runaway full-length run stops growing its
+/// buffers instead of exhausting memory (spans opened past the cap are
+/// skipped whole, keeping `B`/`E` pairing intact).
+const MAX_EVENTS_PER_THREAD: usize = 1 << 21;
+
+pub(crate) struct TraceEvent {
+    name: &'static str,
+    /// `b'B'` or `b'E'`.
+    ph: u8,
+    ts_nanos: u64,
+    bytes: u64,
+}
+
+struct TraceBuf {
+    tid: u64,
+    thread_name: String,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn buffers() -> &'static Mutex<Vec<TraceBuf>> {
+    static B: OnceLock<Mutex<Vec<TraceBuf>>> = OnceLock::new();
+    B.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static E: OnceLock<Instant> = OnceLock::new();
+    *E.get_or_init(Instant::now)
+}
+
+struct ThreadTrace {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    /// Nesting depth of spans skipped because the buffer hit its cap;
+    /// their matching `E` events must be skipped too.
+    skip_depth: std::cell::Cell<u32>,
+}
+
+thread_local! {
+    static TRACE: ThreadTrace = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let thread_name = std::thread::current().name().unwrap_or("").to_string();
+        lock(buffers()).push(TraceBuf {
+            tid,
+            thread_name,
+            events: Arc::clone(&events),
+        });
+        ThreadTrace { events, skip_depth: std::cell::Cell::new(0) }
+    };
+}
+
+pub(crate) fn record_event(name: &'static str, ph: u8, bytes: u64) {
+    let ts_nanos = epoch().elapsed().as_nanos() as u64;
+    // Events during thread teardown (TLS gone) are dropped — the spans
+    // this workspace opens never live that late.
+    let _ = TRACE.try_with(|t| {
+        if ph == b'E' && t.skip_depth.get() > 0 {
+            t.skip_depth.set(t.skip_depth.get() - 1);
+            return;
+        }
+        let mut ev = lock(&t.events);
+        if ph == b'B' && ev.len() >= MAX_EVENTS_PER_THREAD {
+            t.skip_depth.set(t.skip_depth.get() + 1);
+            return;
+        }
+        ev.push(TraceEvent {
+            name,
+            ph,
+            ts_nanos,
+            bytes,
+        });
+    });
+}
+
+/// Drop every collected event (buffers stay registered). The overhead
+/// bench calls this between arms; tests call it for isolation.
+pub fn clear_trace() {
+    for buf in lock(buffers()).iter() {
+        lock(&buf.events).clear();
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize every collected event as a chrome-trace JSON array (one
+/// event object per line; `M` thread-name metadata first, then each
+/// thread's `B`/`E` events in recorded order).
+pub fn write_trace(w: &mut dyn Write) -> io::Result<()> {
+    let bufs = lock(buffers());
+    let mut lines: Vec<String> = Vec::new();
+    for buf in bufs.iter() {
+        if buf.thread_name.is_empty() {
+            continue;
+        }
+        lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            buf.tid,
+            escape_json(&buf.thread_name)
+        ));
+    }
+    for buf in bufs.iter() {
+        for ev in lock(&buf.events).iter() {
+            let args = if ev.ph == b'E' && ev.bytes > 0 {
+                format!(",\"args\":{{\"bytes\":{}}}", ev.bytes)
+            } else {
+                String::new()
+            };
+            lines.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"ebtrain\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3}{}}}",
+                escape_json(ev.name),
+                ev.ph as char,
+                buf.tid,
+                ev.ts_nanos as f64 / 1000.0,
+                args
+            ));
+        }
+    }
+    writeln!(w, "[")?;
+    for (i, line) in lines.iter().enumerate() {
+        let sep = if i + 1 == lines.len() { "" } else { "," };
+        writeln!(w, "{line}{sep}")?;
+    }
+    writeln!(w, "]")
+}
+
+/// Write the trace to a file path (creating/truncating it).
+pub fn write_trace_to(path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_trace(&mut w)?;
+    w.flush()
+}
+
+/// The `EBTRAIN_TRACE` destination, when set and non-empty.
+pub fn trace_env_path() -> Option<PathBuf> {
+    crate::trace_env_path_raw()
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Write the collected trace to the `EBTRAIN_TRACE` path, if one is
+/// set; returns the path written. The fig binaries call this at the
+/// end of `main` (errors are reported on stderr, never fatal).
+pub fn flush_trace() -> Option<PathBuf> {
+    let path = trace_env_path()?;
+    match write_trace_to(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("[obs] failed to write trace to {}: {e}", path.display());
+            None
+        }
+    }
+}

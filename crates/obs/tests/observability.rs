@@ -1,0 +1,151 @@
+//! Integration tests for the observability layer: the chrome-trace
+//! exporter (file round-trip through the crate's own JSON parser) and
+//! an exact-sum property test for the sharded registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ebtrain_obs::{
+    clear_trace, counter_add, json, set_metrics_enabled, set_trace_enabled, snapshot, span,
+    write_trace,
+};
+use proptest::prelude::*;
+
+/// Tests that flip the global trace switch or open spans (spans emit
+/// trace events while it is on) serialize through this lock so the
+/// exporter never observes another test's half-open span.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn leaked_name(prefix: &str) -> &'static str {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    Box::leak(format!("{prefix}#{id}").into_boxed_str())
+}
+
+#[test]
+fn exporter_emits_valid_chrome_trace() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_metrics_enabled(true);
+    set_trace_enabled(true);
+    clear_trace();
+
+    // A tiny multi-threaded workload with nested spans.
+    {
+        let mut g = ebtrain_obs::span_with_bytes("test.outer", 64);
+        g.add_bytes(64);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("obs-test-{i}"))
+                    .spawn(|| {
+                        for _ in 0..5 {
+                            let _inner = span("test.worker");
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    set_trace_enabled(false);
+
+    let mut out = Vec::new();
+    write_trace(&mut out).unwrap();
+    clear_trace();
+    let text = String::from_utf8(out).unwrap();
+    let doc = json::parse(&text).expect("trace must be valid JSON");
+    let events = doc.as_array().expect("trace must be a JSON array");
+    assert!(!events.is_empty());
+
+    // Validate every event, B/E pairing per (tid, name-stack), and
+    // per-thread timestamp monotonicity.
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut durations = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).expect("tid");
+        assert!(tid >= 1.0 && tid.fract() == 0.0, "invalid tid {tid}");
+        let tid = tid as u64;
+        let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+        match ph {
+            "M" => continue,
+            "B" | "E" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let prev = last_ts.entry(tid).or_insert(ts);
+        assert!(ts >= *prev, "timestamps regress on tid {tid}");
+        *prev = ts;
+        if ph == "B" {
+            stacks.entry(tid).or_default().push(name);
+        } else {
+            let open = stacks.get_mut(&tid).and_then(|s| s.pop());
+            assert_eq!(open, Some(name), "E without matching B on tid {tid}");
+            durations += 1;
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans {stack:?} on tid {tid}");
+    }
+    // 1 outer + 3 threads * 5 inner spans completed.
+    assert!(
+        durations >= 16,
+        "expected >=16 closed spans, saw {durations}"
+    );
+    let names: Vec<_> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    assert!(names.contains(&"test.outer"));
+    assert!(names.contains(&"test.worker"));
+    // The outer span's byte attribution rides on its E event.
+    let outer_close = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(|v| v.as_str()) == Some("test.outer")
+                && e.get("ph").and_then(|v| v.as_str()) == Some("E")
+        })
+        .expect("closing event for test.outer");
+    assert_eq!(
+        outer_close
+            .get("args")
+            .and_then(|a| a.get("bytes"))
+            .and_then(|b| b.as_f64()),
+        Some(128.0)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Increments racing across threads — including threads that exit
+    /// before the snapshot — merge to the exact sum.
+    #[test]
+    fn concurrent_shard_increments_merge_exactly(
+        per_thread in prop::collection::vec(prop::collection::vec(1u64..1000, 1..20), 1..8),
+    ) {
+        set_metrics_enabled(true);
+        let name = leaked_name("obs.prop.sum");
+        let before = snapshot();
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|vals| {
+                std::thread::spawn(move || {
+                    for v in vals {
+                        counter_add(name, v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = snapshot().delta_since(&before);
+        prop_assert_eq!(d.counter(name), expected);
+    }
+}

@@ -51,8 +51,10 @@ struct TaskInner<T> {
 impl<T: Send> TaskInner<T> {
     /// Claim the closure if still pending and run it to completion on the
     /// current thread. Returns immediately when another thread got there
-    /// first.
-    fn try_run(&self) {
+    /// first. `inline` marks claims made by a joiner rather than a pool
+    /// worker (the saturated-pool fallback), counted separately so worker
+    /// utilization is observable.
+    fn try_run(&self, inline: bool) {
         let job = {
             let mut st = self.state.lock().expect("task poisoned");
             match std::mem::replace(&mut *st, TaskState::Running) {
@@ -64,7 +66,15 @@ impl<T: Send> TaskInner<T> {
                 }
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(job));
+        ebtrain_obs::gauge_add("pool.queue_depth", -1);
+        ebtrain_obs::counter_add("pool.tasks", 1);
+        if inline {
+            ebtrain_obs::counter_add("pool.tasks.inline", 1);
+        }
+        let result = {
+            let _span = ebtrain_obs::span!("pool.task");
+            catch_unwind(AssertUnwindSafe(job))
+        };
         let mut st = self.state.lock().expect("task poisoned");
         *st = TaskState::Done(result);
         self.cv.notify_all();
@@ -73,7 +83,7 @@ impl<T: Send> TaskInner<T> {
 
 impl<T: Send> Runnable for TaskInner<T> {
     fn run(&self) {
-        self.try_run();
+        self.try_run(false);
     }
 }
 
@@ -90,7 +100,7 @@ impl<T: Send> TaskHandle<T> {
     /// **inline on the calling thread** instead of blocking, so joining
     /// can never deadlock against a saturated pool.
     pub fn join_result(self) -> std::thread::Result<T> {
-        self.inner.try_run();
+        self.inner.try_run(true);
         let mut st = self.inner.state.lock().expect("task poisoned");
         loop {
             match std::mem::replace(&mut *st, TaskState::Taken) {
@@ -293,6 +303,10 @@ impl WorkerPool {
             assert!(!q.shutdown, "submit to a shut-down pool");
             q.tasks.push_back(runnable);
         }
+        // Depth = submitted but not yet claimed (a joiner's inline claim
+        // counts — the task left the logical queue even though its
+        // `Runnable` is still in the deque).
+        ebtrain_obs::gauge_add("pool.queue_depth", 1);
         self.shared.cv.notify_one();
         TaskHandle { inner }
     }

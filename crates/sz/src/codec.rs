@@ -470,6 +470,7 @@ fn compress_impl(
         });
     }
     let n = data.len();
+    let _span = ebtrain_obs::span!("sz.compress", bytes = n * 4);
     let predictor = config
         .predictor
         .unwrap_or_else(|| Predictor::for_layout(&layout));
@@ -483,6 +484,7 @@ fn compress_impl(
     // codes, and select its entropy backend — a pure function of the
     // chunk's codes, so thread count never changes the choice.
     let quantize_one = |&(off, cl): &(usize, DataLayout)| {
+        let _span = ebtrain_obs::span!("sz.quantize", bytes = cl.len() * 4);
         let (codes, outliers) = quantize_chunk(&data[off..off + cl.len()], cl, predictor, config);
         let freqs = huffman::count_freqs(&codes);
         let tag = match config.entropy_backend {
@@ -635,6 +637,7 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
 }
 
 fn decompress_impl(bytes: &[u8], parallel: bool) -> Result<Vec<f32>> {
+    let _span = ebtrain_obs::span!("sz.decompress", bytes = bytes.len());
     let header = parse_header(bytes)?;
     if header.legacy {
         return decode_chunk(

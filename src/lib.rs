@@ -13,6 +13,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`obs`] | `ebtrain-obs` | metrics registry, spans, chrome-trace export |
 //! | [`tensor`] | `ebtrain-tensor` | dense f32 tensors, GEMM, im2col |
 //! | [`encoding`] | `ebtrain-encoding` | bit IO, Huffman, LZ, byte-plane |
 //! | [`sz`] | `ebtrain-sz` | error-bounded lossy compressor |
@@ -32,5 +33,6 @@ pub use ebtrain_dist as dist;
 pub use ebtrain_dnn as dnn;
 pub use ebtrain_encoding as encoding;
 pub use ebtrain_imgcomp as imgcomp;
+pub use ebtrain_obs as obs;
 pub use ebtrain_sz as sz;
 pub use ebtrain_tensor as tensor;
