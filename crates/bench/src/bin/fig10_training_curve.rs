@@ -12,10 +12,13 @@
 //! W scaled from 1000 to 25 to match the shorter run.
 //!
 //! `--smoke` (also `EBTRAIN_SMOKE=1`) shrinks the run to a dozen
-//! iterations for CI, which invokes it with `EBTRAIN_TRACE` set and
-//! validates the resulting chrome-trace with `trace_check`. The last
-//! framework step's obs-registry delta (span times, entropy routing)
-//! is printed at the end either way.
+//! iterations for CI, which invokes it with `EBTRAIN_TRACE` and
+//! `EBTRAIN_FLIGHT` set and validates the resulting chrome-trace with
+//! `trace_check` and the flight-recorder dump with `flight_check`.
+//! With `EBTRAIN_METRICS_ADDR` set, the run also self-probes the live
+//! `/metrics` endpoint before exiting. The last framework step's
+//! obs-registry delta (span times, entropy routing) is printed at the
+//! end either way, along with `core.step` latency quantiles.
 
 use ebtrain_bench::table::Table;
 use ebtrain_bench::{env_flag, env_usize};
@@ -29,6 +32,8 @@ use ebtrain_dnn::train::{evaluate, train_step};
 use ebtrain_dnn::zoo;
 
 fn main() {
+    // Panic-hook flight dump + optional EBTRAIN_METRICS_ADDR endpoint.
+    let metrics_addr = ebtrain_obs::init_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke") || env_flag("EBTRAIN_SMOKE");
     let (def_batch, def_iters, def_eval, def_w) = if smoke {
         (8, 12, 6, 4)
@@ -158,10 +163,41 @@ fn main() {
             report.format_brief(&["core.", "sz.", "codec.", "encoding.", "membudget."])
         );
     }
+    let snap = ebtrain_obs::snapshot();
+    if let Some(q) = snap.quantiles("core.step") {
+        println!(
+            "\ncore.step latency: p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  max {:.2}ms \
+             over {} steps",
+            q.p50 as f64 / 1e6,
+            q.p90 as f64 / 1e6,
+            q.p99 as f64 / 1e6,
+            q.max as f64 / 1e6,
+            snap.span_stats("core.step").count
+        );
+    }
+    // CI self-probe: with EBTRAIN_METRICS_ADDR set, scrape the live
+    // endpoint and hard-fail if the exposition does not parse — this is
+    // the "/metrics serves parseable Prometheus text during a smoke
+    // run" guarantee.
+    if let Some(addr) = metrics_addr {
+        let body = ebtrain_obs::serve::fetch(addr, "/metrics").expect("scrape /metrics");
+        let series = ebtrain_obs::serve::parse_exposition(&body).expect("parse exposition");
+        assert!(
+            series
+                .iter()
+                .any(|(name, _)| name.starts_with("ebtrain_core_step_nanos_bucket")),
+            "no core.step histogram series in /metrics"
+        );
+        println!(
+            "\nmetrics endpoint http://{addr}/metrics OK: {} series parsed",
+            series.len()
+        );
+    }
     println!(
         "\nPaper shape to check: the two accuracy curves nearly coincide \
          while conv activations are stored ~10x smaller; ratio wobbles \
          early then stabilizes."
     );
     ebtrain_obs::flush_trace();
+    ebtrain_obs::flush_flight();
 }

@@ -64,11 +64,17 @@ struct RunResult {
     images_per_sec: f64,
     median_step_ns: f64,
     best_step_ns: f64,
+    /// Raw per-step wall times (quantiles go to the bench JSON).
+    step_ns_samples: Vec<f64>,
     payload_bytes_per_step: u64,
     dense_bytes_per_step: u64,
     /// Per-step phase nanos summed over ranks: (encode, wire, decode,
     /// wait), read from the obs registry delta over the timed window.
     phase_ns_per_step: [f64; 4],
+    /// p99 of a *single* phase operation (one encode call, one modeled
+    /// wire transmission, ...) from the registry histograms over the
+    /// same window; 0 when the phase never ran.
+    phase_p99_ns: [u64; 4],
     losses: Vec<f32>,
 }
 
@@ -86,6 +92,10 @@ struct RunSpec<'a> {
 }
 
 fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> RunResult {
+    // Each configuration is an independent run restarting step ids at 0;
+    // reset the flight ring so a final EBTRAIN_FLIGHT dump describes one
+    // coherent run instead of interleaving per-source step sequences.
+    ebtrain_obs::flight::clear_flight();
     let mut cfg = DistConfig::new(world, comm);
     cfg.framework.w_interval = spec.fw_interval;
     cfg.sync.overlap = spec.overlap;
@@ -119,12 +129,19 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
     // registry (PR 8); the delta over the timed window is scoped to
     // this run because arms execute sequentially.
     let obs = ebtrain_obs::snapshot().delta_since(&obs_before);
+    let samples = step_ns.clone();
     step_ns.sort_by(|a, b| a.total_cmp(b));
     let per_step = |n: u64| n as f64 / spec.iters as f64;
+    // Per-operation tail latency: the `dist.encode`/`dist.decode`/
+    // `dist.wait` span histograms and the `dist.wire` value histogram
+    // (the modeled nanos of each message; its *sum* stays pinned to the
+    // `dist.wire.nanos` counter).
+    let p99 = |name: &str| obs.quantiles(name).map_or(0, |q| q.p99);
     RunResult {
         images_per_sec: (spec.iters * global) as f64 / elapsed,
         median_step_ns: step_ns[step_ns.len() / 2],
         best_step_ns: step_ns[0],
+        step_ns_samples: samples,
         payload_bytes_per_step: comm.payload_bytes / spec.iters as u64,
         dense_bytes_per_step: comm.dense_equiv_bytes / spec.iters as u64,
         phase_ns_per_step: [
@@ -132,6 +149,12 @@ fn run_training(spec: &RunSpec, world: usize, comm: CommMode, zero: bool) -> Run
             per_step(obs.counter("dist.wire.nanos")),
             per_step(obs.nanos("dist.decode")),
             per_step(obs.counter("dist.wait.nanos")),
+        ],
+        phase_p99_ns: [
+            p99("dist.encode"),
+            p99("dist.wire"),
+            p99("dist.decode"),
+            p99("dist.wait"),
         ],
         losses,
     }
@@ -147,6 +170,7 @@ fn mean_abs_diff(a: &[f32], b: &[f32]) -> f64 {
 }
 
 fn main() {
+    ebtrain_obs::init_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke") || env_flag("EBTRAIN_SMOKE");
     let zero_only = std::env::args().any(|a| a == "--zero") || env_flag("EBTRAIN_ZERO");
     let overlap = !std::env::args().any(|a| a == "--no-overlap") && !env_flag("EBTRAIN_NO_OVERLAP");
@@ -253,6 +277,10 @@ fn main() {
         "wire/step",
         "decode/step",
         "wait/step",
+        "enc_p99",
+        "wire_p99",
+        "dec_p99",
+        "wait_p99",
     ]);
     let mut base_dense_ips = None;
     let mut min_reduction: Option<f64> = None;
@@ -291,6 +319,9 @@ fn main() {
                 format!("{:.3}", r.losses.last().copied().unwrap_or(f32::NAN)),
             ]);
             let ms = |ns: f64| format!("{:.2}ms", ns / 1e6);
+            // The mean columns are summed-over-ranks time per *step*;
+            // the p99 columns are the tail of a single phase
+            // *operation* from the registry histograms.
             phase_table.row(vec![
                 format!("{world}"),
                 mode_name.into(),
@@ -298,11 +329,16 @@ fn main() {
                 ms(r.phase_ns_per_step[1]),
                 ms(r.phase_ns_per_step[2]),
                 ms(r.phase_ns_per_step[3]),
+                ms(r.phase_p99_ns[0] as f64),
+                ms(r.phase_p99_ns[1] as f64),
+                ms(r.phase_p99_ns[2] as f64),
+                ms(r.phase_p99_ns[3] as f64),
             ]);
-            criterion::record_sample(
+            // The full per-step sample vector: the shim derives
+            // median/best and p50/p90/p99 for the JSON row.
+            criterion::record_samples(
                 &format!("step/{mode_name}/n{world}"),
-                r.median_step_ns,
-                r.best_step_ns,
+                &r.step_ns_samples,
                 Some(Throughput::Elements((per_batch * world) as u64)),
             );
             criterion::record_sample(
@@ -361,6 +397,7 @@ fn main() {
     });
     let seed = spec.seed;
     let run_parity = |world: usize, mode: CommMode| {
+        ebtrain_obs::flight::clear_flight(); // fresh run, step ids restart at 0
         let mut cfg = DistConfig::new(world, mode);
         cfg.framework.w_interval = spec.fw_interval;
         cfg.sync.overlap = overlap;
@@ -443,4 +480,5 @@ fn main() {
     }
     criterion::write_json_summary_named("dist_scaling");
     ebtrain_obs::flush_trace();
+    ebtrain_obs::flush_flight();
 }

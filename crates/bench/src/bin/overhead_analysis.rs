@@ -229,13 +229,15 @@ fn main() {
         );
     }
     // Observability overhead: what does the always-compiled obs layer
-    // cost? Three arms over the same 1 MiB dual-quant compress —
-    // everything off, metrics registry on (the default), full span
-    // tracing on — plus a deterministic bound on the disabled arm: the
-    // measured per-call cost of a disabled span (two relaxed atomic
-    // loads) times the spans one compress emits must stay under 2% of
-    // the compress itself. The direct product sidesteps run-to-run
-    // noise that dwarfs a sub-percent delta in median comparisons.
+    // cost? Four arms over the same 1 MiB dual-quant compress —
+    // everything off, metrics registry on (hists off), metrics +
+    // latency histograms on (the default), full span tracing on — plus
+    // two deterministic bounds: the measured per-call cost of a
+    // disabled span (two relaxed atomic loads) and of a fully-enabled
+    // histogram-feeding span, each times the spans one compress emits,
+    // must stay under 2% of the compress itself. The direct product
+    // sidesteps run-to-run noise that dwarfs a sub-percent delta in
+    // median comparisons.
     {
         use ebtrain_obs as obs;
         use ebtrain_sz::{compress, DataLayout, SzConfig};
@@ -246,8 +248,9 @@ fn main() {
             .collect();
         let cfg = SzConfig::dual_quant(1e-3);
         let reps = env_usize("EBTRAIN_OBS_REPS", 15);
-        let time_arm = |metrics: bool, trace: bool| -> (f64, f64) {
+        let time_arm = |metrics: bool, hist: bool, trace: bool| -> (f64, f64) {
             obs::set_metrics_enabled(metrics);
+            obs::set_hist_enabled(hist);
             obs::set_trace_enabled(trace);
             let mut ns: Vec<f64> = (0..reps)
                 .map(|_| {
@@ -262,13 +265,15 @@ fn main() {
             ns.sort_by(|a, b| a.total_cmp(b));
             (ns[ns.len() / 2], ns[0])
         };
-        let (dis_med, dis_best) = time_arm(false, false);
-        let (met_med, met_best) = time_arm(true, false);
-        let (tr_med, tr_best) = time_arm(true, true);
+        let (dis_med, dis_best) = time_arm(false, false, false);
+        let (met_med, met_best) = time_arm(true, false, false);
+        let (hist_med, hist_best) = time_arm(true, true, false);
+        let (tr_med, tr_best) = time_arm(true, true, true);
         obs::clear_trace();
         // Hand enablement back to the environment (`EBTRAIN_TRACE`).
         obs::set_trace_enabled(obs::trace_env_path().is_some());
         obs::set_metrics_enabled(true);
+        obs::set_hist_enabled(true);
 
         // How many spans does one compress emit? Count via the registry.
         let before = obs::snapshot();
@@ -290,14 +295,28 @@ fn main() {
         let per_span_ns = t0.elapsed().as_nanos() as f64 / loops as f64;
         obs::set_metrics_enabled(true);
 
+        // Per-call cost of a fully-enabled span *with* histogram
+        // feeding — clock read, shard-map update, and the log-bucket
+        // increment — same tight loop, same deterministic product.
+        let t0 = Instant::now();
+        for _ in 0..loops {
+            let g = obs::span!("overhead.hist_probe");
+            std::hint::black_box(&g);
+        }
+        let per_hist_span_ns = t0.elapsed().as_nanos() as f64 / loops as f64;
+
         let added_ns = per_span_ns * spans_per_compress as f64;
         let bound = added_ns / dis_med;
+        let hist_added_ns = per_hist_span_ns * spans_per_compress as f64;
+        let hist_bound = hist_added_ns / dis_med;
         println!("\n== Observability overhead (1 MiB dual-quant compress) ==");
         println!(
-            "disabled {:.2}ms | metrics {:.2}ms ({:+.1}%) | trace {:.2}ms ({:+.1}%)",
+            "disabled {:.2}ms | metrics {:.2}ms ({:+.1}%) | hist {:.2}ms ({:+.1}%) | trace {:.2}ms ({:+.1}%)",
             dis_med / 1e6,
             met_med / 1e6,
             (met_med / dis_med - 1.0) * 100.0,
+            hist_med / 1e6,
+            (hist_med / dis_med - 1.0) * 100.0,
             tr_med / 1e6,
             (tr_med / dis_med - 1.0) * 100.0,
         );
@@ -307,6 +326,12 @@ fn main() {
             added_ns / 1e3,
             bound * 100.0
         );
+        println!(
+            "hist-enabled span: {per_hist_span_ns:.1}ns/call x {spans_per_compress} \
+             spans/compress = {:.1}us added = {:.3}% of the compress",
+            hist_added_ns / 1e3,
+            hist_bound * 100.0
+        );
         assert!(
             bound < 0.02,
             "disabled-mode obs overhead {:.2}% breaches the 2% budget \
@@ -314,9 +339,17 @@ fn main() {
             bound * 100.0,
             dis_med / 1e6
         );
+        assert!(
+            hist_bound < 0.02,
+            "histogram-enabled span overhead {:.2}% breaches the 2% budget \
+             ({per_hist_span_ns:.1}ns/span x {spans_per_compress} spans vs {:.2}ms compress)",
+            hist_bound * 100.0,
+            dis_med / 1e6
+        );
         let mib = Some(criterion::Throughput::Bytes(1 << 20));
         criterion::record_sample("obs_overhead/disabled", dis_med, dis_best, mib);
         criterion::record_sample("obs_overhead/metrics", met_med, met_best, mib);
+        criterion::record_sample("obs_overhead/hist", hist_med, hist_best, mib);
         criterion::record_sample("obs_overhead/trace", tr_med, tr_best, mib);
         criterion::write_json_summary_merged("compressors");
     }

@@ -216,6 +216,7 @@ impl AdaptiveTrainer {
         sync: Option<&mut dyn GradSync>,
     ) -> Result<IterationRecord> {
         let obs_before = ebtrain_obs::snapshot();
+        let step_start = std::time::Instant::now();
         let step_span = ebtrain_obs::span!("core.step");
         let iter = self.opt.iteration();
         let collect = iter.is_multiple_of(self.cfg.w_interval.max(1));
@@ -270,6 +271,18 @@ impl AdaptiveTrainer {
         };
         self.history.push(record);
         drop(step_span);
+        // Feed the flight recorder before capturing the report, so a
+        // tripped obs.anomaly.* counter lands inside this step's delta.
+        ebtrain_obs::flight_step(ebtrain_obs::FlightRecord {
+            source: "core.step",
+            step: iter as u64,
+            loss: record.loss as f64,
+            step_nanos: step_start.elapsed().as_nanos() as u64,
+            comm_bytes: 0,
+            compression_ratio: record.compression_ratio,
+            queue_depth_peak: ebtrain_obs::gauge_peak_take("pool.queue_depth"),
+            anomalies: 0,
+        });
         self.last_report = Some(ebtrain_obs::StepReport::capture_since(&obs_before));
         Ok(record)
     }

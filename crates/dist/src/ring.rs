@@ -192,12 +192,17 @@ impl RingCore {
     }
 
     fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+        let first = !self.poisoned.swap(true, Ordering::AcqRel);
         for s in &self.slots {
             s.cv.notify_all();
         }
         self.barrier_cv.notify_all();
         self.bcast_cv.notify_all();
+        if first {
+            // Post-mortem: the last N steps before a poisoned
+            // collective go to EBTRAIN_FLIGHT (no-op when unset).
+            let _ = ebtrain_obs::flight::dump_flight("collective-poisoned");
+        }
     }
 
     /// Deliver `msg` into `to`'s mailbox under `tag` (capacity 1 per
@@ -216,8 +221,11 @@ impl RingCore {
                 let nanos = (msg.wire_bytes as f64 / (mibps * 1024.0 * 1024.0) * 1e9) as u64;
                 std::thread::sleep(Duration::from_nanos(nanos));
                 // The *modeled* transmission time (not the measured
-                // sleep, which oversleeps by scheduler jitter).
+                // sleep, which oversleeps by scheduler jitter). The
+                // counter stays the exact modeled sum (pinned by test);
+                // the histogram gives the per-message distribution.
                 ebtrain_obs::counter_add("dist.wire.nanos", nanos);
+                ebtrain_obs::hist_record("dist.wire", nanos);
             }
         }
         let slot = &self.slots[to];

@@ -362,6 +362,7 @@ impl DistributedTrainer {
 
         let stats_before = self.collective.stats();
         let obs_before = ebtrain_obs::snapshot();
+        let step_start = std::time::Instant::now();
         let collective = Arc::clone(&self.collective);
         type Outcome = std::result::Result<(IterationRecord, usize), DnnError>;
         let mut outcomes: Vec<Option<Outcome>> = (0..self.world).map(|_| None).collect();
@@ -417,6 +418,20 @@ impl DistributedTrainer {
             }
         }
         let comm = self.collective.stats().delta_since(&stats_before);
+        // Feed the flight recorder before capturing the report, so a
+        // tripped obs.anomaly.* counter lands inside this step's delta.
+        // The "dist.step" stream is separate from the replicas'
+        // "core.step" records (each replica also reported above).
+        ebtrain_obs::flight_step(ebtrain_obs::FlightRecord {
+            source: "dist.step",
+            step: iter as u64,
+            loss: loss_sum / self.world as f64,
+            step_nanos: step_start.elapsed().as_nanos() as u64,
+            comm_bytes: comm.payload_bytes,
+            compression_ratio: comm.reduction_ratio(),
+            queue_depth_peak: ebtrain_obs::gauge_peak_take("pool.queue_depth"),
+            anomalies: 0,
+        });
         self.last_report = Some(ebtrain_obs::StepReport::capture_since(&obs_before));
         // The bound the just-completed collectives actually encoded with
         // — captured before the σ-hook re-picks it for the *next* step.

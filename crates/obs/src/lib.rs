@@ -27,15 +27,20 @@
 //!   [`set_metrics_enabled`] / [`set_trace_enabled`] override both
 //!   programmatically (the overhead bench flips them per arm).
 
+pub mod flight;
+pub mod hist;
 mod json_mod;
 mod registry;
 mod report;
+pub mod serve;
 mod span;
 mod trace;
 
+pub use flight::{flight_records, flight_step, flush_flight, install_panic_hook, FlightRecord};
+pub use hist::{Histogram, Quantiles};
 pub use registry::{
-    counter_add, gauge_add, gauge_remove, gauge_set, next_instance_id, snapshot, Snapshot,
-    SpanStats,
+    counter_add, gauge_add, gauge_peak_take, gauge_remove, gauge_set, gauge_value, hist_record,
+    next_instance_id, snapshot, Snapshot, SpanStats,
 };
 pub use report::StepReport;
 pub use span::{span, span_with_bytes, SpanGuard};
@@ -53,6 +58,7 @@ use std::sync::OnceLock;
 // 0 = uninitialized (read env on first use), 1 = enabled, 2 = disabled.
 static METRICS_STATE: AtomicU8 = AtomicU8::new(0);
 static TRACE_STATE: AtomicU8 = AtomicU8::new(0);
+static HIST_STATE: AtomicU8 = AtomicU8::new(0);
 
 fn read_state(state: &AtomicU8, init: fn() -> bool) -> bool {
     match state.load(Ordering::Relaxed) {
@@ -89,9 +95,28 @@ pub fn trace_enabled() -> bool {
     })
 }
 
+/// True when span drops also feed latency histograms (default;
+/// `EBTRAIN_HIST=0` or [`set_hist_enabled`]`(false)` turns it off while
+/// keeping plain span stats). Only consulted when metrics are enabled.
+#[inline]
+pub fn hist_enabled() -> bool {
+    read_state(&HIST_STATE, || {
+        !matches!(
+            std::env::var("EBTRAIN_HIST").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
 /// Programmatically enable/disable metric recording (overrides the env).
 pub fn set_metrics_enabled(on: bool) {
     METRICS_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Programmatically enable/disable histogram feeding (overrides the
+/// env; the overhead bench flips this per arm).
+pub fn set_hist_enabled(on: bool) {
+    HIST_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// Programmatically enable/disable trace collection (overrides the env).
@@ -103,6 +128,19 @@ pub(crate) fn trace_env_path_raw() -> Option<&'static str> {
     static PATH: OnceLock<Option<String>> = OnceLock::new();
     PATH.get_or_init(|| std::env::var("EBTRAIN_TRACE").ok())
         .as_deref()
+}
+
+/// One-call env-driven setup for binaries: installs the flight-dump
+/// panic hook and, when `EBTRAIN_METRICS_ADDR` is set, starts a
+/// process-lifetime [`serve::MetricsServer`]. Returns the endpoint
+/// address when one is listening (for self-probes). Idempotent.
+pub fn init_from_env() -> Option<std::net::SocketAddr> {
+    flight::install_panic_hook();
+    static SERVER: OnceLock<Option<serve::MetricsServer>> = OnceLock::new();
+    SERVER
+        .get_or_init(serve::serve_from_env)
+        .as_ref()
+        .map(|s| s.addr())
 }
 
 /// Open a scoped timing span: `span!("crate.operation")` or

@@ -11,6 +11,7 @@
 //! strings, which is what lets per-instance keys like
 //! `membudget.resident.hot#3` exist.
 
+use crate::hist::{Histogram, Quantiles};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -75,6 +76,9 @@ impl SpanStats {
 pub(crate) struct ShardData {
     counters: HashMap<&'static str, u64>,
     spans: HashMap<&'static str, SpanStats>,
+    /// Latency/value histograms, sharded and retired exactly like
+    /// counters so bucket merges are exact.
+    hists: HashMap<&'static str, Histogram>,
 }
 
 impl ShardData {
@@ -85,7 +89,19 @@ impl ShardData {
         for (&k, v) in &other.spans {
             self.spans.entry(k).or_default().merge(v);
         }
+        for (&k, v) in &other.hists {
+            self.hists.entry(k).or_default().merge(v);
+        }
     }
+}
+
+/// A gauge is the current level plus a high-water mark since the last
+/// [`gauge_peak_take`] — the watermark is what lets a per-step report
+/// see e.g. the peak pool queue depth inside the step.
+#[derive(Clone, Copy)]
+struct GaugeCell {
+    value: i64,
+    peak: i64,
 }
 
 struct Global {
@@ -93,7 +109,7 @@ struct Global {
     shards: Mutex<Vec<Arc<Mutex<ShardData>>>>,
     /// Merged shards of threads that have exited.
     retired: Mutex<ShardData>,
-    gauges: Mutex<HashMap<String, i64>>,
+    gauges: Mutex<HashMap<String, GaugeCell>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -150,7 +166,23 @@ fn with_shard<F: FnOnce(&mut ShardData)>(f: F) {
 }
 
 pub(crate) fn record_span(name: &'static str, nanos: u64, bytes: u64) {
-    with_shard(|d| d.spans.entry(name).or_default().record(nanos, bytes));
+    let hist = crate::hist_enabled();
+    with_shard(|d| {
+        d.spans.entry(name).or_default().record(nanos, bytes);
+        if hist {
+            d.hists.entry(name).or_default().record(nanos);
+        }
+    });
+}
+
+/// Record a value into the named histogram directly — for distributions
+/// that aren't span durations (e.g. modeled wire nanos per message).
+/// Keys share the namespace with span histograms; pick distinct names.
+pub fn hist_record(name: &'static str, v: u64) {
+    if !crate::metrics_enabled() || !crate::hist_enabled() {
+        return;
+    }
+    with_shard(|d| d.hists.entry(name).or_default().record(v));
 }
 
 /// Add `v` to the named monotonic counter (no-op when metrics are
@@ -172,9 +204,18 @@ pub fn gauge_add(name: &str, delta: i64) {
     }
     let mut g = lock(&global().gauges);
     match g.get_mut(name) {
-        Some(v) => *v += delta,
+        Some(cell) => {
+            cell.value += delta;
+            cell.peak = cell.peak.max(cell.value);
+        }
         None => {
-            g.insert(name.to_string(), delta);
+            g.insert(
+                name.to_string(),
+                GaugeCell {
+                    value: delta,
+                    peak: delta.max(0),
+                },
+            );
         }
     }
 }
@@ -186,10 +227,30 @@ pub fn gauge_set(name: &str, v: i64) {
     }
     let mut g = lock(&global().gauges);
     match g.get_mut(name) {
-        Some(slot) => *slot = v,
-        None => {
-            g.insert(name.to_string(), v);
+        Some(cell) => {
+            cell.value = v;
+            cell.peak = cell.peak.max(v);
         }
+        None => {
+            g.insert(name.to_string(), GaugeCell { value: v, peak: v });
+        }
+    }
+}
+
+/// Return the gauge's high-water mark since the previous take (or since
+/// creation) and reset the watermark to the current value. Returns the
+/// current value for a gauge that was never pushed above it, and 0 for
+/// an absent gauge. The watermark is global per name: concurrent takers
+/// split the peaks between them.
+pub fn gauge_peak_take(name: &str) -> i64 {
+    let mut g = lock(&global().gauges);
+    match g.get_mut(name) {
+        Some(cell) => {
+            let peak = cell.peak;
+            cell.peak = cell.value;
+            peak
+        }
+        None => 0,
     }
 }
 
@@ -197,6 +258,11 @@ pub fn gauge_set(name: &str, v: i64) {
 /// instances don't clutter snapshots).
 pub fn gauge_remove(name: &str) {
     lock(&global().gauges).remove(name);
+}
+
+/// Current value of a gauge straight from the registry (0 when absent).
+pub fn gauge_value(name: &str) -> i64 {
+    lock(&global().gauges).get(name).map_or(0, |c| c.value)
 }
 
 /// Process-unique id for instance-keyed gauge names
@@ -212,6 +278,7 @@ pub struct Snapshot {
     counters: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStats>,
     gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl Snapshot {
@@ -260,6 +327,25 @@ impl Snapshot {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// The histogram recorded under `name` — every span key has one
+    /// (while histograms are enabled), plus explicit
+    /// [`hist_record`] value histograms like `dist.wire`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterate all histograms (sorted by name).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// p50/p90/p99/max of the named histogram, or `None` when nothing
+    /// was recorded under that key.
+    pub fn quantiles(&self, name: &str) -> Option<Quantiles> {
+        let h = self.hists.get(name)?;
+        (h.count() > 0).then(|| Quantiles::from_hist(h))
+    }
+
     /// Monotonic difference since `earlier`: counters and span
     /// count/total/bytes subtract; gauges keep this snapshot's values
     /// (a gauge is a level, not a rate). Entries whose delta is zero
@@ -281,10 +367,22 @@ impl Snapshot {
                 (d.count > 0 || d.total_nanos > 0).then(|| (k.clone(), d))
             })
             .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = match earlier.hists.get(k) {
+                    Some(e) => v.delta_since(e),
+                    None => v.clone(),
+                };
+                (d.count() > 0).then(|| (k.clone(), d))
+            })
+            .collect();
         Snapshot {
             counters,
             spans,
             gauges: self.gauges.clone(),
+            hists,
         }
     }
 }
@@ -303,7 +401,7 @@ pub fn snapshot() -> Snapshot {
     }
     let gauges = lock(&g.gauges)
         .iter()
-        .map(|(k, &v)| (k.clone(), v))
+        .map(|(k, c)| (k.clone(), c.value))
         .collect();
     Snapshot {
         counters: agg
@@ -317,5 +415,10 @@ pub fn snapshot() -> Snapshot {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
         gauges,
+        hists: agg
+            .hists
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
     }
 }

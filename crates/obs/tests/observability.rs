@@ -1,14 +1,20 @@
 //! Integration tests for the observability layer: the chrome-trace
-//! exporter (file round-trip through the crate's own JSON parser) and
-//! an exact-sum property test for the sharded registry.
+//! exporter (file round-trip through the crate's own JSON parser),
+//! exact-sum/exact-merge property tests for the sharded registry and
+//! its latency histograms, the flight recorder (ring wraparound and
+//! anomaly detection), and the `/metrics` endpoint.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use ebtrain_obs::flight::{
+    clear_flight, flight_records, set_flight_capacity, ANOMALY_LOSS_SPIKE, ANOMALY_RATIO_COLLAPSE,
+    ANOMALY_STEP_TIME, DEFAULT_CAPACITY,
+};
 use ebtrain_obs::{
-    clear_trace, counter_add, json, set_metrics_enabled, set_trace_enabled, snapshot, span,
-    write_trace,
+    clear_trace, counter_add, flight_step, hist_record, json, serve, set_hist_enabled,
+    set_metrics_enabled, set_trace_enabled, snapshot, span, write_trace, FlightRecord, Histogram,
 };
 use proptest::prelude::*;
 
@@ -16,6 +22,10 @@ use proptest::prelude::*;
 /// trace events while it is on) serialize through this lock so the
 /// exporter never observes another test's half-open span.
 static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The flight ring and its detectors are process-global; tests that
+/// resize or clear them serialize through this lock.
+static FLIGHT_LOCK: Mutex<()> = Mutex::new(());
 
 fn leaked_name(prefix: &str) -> &'static str {
     static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -119,8 +129,213 @@ fn exporter_emits_valid_chrome_trace() {
     );
 }
 
+fn flight_rec(source: &'static str, step: u64, loss: f64) -> FlightRecord {
+    FlightRecord {
+        source,
+        step,
+        loss,
+        step_nanos: 1_000,
+        comm_bytes: 0,
+        compression_ratio: 1.0,
+        queue_depth_peak: 0,
+        anomalies: 0,
+    }
+}
+
+#[test]
+fn flight_ring_wraps_at_capacity() {
+    let _guard = FLIGHT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_metrics_enabled(true);
+    clear_flight();
+    set_flight_capacity(8);
+    let source = leaked_name("obs.test.flight.wrap");
+    for step in 0..20u64 {
+        // A bogus incoming flag must be overwritten by the detector.
+        let mut rec = flight_rec(source, step, 1.0);
+        rec.anomalies = 0xff;
+        flight_step(rec);
+    }
+    let recs = flight_records();
+    assert_eq!(recs.len(), 8, "ring must hold exactly its capacity");
+    let steps: Vec<u64> = recs.iter().map(|r| r.step).collect();
+    assert_eq!(steps, (12..20).collect::<Vec<_>>(), "oldest records evict");
+    assert!(recs.iter().all(|r| r.source == source && r.anomalies == 0));
+    set_flight_capacity(DEFAULT_CAPACITY);
+    clear_flight();
+}
+
+#[test]
+fn injected_loss_spike_trips_anomaly_detector() {
+    let _guard = FLIGHT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_metrics_enabled(true);
+    clear_flight();
+    set_flight_capacity(DEFAULT_CAPACITY);
+    let source = leaked_name("obs.test.flight.spike");
+    let before = snapshot();
+    // Steady warm-up: small loss wobble, constant step time and ratio.
+    for step in 0..8u64 {
+        let wobble = 1.0 + (step % 2) as f64 * 0.01;
+        assert_eq!(flight_step(flight_rec(source, step, wobble)), 0);
+    }
+    // A 10x loss spike against the EWMA baseline.
+    let flags = flight_step(flight_rec(source, 8, 10.0));
+    assert_ne!(flags & ANOMALY_LOSS_SPIKE, 0, "loss spike must trip");
+    assert_eq!(flags & (ANOMALY_STEP_TIME | ANOMALY_RATIO_COLLAPSE), 0);
+    let d = snapshot().delta_since(&before);
+    assert_eq!(d.counter("obs.anomaly.loss_spike"), 1);
+    let marked = flight_records()
+        .into_iter()
+        .find(|r| r.source == source && r.step == 8)
+        .expect("spike record in the ring");
+    assert_eq!(marked.anomaly_names(), vec!["loss_spike"]);
+
+    // A step-time regression on the same stream (loss back to normal-ish;
+    // the detector folded the spike in, so 1.0 is within bounds).
+    let mut slow = flight_rec(source, 9, 1.0);
+    slow.step_nanos = 100_000;
+    let flags = flight_step(slow);
+    assert_ne!(flags & ANOMALY_STEP_TIME, 0, "3x step time must trip");
+    assert_eq!(
+        snapshot()
+            .delta_since(&before)
+            .counter("obs.anomaly.step_time"),
+        1
+    );
+    clear_flight();
+}
+
+#[test]
+fn spans_feed_latency_histograms() {
+    set_metrics_enabled(true);
+    set_hist_enabled(true);
+    let name = leaked_name("obs.test.hist.span");
+    let before = snapshot();
+    for _ in 0..10 {
+        let _g = span(name);
+    }
+    let d = snapshot().delta_since(&before);
+    let h = d.histogram(name).expect("span key gains a histogram");
+    assert_eq!(h.count(), d.span_stats(name).count);
+    assert_eq!(h.count(), 10);
+    let q = d.quantiles(name).expect("quantiles for recorded span");
+    assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.max);
+}
+
+#[test]
+fn metrics_endpoint_exposes_counters_and_histograms() {
+    set_metrics_enabled(true);
+    set_hist_enabled(true);
+    let server = serve::serve("127.0.0.1:0").expect("bind ephemeral port");
+    let counter = leaked_name("obs.test.endpoint.counter");
+    let lat = leaked_name("obs.test.endpoint.lat");
+    counter_add(counter, 7);
+    for v in [100u64, 200, 400, 800, 1600] {
+        hist_record(lat, v);
+    }
+    let snap = snapshot();
+
+    let body = serve::fetch(server.addr(), "/metrics").expect("fetch /metrics");
+    let series = serve::parse_exposition(&body).expect("exposition must parse");
+    let get = |n: &str| series.iter().find(|(s, _)| s == n).map(|&(_, v)| v);
+    // Same sanitization rule the exporter documents: ebtrain_ prefix,
+    // non-[a-zA-Z0-9_:] characters become '_'.
+    let sanitized = |key: &str| {
+        let mut out = String::from("ebtrain_");
+        out.extend(key.chars().map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        }));
+        out
+    };
+
+    // Counter series cross-checked against the registry snapshot.
+    let cname = format!("{}_total", sanitized(counter));
+    assert_eq!(get(&cname), Some(snap.counter(counter) as f64));
+    assert_eq!(get(&cname), Some(7.0));
+
+    // Histogram series: +Inf bucket == _count == recorded count, and
+    // _sum matches the snapshot's total.
+    let h = snap.histogram(lat).expect("snapshot histogram");
+    let hname = format!("{}_nanos", sanitized(lat));
+    assert_eq!(get(&format!("{hname}_count")), Some(h.count() as f64));
+    assert_eq!(get(&format!("{hname}_count")), Some(5.0));
+    assert_eq!(get(&format!("{hname}_sum")), Some(3100.0));
+    assert_eq!(
+        get(&format!("{hname}_bucket{{le=\"+Inf\"}}")),
+        Some(h.count() as f64)
+    );
+
+    // The flight-recorder report route serves crate-parseable JSON with
+    // the same counter value.
+    let report = serve::fetch(server.addr(), "/report.json").expect("fetch /report.json");
+    let doc = json::parse(&report).expect("report must be valid JSON");
+    for key in ["reason", "steps", "counters", "gauges", "spans", "hist"] {
+        assert!(doc.get(key).is_some(), "report missing {key:?}");
+    }
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get(counter))
+            .and_then(|v| v.as_f64()),
+        Some(7.0)
+    );
+
+    assert!(serve::fetch(server.addr(), "/nope").is_err(), "404 route");
+    server.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging two histograms is exactly equivalent to recording every
+    /// value into one — the property the retired-shard accumulator
+    /// relies on for exactly-once snapshots.
+    #[test]
+    fn histogram_merge_equals_single_pass(
+        a in prop::collection::vec(0u64..(1u64 << 40), 0..100),
+        b in prop::collection::vec(0u64..(1u64 << 40), 0..100),
+    ) {
+        let mut ha = Histogram::default();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::default();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut single = Histogram::default();
+        for &v in a.iter().chain(&b) {
+            single.record(v);
+        }
+        prop_assert_eq!(merged, single);
+    }
+
+    /// Quantile estimates stay within the documented relative-error
+    /// bound of the exact nearest-rank value (bucket width <= lower/32,
+    /// plus integer rounding).
+    #[test]
+    fn histogram_quantile_bounded_relative_error(
+        mut values in prop::collection::vec(1u64..100_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.quantile(q);
+        let err = approx.abs_diff(exact);
+        prop_assert!(
+            err <= exact / 32 + 1,
+            "q={} exact={} approx={}", q, exact, approx
+        );
+    }
 
     /// Increments racing across threads — including threads that exit
     /// before the snapshot — merge to the exact sum.

@@ -601,6 +601,34 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_peak_watermark_sees_backlog() {
+        ebtrain_obs::set_metrics_enabled(true);
+        // One worker + a blocked head task: the next submissions pile
+        // up, pushing the gauge's high-water mark to the backlog size.
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let head = pool.submit(move || {
+            while g.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(pool.submit(|| {}));
+        }
+        gate.store(1, Ordering::SeqCst);
+        head.join();
+        for h in handles {
+            h.join();
+        }
+        // Peak saw at least the 4 queued tasks (other tests may add
+        // more); after the take, the watermark resets to the level.
+        let peak = ebtrain_obs::gauge_peak_take("pool.queue_depth");
+        assert!(peak >= 4, "peak {peak} missed the backlog");
+    }
+
+    #[test]
     fn drop_drains_queued_tasks() {
         let counter = Arc::new(AtomicUsize::new(0));
         {

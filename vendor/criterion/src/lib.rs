@@ -21,11 +21,23 @@ struct SampleRecord {
     label: String,
     median_ns: f64,
     best_ns: f64,
+    /// Per-iteration sample quantiles (p50 == median of the samples;
+    /// `None` for externally-measured rows recorded without samples).
+    p50_ns: Option<f64>,
+    p90_ns: Option<f64>,
+    p99_ns: Option<f64>,
     /// Bytes processed per iteration, when the group declared
     /// `Throughput::Bytes`.
     bytes_per_iter: Option<u64>,
     /// Elements processed per iteration (`Throughput::Elements`).
     elems_per_iter: Option<u64>,
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 static RESULTS: Mutex<Vec<SampleRecord>> = Mutex::new(Vec::new());
@@ -240,6 +252,8 @@ fn run_one<F>(
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter[per_iter.len() / 2];
     let best = per_iter[0];
+    let p90 = quantile_sorted(&per_iter, 0.90);
+    let p99 = quantile_sorted(&per_iter, 0.99);
 
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => format!("  {:>10}/s", human_bytes(n as f64 / median)),
@@ -249,9 +263,10 @@ fn run_one<F>(
         None => String::new(),
     };
     println!(
-        "{label:<48} median {}  best {}{rate}",
+        "{label:<48} median {}  best {}  p99 {}{rate}",
         human_time(median),
-        human_time(best)
+        human_time(best),
+        human_time(p99)
     );
     let (bytes_per_iter, elems_per_iter) = match throughput {
         Some(Throughput::Bytes(n)) => (Some(n), None),
@@ -265,6 +280,9 @@ fn run_one<F>(
             label: label.to_string(),
             median_ns: median * 1e9,
             best_ns: best * 1e9,
+            p50_ns: Some(quantile_sorted(&per_iter, 0.50) * 1e9),
+            p90_ns: Some(p90 * 1e9),
+            p99_ns: Some(p99 * 1e9),
             bytes_per_iter,
             elems_per_iter,
         });
@@ -336,6 +354,40 @@ pub fn record_sample(label: &str, median_ns: f64, best_ns: f64, throughput: Opti
             label: label.to_string(),
             median_ns,
             best_ns,
+            p50_ns: None,
+            p90_ns: None,
+            p99_ns: None,
+            bytes_per_iter,
+            elems_per_iter,
+        });
+}
+
+/// Record an externally-measured *distribution* into the JSON summary:
+/// `samples_ns` are per-iteration wall-clock nanoseconds; median/best
+/// and p50/p90/p99 are derived here so experiment binaries (fig12's
+/// per-step times) emit the same quantile columns as bench targets.
+/// Empty input records nothing.
+pub fn record_samples(label: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        return;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (bytes_per_iter, elems_per_iter) = match throughput {
+        Some(Throughput::Bytes(n)) => (Some(n), None),
+        Some(Throughput::Elements(n)) => (None, Some(n)),
+        None => (None, None),
+    };
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push(SampleRecord {
+            label: label.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            best_ns: sorted[0],
+            p50_ns: Some(quantile_sorted(&sorted, 0.50)),
+            p90_ns: Some(quantile_sorted(&sorted, 0.90)),
+            p99_ns: Some(quantile_sorted(&sorted, 0.99)),
             bytes_per_iter,
             elems_per_iter,
         });
@@ -372,11 +424,18 @@ fn render_sample(r: &SampleRecord) -> String {
     let mibs = r
         .bytes_per_iter
         .map(|b| b as f64 / (r.median_ns * 1e-9) / (1 << 20) as f64);
+    let quantiles = match (r.p50_ns, r.p90_ns, r.p99_ns) {
+        (Some(p50), Some(p90), Some(p99)) => {
+            format!(", \"p50_ns\": {p50:.1}, \"p90_ns\": {p90:.1}, \"p99_ns\": {p99:.1}")
+        }
+        _ => String::new(),
+    };
     format!(
-        "{{\"label\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}{}{}{}}}",
+        "{{\"label\": \"{}\", \"median_ns\": {:.1}, \"best_ns\": {:.1}{}{}{}{}}}",
         json_escape(&r.label),
         r.median_ns,
         r.best_ns,
+        quantiles,
         r.bytes_per_iter
             .map(|b| format!(", \"bytes_per_iter\": {b}"))
             .unwrap_or_default(),
@@ -509,6 +568,31 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 0.50), 51.0);
+        assert_eq!(quantile_sorted(&sorted, 0.99), 99.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 100.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn record_samples_derives_quantiles() {
+        record_samples("q/test", &[30.0, 10.0, 20.0, 40.0], None);
+        let rec = {
+            let mut res = RESULTS.lock().unwrap();
+            let i = res
+                .iter()
+                .position(|r| r.label == "q/test")
+                .expect("row recorded");
+            res.remove(i)
+        };
+        assert_eq!(rec.best_ns, 10.0);
+        assert_eq!(rec.p99_ns, Some(40.0));
+    }
+
+    #[test]
     fn human_units_render() {
         assert!(human_time(5e-9).contains("ns"));
         assert!(human_time(5e-5).contains("µs"));
@@ -525,10 +609,14 @@ mod tests {
             label: "fields/sz/eb=1e-2/compress".into(),
             median_ns: 1234.5,
             best_ns: 1000.0,
+            p50_ns: Some(1234.5),
+            p90_ns: Some(1500.0),
+            p99_ns: Some(1900.0),
             bytes_per_iter: Some(1 << 20),
             elems_per_iter: None,
         };
         let line = render_sample(&r);
+        assert!(line.contains("\"p99_ns\": 1900.0"), "no p99 in {line}");
         assert_eq!(sample_line_label(&line), Some(r.label.as_str()));
         assert_eq!(
             sample_line_label(&format!("    {line},")),
