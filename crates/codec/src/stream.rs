@@ -108,6 +108,13 @@ impl TaggedStream {
     pub fn compressed_byte_len(&self) -> usize {
         self.bytes.len()
     }
+
+    /// Consume the stream into its full wire bytes (tag included) — the
+    /// zero-copy hand-off for transports that own their send buffer
+    /// (the serve daemon's response writer).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
 }
 
 #[cfg(test)]

@@ -590,6 +590,31 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         }
     }
 
+    /// Shrink device residency to at most `target` bytes by walking the
+    /// same ladder as insertion pressure: demote hot entries to warm
+    /// first, then evict warm entries cold. Returns the bytes actually
+    /// freed — less than requested when only pinned (in-flight) entries
+    /// remain. This is the cross-arena reclaim hook: a controller
+    /// holding several arenas (one per tenant, `ebtrain-serve`) calls it
+    /// on the over-fair-share arena to make room under a *global*
+    /// ceiling, without inserting anything.
+    pub fn reclaim_to(&mut self, target: usize) -> usize {
+        let before = self.resident;
+        while self.resident > target {
+            if let Some(k) = self.pick_victim(Tier::Hot, None) {
+                self.demote(k);
+                continue;
+            }
+            if let Some(k) = self.pick_victim(Tier::Warm, None) {
+                self.evict_warm(k);
+                continue;
+            }
+            break; // only pinned/in-flight entries left
+        }
+        self.publish_obs();
+        before - self.resident
+    }
+
     /// Insert an f32 payload. Lands hot if the budget allows, else warm
     /// (compressed under `eb` / the config bound), else cold. Returns
     /// the tier it landed in.
@@ -1188,6 +1213,39 @@ mod tests {
             a.fetch_planes(6, 0..1).is_err(),
             "byte entries have no planes"
         );
+    }
+
+    #[test]
+    fn reclaim_to_walks_the_tier_ladder_and_reports_freed_bytes() {
+        let n = 64 * 64;
+        let raw = n * 4;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut a = arena(raw * 4);
+        for k in 0..3u32 {
+            let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            assert_eq!(
+                a.insert_f32(k, data, DataLayout::D2(64, 64), Some(1e-2)),
+                Tier::Hot
+            );
+        }
+        let before = a.resident_bytes();
+        // Partial reclaim: demotions suffice, everything stays on device.
+        let freed = a.reclaim_to(raw);
+        assert_eq!(freed, before - a.resident_bytes());
+        assert!(a.resident_bytes() <= raw, "reclaim missed its target");
+        assert!(a.metrics().demotions > 0);
+        // Full reclaim: warm entries leave for host, residency hits zero.
+        let freed = a.reclaim_to(0);
+        assert_eq!(a.resident_bytes(), 0);
+        assert!(freed > 0);
+        assert!(a.metrics().evictions_host > 0);
+        // Entries survive the trip (HostMigrate keeps payloads).
+        for k in 0..3u32 {
+            assert!(matches!(a.load(k), Ok(Fetched::F32(_))), "lost key {k}");
+        }
+        // Idempotent when already under target.
+        assert_eq!(a.reclaim_to(1 << 30), 0);
     }
 
     #[test]

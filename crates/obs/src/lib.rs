@@ -30,6 +30,7 @@
 pub mod flight;
 pub mod hist;
 mod json_mod;
+pub mod netutil;
 mod registry;
 mod report;
 pub mod serve;

@@ -1,0 +1,307 @@
+//! Shared TCP-listener and wire-framing helpers.
+//!
+//! Two listeners live in this workspace — the HTTP metrics endpoint
+//! ([`crate::serve`]) and the binary compressed-tensor daemon
+//! (`ebtrain-serve`) — and both need the same three things: a
+//! background accept loop with a clean shutdown (stop flag + wake
+//! connection + join), **bounded** reads that a hostile peer cannot
+//! turn into an unbounded allocation, and big-endian integer
+//! put/get helpers for fixed-width framing. This module is that one
+//! tested path; neither listener hand-rolls any of it.
+
+use std::io::{self, BufRead, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A TCP accept loop on a background thread with stop-flag shutdown.
+///
+/// `handler` runs once per accepted connection — inline on the accept
+/// thread (`per_conn_thread = false`, one request at a time, the
+/// metrics endpoint's model) or on a freshly spawned thread per
+/// connection (`per_conn_thread = true`, long-lived concurrent
+/// sessions, the serve daemon's model). Shutdown sets the stop flag
+/// and wakes the blocking `accept` with one throwaway connection;
+/// in-flight per-connection threads observe the flag through
+/// [`stop_flag`](TcpServer::stop_flag) and wind down on their own.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (port 0 for ephemeral) and start the accept loop on
+    /// a thread named `name`.
+    pub fn spawn(
+        name: &str,
+        addr: &str,
+        per_conn_thread: bool,
+        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let conn_name = format!("{name}-conn");
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if per_conn_thread {
+                        let handler = Arc::clone(&handler);
+                        // A failed spawn (thread exhaustion) drops the
+                        // connection; the listener itself survives.
+                        let _ = std::thread::Builder::new()
+                            .name(conn_name.clone())
+                            .spawn(move || handler(stream));
+                    } else {
+                        handler(stream);
+                    }
+                }
+            })?;
+        Ok(TcpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag, for per-connection session loops that must
+    /// also wind down when the listener does.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Stop the accept loop and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes (terminator
+/// included, stripped from the result along with a trailing `\r`).
+/// `Ok(None)` on immediate EOF; `InvalidData` when the peer sends
+/// `max` bytes without a newline — the bound that keeps a hostile
+/// request line from growing a `String` without limit.
+pub fn read_line_limited(r: &mut impl BufRead, max: usize) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 if line.is_empty() => return Ok(None),
+            0 => break,
+            _ => {}
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() >= max {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line exceeds {max} bytes"),
+            ));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// Minimal HTTP/1.0 response with `Connection: close` — all the
+/// metrics scrapers and test probes need.
+pub fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Append a big-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian f32 bit pattern.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Read one byte at `*off`, advancing it; `None` past the end.
+pub fn get_u8(buf: &[u8], off: &mut usize) -> Option<u8> {
+    let v = *buf.get(*off)?;
+    *off += 1;
+    Some(v)
+}
+
+/// Read a big-endian u32 at `*off`, advancing it; `None` on underrun.
+pub fn get_u32(buf: &[u8], off: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*off..*off + 4)?;
+    *off += 4;
+    Some(u32::from_be_bytes(bytes.try_into().expect("4-byte slice")))
+}
+
+/// Read a big-endian u64 at `*off`, advancing it; `None` on underrun.
+pub fn get_u64(buf: &[u8], off: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*off..*off + 8)?;
+    *off += 8;
+    Some(u64::from_be_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Read a big-endian f32 at `*off`, advancing it; `None` on underrun.
+pub fn get_f32(buf: &[u8], off: &mut usize) -> Option<f32> {
+    let bytes = buf.get(*off..*off + 4)?;
+    *off += 4;
+    Some(f32::from_be_bytes(bytes.try_into().expect("4-byte slice")))
+}
+
+/// `read_exact` into a fresh buffer of `len` bytes, but only after
+/// checking `len <= max` — the declared-length guard that keeps a
+/// hostile frame header from driving an unbounded allocation.
+pub fn read_exact_limited(r: &mut impl Read, len: usize, max: usize) -> io::Result<Vec<u8>> {
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared length {len} exceeds limit {max}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn u32_u64_f32_roundtrip_and_underrun() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 42);
+        put_f32(&mut buf, -1.5);
+        let mut off = 0;
+        assert_eq!(get_u32(&buf, &mut off), Some(0xDEAD_BEEF));
+        assert_eq!(get_u64(&buf, &mut off), Some(42));
+        assert_eq!(get_f32(&buf, &mut off), Some(-1.5));
+        assert_eq!(off, buf.len());
+        assert_eq!(get_u8(&buf, &mut off), None);
+        // Underrun never advances the cursor.
+        let mut short = 13;
+        assert_eq!(get_u64(&buf, &mut short), None);
+        assert_eq!(short, 13);
+    }
+
+    #[test]
+    fn line_limit_is_enforced() {
+        let mut ok = io::BufReader::new(&b"GET /metrics HTTP/1.0\r\nrest"[..]);
+        assert_eq!(
+            read_line_limited(&mut ok, 64).unwrap().as_deref(),
+            Some("GET /metrics HTTP/1.0")
+        );
+        let mut eof = io::BufReader::new(&b""[..]);
+        assert_eq!(read_line_limited(&mut eof, 64).unwrap(), None);
+        let long = [b'a'; 100];
+        let mut hostile = io::BufReader::new(&long[..]);
+        assert!(read_line_limited(&mut hostile, 64).is_err());
+    }
+
+    #[test]
+    fn read_exact_limited_rejects_oversize_before_allocating() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = &data[..];
+        assert_eq!(read_exact_limited(&mut r, 3, 8).unwrap(), vec![1, 2, 3]);
+        let mut r = &data[..];
+        let err = read_exact_limited(&mut r, usize::MAX, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated input surfaces the io error, not a panic.
+        let mut r = &data[..];
+        assert!(read_exact_limited(&mut r, 8, 8).is_err());
+    }
+
+    #[test]
+    fn tcp_server_serves_connections_and_shuts_down() {
+        let server = TcpServer::spawn(
+            "netutil-test",
+            "127.0.0.1:0",
+            false,
+            Arc::new(|mut s: TcpStream| {
+                let _ = s.write_all(b"hi");
+            }),
+        )
+        .unwrap();
+        let addr = server.addr();
+        for _ in 0..3 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut buf = String::new();
+            c.read_to_string(&mut buf).unwrap();
+            assert_eq!(buf, "hi");
+        }
+        assert!(!server.stop_flag().load(Ordering::SeqCst));
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_conn_threads_allow_concurrent_sessions() {
+        // Two clients hold their connections open at once; an inline
+        // handler would serialize them and deadlock this rendezvous.
+        let server = TcpServer::spawn(
+            "netutil-test-mt",
+            "127.0.0.1:0",
+            true,
+            Arc::new(|mut s: TcpStream| {
+                let mut b = [0u8; 1];
+                if s.read_exact(&mut b).is_ok() {
+                    let _ = s.write_all(&[b[0] + 1]);
+                }
+            }),
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut conns: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.write_all(&[i as u8]).unwrap();
+        }
+        for (i, c) in conns.iter_mut().enumerate() {
+            let mut b = [0u8; 1];
+            c.read_exact(&mut b).unwrap();
+            assert_eq!(b[0], i as u8 + 1);
+        }
+        server.shutdown();
+    }
+}

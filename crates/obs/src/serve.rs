@@ -19,12 +19,11 @@
 //! process-lifetime server when `EBTRAIN_METRICS_ADDR` is set
 //! (conventionally `127.0.0.1:9184`).
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
+use crate::netutil::{self, http_response, TcpServer};
 use crate::Snapshot;
 
 /// Sanitize a registry key into a Prometheus metric name:
@@ -131,17 +130,11 @@ pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
-fn http_response(status: &str, content_type: &str, body: &str) -> String {
-    format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )
-}
-
 fn handle_conn(stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    // Bounded request-line read (netutil): a hostile peer cannot grow
+    // the line buffer without limit.
+    let request_line = netutil::read_line_limited(&mut reader, 8 * 1024)?.unwrap_or_default();
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let response = match path {
         "/metrics" => http_response(
@@ -167,67 +160,39 @@ fn handle_conn(stream: TcpStream) -> io::Result<()> {
 }
 
 /// Handle to a running metrics listener; the accept loop runs on a
-/// background thread until [`shutdown`](Self::shutdown).
+/// background thread (a [`netutil::TcpServer`]) until
+/// [`shutdown`](Self::shutdown).
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: TcpServer,
 }
 
 impl MetricsServer {
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
     /// Stop the accept loop and join the server thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        if self.handle.is_some() {
-            self.stop_and_join();
-        }
+    pub fn shutdown(self) {
+        self.server.shutdown();
     }
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
 /// serve `/metrics` + `/report.json` from a background thread.
 pub fn serve(addr: &str) -> io::Result<MetricsServer> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let thread_stop = Arc::clone(&stop);
-    let handle = std::thread::Builder::new()
-        .name("obs-serve".to_string())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if thread_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = conn {
-                    // A broken scrape must not kill the server.
-                    let _ = handle_conn(stream);
-                }
-            }
-        })?;
-    Ok(MetricsServer {
+    // One request per connection, handled inline on the accept thread —
+    // scrapes are short and serializing them is fine. A broken scrape
+    // must not kill the server, hence the swallowed handler result.
+    let server = TcpServer::spawn(
+        "obs-serve",
         addr,
-        stop,
-        handle: Some(handle),
-    })
+        false,
+        Arc::new(|stream: TcpStream| {
+            let _ = handle_conn(stream);
+        }),
+    )?;
+    Ok(MetricsServer { server })
 }
 
 /// Start a server on `EBTRAIN_METRICS_ADDR` when set (bind failures

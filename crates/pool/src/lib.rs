@@ -287,6 +287,15 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Tasks sitting in the submission deque — an instantaneous
+    /// backlog probe for admission controllers (`ebtrain-serve`) that
+    /// shed load when it exceeds a ceiling. May briefly overcount: a
+    /// task claimed inline by a joiner stays in the deque (as a no-op)
+    /// until a worker pops it.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().expect("pool poisoned").tasks.len()
+    }
+
     /// Submit a task; the handle joins to the closure's return value.
     pub fn submit<T, F>(&self, job: F) -> TaskHandle<T>
     where

@@ -1,0 +1,222 @@
+//! Blocking client for the serve protocol.
+//!
+//! One [`ServeClient`] owns one connection and issues RPCs
+//! sequentially (the protocol has no request ids; concurrency comes
+//! from opening more connections, which is exactly what the
+//! `fig14_serve_scaling` load generator does).
+
+use crate::frame::{self, ErrorCode, FrameError, RequestTag, DEFAULT_MAX_PAYLOAD};
+use crate::tenant::TenantStats;
+use crate::tier_from_byte;
+use ebtrain_codec::{BoundSpec, Codec, SzCodec, TaggedStream};
+use ebtrain_membudget::Tier;
+use ebtrain_obs::netutil::{put_u32, put_u64};
+use ebtrain_sz::DataLayout;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+
+/// Client-side failure: transport, framing, a server-reported error,
+/// or a success response whose body does not decode.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::ErrorKind),
+    /// The response failed to frame.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// The server's UTF-8 message.
+        message: String,
+    },
+    /// A success response whose body does not decode as the RPC's
+    /// schema (protocol bug or hostile server).
+    BadResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(k) => write!(f, "io error: {k:?}"),
+            ClientError::Frame(e) => write!(f, "framing: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::BadResponse(what) => write!(f, "undecodable response body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e.kind())
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is a server rejection.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Client result.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One connection to a serve daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+    max_payload: usize,
+}
+
+impl ServeClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// One request/response exchange; server error statuses become
+    /// [`ClientError::Server`].
+    fn call(&mut self, tag: RequestTag, tenant: u32, payload: &[u8]) -> ClientResult<Vec<u8>> {
+        frame::write_request(&mut self.stream, tag, tenant, payload)?;
+        self.stream.flush()?;
+        let resp = frame::read_response(&mut self.stream, self.max_payload)?;
+        if resp.status == 0 {
+            return Ok(resp.payload);
+        }
+        let code = ErrorCode::from_byte(resp.status).unwrap_or(ErrorCode::Internal);
+        Err(ClientError::Server {
+            code,
+            message: String::from_utf8_lossy(&resp.payload).into_owned(),
+        })
+    }
+
+    /// Liveness no-op.
+    pub fn ping(&mut self, tenant: u32) -> ClientResult<()> {
+        let body = self.call(RequestTag::Ping, tenant, &[])?;
+        if body.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::BadResponse("ping body not empty"))
+        }
+    }
+
+    /// Store an already-compressed stream under `key`; returns the
+    /// tier it landed in. `eb > 0` overrides the tenant's at-rest
+    /// demotion bound.
+    pub fn store_stream(
+        &mut self,
+        tenant: u32,
+        key: u64,
+        layout: DataLayout,
+        eb: f32,
+        stream: &TaggedStream,
+    ) -> ClientResult<Tier> {
+        let payload = frame::store_payload(key, layout, eb, stream.as_bytes());
+        let body = self.call(RequestTag::Store, tenant, &payload)?;
+        match body.as_slice() {
+            [b] => tier_from_byte(*b).ok_or(ClientError::BadResponse("unknown tier byte")),
+            _ => Err(ClientError::BadResponse("store body not one tier byte")),
+        }
+    }
+
+    /// Compress `data` client-side (SZ at `Abs(eb)`) and store it —
+    /// the compressed-transport convenience path.
+    pub fn store_f32(
+        &mut self,
+        tenant: u32,
+        key: u64,
+        data: &[f32],
+        layout: DataLayout,
+        eb: f32,
+    ) -> ClientResult<Tier> {
+        let stream = SzCodec::classic()
+            .compress(data, layout, &BoundSpec::Abs(eb))
+            .map_err(|_| ClientError::BadResponse("client-side compression failed"))?;
+        self.store_stream(tenant, key, layout, eb, &stream)
+    }
+
+    /// Fetch a whole tensor as raw f32 values (non-destructive).
+    pub fn fetch(&mut self, tenant: u32, key: u64) -> ClientResult<(Vec<f32>, DataLayout)> {
+        let mut req = Vec::with_capacity(9);
+        put_u64(&mut req, key);
+        req.push(0); // mode 0: raw f32 body
+        let body = self.call(RequestTag::Fetch, tenant, &req)?;
+        let mut off = 0;
+        let layout =
+            frame::get_layout(&body, &mut off).ok_or(ClientError::BadResponse("fetch layout"))?;
+        let vals =
+            frame::get_f32_body(&body, &mut off).ok_or(ClientError::BadResponse("fetch body"))?;
+        Ok((vals, layout))
+    }
+
+    /// Fetch a whole tensor as a lossless-compressed stream the caller
+    /// decodes (trades server CPU for wire bytes; the values are
+    /// bit-identical to [`fetch`](ServeClient::fetch)).
+    pub fn fetch_compressed(
+        &mut self,
+        tenant: u32,
+        key: u64,
+    ) -> ClientResult<(TaggedStream, DataLayout)> {
+        let mut req = Vec::with_capacity(9);
+        put_u64(&mut req, key);
+        req.push(1); // mode 1: lossless TaggedStream
+        let body = self.call(RequestTag::Fetch, tenant, &req)?;
+        let mut off = 0;
+        let layout =
+            frame::get_layout(&body, &mut off).ok_or(ClientError::BadResponse("fetch layout"))?;
+        let stream = TaggedStream::from_bytes(body[off..].to_vec())
+            .map_err(|_| ClientError::BadResponse("fetch stream"))?;
+        Ok((stream, layout))
+    }
+
+    /// Fetch a leading-dimension plane range (non-destructive).
+    pub fn fetch_planes(
+        &mut self,
+        tenant: u32,
+        key: u64,
+        planes: Range<usize>,
+    ) -> ClientResult<Vec<f32>> {
+        let mut req = Vec::with_capacity(16);
+        put_u64(&mut req, key);
+        put_u32(&mut req, planes.start as u32);
+        put_u32(&mut req, planes.end as u32);
+        let body = self.call(RequestTag::FetchPlanes, tenant, &req)?;
+        let mut off = 0;
+        frame::get_f32_body(&body, &mut off).ok_or(ClientError::BadResponse("fetch_planes body"))
+    }
+
+    /// Per-tenant stats snapshot.
+    pub fn stats(&mut self, tenant: u32) -> ClientResult<TenantStats> {
+        let body = self.call(RequestTag::Stats, tenant, &[])?;
+        TenantStats::decode(&body).ok_or(ClientError::BadResponse("stats body"))
+    }
+
+    /// Remove one entry.
+    pub fn evict(&mut self, tenant: u32, key: u64) -> ClientResult<()> {
+        let mut req = Vec::with_capacity(8);
+        put_u64(&mut req, key);
+        let body = self.call(RequestTag::Evict, tenant, &req)?;
+        if body.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::BadResponse("evict body not empty"))
+        }
+    }
+}

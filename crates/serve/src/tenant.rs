@@ -1,0 +1,322 @@
+//! Per-tenant state: one [`BudgetedArena`] under the tenant's hard
+//! byte budget, plus the layout side-table and RPC counters.
+//!
+//! Every tensor a tenant stores lives in its arena under the daemon's
+//! demotion codec — hot while the budget allows, compressed warm under
+//! pressure, cold (host-migrated or dropped, per [`ColdPolicy`]) past
+//! that. The arena's own invariant (`resident ≤ budget` between any
+//! two calls, transients included) is what makes the daemon's
+//! per-tenant guarantee: no tenant can push another over its budget,
+//! because budgets are enforced per-arena, not cooperatively.
+
+use crate::frame::ErrorCode;
+use crate::ServeError;
+use ebtrain_codec::{BoundSpec, CodecRegistry, TaggedStream};
+use ebtrain_membudget::{BudgetConfig, BudgetedArena, MembudgetError, Tier};
+use ebtrain_obs::netutil::{get_u64, put_u64};
+use ebtrain_sz::DataLayout;
+use std::collections::HashMap;
+
+/// One tenant's stats snapshot — the `stats` RPC body (eight u64s,
+/// big-endian, in field order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Device-resident bytes right now (hot + warm tiers).
+    pub resident_bytes: u64,
+    /// The tenant's hard device-byte budget.
+    pub budget_bytes: u64,
+    /// High-water mark of `resident_bytes` — the budget proof:
+    /// `peak ≤ budget` after any call sequence.
+    pub peak_resident_bytes: u64,
+    /// Live entries (all tiers).
+    pub entries: u64,
+    /// Sum of raw (uncompressed) sizes of live entries.
+    pub raw_bytes: u64,
+    /// Stores accepted.
+    pub stores: u64,
+    /// Fetches served (full + plane-range).
+    pub fetches: u64,
+    /// Requests rejected over budget.
+    pub rejected: u64,
+}
+
+impl TenantStats {
+    /// Serialize as the stats RPC body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        for v in [
+            self.resident_bytes,
+            self.budget_bytes,
+            self.peak_resident_bytes,
+            self.entries,
+            self.raw_bytes,
+            self.stores,
+            self.fetches,
+            self.rejected,
+        ] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Parse a stats RPC body; `None` on a malformed length.
+    pub fn decode(buf: &[u8]) -> Option<TenantStats> {
+        let mut off = 0;
+        let s = TenantStats {
+            resident_bytes: get_u64(buf, &mut off)?,
+            budget_bytes: get_u64(buf, &mut off)?,
+            peak_resident_bytes: get_u64(buf, &mut off)?,
+            entries: get_u64(buf, &mut off)?,
+            raw_bytes: get_u64(buf, &mut off)?,
+            stores: get_u64(buf, &mut off)?,
+            fetches: get_u64(buf, &mut off)?,
+            rejected: get_u64(buf, &mut off)?,
+        };
+        (off == buf.len()).then_some(s)
+    }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> ServeError {
+    ServeError {
+        code,
+        message: message.into(),
+    }
+}
+
+fn map_membudget(e: MembudgetError) -> ServeError {
+    match e {
+        MembudgetError::Missing => err(ErrorCode::Missing, "no entry under key"),
+        MembudgetError::Dropped => err(
+            ErrorCode::Dropped,
+            "entry was evicted under memory pressure; re-store it",
+        ),
+        MembudgetError::Codec(e) => err(ErrorCode::Codec, format!("stored stream: {e}")),
+    }
+}
+
+pub(crate) struct Tenant {
+    arena: BudgetedArena<u64>,
+    /// Key → (layout, raw bytes) of live entries; the arena holds the
+    /// payloads, this table remembers how to slice them.
+    layouts: HashMap<u64, (DataLayout, usize)>,
+    raw_total: usize,
+    stores: u64,
+    fetches: u64,
+    rejected: u64,
+    /// This tenant's registry gauge (`serve.tenant.resident#t<id>`),
+    /// kept equal to the arena's resident bytes after every op.
+    gauge_key: String,
+}
+
+impl Tenant {
+    pub fn new(id: u32, mut cfg: BudgetConfig) -> Tenant {
+        // Serving has no backward schedule, so prefetch never has
+        // anything to look ahead to; keep the arena's pipeline off.
+        cfg.prefetch_depth = 0;
+        let gauge_key = format!("serve.tenant.resident#t{id}");
+        ebtrain_obs::gauge_set(&gauge_key, 0);
+        Tenant {
+            arena: BudgetedArena::new(cfg, Box::new(ebtrain_membudget::Lru)),
+            layouts: HashMap::new(),
+            raw_total: 0,
+            stores: 0,
+            fetches: 0,
+            rejected: 0,
+            gauge_key,
+        }
+    }
+
+    /// Device-resident bytes (the global admission mirror reads this
+    /// after every op, under the tenant lock).
+    pub fn resident(&self) -> usize {
+        self.arena.resident_bytes()
+    }
+
+    /// Sum of raw sizes of live entries (the all-tier footprint the
+    /// global `max_raw_bytes` ceiling meters).
+    pub fn raw_total(&self) -> usize {
+        self.raw_total
+    }
+
+    /// Raw size of the entry under `key` (0 when absent) — what a
+    /// replacement store frees, for replacement-aware admission.
+    pub fn raw_of(&self, key: u64) -> usize {
+        self.layouts.get(&key).map(|&(_, r)| r).unwrap_or(0)
+    }
+
+    /// Count one admission rejection against this tenant.
+    pub fn count_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    fn publish_gauge(&self) {
+        ebtrain_obs::gauge_set(&self.gauge_key, self.arena.resident_bytes() as i64);
+    }
+
+    /// Store one tensor: parse + decode the wire stream through the
+    /// registry, then insert into the arena (which lands it in
+    /// whatever tier the budget allows). `eb > 0` overrides the
+    /// at-rest demotion bound.
+    pub fn store(
+        &mut self,
+        registry: &CodecRegistry,
+        key: u64,
+        layout: DataLayout,
+        eb: f32,
+        stream_bytes: &[u8],
+    ) -> Result<Tier, ServeError> {
+        let stream = TaggedStream::from_bytes(stream_bytes.to_vec())
+            .map_err(|e| err(ErrorCode::Codec, format!("tensor stream: {e}")))?;
+        let data = registry
+            .decompress(&stream)
+            .map_err(|e| err(ErrorCode::Codec, format!("tensor stream: {e}")))?;
+        if data.len() != layout.len() {
+            return Err(err(
+                ErrorCode::Malformed,
+                format!(
+                    "stream decodes to {} elems, layout declares {}",
+                    data.len(),
+                    layout.len()
+                ),
+            ));
+        }
+        let raw = data.len() * 4;
+        // Replacing a key: retire the old entry's raw accounting first.
+        if let Some((_, old_raw)) = self.layouts.remove(&key) {
+            self.raw_total -= old_raw;
+        }
+        let bound = (eb > 0.0).then_some(BoundSpec::Abs(eb));
+        let tier = self.arena.insert_f32_with(key, data, layout, bound, None);
+        if tier == Tier::Dropped {
+            // DropForRecompute cold policy and nothing fit: reject the
+            // store outright rather than holding a zero-byte tombstone —
+            // the no-residual guarantee of an over-budget rejection.
+            self.arena.remove(key);
+            self.rejected += 1;
+            self.publish_gauge();
+            return Err(err(
+                ErrorCode::OverBudget,
+                "payload does not fit the tenant budget even compressed",
+            ));
+        }
+        self.layouts.insert(key, (layout, raw));
+        self.raw_total += raw;
+        self.stores += 1;
+        self.publish_gauge();
+        Ok(tier)
+    }
+
+    /// Fetch a whole tensor without removing it (a full-range plane
+    /// fetch under the hood, so warm entries decode without being
+    /// evicted from the arena).
+    pub fn fetch(&mut self, key: u64) -> Result<(Vec<f32>, DataLayout), ServeError> {
+        let (layout, _) = *self
+            .layouts
+            .get(&key)
+            .ok_or_else(|| err(ErrorCode::Missing, "no entry under key"))?;
+        let vals = self
+            .arena
+            .fetch_planes(key, 0..layout.plane_count())
+            .map_err(map_membudget)?;
+        self.fetches += 1;
+        self.publish_gauge();
+        Ok((vals, layout))
+    }
+
+    /// Fetch a leading-dimension plane range (frame-indexed codecs
+    /// decode only the covering frames server-side).
+    pub fn fetch_planes(
+        &mut self,
+        key: u64,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<f32>, ServeError> {
+        let (layout, _) = *self
+            .layouts
+            .get(&key)
+            .ok_or_else(|| err(ErrorCode::Missing, "no entry under key"))?;
+        if start > end || end > layout.plane_count() {
+            return Err(err(
+                ErrorCode::BadRange,
+                format!(
+                    "plane range {start}..{end} outside 0..{}",
+                    layout.plane_count()
+                ),
+            ));
+        }
+        let vals = self
+            .arena
+            .fetch_planes(key, start..end)
+            .map_err(map_membudget)?;
+        self.fetches += 1;
+        self.publish_gauge();
+        Ok(vals)
+    }
+
+    /// Remove one entry (any tier).
+    pub fn evict(&mut self, key: u64) -> Result<(), ServeError> {
+        let (_, raw) = self
+            .layouts
+            .remove(&key)
+            .ok_or_else(|| err(ErrorCode::Missing, "no entry under key"))?;
+        self.raw_total -= raw;
+        self.arena.remove(key);
+        self.publish_gauge();
+        Ok(())
+    }
+
+    /// Shrink device residency toward `target` bytes (the cross-tenant
+    /// eviction pass); returns bytes freed.
+    pub fn reclaim_to(&mut self, target: usize) -> usize {
+        let freed = self.arena.reclaim_to(target);
+        self.publish_gauge();
+        freed
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            resident_bytes: self.arena.resident_bytes() as u64,
+            budget_bytes: self.arena.budget_bytes() as u64,
+            peak_resident_bytes: self.arena.peak_resident_bytes() as u64,
+            entries: self.arena.len() as u64,
+            raw_bytes: self.raw_total as u64,
+            stores: self.stores,
+            fetches: self.fetches,
+            rejected: self.rejected,
+        }
+    }
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        // Retire the registry gauge so snapshots only show live tenants.
+        ebtrain_obs::gauge_remove(&self.gauge_key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_encode_decode_roundtrip() {
+        let s = TenantStats {
+            resident_bytes: 1,
+            budget_bytes: 2,
+            peak_resident_bytes: 3,
+            entries: 4,
+            raw_bytes: 5,
+            stores: 6,
+            fetches: 7,
+            rejected: 8,
+        };
+        let enc = s.encode();
+        assert_eq!(enc.len(), 64);
+        assert_eq!(TenantStats::decode(&enc), Some(s));
+        assert_eq!(TenantStats::decode(&enc[..63]), None);
+        let mut long = enc.clone();
+        long.push(0);
+        assert_eq!(TenantStats::decode(&long), None);
+    }
+}

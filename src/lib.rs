@@ -13,16 +13,19 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
-//! | [`obs`] | `ebtrain-obs` | metrics registry, spans, chrome-trace export |
+//! | [`obs`] | `ebtrain-obs` | metrics registry, spans, chrome-trace export, shared TCP/netutil |
+//! | [`pool`] | `ebtrain-pool` | persistent worker pool with inline-claim join |
 //! | [`tensor`] | `ebtrain-tensor` | dense f32 tensors, GEMM, im2col |
 //! | [`encoding`] | `ebtrain-encoding` | bit IO, Huffman, LZ, byte-plane |
 //! | [`sz`] | `ebtrain-sz` | error-bounded lossy compressor |
 //! | [`codec`] | `ebtrain-codec` | backend-agnostic codec trait, tagged streams, registry |
 //! | [`imgcomp`] | `ebtrain-imgcomp` | JPEG-style baseline compressor |
 //! | [`data`] | `ebtrain-data` | deterministic synthetic datasets |
+//! | [`membudget`] | `ebtrain-membudget` | budgeted arenas with tiered compress/migrate eviction |
 //! | [`dnn`] | `ebtrain-dnn` | layers, networks, compressed store |
 //! | [`core`] | `ebtrain-core` | adaptive error-bound framework |
 //! | [`dist`] | `ebtrain-dist` | data-parallel compressed training (ring all-reduce over error-bounded gradient streams) |
+//! | [`serve`] | `ebtrain-serve` | multi-tenant compressed-tensor daemon with per-tenant budgets and admission control |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -33,6 +36,9 @@ pub use ebtrain_dist as dist;
 pub use ebtrain_dnn as dnn;
 pub use ebtrain_encoding as encoding;
 pub use ebtrain_imgcomp as imgcomp;
+pub use ebtrain_membudget as membudget;
 pub use ebtrain_obs as obs;
+pub use ebtrain_pool as pool;
+pub use ebtrain_serve as serve;
 pub use ebtrain_sz as sz;
 pub use ebtrain_tensor as tensor;

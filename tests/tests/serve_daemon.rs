@@ -1,0 +1,436 @@
+//! Integration suite for the `ebtrain-serve` daemon: protocol
+//! hardening against a live listener (adversarial bytes on real
+//! sockets, in the spirit of the codec conformance tests) and
+//! concurrency contracts (budgets held under parallel fire, typed
+//! admission rejections with no residue).
+//!
+//! Tenant-id ranges are disjoint per test: the obs registry is
+//! process-global and `cargo test` runs these in parallel, so each
+//! test owns its `serve.tenant.resident#t<id>` gauges outright.
+
+use ebtrain_serve::{
+    frame, ColdPolicy, DataLayout, ErrorCode, ServeClient, ServeConfig, ServeDaemon,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small daemon with test-friendly ceilings; callers override fields.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        tenant_budget_bytes: 128 << 10,
+        max_resident_bytes: 16 << 20,
+        max_raw_bytes: 64 << 20,
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn connect_raw(daemon: &ServeDaemon) -> TcpStream {
+    let s = TcpStream::connect(daemon.addr()).expect("connect");
+    // A hung read is a test bug; fail it instead of stalling the suite.
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Hand-rolled request bytes — unlike `frame::write_request`, this can
+/// emit arbitrary tag/version/magic bytes.
+fn raw_request(magic: [u8; 2], version: u8, tag: u8, tenant: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&magic);
+    out.push(version);
+    out.push(tag);
+    out.extend_from_slice(&tenant.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn smooth(n: usize, phase: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i + phase * 31) as f32 * 0.017).sin())
+        .collect()
+}
+
+#[test]
+fn every_truncation_closes_cleanly_and_daemon_survives() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let valid = raw_request(frame::MAGIC, frame::VERSION, 5, 9_000, &42u64.to_be_bytes());
+    for cut in 0..valid.len() {
+        let mut s = connect_raw(&daemon);
+        s.write_all(&valid[..cut]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        // A truncated frame gets no response — there is no coherent
+        // frame to answer — just a close. Never a panic, never a hang.
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).expect("daemon closed cleanly");
+        assert!(rest.is_empty(), "cut {cut}: unexpected bytes {rest:?}");
+    }
+    // The listener took 20 hostile connections and still serves.
+    let mut client = ServeClient::connect(daemon.addr()).expect("connect");
+    client
+        .ping(9_000)
+        .expect("daemon survives truncation storm");
+    daemon.shutdown();
+}
+
+#[test]
+fn corrupt_magic_version_and_oversize_get_typed_errors() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let cases: Vec<(Vec<u8>, ErrorCode)> = vec![
+        (
+            raw_request([0x00, 0x5E], frame::VERSION, 6, 9_100, &[]),
+            ErrorCode::Malformed,
+        ),
+        (
+            raw_request(frame::MAGIC, 77, 6, 9_100, &[]),
+            ErrorCode::Version,
+        ),
+        (
+            {
+                // Header declaring a u32::MAX payload, nothing behind it:
+                // rejected on the declared length, before any allocation.
+                let mut req = raw_request(frame::MAGIC, frame::VERSION, 6, 9_100, &[]);
+                let len_off = frame::REQUEST_HEADER_LEN - 4;
+                req[len_off..].copy_from_slice(&u32::MAX.to_be_bytes());
+                req
+            },
+            ErrorCode::TooLarge,
+        ),
+    ];
+    for (bytes, expect) in cases {
+        let mut s = connect_raw(&daemon);
+        s.write_all(&bytes).unwrap();
+        let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD)
+            .expect("typed error response before close");
+        assert_eq!(ErrorCode::from_byte(resp.status), Some(expect));
+        assert!(!resp.payload.is_empty(), "error carries a message");
+        // After a framing desync the daemon closes the connection.
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn unknown_tag_and_malformed_bodies_keep_the_session_alive() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let mut s = connect_raw(&daemon);
+    // Unassigned tag: typed error, session continues (the frame itself
+    // was coherent).
+    s.write_all(&raw_request(frame::MAGIC, frame::VERSION, 99, 9_200, &[]))
+        .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(
+        ErrorCode::from_byte(resp.status),
+        Some(ErrorCode::UnknownTag)
+    );
+    // Store body that doesn't parse: typed error, session continues.
+    s.write_all(&raw_request(
+        frame::MAGIC,
+        frame::VERSION,
+        1,
+        9_200,
+        &[1, 2, 3],
+    ))
+    .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(
+        ErrorCode::from_byte(resp.status),
+        Some(ErrorCode::Malformed)
+    );
+    // Garbage TaggedStream inside a well-formed store body: Codec error.
+    let body = frame::store_payload(1, DataLayout::D1(4096), 0.0, &[0xDE, 0xAD, 0xBE, 0xEF]);
+    s.write_all(&raw_request(frame::MAGIC, frame::VERSION, 1, 9_200, &body))
+        .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(ErrorCode::from_byte(resp.status), Some(ErrorCode::Codec));
+    // Same socket, valid RPC: still served.
+    s.write_all(&raw_request(frame::MAGIC, frame::VERSION, 6, 9_200, &[]))
+        .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(resp.status, 0, "session survived three typed errors");
+    daemon.shutdown();
+}
+
+#[test]
+fn lifecycle_store_fetch_planes_stats_evict() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let tenant = 9_300;
+    let layout = DataLayout::D2(64, 256);
+    let data = smooth(layout.len(), 1);
+    c.store_f32(tenant, 5, &data, layout, 1e-3).expect("store");
+    let (got, got_layout) = c.fetch(tenant, 5).expect("fetch");
+    assert_eq!(got_layout, layout);
+    assert!(got
+        .iter()
+        .zip(&data)
+        .all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-6));
+    // Compressed fetch mode returns bit-identical values.
+    let (stream, _) = c.fetch_compressed(tenant, 5).expect("fetch compressed");
+    let vals = ebtrain_codec::CodecRegistry::standard()
+        .decompress(&stream)
+        .expect("decode fetched stream");
+    assert_eq!(vals, got);
+    // Plane range: rows 8..16 of the D2.
+    let planes = c.fetch_planes(tenant, 5, 8..16).expect("fetch planes");
+    assert_eq!(planes.len(), 8 * 256);
+    assert_eq!(planes[..256], got[8 * 256..9 * 256]);
+    // Out-of-range is a typed BadRange, not a hangup.
+    let err = c.fetch_planes(tenant, 5, 0..65).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadRange));
+    let stats = c.stats(tenant).expect("stats");
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.stores, 1);
+    assert_eq!(stats.fetches, 3); // fetch + fetch_compressed + planes
+    assert_eq!(stats.raw_bytes, (layout.len() * 4) as u64);
+    c.evict(tenant, 5).expect("evict");
+    let err = c.fetch(tenant, 5).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Missing));
+    let err = c.evict(tenant, 5).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Missing));
+    let stats = c.stats(tenant).expect("stats after evict");
+    assert_eq!(
+        (stats.entries, stats.resident_bytes, stats.raw_bytes),
+        (0, 0, 0)
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_clients_one_tenant_never_break_the_budget() {
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 96 << 10;
+    let budget = cfg.tenant_budget_bytes;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let addr = daemon.addr();
+    let tenant = 9_400u32;
+    let gauge_key = format!("serve.tenant.resident#t{tenant}");
+    let done = Arc::new(AtomicBool::new(false));
+    // Sampler: the budget must hold at *every* observable instant, not
+    // just at the end — polled through the tenant's residency gauge.
+    let sampler = {
+        let done = Arc::clone(&done);
+        let gauge_key = gauge_key.clone();
+        std::thread::spawn(move || {
+            let mut max_seen = 0i64;
+            while !done.load(Ordering::SeqCst) {
+                max_seen = max_seen.max(ebtrain_obs::gauge_value(&gauge_key));
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            max_seen
+        })
+    };
+    let layout = DataLayout::D1(8 << 10); // 32 KiB raw per tensor
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            s.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                for i in 0..12u64 {
+                    let key = t * 100 + (i % 4); // keys churn: stores replace
+                    let data = smooth(layout.len(), (t * 17 + i) as usize);
+                    c.store_f32(tenant, key, &data, layout, 1e-3)
+                        .expect("store");
+                    let (got, _) = c.fetch(tenant, key).expect("fetch own key");
+                    assert_eq!(got.len(), layout.len());
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::SeqCst);
+    let max_gauge = sampler.join().expect("sampler");
+    assert!(
+        max_gauge as usize <= budget,
+        "resident gauge hit {max_gauge} over budget {budget} during concurrent load"
+    );
+    let stats = daemon.tenant_stats(tenant).expect("tenant exists");
+    assert!(
+        stats.peak_resident_bytes <= stats.budget_bytes,
+        "arena peak {} (transients included) over budget {}",
+        stats.peak_resident_bytes,
+        stats.budget_bytes
+    );
+    assert_eq!(stats.stores, 8 * 12);
+    daemon.shutdown();
+}
+
+#[test]
+fn parallel_tenants_are_isolated_and_individually_budgeted() {
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 64 << 10;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let addr = daemon.addr();
+    let base = 9_500u32;
+    let layout = DataLayout::D1(8 << 10); // 32 KiB raw; 5 tensors = 2.5x budget
+    std::thread::scope(|s| {
+        for m in 0..6u32 {
+            s.spawn(move || {
+                let tenant = base + m;
+                let mut c = ServeClient::connect(addr).expect("connect");
+                for k in 0..5u64 {
+                    let data = smooth(layout.len(), (m as u64 * 7 + k) as usize);
+                    c.store_f32(tenant, k, &data, layout, 1e-3).expect("store");
+                }
+                // Every key remains fetchable (HostMigrate cold tier)
+                // and round-trips within the bound.
+                for k in 0..5u64 {
+                    let expect = smooth(layout.len(), (m as u64 * 7 + k) as usize);
+                    let (got, _) = c.fetch(tenant, k).expect("fetch");
+                    assert!(
+                        got.iter()
+                            .zip(&expect)
+                            .all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-6),
+                        "tenant {tenant} key {k} values drifted"
+                    );
+                }
+            });
+        }
+    });
+    for m in 0..6u32 {
+        let tenant = base + m;
+        let stats = daemon.tenant_stats(tenant).expect("tenant exists");
+        assert_eq!(stats.entries, 5, "tenant {tenant}");
+        assert!(stats.peak_resident_bytes <= stats.budget_bytes);
+        let peak = ebtrain_obs::gauge_peak_take(&format!("serve.tenant.resident#t{tenant}"));
+        assert!(
+            peak as u64 <= stats.budget_bytes,
+            "tenant {tenant} gauge peak {peak} over budget"
+        );
+    }
+    // Evicting one tenant's world leaves the neighbours untouched.
+    let mut c = ServeClient::connect(addr).expect("connect");
+    for k in 0..5u64 {
+        c.evict(base, k).expect("evict");
+    }
+    assert_eq!(daemon.tenant_stats(base).unwrap().entries, 0);
+    for m in 1..6u32 {
+        assert_eq!(daemon.tenant_stats(base + m).unwrap().entries, 5);
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn busy_rejection_is_immediate_and_typed() {
+    let mut cfg = test_config();
+    cfg.max_inflight = 0; // every request is one past the ceiling
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let t0 = std::time::Instant::now();
+    for _ in 0..16 {
+        let err = c.ping(9_600).unwrap_err();
+        assert_eq!(err.server_code(), Some(ErrorCode::Busy));
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "busy rejection must answer immediately, never queue"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn over_budget_rejections_leave_no_residue() {
+    // Arm 1: the global raw ceiling — a store bigger than the whole
+    // allowance is rejected before touching the arena.
+    let mut cfg = test_config();
+    cfg.max_raw_bytes = 64 << 10;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let tenant = 9_700;
+    let layout = DataLayout::D1(32 << 10); // 128 KiB raw > 64 KiB ceiling
+    let err = c
+        .store_f32(tenant, 1, &smooth(layout.len(), 3), layout, 1e-3)
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::OverBudget));
+    let stats = c.stats(tenant).expect("stats");
+    assert_eq!(
+        (
+            stats.entries,
+            stats.resident_bytes,
+            stats.raw_bytes,
+            stats.rejected
+        ),
+        (0, 0, 0, 1),
+        "rejection left residue"
+    );
+    assert_eq!(
+        ebtrain_obs::gauge_value(&format!("serve.tenant.resident#t{tenant}")),
+        0,
+        "rejection leaked resident bytes into the gauge"
+    );
+    assert_eq!(daemon.raw_total(), 0);
+    daemon.shutdown();
+
+    // Arm 2: a drop-policy tenant fed incompressible noise past its
+    // budget — the arena's Dropped tier becomes a typed OverBudget with
+    // the tombstone removed.
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 16 << 10;
+    cfg.cold = ColdPolicy::DropForRecompute;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let tenant = 9_701;
+    let layout = DataLayout::D1(32 << 10);
+    // Pseudo-random noise at a tight bound compresses ~1x: nothing any
+    // tier can hold under a 16 KiB budget.
+    let noise: Vec<f32> = (0..layout.len())
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2_654_435_761);
+            (x as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect();
+    let err = c.store_f32(tenant, 1, &noise, layout, 1e-7).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::OverBudget));
+    let stats = c.stats(tenant).expect("stats");
+    assert_eq!(
+        (stats.entries, stats.resident_bytes, stats.raw_bytes),
+        (0, 0, 0)
+    );
+    assert_eq!(stats.rejected, 1);
+    let err = c.fetch(tenant, 1).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Missing));
+    daemon.shutdown();
+}
+
+#[test]
+fn global_ceiling_triggers_cross_tenant_reclaim_not_rejection() {
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 256 << 10;
+    cfg.max_resident_bytes = 320 << 10; // < 2 tenants' budgets
+    let ceiling = cfg.max_resident_bytes;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let addr = daemon.addr();
+    let (a, b) = (9_800u32, 9_801u32);
+    let layout = DataLayout::D2(64, 512); // 128 KiB raw
+    let mut ca = ServeClient::connect(addr).expect("connect");
+    ca.store_f32(a, 1, &smooth(layout.len(), 1), layout, 1e-3)
+        .expect("a1");
+    ca.store_f32(a, 2, &smooth(layout.len(), 2), layout, 1e-3)
+        .expect("a2");
+    // Tenant B's first store pushes past the global ceiling: the tiered
+    // eviction pass reclaims from A (the over-fair-share tenant) and
+    // the store is *admitted*, not rejected.
+    let mut cb = ServeClient::connect(addr).expect("connect");
+    cb.store_f32(b, 1, &smooth(layout.len(), 3), layout, 1e-3)
+        .expect("reclaim makes room instead of rejecting");
+    assert!(
+        daemon.resident_total() <= ceiling,
+        "resident {} over the global ceiling {ceiling}",
+        daemon.resident_total()
+    );
+    // Reclaim demoted A's entries but lost nothing (HostMigrate).
+    for (k, phase) in [(1u64, 1usize), (2, 2)] {
+        let (got, _) = ca.fetch(a, k).expect("A's data survived reclaim");
+        let expect = smooth(layout.len(), phase);
+        assert!(got
+            .iter()
+            .zip(&expect)
+            .all(|(x, y)| (x - y).abs() <= 1e-3 + 1e-6));
+    }
+    let (got, _) = cb.fetch(b, 1).expect("B's store served");
+    assert_eq!(got.len(), layout.len());
+    daemon.shutdown();
+}
