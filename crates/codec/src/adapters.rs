@@ -123,6 +123,10 @@ impl Codec for SzCodec {
         ebtrain_sz::decompress_bytes(stream.body())
     }
 
+    fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        ebtrain_sz::declared_len(stream.body()).map(Some)
+    }
+
     fn supports_frame_index(&self) -> bool {
         true
     }
@@ -256,6 +260,10 @@ impl Codec for ZfpLikeCodec {
         let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         zfp_like::decompress(stream.body())
     }
+
+    fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        zfp_like::declared_len(stream.body()).map(Some)
+    }
 }
 
 /// The lossless comparator (`ebtrain_sz::lossless`): byte-plane
@@ -293,6 +301,10 @@ impl Codec for LosslessCodec {
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
         let _span = ebtrain_obs::span!("codec.decompress", bytes = stream.compressed_byte_len());
         ebtrain_sz::lossless::decompress(stream.body())
+    }
+
+    fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        ebtrain_sz::lossless::declared_len(stream.body()).map(Some)
     }
 }
 
@@ -350,6 +362,17 @@ impl Codec for ByteplaneCodec {
             return Err(corrupt("byteplane length mismatch"));
         }
         byteplane::unshuffle_f32(&shuffled).ok_or_else(|| corrupt("misaligned planes"))
+    }
+
+    fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        let body = stream.body();
+        if body.len() < 2 || body[0..2] != MAGIC_B1 {
+            return Err(corrupt("bad byteplane magic"));
+        }
+        let mut pos = 2usize;
+        varint::read_usize(body, &mut pos)
+            .map(Some)
+            .map_err(|e| SzError::Corrupt(e.to_string()))
     }
 }
 

@@ -188,6 +188,20 @@ pub trait Codec: Send + Sync {
     /// [`TaggedStream::codec_id`]).
     fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>>;
 
+    /// Element count the stream's own header declares, read **without**
+    /// decoding the body — the validate-before-alloc hook for consumers
+    /// decoding untrusted streams (the serve daemon's store path). A
+    /// stream header is free to claim any count, and decoders size
+    /// buffers from it, so such consumers must reject a claim that
+    /// disagrees with what they were told to expect *before* calling
+    /// [`decompress`](Codec::decompress). `Ok(None)` means the codec
+    /// cannot tell without a full decode; `Err` means the header does
+    /// not even parse. All in-tree codecs answer `Some`.
+    fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        let _ = stream;
+        Ok(None)
+    }
+
     /// True when streams from this codec carry a frame index, i.e.
     /// [`decompress_planes`](Codec::decompress_planes) can decode a plane
     /// range *without* touching the rest of the stream and

@@ -55,6 +55,19 @@ impl CodecRegistry {
         &self.entries
     }
 
+    /// Element count the stream's own header declares, read without
+    /// decoding the body (routed to [`Codec::declared_elems`]). Consumers
+    /// decoding **untrusted** streams call this first and reject a count
+    /// that disagrees with their expectation — the header's claim is what
+    /// sizes decode buffers, so checking after [`decompress`]
+    /// (CodecRegistry::decompress) is too late.
+    pub fn declared_elems(&self, stream: &TaggedStream) -> Result<Option<usize>> {
+        let codec = self.get(stream.codec_id()).ok_or_else(|| {
+            SzError::Corrupt(format!("no codec registered for {}", stream.codec_id()))
+        })?;
+        codec.declared_elems(stream)
+    }
+
     /// Route a parsed stream to its decoder.
     pub fn decompress(&self, stream: &TaggedStream) -> Result<Vec<f32>> {
         let codec = self.get(stream.codec_id()).ok_or_else(|| {

@@ -748,6 +748,28 @@ impl<K: Copy + Eq + Hash + Debug> BudgetedArena<K> {
         tier
     }
 
+    /// Move the entry under `old` to `new` without touching its payload,
+    /// tier, or budget charge; any existing entry under `new` is removed
+    /// first. Returns `false` (and does nothing) when `old` is not live.
+    /// The schedule is not rewritten — a renamed key simply stops
+    /// matching its scheduled slot, so prefetch skips it. This is the
+    /// atomic-replacement hook: a caller stages a new payload under a
+    /// scratch key, and only on success renames it over the real one
+    /// (`ebtrain-serve`'s store path), so a failed insert never destroys
+    /// the previous value.
+    pub fn rename(&mut self, old: K, new: K) -> bool {
+        if old == new {
+            return self.entries.contains_key(&old);
+        }
+        let Some(e) = self.entries.remove(&old) else {
+            return false;
+        };
+        self.remove(new);
+        self.entries.insert(new, e);
+        self.publish_obs();
+        true
+    }
+
     /// Remove an entry without fetching it (joins an in-flight decode).
     pub fn remove(&mut self, key: K) {
         if let Some(e) = self.entries.remove(&key) {
@@ -1259,6 +1281,29 @@ mod tests {
             panic!()
         };
         assert_eq!(v.len(), 200);
+    }
+
+    #[test]
+    fn rename_moves_the_entry_and_keeps_the_charge() {
+        let mut a = arena(1 << 20);
+        a.insert_f32(1, volume(100, 1), DataLayout::D1(100), None);
+        a.insert_f32(2, volume(200, 2), DataLayout::D1(200), None);
+        let before = a.resident_bytes();
+        // Rename over a live key: the target is displaced, the charge
+        // reflects the moved entry only.
+        assert!(a.rename(2, 1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.resident_bytes(), before - 400);
+        let Fetched::F32(v) = a.load(1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v, volume(200, 2), "rename must carry the payload");
+        // Renaming a missing key is a no-op that reports failure.
+        assert!(!a.rename(9, 10));
+        // Self-rename: true iff the key exists.
+        a.insert_f32(5, volume(10, 3), DataLayout::D1(10), None);
+        assert!(a.rename(5, 5));
+        assert!(!a.rename(6, 6));
     }
 
     #[test]

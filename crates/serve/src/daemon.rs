@@ -134,8 +134,47 @@ struct Shared {
     resident_total: AtomicUsize,
     /// Σ slot.raw.
     raw_total: AtomicUsize,
+    /// Worst-case device bytes of stores admitted but not yet mirrored
+    /// into `resident_total`. Admission reserves here with a CAS before
+    /// letting a store proceed, so concurrent stores on different
+    /// tenants cannot each pass the ceiling check and overshoot it
+    /// together.
+    resident_pending: AtomicUsize,
+    /// Same, for the raw ceiling.
+    raw_pending: AtomicUsize,
     inflight: AtomicUsize,
     pool: WorkerPool,
+}
+
+/// CAS-reserve `amount` against `ceiling`, counting both the settled
+/// total and other requests' outstanding reservations. Returns whether
+/// the reservation was taken; the caller must release it (via
+/// [`Reservation`]) once the settled total reflects the store.
+fn try_reserve(total: &AtomicUsize, pending: &AtomicUsize, amount: usize, ceiling: usize) -> bool {
+    let mut cur = pending.load(Ordering::SeqCst);
+    loop {
+        let used = total.load(Ordering::SeqCst).saturating_add(cur);
+        if used.saturating_add(amount) > ceiling {
+            return false;
+        }
+        match pending.compare_exchange(cur, cur + amount, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A held admission reservation; releases on drop (panic-safe — a
+/// leaked reservation would permanently shrink the ceiling).
+struct Reservation<'a> {
+    pending: &'a AtomicUsize,
+    amount: usize,
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.pending.fetch_sub(self.amount, Ordering::SeqCst);
+    }
 }
 
 impl Drop for Shared {
@@ -173,6 +212,8 @@ impl ServeDaemon {
             tenants: Mutex::new(HashMap::new()),
             resident_total: AtomicUsize::new(0),
             raw_total: AtomicUsize::new(0),
+            resident_pending: AtomicUsize::new(0),
+            raw_pending: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             pool: WorkerPool::new(workers),
         });
@@ -384,15 +425,48 @@ fn malformed(what: &str) -> ServeError {
     ServeError::new(ErrorCode::Malformed, format!("{what} failed to parse"))
 }
 
+/// Ceiling on a fetch response body: the frame length field is a u32,
+/// and `write_response` errors (closing the session) rather than
+/// truncate — answer `TooLarge` instead, keeping the session alive.
+/// Slack covers the layout prefix.
+const MAX_RESPONSE_BODY: usize = u32::MAX as usize - 64;
+
+fn check_response_elems(n: usize) -> Result<(), ServeError> {
+    if n.saturating_mul(4) > MAX_RESPONSE_BODY {
+        return Err(ServeError::new(
+            ErrorCode::TooLarge,
+            format!("{n} f32 elems exceed the response frame's u32 length field"),
+        ));
+    }
+    Ok(())
+}
+
 fn rpc_store(shared: &Arc<Shared>, tenant: u32, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
     let (key, layout, eb, stream) =
         frame::parse_store_payload(payload).ok_or_else(|| malformed("store body"))?;
-    let raw = layout.len() * 4;
+    // `checked_len` only proves the element product fits a usize; the
+    // byte size can still wrap, and a wrapped `raw` would sail under
+    // both ceilings.
+    let raw = layout.len().checked_mul(4).ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::TooLarge,
+            format!("layout of {} elems overflows a byte count", layout.len()),
+        )
+    })?;
     let slot = tenant_slot(shared, tenant, true)?;
     let mut t = lock_tenant(&slot);
-    // Global raw ceiling (all tiers, replacement-aware).
+    // Global raw ceiling (all tiers, replacement-aware). The CAS
+    // reservation serializes concurrent stores on *different* tenants:
+    // each holds its worst-case bytes as pending until its own bytes
+    // are mirrored into the settled total, so two stores cannot both
+    // read a ceiling with room for only one.
     let raw_delta = raw.saturating_sub(t.raw_of(key));
-    if shared.raw_total.load(Ordering::SeqCst) + raw_delta > shared.cfg.max_raw_bytes {
+    if !try_reserve(
+        &shared.raw_total,
+        &shared.raw_pending,
+        raw_delta,
+        shared.cfg.max_raw_bytes,
+    ) {
         t.count_rejected();
         return Err(ServeError::new(
             ErrorCode::OverBudget,
@@ -403,28 +477,50 @@ fn rpc_store(shared: &Arc<Shared>, tenant: u32, payload: &[u8]) -> Result<Vec<u8
             ),
         ));
     }
+    let _raw_hold = Reservation {
+        pending: &shared.raw_pending,
+        amount: raw_delta,
+    };
     // Global resident ceiling: worst case the store lands hot, adding
     // min(raw, tenant budget) device bytes. Try the tiered eviction
     // pass before giving up. (Reclaim takes other tenants' locks, so
     // release ours around it — lock order stays "one tenant at a time".)
     let worst = raw.min(shared.cfg.tenant_budget_bytes);
-    if shared.resident_total.load(Ordering::SeqCst) + worst > shared.cfg.max_resident_bytes {
+    let mut reserved = try_reserve(
+        &shared.resident_total,
+        &shared.resident_pending,
+        worst,
+        shared.cfg.max_resident_bytes,
+    );
+    if !reserved {
         drop(t);
         global_reclaim(shared, worst);
         t = lock_tenant(&slot);
-        if shared.resident_total.load(Ordering::SeqCst) + worst > shared.cfg.max_resident_bytes {
-            t.count_rejected();
-            return Err(ServeError::new(
-                ErrorCode::OverBudget,
-                format!(
-                    "no room under the global resident ceiling ({} of {} used after reclaim)",
-                    shared.resident_total.load(Ordering::SeqCst),
-                    shared.cfg.max_resident_bytes
-                ),
-            ));
-        }
+        reserved = try_reserve(
+            &shared.resident_total,
+            &shared.resident_pending,
+            worst,
+            shared.cfg.max_resident_bytes,
+        );
     }
+    if !reserved {
+        t.count_rejected();
+        return Err(ServeError::new(
+            ErrorCode::OverBudget,
+            format!(
+                "no room under the global resident ceiling ({} of {} used after reclaim)",
+                shared.resident_total.load(Ordering::SeqCst),
+                shared.cfg.max_resident_bytes
+            ),
+        ));
+    }
+    let _resident_hold = Reservation {
+        pending: &shared.resident_pending,
+        amount: worst,
+    };
     let out = t.store(&shared.registry, key, layout, eb, stream);
+    // Mirror before the holds drop: totals then cover the stored bytes,
+    // so total + pending never understates real usage.
     sync_slot(shared, &slot, &t);
     out.map(|tier| vec![tier_to_byte(tier)])
 }
@@ -447,6 +543,7 @@ fn rpc_fetch(shared: &Arc<Shared>, tenant: u32, payload: &[u8]) -> Result<Vec<u8
     let (vals, layout) = t.fetch(key)?;
     sync_slot(shared, &slot, &t);
     drop(t); // re-compression below runs outside the tenant lock
+    check_response_elems(vals.len())?;
     let mut out = Vec::new();
     frame::put_layout(&mut out, layout);
     if mode == 0 {
@@ -478,6 +575,7 @@ fn rpc_fetch_planes(
     let vals = t.fetch_planes(key, start, end)?;
     sync_slot(shared, &slot, &t);
     drop(t);
+    check_response_elems(vals.len())?;
     let mut out = Vec::new();
     frame::put_f32_body(&mut out, &vals);
     Ok(out)
@@ -487,9 +585,20 @@ fn rpc_stats(shared: &Arc<Shared>, tenant: u32, payload: &[u8]) -> Result<Vec<u8
     if !payload.is_empty() {
         return Err(malformed("stats body (expected empty)"));
     }
-    let slot = tenant_slot(shared, tenant, true)?;
-    let t = lock_tenant(&slot);
-    Ok(t.stats().encode())
+    // Read-only: a stats probe must not mint tenant state, or scanning
+    // tenant ids would grow arenas and gauges without bound. Unknown
+    // tenants get the zero snapshot they would have as newcomers.
+    match tenant_slot(shared, tenant, false) {
+        Ok(slot) => {
+            let t = lock_tenant(&slot);
+            Ok(t.stats().encode())
+        }
+        Err(_) => Ok(TenantStats {
+            budget_bytes: shared.cfg.tenant_budget_bytes as u64,
+            ..TenantStats::default()
+        }
+        .encode()),
+    }
 }
 
 fn rpc_evict(shared: &Arc<Shared>, tenant: u32, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
@@ -519,7 +628,16 @@ fn global_reclaim(shared: &Shared, need: usize) {
     };
     let ceiling = shared.cfg.max_resident_bytes;
     let fair = ceiling / slots.len().max(1);
-    let fits = |shared: &Shared| shared.resident_total.load(Ordering::SeqCst) + need <= ceiling;
+    // Room must cover other stores' outstanding reservations too, or
+    // the caller's retry would steal bytes they already hold.
+    let fits = |shared: &Shared| {
+        shared
+            .resident_total
+            .load(Ordering::SeqCst)
+            .saturating_add(shared.resident_pending.load(Ordering::SeqCst))
+            .saturating_add(need)
+            <= ceiling
+    };
     let mut freed_total = 0usize;
     for target in [fair, 0] {
         if fits(shared) {

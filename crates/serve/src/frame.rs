@@ -269,6 +269,18 @@ pub fn read_request(
     }))
 }
 
+/// A payload length as the u32 the length field carries. Errors rather
+/// than truncates: a silently wrapped length desyncs the stream — the
+/// peer reads the wrong byte count and every later frame misparses.
+fn payload_len_u32(len: usize) -> io::Result<u32> {
+    u32::try_from(len).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload of {len} bytes exceeds the u32 frame length field"),
+        )
+    })
+}
+
 /// Write one request frame.
 pub fn write_request(
     w: &mut impl Write,
@@ -276,12 +288,13 @@ pub fn write_request(
     tenant: u32,
     payload: &[u8],
 ) -> io::Result<()> {
+    let len = payload_len_u32(payload.len())?;
     let mut buf = Vec::with_capacity(REQUEST_HEADER_LEN + payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(VERSION);
     buf.push(tag as u8);
     put_u32(&mut buf, tenant);
-    put_u32(&mut buf, payload.len() as u32);
+    put_u32(&mut buf, len);
     buf.extend_from_slice(payload);
     w.write_all(&buf)
 }
@@ -313,11 +326,12 @@ pub fn read_response(r: &mut impl Read, max_payload: usize) -> Result<ResponseFr
 
 /// Write one response frame (`status` 0 = success).
 pub fn write_response(w: &mut impl Write, status: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload_len_u32(payload.len())?;
     let mut buf = Vec::with_capacity(RESPONSE_HEADER_LEN + payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(VERSION);
     buf.push(status);
-    put_u32(&mut buf, payload.len() as u32);
+    put_u32(&mut buf, len);
     buf.extend_from_slice(payload);
     w.write_all(&buf)
 }
@@ -409,6 +423,16 @@ mod tests {
         let mut out = Vec::new();
         write_request(&mut out, RequestTag::Store, 7, &[1, 2, 3, 4, 5]).unwrap();
         out
+    }
+
+    #[test]
+    fn payload_len_guard_rejects_past_u32() {
+        assert_eq!(payload_len_u32(0).unwrap(), 0);
+        assert_eq!(payload_len_u32(u32::MAX as usize).unwrap(), u32::MAX);
+        // One past the field's range must error, not wrap to 0 and
+        // desync the stream.
+        let err = payload_len_u32(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -153,10 +153,29 @@ impl Tenant {
         ebtrain_obs::gauge_set(&self.gauge_key, self.arena.resident_bytes() as i64);
     }
 
-    /// Store one tensor: parse + decode the wire stream through the
-    /// registry, then insert into the arena (which lands it in
-    /// whatever tier the budget allows). `eb > 0` overrides the
-    /// at-rest demotion bound.
+    /// A live-key-free scratch key near `key` — the staging slot for
+    /// atomic replacement. Never visible outside one `store` call (all
+    /// calls run under the tenant lock).
+    fn scratch_key(&self, key: u64) -> u64 {
+        let mut k = key ^ 0x9E37_79B9_7F4A_7C15;
+        while k == key || self.layouts.contains_key(&k) {
+            k = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        k
+    }
+
+    /// Store one tensor: parse the wire stream, validate its declared
+    /// element count against the request layout **before** decoding
+    /// (a hostile header must not size any allocation), then insert
+    /// into the arena (which lands it in whatever tier the budget
+    /// allows). `eb > 0` overrides the at-rest demotion bound.
+    ///
+    /// Replacing an existing key is staged: the new payload goes in
+    /// under a scratch key and is renamed over the old one only once it
+    /// is known to fit, so a rejected replacement leaves the previous
+    /// value live (budget pressure from the attempt may still demote it
+    /// — or, under `DropForRecompute`, drop it — exactly as any other
+    /// pressure event may).
     pub fn store(
         &mut self,
         registry: &CodecRegistry,
@@ -167,6 +186,19 @@ impl Tenant {
     ) -> Result<Tier, ServeError> {
         let stream = TaggedStream::from_bytes(stream_bytes.to_vec())
             .map_err(|e| err(ErrorCode::Codec, format!("tensor stream: {e}")))?;
+        match registry.declared_elems(&stream) {
+            Ok(Some(n)) if n != layout.len() => {
+                return Err(err(
+                    ErrorCode::Malformed,
+                    format!(
+                        "stream header declares {n} elems, layout declares {}",
+                        layout.len()
+                    ),
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(err(ErrorCode::Codec, format!("tensor stream: {e}"))),
+        }
         let data = registry
             .decompress(&stream)
             .map_err(|e| err(ErrorCode::Codec, format!("tensor stream: {e}")))?;
@@ -181,23 +213,34 @@ impl Tenant {
             ));
         }
         let raw = data.len() * 4;
-        // Replacing a key: retire the old entry's raw accounting first.
-        if let Some((_, old_raw)) = self.layouts.remove(&key) {
-            self.raw_total -= old_raw;
-        }
+        let replacing = self.layouts.contains_key(&key);
+        let slot = if replacing {
+            self.scratch_key(key)
+        } else {
+            key
+        };
         let bound = (eb > 0.0).then_some(BoundSpec::Abs(eb));
-        let tier = self.arena.insert_f32_with(key, data, layout, bound, None);
+        let tier = self.arena.insert_f32_with(slot, data, layout, bound, None);
         if tier == Tier::Dropped {
             // DropForRecompute cold policy and nothing fit: reject the
             // store outright rather than holding a zero-byte tombstone —
-            // the no-residual guarantee of an over-budget rejection.
-            self.arena.remove(key);
+            // the no-residual guarantee of an over-budget rejection. A
+            // replacement rejected here never removed the entry under
+            // `key`: its accounting survives, though the attempt's
+            // insert pressure may have demoted (or dropped) its payload
+            // like any other pressure event.
+            self.arena.remove(slot);
             self.rejected += 1;
             self.publish_gauge();
             return Err(err(
                 ErrorCode::OverBudget,
                 "payload does not fit the tenant budget even compressed",
             ));
+        }
+        if replacing {
+            let (_, old_raw) = self.layouts.remove(&key).expect("checked replacing");
+            self.raw_total -= old_raw;
+            self.arena.rename(slot, key); // removes the old entry itself
         }
         self.layouts.insert(key, (layout, raw));
         self.raw_total += raw;

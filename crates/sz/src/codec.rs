@@ -636,6 +636,16 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
     decompress_impl(bytes, true)
 }
 
+/// Element count a stream's header declares, read without decoding the
+/// body. The validate-before-alloc hook for consumers handed untrusted
+/// streams: the header's count is self-consistent with its layout but
+/// otherwise unbounded, so callers must reject a count that disagrees
+/// with what they were told to expect *before* sizing any decode
+/// buffer from it.
+pub fn declared_len(bytes: &[u8]) -> Result<usize> {
+    parse_header(bytes).map(|h| h.n)
+}
+
 fn decompress_impl(bytes: &[u8], parallel: bool) -> Result<Vec<f32>> {
     let _span = ebtrain_obs::span!("sz.decompress", bytes = bytes.len());
     let header = parse_header(bytes)?;
@@ -674,7 +684,10 @@ fn decompress_impl(bytes: &[u8], parallel: bool) -> Result<Vec<f32>> {
         work.iter().map(decode_one).collect()
     };
     let parts = parts?;
-    let mut out = Vec::with_capacity(header.n);
+    // Capacity from the decoded parts, not the header's claimed count —
+    // a hostile header must never size an allocation by itself.
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
     for p in parts {
         out.extend_from_slice(&p);
     }

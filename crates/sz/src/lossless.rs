@@ -26,6 +26,16 @@ pub fn compress(data: &[f32]) -> Vec<u8> {
     out
 }
 
+/// Element count a stream's header declares, read without decoding the
+/// body (the validate-before-alloc probe for untrusted streams).
+pub fn declared_len(bytes: &[u8]) -> Result<usize> {
+    if bytes.len() < 2 || bytes[0..2] != MAGIC {
+        return Err(SzError::Corrupt("bad lossless magic".into()));
+    }
+    let mut pos = 2usize;
+    varint::read_usize(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))
+}
+
 /// Decompress a [`compress`] stream; bit-exact.
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
     if bytes.len() < 2 || bytes[0..2] != MAGIC {
@@ -35,7 +45,8 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
     let n = varint::read_usize(bytes, &mut pos).map_err(|e| SzError::Corrupt(e.to_string()))?;
     let entropy = lz::decompress(&bytes[pos..]).map_err(|e| SzError::Corrupt(e.to_string()))?;
     let symbols = huffman::decode(&entropy).map_err(|e| SzError::Corrupt(e.to_string()))?;
-    if symbols.len() != n * 4 {
+    // Checked: `n` is the stream's own claim.
+    if Some(symbols.len()) != n.checked_mul(4) {
         return Err(SzError::Corrupt("plane length mismatch".into()));
     }
     let planes: Vec<u8> = symbols.into_iter().map(|s| s as u8).collect();

@@ -207,6 +207,20 @@ pub fn compress(data: &[f32], h: usize, w: usize, cfg: &ZfpLikeConfig) -> Result
     Ok(out)
 }
 
+/// Element count a stream's header declares, read without decoding the
+/// body (the validate-before-alloc probe for untrusted streams).
+pub fn declared_len(bytes: &[u8]) -> Result<usize> {
+    let corrupt = |m: &str| SzError::Corrupt(m.to_string());
+    if bytes.len() < 2 || bytes[0..2] != MAGIC {
+        return Err(corrupt("bad zfp-like magic"));
+    }
+    let mut pos = 2usize;
+    let h = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
+    let w = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
+    h.checked_mul(w)
+        .ok_or_else(|| corrupt("zfp-like dims overflow"))
+}
+
 /// Decompress a [`compress`] stream.
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
     let corrupt = |m: &str| SzError::Corrupt(m.to_string());
@@ -221,15 +235,30 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
     if !(2..=24).contains(&bits) || h == 0 || w == 0 {
         return Err(corrupt("bad zfp-like header"));
     }
+    // Checked: the dims are the stream's own claim.
+    let n = h
+        .checked_mul(w)
+        .ok_or_else(|| corrupt("zfp-like dims overflow"))?;
     let planes = bits.min(TOTAL_PLANES);
     let payload_len = varint::read_usize(bytes, &mut pos).map_err(|e| corrupt(&e.to_string()))?;
     if pos + payload_len > bytes.len() {
         return Err(corrupt("truncated payload"));
     }
-    let mut br = BitReader::new(&bytes[pos..pos + payload_len]);
     let bh = h.div_ceil(4);
     let bw = w.div_ceil(4);
-    let mut out = vec![0.0f32; h * w];
+    // Fixed-rate means the payload size is exactly determined by the
+    // geometry: 8 emax bits + 16·planes coefficient bits per block.
+    // Reject a payload too small for the claimed dims *before* the
+    // output allocation, so a hostile header cannot size it.
+    let need_bits = bh
+        .checked_mul(bw)
+        .and_then(|blocks| blocks.checked_mul(8 + 16 * planes as usize))
+        .ok_or_else(|| corrupt("zfp-like dims overflow"))?;
+    if payload_len.saturating_mul(8) < need_bits {
+        return Err(corrupt("truncated payload"));
+    }
+    let mut br = BitReader::new(&bytes[pos..pos + payload_len]);
+    let mut out = vec![0.0f32; n];
     for by in 0..bh {
         for bx in 0..bw {
             let emax = br.read_bits(8).map_err(|e| corrupt(&e.to_string()))? as i32 - 128;

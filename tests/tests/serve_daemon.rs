@@ -395,6 +395,186 @@ fn over_budget_rejections_leave_no_residue() {
     daemon.shutdown();
 }
 
+/// LEB128, as the codec headers encode counts.
+fn leb128(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return out;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[test]
+fn hostile_declared_count_is_rejected_before_any_allocation() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let mut s = connect_raw(&daemon);
+    let tenant = 9_900;
+    let layout = DataLayout::D1(1024);
+    // A byte-plane stream whose header claims 2^60 elements and carries
+    // nothing else. The count disagrees with the request layout, so the
+    // daemon must answer Malformed from the header probe alone — before
+    // the fix, the claimed count sized the decode allocation and a
+    // 40-byte frame could drive an exabyte-scale reservation.
+    let mut stream = vec![0x42, 0x31]; // B1 magic
+    stream.extend_from_slice(&leb128(1u64 << 60));
+    let body = frame::store_payload(1, layout, 0.0, &stream);
+    s.write_all(&raw_request(frame::MAGIC, frame::VERSION, 1, tenant, &body))
+        .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(
+        ErrorCode::from_byte(resp.status),
+        Some(ErrorCode::Malformed),
+        "hostile count must be a typed mismatch, got {:?}",
+        String::from_utf8_lossy(&resp.payload)
+    );
+    // A count that *matches* the layout but a body that is not there:
+    // past the probe, the decoder itself reports corruption.
+    let mut stream = vec![0x42, 0x31];
+    stream.extend_from_slice(&leb128(layout.len() as u64));
+    let body = frame::store_payload(2, layout, 0.0, &stream);
+    s.write_all(&raw_request(frame::MAGIC, frame::VERSION, 1, tenant, &body))
+        .unwrap();
+    let resp = frame::read_response(&mut s, frame::DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(ErrorCode::from_byte(resp.status), Some(ErrorCode::Codec));
+    // Nothing was stored, and the daemon still serves real traffic.
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let stats = c.stats(tenant).expect("stats");
+    assert_eq!((stats.entries, stats.raw_bytes), (0, 0));
+    c.store_f32(tenant, 3, &smooth(layout.len(), 5), layout, 1e-3)
+        .expect("daemon healthy after hostile headers");
+    daemon.shutdown();
+}
+
+#[test]
+fn rejected_replacement_preserves_the_previous_entry() {
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 16 << 10;
+    cfg.cold = ColdPolicy::DropForRecompute;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    let tenant = 9_910;
+    let layout = DataLayout::D1(8 << 10); // 32 KiB raw > 16 KiB budget
+    let original = smooth(layout.len(), 9); // compressible: fits warm
+    c.store_f32(tenant, 1, &original, layout, 1e-3)
+        .expect("original store");
+    // Replace with incompressible noise at a tight bound: nothing any
+    // tier can hold, so the replacement is rejected OverBudget.
+    let noise: Vec<f32> = (0..layout.len())
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2_654_435_761);
+            (x as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect();
+    let err = c.store_f32(tenant, 1, &noise, layout, 1e-7).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::OverBudget));
+    // The previous entry survives the failed replacement: its identity
+    // and accounting are intact — before the fix the rejection had
+    // already destroyed it, and a fetch answered Missing with the
+    // tenant's raw accounting zeroed.
+    let stats = c.stats(tenant).expect("stats");
+    assert_eq!(stats.entries, 1, "old entry destroyed by failed replace");
+    assert_eq!(stats.raw_bytes, (layout.len() * 4) as u64);
+    assert_eq!(stats.rejected, 1);
+    match c.fetch(tenant, 1) {
+        // Insert pressure from the attempt may have dropped the payload
+        // (DropForRecompute), but the entry itself must still be there.
+        Err(e) => assert_eq!(e.server_code(), Some(ErrorCode::Dropped)),
+        Ok((got, _)) => assert!(got
+            .iter()
+            .zip(&original)
+            .all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-6)),
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn stats_probe_never_mints_tenant_state() {
+    let daemon = ServeDaemon::spawn(test_config()).expect("spawn");
+    let mut c = ServeClient::connect(daemon.addr()).expect("connect");
+    // Scan a spread of never-seen tenant ids: each answers the zero
+    // snapshot (with the daemon's budget template) and none of them
+    // becomes a live tenant with an arena and gauges.
+    for tenant in (9_920..9_980).step_by(7) {
+        let stats = c.stats(tenant).expect("stats");
+        assert_eq!(stats.budget_bytes, (128 << 10) as u64);
+        assert_eq!(
+            (stats.entries, stats.resident_bytes, stats.raw_bytes),
+            (0, 0, 0)
+        );
+    }
+    assert_eq!(daemon.tenant_count(), 0, "stats scan minted tenants");
+    // A real store still creates the tenant, and stats then reflect it.
+    let layout = DataLayout::D1(1024);
+    c.store_f32(9_920, 1, &smooth(layout.len(), 2), layout, 1e-3)
+        .expect("store");
+    assert_eq!(daemon.tenant_count(), 1);
+    assert_eq!(c.stats(9_920).expect("stats").entries, 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_stores_never_overshoot_the_global_ceiling() {
+    let mut cfg = test_config();
+    cfg.tenant_budget_bytes = 64 << 10;
+    cfg.max_resident_bytes = 160 << 10; // room for ~2.5 of 8 tenants' budgets
+    let ceiling = cfg.max_resident_bytes;
+    let daemon = ServeDaemon::spawn(cfg).expect("spawn");
+    let addr = daemon.addr();
+    let base = 9_990u32;
+    let layout = DataLayout::D1(8 << 10); // 32 KiB raw per tensor
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Sampler: the global ceiling is an *every-instant* invariant
+        // now that admission reserves headroom atomically — before the
+        // fix, concurrent stores on different tenants could each pass
+        // the check and overshoot together.
+        let sampler = s.spawn(|| {
+            let mut max_seen = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                max_seen = max_seen.max(daemon.resident_total());
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            max_seen
+        });
+        let workers: Vec<_> = (0..8u32)
+            .map(|m| {
+                s.spawn(move || {
+                    let tenant = base + m;
+                    let mut c = ServeClient::connect(addr).expect("connect");
+                    for k in 0..10u64 {
+                        let data = smooth(layout.len(), (m as u64 * 13 + k) as usize);
+                        // OverBudget is a legal answer when reclaim
+                        // cannot make room under concurrent fire;
+                        // overshoot is not.
+                        match c.store_f32(tenant, k, &data, layout, 1e-3) {
+                            Ok(_) => {}
+                            Err(e) => {
+                                assert_eq!(e.server_code(), Some(ErrorCode::OverBudget))
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        done.store(true, Ordering::SeqCst);
+        let max_seen = sampler.join().expect("sampler");
+        assert!(
+            max_seen <= ceiling,
+            "resident total hit {max_seen} over the global ceiling {ceiling}"
+        );
+    });
+    assert!(daemon.resident_total() <= ceiling);
+    daemon.shutdown();
+}
+
 #[test]
 fn global_ceiling_triggers_cross_tenant_reclaim_not_rejection() {
     let mut cfg = test_config();
